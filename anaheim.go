@@ -1,0 +1,399 @@
+// Package anaheim is a from-scratch Go reproduction of "Anaheim:
+// Architecture and Algorithms for Processing Fully Homomorphic Encryption in
+// Memory" (HPCA 2025).
+//
+// It bundles two subsystems behind one facade:
+//
+//   - A functional RNS-CKKS library (encoding, encryption, evaluation,
+//     hoisted/MinKS linear transforms, full bootstrapping) — the FHE
+//     substrate the paper's software framework builds on.
+//
+//   - A performance/energy simulator of the paper's hardware study: a
+//     roofline GPU model (A100 80GB, RTX 4090), a DRAM bank-timing model,
+//     and the Anaheim PIM unit (Table II ISA, column-partitioning layout,
+//     Alg 1 execution), orchestrated by the §V co-execution framework.
+//
+// Context provides encrypted computation; Simulate and the Experiment
+// helpers regenerate the paper's tables and figures.
+package anaheim
+
+import (
+	"fmt"
+
+	"github.com/anaheim-sim/anaheim/internal/ckks"
+	"github.com/anaheim-sim/anaheim/internal/experiments"
+	"github.com/anaheim-sim/anaheim/internal/gpu"
+	"github.com/anaheim-sim/anaheim/internal/pim"
+	"github.com/anaheim-sim/anaheim/internal/report"
+	"github.com/anaheim-sim/anaheim/internal/sched"
+	"github.com/anaheim-sim/anaheim/internal/trace"
+	"github.com/anaheim-sim/anaheim/internal/workloads"
+)
+
+// Re-exported FHE types (the public API of the functional library).
+type (
+	// ParametersLiteral describes a CKKS parameter set.
+	ParametersLiteral = ckks.ParametersLiteral
+	// Parameters is a compiled parameter set.
+	Parameters = ckks.Parameters
+	// Ciphertext is an encrypted slot vector.
+	Ciphertext = ckks.Ciphertext
+	// Plaintext is an encoded slot vector.
+	Plaintext = ckks.Plaintext
+	// LinearTransform is a diagonal-form slot-space linear map.
+	LinearTransform = ckks.LinearTransform
+	// BootstrapConfig selects bootstrapping hyper-parameters.
+	BootstrapConfig = ckks.BootstrapConfig
+)
+
+// NewLinearTransform builds a diagonal-form linear map over the given slot
+// count.
+func NewLinearTransform(slots int, diags map[int][]complex128) *LinearTransform {
+	return ckks.NewLinearTransform(slots, diags)
+}
+
+// TestParameters returns a small, fast, insecure parameter set.
+func TestParameters() ParametersLiteral { return ckks.TestParameters() }
+
+// BootParameters returns an insecure parameter set with enough modulus
+// budget for bootstrapping.
+func BootParameters() ParametersLiteral { return ckks.BootTestParameters() }
+
+// Context owns a key set and the engines for encrypted computation.
+type Context struct {
+	Params *Parameters
+
+	enc  *ckks.Encoder
+	kgen *ckks.KeyGenerator
+	sk   *ckks.SecretKey
+	pk   *ckks.PublicKey
+	keys *ckks.EvaluationKeySet
+	encr *ckks.Encryptor
+	decr *ckks.Decryptor
+	eval *ckks.Evaluator
+	boot *ckks.Bootstrapper
+}
+
+// NewContext compiles parameters and generates the base keys (secret,
+// public, relinearization). The seed makes the context deterministic;
+// production deployments would derive it from crypto/rand.
+func NewContext(lit ParametersLiteral, seed int64) (*Context, error) {
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		return nil, err
+	}
+	c := &Context{Params: params}
+	c.enc = ckks.NewEncoder(params)
+	c.kgen = ckks.NewKeyGenerator(params, seed)
+	c.sk = c.kgen.GenSecretKey()
+	c.pk = c.kgen.GenPublicKey(c.sk)
+	c.keys = ckks.NewEvaluationKeySet()
+	c.keys.Rlk = c.kgen.GenRelinearizationKey(c.sk)
+	c.encr = ckks.NewEncryptor(params, seed+1)
+	c.decr = ckks.NewDecryptor(params, c.sk)
+	c.eval = ckks.NewEvaluator(params, c.keys)
+	return c, nil
+}
+
+// GenRotationKeys prepares Galois keys for the given slot rotations.
+func (c *Context) GenRotationKeys(rotations ...int) {
+	c.kgen.GenRotationKeys(c.sk, c.keys, rotations)
+}
+
+// GenConjugationKey prepares the complex-conjugation key.
+func (c *Context) GenConjugationKey() { c.kgen.GenConjugationKey(c.sk, c.keys) }
+
+// Encrypt encodes and encrypts a complex vector (at most N/2 values) at the
+// top level and default scale.
+func (c *Context) Encrypt(values []complex128) (*Ciphertext, error) {
+	pt, err := c.enc.Encode(values, c.Params.MaxLevel(), c.Params.DefaultScale())
+	if err != nil {
+		return nil, err
+	}
+	return c.encr.EncryptNew(&ckks.Plaintext{Value: pt, Scale: c.Params.DefaultScale()}, c.pk), nil
+}
+
+// Decrypt returns the slot vector of a ciphertext.
+func (c *Context) Decrypt(ct *Ciphertext) []complex128 {
+	pt := c.decr.DecryptNew(ct)
+	return c.enc.Decode(pt.Value, pt.Scale)
+}
+
+// Encode produces a plaintext at the ciphertext's level for use with
+// MulPlain/AddPlain.
+func (c *Context) Encode(values []complex128, level int) (*Plaintext, error) {
+	pt, err := c.enc.Encode(values, level, c.Params.DefaultScale())
+	if err != nil {
+		return nil, err
+	}
+	return &ckks.Plaintext{Value: pt, Scale: c.Params.DefaultScale()}, nil
+}
+
+// Add returns ct0 + ct1 (HADD).
+func (c *Context) Add(ct0, ct1 *Ciphertext) *Ciphertext { return c.eval.Add(ct0, ct1) }
+
+// Sub returns ct0 - ct1.
+func (c *Context) Sub(ct0, ct1 *Ciphertext) *Ciphertext { return c.eval.Sub(ct0, ct1) }
+
+// Mul returns ct0 ⊙ ct1 relinearized and rescaled (HMULT).
+func (c *Context) Mul(ct0, ct1 *Ciphertext) *Ciphertext {
+	return c.eval.Rescale(c.eval.MulRelin(ct0, ct1, nil))
+}
+
+// MulPlain returns ct ⊙ pt rescaled (PMULT).
+func (c *Context) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	return c.eval.Rescale(c.eval.MulPlain(ct, pt))
+}
+
+// AddPlain returns ct + pt.
+func (c *Context) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	return c.eval.AddPlain(ct, pt)
+}
+
+// AddConst adds a real constant to every slot.
+func (c *Context) AddConst(ct *Ciphertext, v float64) *Ciphertext { return c.eval.AddConst(ct, v) }
+
+// MulConst multiplies every slot by a real constant (one level).
+func (c *Context) MulConst(ct *Ciphertext, v float64) *Ciphertext {
+	qd := float64(c.Params.RingQ().Moduli[ct.Level()].Q)
+	return c.eval.Rescale(c.eval.MultConst(ct, v, qd))
+}
+
+// Rotate cyclically rotates the slots by k (HROT); the rotation key must
+// have been generated.
+func (c *Context) Rotate(ct *Ciphertext, k int) (*Ciphertext, error) { return c.eval.Rotate(ct, k) }
+
+// Conjugate returns the slot-wise complex conjugate.
+func (c *Context) Conjugate(ct *Ciphertext) (*Ciphertext, error) { return c.eval.Conjugate(ct) }
+
+// EvaluateLinearTransform applies a diagonal-form linear map with the
+// hoisting optimization (one ModUp for all rotations, §III-B). Rotation keys
+// for lt.Rotations() must exist.
+func (c *Context) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
+	out, err := c.eval.EvaluateLinearTransformHoisted(ct, lt, c.enc)
+	if err != nil {
+		return nil, err
+	}
+	return c.eval.Rescale(out), nil
+}
+
+// EvaluateLinearTransformMinKS applies the map with minimum key switching:
+// only the rotation-by-one key is needed.
+func (c *Context) EvaluateLinearTransformMinKS(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
+	out, err := c.eval.EvaluateLinearTransformMinKS(ct, lt, c.enc)
+	if err != nil {
+		return nil, err
+	}
+	return c.eval.Rescale(out), nil
+}
+
+// EvaluatePolynomial evaluates f(x) ≈ Chebyshev series of the given degree
+// on [a, b] slot-wise.
+func (c *Context) EvaluatePolynomial(ct *Ciphertext, f func(float64) float64, a, b float64, degree int) *Ciphertext {
+	coeffs := ckks.ChebyshevInterpolation(f, a, b, degree)
+	return c.eval.EvaluateChebyshev(ct, coeffs, a, b)
+}
+
+// Sign approximates slot-wise sign(x) for values in [-1, 1] using the given
+// number of composite polynomial iterations (three levels each).
+func (c *Context) Sign(ct *Ciphertext, iterations int) *Ciphertext {
+	return c.eval.EvalSign(ct, iterations)
+}
+
+// Compare approximates slot-wise (sign(a-b)+1)/2 for values in [-1/2, 1/2]:
+// 1 where a > b, 0 where a < b.
+func (c *Context) Compare(a, b *Ciphertext, iterations int) *Ciphertext {
+	return c.eval.EvalCompare(a, b, iterations)
+}
+
+// MinMax returns the slot-wise minimum and maximum of two ciphertexts with
+// values in [-1/2, 1/2] — the two-way comparator the Sort workload is built
+// from ([35], §VII-A).
+func (c *Context) MinMax(a, b *Ciphertext, iterations int) (*Ciphertext, *Ciphertext) {
+	return c.eval.EvalMinMax(a, b, iterations)
+}
+
+// SetupBootstrapping generates all bootstrapping keys and matrices. Requires
+// a parameter set with sufficient modulus budget (see BootParameters).
+func (c *Context) SetupBootstrapping(cfg BootstrapConfig) error {
+	b, err := ckks.NewBootstrapper(c.Params, c.enc, c.eval, c.kgen, c.sk, c.keys, cfg)
+	if err != nil {
+		return err
+	}
+	c.boot = b
+	return nil
+}
+
+// DefaultBootstrapConfig returns the test-scale bootstrapping configuration.
+func DefaultBootstrapConfig() BootstrapConfig { return ckks.DefaultBootstrapConfig() }
+
+// Bootstrap refreshes an exhausted ciphertext to a high level.
+func (c *Context) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	if c.boot == nil {
+		return nil, fmt.Errorf("anaheim: SetupBootstrapping has not been called")
+	}
+	return c.boot.Bootstrap(ct)
+}
+
+// DropToLevel discards limbs (used to emulate computation depth in demos).
+func (c *Context) DropToLevel(ct *Ciphertext, level int) *Ciphertext {
+	return c.eval.DropLevel(ct, level)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation facade
+
+// SimPlatform names a simulated hardware configuration.
+type SimPlatform string
+
+// Supported platforms (Table III).
+const (
+	A100          SimPlatform = "a100"
+	A100NearBank  SimPlatform = "a100-nearbank"
+	A100CustomHBM SimPlatform = "a100-customhbm"
+	RTX4090       SimPlatform = "rtx4090"
+	RTX4090PIM    SimPlatform = "rtx4090-nearbank"
+)
+
+// SimResult summarizes one simulated workload execution.
+type SimResult struct {
+	Workload   string
+	Platform   SimPlatform
+	TimeMs     float64
+	EnergyMJ   float64
+	EDP        float64
+	EWShare    float64
+	GPUDramGB  float64
+	PIMDramGB  float64
+	TbootEffMs float64 // time / L_eff
+	OoM        bool
+}
+
+func platformConfig(p SimPlatform) (sched.Config, float64, error) {
+	switch p {
+	case A100:
+		return sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar()}, gpu.A100().DRAM.CapacityGB, nil
+	case A100NearBank:
+		u := pim.A100NearBank()
+		return sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: &u}, gpu.A100().DRAM.CapacityGB, nil
+	case A100CustomHBM:
+		u := pim.A100CustomHBM()
+		return sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: &u}, gpu.A100().DRAM.CapacityGB, nil
+	case RTX4090:
+		return sched.Config{GPU: gpu.RTX4090(), Lib: gpu.Cheddar()}, gpu.RTX4090().DRAM.CapacityGB, nil
+	case RTX4090PIM:
+		u := pim.RTX4090NearBank()
+		return sched.Config{GPU: gpu.RTX4090(), Lib: gpu.Cheddar(), PIM: &u}, gpu.RTX4090().DRAM.CapacityGB, nil
+	default:
+		return sched.Config{}, 0, fmt.Errorf("anaheim: unknown platform %q", p)
+	}
+}
+
+// Workloads lists the simulatable workload names (§VII-A).
+func Workloads() []string {
+	var out []string
+	for _, w := range workloads.All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Simulate runs one workload on one platform at paper-scale parameters
+// (Table IV) and returns the headline metrics.
+func Simulate(workload string, platform SimPlatform) (SimResult, error) {
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return SimResult{}, fmt.Errorf("anaheim: unknown workload %q (have %v)", workload, Workloads())
+	}
+	cfg, capacityGB, err := platformConfig(platform)
+	if err != nil {
+		return SimResult{}, err
+	}
+	p := trace.PaperParams()
+	res := SimResult{Workload: workload, Platform: platform}
+	if workloads.FootprintGB(workload, p) > capacityGB {
+		res.OoM = true
+		return res, nil
+	}
+	opt := trace.GPUBaseline()
+	if cfg.PIM != nil {
+		opt = trace.AnaheimDefault()
+	}
+	r := sched.Run(w.Gen(p, opt), cfg)
+	res.TimeMs = r.TimeMs()
+	res.EnergyMJ = r.EnergyMJ()
+	res.EDP = r.EDP()
+	res.EWShare = r.EWShare()
+	res.GPUDramGB = r.GPUBytes / 1e9
+	res.PIMDramGB = r.PIMBytes / 1e9
+	res.TbootEffMs = r.TimeMs() / float64(w.LEff)
+	return res, nil
+}
+
+// ExperimentIDs lists the reproducible paper artifacts plus the two
+// extension studies backing the paper's §V-C and §VI-D discussion points.
+func ExperimentIDs() []string {
+	return []string{"fig1-table", "fig2a", "fig2b", "fig2c", "fig3", "fig4a",
+		"fig4b", "fig8", "fig9", "fig10", "table3", "table4", "table5",
+		"ext-gp-pim", "ext-pipelining", "ext-memories"}
+}
+
+// RunExperiment regenerates one paper table/figure and returns its formatted
+// text table.
+func RunExperiment(id string) (string, error) {
+	tbl, err := experimentTable(id)
+	if err != nil {
+		return "", err
+	}
+	return tbl.String(), nil
+}
+
+// RunExperimentCSV regenerates one experiment as CSV for plotting.
+func RunExperimentCSV(id string) (string, error) {
+	tbl, err := experimentTable(id)
+	if err != nil {
+		return "", err
+	}
+	return tbl.CSV(), nil
+}
+
+func experimentTable(id string) (*report.Table, error) {
+	var tbl *report.Table
+	switch id {
+	case "fig1-table":
+		_, tbl = experiments.Fig1Table()
+	case "fig2a":
+		_, tbl = experiments.Fig2a()
+	case "fig2b":
+		_, tbl = experiments.Fig2b()
+	case "fig2c":
+		_, tbl = experiments.Fig2c()
+	case "fig3":
+		_, tbl = experiments.Fig3()
+	case "fig4a":
+		_, tbl = experiments.Fig4a()
+	case "fig4b":
+		_, tbl = experiments.Fig4b()
+	case "fig8":
+		_, tbl = experiments.Fig8()
+	case "fig9":
+		_, tbl = experiments.Fig9()
+	case "fig10":
+		_, tbl = experiments.Fig10()
+	case "table3":
+		tbl = experiments.Table3()
+	case "table4":
+		tbl = experiments.Table4()
+	case "table5":
+		_, tbl = experiments.Table5()
+	case "ext-gp-pim":
+		_, tbl = experiments.ExtGeneralPurposePIM()
+	case "ext-pipelining":
+		_, tbl = experiments.ExtPipelining()
+	case "ext-memories":
+		_, tbl = experiments.ExtMemoryTechnologies()
+	default:
+		return nil, fmt.Errorf("anaheim: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	return tbl, nil
+}

@@ -1,0 +1,213 @@
+package anaheim
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newCtx(t *testing.T) *Context {
+	t.Helper()
+	ctx, err := NewContext(TestParameters(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func randVec(r *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(2*r.Float64()-1, 2*r.Float64()-1)
+	}
+	return v
+}
+
+func facadeMaxErr(got, want []complex128) float64 {
+	m := 0.0
+	for i := range want {
+		if e := cmplx.Abs(got[i] - want[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := newCtx(t)
+	r := rand.New(rand.NewSource(1))
+	u := randVec(r, ctx.Params.Slots())
+	ct, err := ctx.Encrypt(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := facadeMaxErr(ctx.Decrypt(ct), u); e > 1e-6 {
+		t.Fatalf("round trip error %g", e)
+	}
+}
+
+func TestContextArithmetic(t *testing.T) {
+	ctx := newCtx(t)
+	r := rand.New(rand.NewSource(2))
+	n := ctx.Params.Slots()
+	u, v := randVec(r, n), randVec(r, n)
+	ctU, _ := ctx.Encrypt(u)
+	ctV, _ := ctx.Encrypt(v)
+
+	want := make([]complex128, n)
+	for i := range want {
+		want[i] = (u[i]+v[i])*v[i] - u[i]
+	}
+	out := ctx.Sub(ctx.Mul(ctx.Add(ctU, ctV), ctV), ctx.DropToLevel(ctU, ctU.Level()-1))
+	if e := facadeMaxErr(ctx.Decrypt(out), want); e > 1e-4 {
+		t.Fatalf("arithmetic error %g", e)
+	}
+}
+
+func TestContextConstOps(t *testing.T) {
+	ctx := newCtx(t)
+	r := rand.New(rand.NewSource(3))
+	u := randVec(r, ctx.Params.Slots())
+	ct, _ := ctx.Encrypt(u)
+	out := ctx.AddConst(ctx.MulConst(ct, 2.0), -0.5)
+	want := make([]complex128, len(u))
+	for i := range want {
+		want[i] = 2*u[i] - 0.5
+	}
+	if e := facadeMaxErr(ctx.Decrypt(out), want); e > 1e-5 {
+		t.Fatalf("const ops error %g", e)
+	}
+}
+
+func TestContextPlaintextOps(t *testing.T) {
+	ctx := newCtx(t)
+	r := rand.New(rand.NewSource(4))
+	n := ctx.Params.Slots()
+	u, p := randVec(r, n), randVec(r, n)
+	ct, _ := ctx.Encrypt(u)
+	pt, err := ctx.Encode(p, ct.Level())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ctx.MulPlain(ct, pt)
+	want := make([]complex128, n)
+	for i := range want {
+		want[i] = u[i] * p[i]
+	}
+	if e := facadeMaxErr(ctx.Decrypt(out), want); e > 1e-5 {
+		t.Fatalf("PMULT error %g", e)
+	}
+}
+
+func TestContextRotationAndConjugation(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.GenRotationKeys(5)
+	ctx.GenConjugationKey()
+	r := rand.New(rand.NewSource(5))
+	n := ctx.Params.Slots()
+	u := randVec(r, n)
+	ct, _ := ctx.Encrypt(u)
+
+	rot, err := ctx.Rotate(ct, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj, err := ctx.Conjugate(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(ctx.Decrypt(rot)[i]-u[(i+5)%n]) > 1e-5 {
+			t.Fatal("rotation wrong")
+		}
+		if cmplx.Abs(ctx.Decrypt(conj)[i]-cmplx.Conj(u[i])) > 1e-5 {
+			t.Fatal("conjugation wrong")
+		}
+	}
+}
+
+func TestContextMissingRotationKey(t *testing.T) {
+	ctx := newCtx(t)
+	ct, _ := ctx.Encrypt([]complex128{1})
+	if _, err := ctx.Rotate(ct, 9); err == nil {
+		t.Fatal("rotation without a key must error")
+	}
+}
+
+func TestContextLinearTransform(t *testing.T) {
+	ctx := newCtx(t)
+	n := ctx.Params.Slots()
+	r := rand.New(rand.NewSource(6))
+	diags := map[int][]complex128{0: randVec(r, n), 2: randVec(r, n)}
+	lt := NewLinearTransform(n, diags)
+	ctx.GenRotationKeys(lt.Rotations()...)
+	u := randVec(r, n)
+	ct, _ := ctx.Encrypt(u)
+	out, err := ctx.EvaluateLinearTransform(ct, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := facadeMaxErr(ctx.Decrypt(out), lt.Apply(u)); e > 1e-4 {
+		t.Fatalf("LT error %g", e)
+	}
+}
+
+func TestContextBootstrapUnconfigured(t *testing.T) {
+	ctx := newCtx(t)
+	ct, _ := ctx.Encrypt([]complex128{1})
+	if _, err := ctx.Bootstrap(ct); err == nil {
+		t.Fatal("Bootstrap before SetupBootstrapping must error")
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	r, err := Simulate("Boot", A100NearBank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OoM || r.TimeMs <= 0 || r.PIMDramGB <= 0 {
+		t.Fatalf("bad result: %+v", r)
+	}
+	base, err := Simulate("Boot", A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TimeMs <= r.TimeMs {
+		t.Fatal("PIM platform must beat the GPU-only baseline on Boot")
+	}
+	oom, err := Simulate("ResNet18", RTX4090)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oom.OoM {
+		t.Fatal("ResNet18 must OoM on the RTX 4090")
+	}
+	if _, err := Simulate("nope", A100); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	if _, err := Simulate("Boot", SimPlatform("cray")); err == nil {
+		t.Fatal("unknown platform must error")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	for _, id := range []string{"fig1-table", "table3", "table4"} {
+		out, err := RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "-") || len(out) < 50 {
+			t.Fatalf("experiment %s output implausible:\n%s", id, out)
+		}
+	}
+	if _, err := RunExperiment("fig99"); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if len(ExperimentIDs()) != 16 {
+		t.Fatalf("want 16 experiment ids, got %d", len(ExperimentIDs()))
+	}
+	if len(Workloads()) != 6 {
+		t.Fatalf("want 6 workloads, got %d", len(Workloads()))
+	}
+}

@@ -1,0 +1,229 @@
+package anaheim
+
+// One benchmark per table and figure of the paper's evaluation (DESIGN.md
+// §4). Each runs the corresponding experiment and reports the paper's
+// headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. Absolute times are the simulator's;
+// the reported custom metrics are the paper-comparable numbers.
+
+import (
+	"testing"
+
+	"github.com/anaheim-sim/anaheim/internal/experiments"
+	"github.com/anaheim-sim/anaheim/internal/pim"
+)
+
+func BenchmarkFig1Table(b *testing.B) {
+	var hoistReduction float64
+	for i := 0; i < b.N; i++ {
+		ms, _ := experiments.Fig1Table()
+		byName := map[string]experiments.Fig1Metrics{}
+		for _, m := range ms {
+			byName[m.Alg] = m
+		}
+		hoistReduction = byName["Base"].NTTLimbOps / byName["Hoisting"].NTTLimbOps
+	}
+	b.ReportMetric(hoistReduction, "hoist-NTT-reduction-x")
+}
+
+func BenchmarkFig2aBasicFunctions(b *testing.B) {
+	var cheddarHMULTus, phantomHMULTus float64
+	for i := 0; i < b.N; i++ {
+		ms, _ := experiments.Fig2a()
+		for _, m := range ms {
+			if m.Function == "HMULT" {
+				switch m.Library {
+				case "Cheddar":
+					cheddarHMULTus = m.TimeUs
+				case "Phantom":
+					phantomHMULTus = m.TimeUs
+				}
+			}
+		}
+	}
+	b.ReportMetric(cheddarHMULTus, "cheddar-HMULT-us")
+	b.ReportMetric(phantomHMULTus/cheddarHMULTus, "cheddar-vs-phantom-x")
+}
+
+func BenchmarkFig2bTbootVsD(b *testing.B) {
+	var a100D4, ewA100, ew4090 float64
+	for i := 0; i < b.N; i++ {
+		ms, _ := experiments.Fig2b()
+		for _, m := range ms {
+			if m.OoM {
+				continue
+			}
+			if m.D == 4 {
+				if m.GPU == "A100 80GB" {
+					a100D4, ewA100 = m.TbootMs, m.EWShare
+				} else {
+					ew4090 = m.EWShare
+				}
+			}
+		}
+	}
+	b.ReportMetric(a100D4, "A100-D4-Tboot-eff-ms")
+	b.ReportMetric(100*ewA100, "A100-EW-share-%")
+	b.ReportMetric(100*ew4090, "4090-EW-share-%")
+}
+
+func BenchmarkFig2cMinKSvsHoist(b *testing.B) {
+	var hoist, minks float64
+	for i := 0; i < b.N; i++ {
+		ms, _ := experiments.Fig2c()
+		for _, m := range ms {
+			switch m.Alg {
+			case "Hoist":
+				hoist = m.TbootMs
+			case "MinKS":
+				minks = m.TbootMs
+			}
+		}
+	}
+	b.ReportMetric(hoist, "hoist-Tboot-eff-ms")
+	b.ReportMetric(minks/hoist, "minks-slowdown-x")
+}
+
+func BenchmarkFig3FFTIter(b *testing.B) {
+	var def, six float64
+	for i := 0; i < b.N; i++ {
+		ms, _ := experiments.Fig3()
+		for _, m := range ms {
+			switch m.Label {
+			case "3&4 (default)":
+				def = m.TbootMs
+			case "6":
+				six = m.TbootMs
+			}
+		}
+	}
+	b.ReportMetric(def, "default-mix-Tboot-eff-ms")
+	b.ReportMetric(six/def, "fftIter6-degradation-x")
+}
+
+func BenchmarkFig4aLinearTransform(b *testing.B) {
+	var gpuUs, pimUs, ewSpeedup float64
+	for i := 0; i < b.N; i++ {
+		ms, _ := experiments.Fig4a()
+		byMode := map[string]experiments.Fig4aMetrics{}
+		for _, m := range ms {
+			byMode[m.Mode] = m
+		}
+		gpuUs = byMode["GPU only"].TimeUs
+		pimUs = byMode["PIM"].TimeUs
+		ewSpeedup = byMode["GPU only"].EWUs / byMode["PIM"].EWUs
+	}
+	b.ReportMetric(gpuUs/pimUs, "LT-speedup-x")
+	b.ReportMetric(ewSpeedup, "EW-speedup-x")
+}
+
+func BenchmarkFig4bDRAMAccess(b *testing.B) {
+	var m experiments.Fig4bMetrics
+	for i := 0; i < b.N; i++ {
+		m, _ = experiments.Fig4b()
+	}
+	b.ReportMetric(m.BaselineGB, "baseline-GB")
+	b.ReportMetric(m.PIMGpuGB, "pim-gpu-side-GB")
+	b.ReportMetric(m.BaselineGB/m.PIMGpuGB, "gpu-access-reduction-x")
+	b.ReportMetric(m.EnergyRatio, "dram-energy-reduction-x")
+}
+
+func BenchmarkTable3Configs(b *testing.B) {
+	var bwIncr float64
+	for i := 0; i < b.N; i++ {
+		u := pim.A100NearBank()
+		bwIncr = u.BWIncrease
+		_ = experiments.Table3()
+	}
+	b.ReportMetric(bwIncr, "A100-NB-BW-increase-x")
+}
+
+func BenchmarkFig8Workloads(b *testing.B) {
+	var bootSpeedup, bootEDP, worstEDP float64
+	for i := 0; i < b.N; i++ {
+		ms, _ := experiments.Fig8()
+		worstEDP = 1e18
+		for _, m := range ms {
+			if m.OoM {
+				continue
+			}
+			if m.Platform == "A100 near-bank" && m.Workload == "Boot" {
+				bootSpeedup, bootEDP = m.Speedup, m.EDPGain
+			}
+			if m.EDPGain < worstEDP {
+				worstEDP = m.EDPGain
+			}
+		}
+	}
+	b.ReportMetric(bootSpeedup, "A100-NB-Boot-speedup-x")
+	b.ReportMetric(bootEDP, "A100-NB-Boot-EDP-x")
+	b.ReportMetric(worstEDP, "min-EDP-gain-x")
+}
+
+func BenchmarkFig9PIMMicro(b *testing.B) {
+	var paccum, caccum float64
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig9()
+		for _, p := range pts {
+			if p.Config == "A100 near-bank" && p.B == 16 {
+				switch p.Op {
+				case pim.PAccum:
+					paccum = p.Speedup
+				case pim.CAccum:
+					caccum = p.Speedup
+				}
+			}
+		}
+	}
+	b.ReportMetric(paccum, "A100-PAccum4-speedup-x")
+	b.ReportMetric(caccum, "A100-CAccum8-speedup-x")
+}
+
+func BenchmarkFig10Sensitivity(b *testing.B) {
+	var cpSlowdown float64
+	for i := 0; i < b.N; i++ {
+		ms, _ := experiments.Fig10()
+		var fused, noCP float64
+		for _, m := range ms {
+			if m.Platform == "A100 near-bank" && m.Workload == "Boot" {
+				switch m.Variant {
+				case "+AutFuse":
+					fused = m.EWMs
+				case "w/o CP":
+					noCP = m.EWMs
+				}
+			}
+		}
+		cpSlowdown = noCP / fused
+	}
+	b.ReportMetric(cpSlowdown, "wo-CP-EW-slowdown-x")
+}
+
+func BenchmarkTable5Comparison(b *testing.B) {
+	var bootMs float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table5()
+		for _, r := range rows {
+			if r.Measured && r.Proposal == "Anaheim (A100, near-bank)" {
+				bootMs = r.BootMs
+			}
+		}
+	}
+	b.ReportMetric(bootMs, "anaheim-A100-Boot-ms")
+}
+
+// BenchmarkSimulateFacade exercises the public simulation entry point.
+func BenchmarkSimulateFacade(b *testing.B) {
+	var t float64
+	for i := 0; i < b.N; i++ {
+		r, err := Simulate("Boot", A100NearBank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t = r.TimeMs
+	}
+	b.ReportMetric(t, "boot-ms")
+}

@@ -1,0 +1,57 @@
+// Command anaheim-bench regenerates the Anaheim paper's evaluation tables
+// and figures on the simulation stack.
+//
+// Usage:
+//
+//	anaheim-bench -exp fig8        # one experiment
+//	anaheim-bench -all             # everything
+//	anaheim-bench -list            # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/anaheim-sim/anaheim"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiment ids")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	run := func(id string) (string, error) {
+		if *csv {
+			return anaheim.RunExperimentCSV(id)
+		}
+		return anaheim.RunExperiment(id)
+	}
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(anaheim.ExperimentIDs(), "\n"))
+	case *all:
+		for _, id := range anaheim.ExperimentIDs() {
+			out, err := run(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("=== %s ===\n%s\n", id, out)
+		}
+	case *exp != "":
+		out, err := run(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

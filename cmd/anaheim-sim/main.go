@@ -1,0 +1,58 @@
+// Command anaheim-sim simulates one FHE workload on one hardware platform
+// at the paper-scale parameters (Table IV) and reports time, energy, EDP
+// and DRAM traffic.
+//
+// Usage:
+//
+//	anaheim-sim -workload Boot -platform a100-nearbank
+//	anaheim-sim -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/anaheim-sim/anaheim"
+)
+
+var platforms = []anaheim.SimPlatform{
+	anaheim.A100, anaheim.A100NearBank, anaheim.A100CustomHBM,
+	anaheim.RTX4090, anaheim.RTX4090PIM,
+}
+
+func printResult(r anaheim.SimResult) {
+	if r.OoM {
+		fmt.Printf("%-10s %-18s OoM (exceeds DRAM capacity)\n", r.Workload, r.Platform)
+		return
+	}
+	fmt.Printf("%-10s %-18s time=%9.2fms energy=%8.1fmJ EDP=%12.1f EW=%4.1f%% gpuDRAM=%7.2fGB pimDRAM=%7.2fGB\n",
+		r.Workload, r.Platform, r.TimeMs, r.EnergyMJ, r.EDP, 100*r.EWShare, r.GPUDramGB, r.PIMDramGB)
+}
+
+func main() {
+	workload := flag.String("workload", "Boot", "workload name (Boot, HELR, Sort, RNN, ResNet20, ResNet18)")
+	platform := flag.String("platform", string(anaheim.A100NearBank), "platform id")
+	all := flag.Bool("all", false, "simulate every workload on every platform")
+	flag.Parse()
+
+	if *all {
+		for _, w := range anaheim.Workloads() {
+			for _, p := range platforms {
+				r, err := anaheim.Simulate(w, p)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				printResult(r)
+			}
+		}
+		return
+	}
+	r, err := anaheim.Simulate(*workload, anaheim.SimPlatform(*platform))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	printResult(r)
+}

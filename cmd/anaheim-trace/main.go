@@ -1,0 +1,94 @@
+// Command anaheim-trace dumps the kernel trace of a workload and renders
+// the Fig 4a-style Gantt chart of its execution on a chosen platform.
+//
+// Usage:
+//
+//	anaheim-trace -workload Boot -platform a100-nearbank -limit 40
+//	anaheim-trace -lt 8          # the paper's running-example transform
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/anaheim-sim/anaheim/internal/gpu"
+	"github.com/anaheim-sim/anaheim/internal/pim"
+	"github.com/anaheim-sim/anaheim/internal/sched"
+	"github.com/anaheim-sim/anaheim/internal/trace"
+	"github.com/anaheim-sim/anaheim/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload trace to dump (Boot, HELR, ...)")
+	lt := flag.Int("lt", 0, "emit a single hoisted linear transform with K diagonals instead")
+	platform := flag.String("platform", "a100-nearbank", "a100 | a100-nearbank | a100-customhbm | rtx4090 | rtx4090-nearbank")
+	limit := flag.Int("limit", 30, "max kernels to list (0 = all)")
+	width := flag.Int("width", 100, "gantt width")
+	flag.Parse()
+
+	p := trace.PaperParams()
+	var cfg sched.Config
+	switch *platform {
+	case "a100":
+		cfg = sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar()}
+	case "a100-nearbank":
+		u := pim.A100NearBank()
+		cfg = sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: &u}
+	case "a100-customhbm":
+		u := pim.A100CustomHBM()
+		cfg = sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: &u}
+	case "rtx4090":
+		cfg = sched.Config{GPU: gpu.RTX4090(), Lib: gpu.Cheddar()}
+	case "rtx4090-nearbank":
+		u := pim.RTX4090NearBank()
+		cfg = sched.Config{GPU: gpu.RTX4090(), Lib: gpu.Cheddar(), PIM: &u}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+
+	opt := trace.GPUBaseline()
+	if cfg.PIM != nil {
+		opt = trace.AnaheimDefault()
+	}
+	var t *trace.Trace
+	switch {
+	case *lt > 0:
+		b := trace.NewBuilder(p, opt, fmt.Sprintf("LT-K%d", *lt))
+		b.LinearTransform(p.L-1, *lt)
+		t = b.T
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		t = w.Gen(p, opt)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r := sched.Run(t, cfg)
+	fmt.Printf("trace %s: %d kernels, %.2fms, %.1fmJ, GPU %.2fGB / PIM %.2fGB\n\n",
+		t.Name, len(t.Kernels), r.TimeMs(), r.EnergyMJ(), r.GPUBytes/1e9, r.PIMBytes/1e9)
+
+	n := len(r.Timeline)
+	if *limit > 0 && *limit < n {
+		n = *limit
+	}
+	fmt.Printf("%-28s %-6s %-5s %12s %12s\n", "kernel", "class", "unit", "start(us)", "dur(us)")
+	for _, s := range r.Timeline[:n] {
+		unit := "GPU"
+		if s.PIM {
+			unit = "PIM"
+		}
+		fmt.Printf("%-28s %-6s %-5s %12.2f %12.2f\n", s.Name, s.Class, unit, s.StartNs/1e3, s.DurNs/1e3)
+	}
+	if n < len(r.Timeline) {
+		fmt.Printf("... (%d more kernels)\n", len(r.Timeline)-n)
+	}
+	fmt.Println()
+	fmt.Print(sched.RenderGantt(r.Timeline, r.TimeNs, *width))
+}

@@ -1,0 +1,52 @@
+// Exact integer arithmetic with BGV (§VIII-C of the Anaheim paper: the
+// scheme shares its KeyMult structure with CKKS, so the same PIM
+// architecture serves it). Computes a·b + c over 1024 integer slots mod
+// 65537 with zero error — unlike CKKS, BGV results are exact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/anaheim-sim/anaheim/internal/bgv"
+)
+
+func main() {
+	p, err := bgv.TestParameters()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BGV: N=%d slots, plaintext modulus t=%d, %d levels\n",
+		p.N(), p.T(), p.MaxLevel())
+
+	sk, pk, rlk := bgv.KeyGen(p, 1)
+	ev := bgv.NewEvaluator(p)
+	r := rand.New(rand.NewSource(7))
+
+	a := make([]uint64, p.N())
+	b := make([]uint64, p.N())
+	c := make([]uint64, p.N())
+	for i := range a {
+		a[i], b[i], c[i] = r.Uint64()%p.T(), r.Uint64()%p.T(), r.Uint64()%p.T()
+	}
+	encA, _ := p.Encode(a)
+	encB, _ := p.Encode(b)
+	encC, _ := p.Encode(c)
+	ctA := bgv.Encrypt(p, pk, encA, 2)
+	ctB := bgv.Encrypt(p, pk, encB, 3)
+
+	// a·b + c, then a modulus switch to tame the noise.
+	prod := ev.MulRelin(ctA, ctB, rlk)
+	res := ev.ModSwitch(ev.AddPlain(prod, encC))
+
+	got := bgv.Decrypt(p, sk, res)
+	for i := range a {
+		want := (a[i]*b[i] + c[i]) % p.T()
+		if got[i] != want {
+			log.Fatalf("slot %d: got %d want %d — BGV must be exact", i, got[i], want)
+		}
+	}
+	fmt.Printf("sample: %d*%d + %d = %d (mod %d)\n", a[0], b[0], c[0], got[0], p.T())
+	fmt.Printf("all %d slots exact: OK\n", p.N())
+}

@@ -1,0 +1,3 @@
+module github.com/anaheim-sim/anaheim
+
+go 1.22

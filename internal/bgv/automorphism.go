@@ -1,0 +1,117 @@
+package bgv
+
+import (
+	"fmt"
+
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// Galois automorphisms on BGV ciphertexts: σ_g permutes the batched slots.
+// Because our batching uses the bit-reversed-evaluation NTT ordering, the
+// induced slot permutation is exposed explicitly via PermutationOf rather
+// than being a cyclic shift.
+
+// GaloisKey enables σ_g: per-limb BV digits encrypting g_i·σ_g(s) under s.
+type GaloisKey struct {
+	GalEl uint64
+	B, A  []*ring.Poly
+}
+
+// GenGaloisKey produces the key for the Galois element g (odd mod 2N).
+func GenGaloisKey(p *Parameters, sk *SecretKey, galEl uint64, seed int64) (*GaloisKey, error) {
+	if galEl%2 == 0 || galEl >= uint64(2*p.n) {
+		return nil, fmt.Errorf("bgv: galois element %d must be odd and < 2N", galEl)
+	}
+	s := ring.NewSampler(seed)
+	lvl := p.MaxLevel()
+	sigmaS := p.rq.NewPoly(lvl)
+	p.rq.AutomorphismNTT(sigmaS, sk.Value, galEl, lvl)
+
+	gk := &GaloisKey{GalEl: galEl, B: make([]*ring.Poly, lvl+1), A: make([]*ring.Poly, lvl+1)}
+	for i := 0; i <= lvl; i++ {
+		ai := s.UniformPoly(p.rq, lvl, true)
+		e := s.GaussianPoly(p.rq, lvl, 3.2)
+		p.rq.NTT(e, lvl)
+		te := p.rq.NewPoly(lvl)
+		p.rq.MulScalar(te, e, p.t.Q, lvl)
+
+		bi := p.rq.NewPoly(lvl)
+		bi.IsNTT = true
+		p.rq.MulCoeffs(bi, ai, sk.Value, lvl)
+		p.rq.Neg(bi, bi, lvl)
+		p.rq.Add(bi, bi, te, lvl)
+		mod := p.rq.Moduli[i]
+		for j := 0; j < p.n; j++ {
+			bi.Coeffs[i][j] = mod.Add(bi.Coeffs[i][j], sigmaS.Coeffs[i][j])
+		}
+		gk.B[i], gk.A[i] = bi, ai
+	}
+	return gk, nil
+}
+
+// Permute applies σ_g to the ciphertext: the slots are permuted according
+// to PermutationOf(g).
+func (ev *Evaluator) Permute(ct *Ciphertext, gk *GaloisKey) *Ciphertext {
+	rq := ev.p.rq
+	lvl := ct.Level()
+
+	// σ(c0), σ(c1): NTT-domain slot permutation of the components.
+	s0 := rq.NewPoly(lvl)
+	s1 := rq.NewPoly(lvl)
+	rq.AutomorphismNTT(s0, ct.C0, gk.GalEl, lvl)
+	rq.AutomorphismNTT(s1, ct.C1, gk.GalEl, lvl)
+
+	// Key switch σ(c1) from σ(s) back to s with exact per-limb digits.
+	coeff := s1.CopyNew()
+	rq.INTT(coeff, lvl)
+	u0 := rq.NewPoly(lvl)
+	u1 := rq.NewPoly(lvl)
+	u0.IsNTT, u1.IsNTT = true, true
+	for i := 0; i <= lvl; i++ {
+		digit := rq.NewPoly(lvl)
+		for j := 0; j <= lvl; j++ {
+			mod := rq.Moduli[j]
+			src := coeff.Coeffs[i]
+			dst := digit.Coeffs[j]
+			if j == i {
+				copy(dst, src)
+				continue
+			}
+			for k := range dst {
+				dst[k] = src[k] % mod.Q
+			}
+		}
+		rq.NTT(digit, lvl)
+		rq.MulCoeffsAdd(u0, digit, gk.B[i].Truncated(lvl), lvl)
+		rq.MulCoeffsAdd(u1, digit, gk.A[i].Truncated(lvl), lvl)
+	}
+	rq.Add(u0, u0, s0, lvl)
+	return &Ciphertext{C0: u0, C1: u1, PtFactor: ct.PtFactor}
+}
+
+// PermutationOf returns the slot permutation perm such that after
+// Permute(ct, gk) the new slot i holds the old slot perm[i].
+func (p *Parameters) PermutationOf(galEl uint64) []int {
+	// The plaintext batching is the NTT over Z_t with the same bit-reversed
+	// evaluation ordering as the ciphertext ring, so σ_g permutes plaintext
+	// slots identically to ciphertext NTT slots. Recompute the map the same
+	// way ring.AutomorphismNTT does.
+	n := uint64(p.n)
+	logN := p.logN
+	mask := 2*n - 1
+	perm := make([]int, n)
+	for i := uint64(0); i < n; i++ {
+		e := 2*brv(i, logN) + 1
+		src := (galEl * e) & mask
+		perm[i] = int(brv((src-1)>>1, logN))
+	}
+	return perm
+}
+
+func brv(x uint64, bits int) uint64 {
+	var r uint64
+	for i := 0; i < bits; i++ {
+		r = r<<1 | (x>>uint(i))&1
+	}
+	return r
+}

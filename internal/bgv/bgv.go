@@ -1,0 +1,261 @@
+// Package bgv implements the BGV scheme [10] for exact integer arithmetic
+// on the same RNS/NTT substrate as internal/ckks — the direct extension the
+// Anaheim paper sketches in §VIII-C: "BGV and BFV include the same KeyMult
+// ops", so a PIM-offloaded BGV reuses Anaheim's element-wise instruction set
+// unchanged.
+//
+// Design choices for this research implementation:
+//
+//   - Plaintext space R_t with prime t ≡ 1 (mod 2N), giving N integer slots
+//     via the plaintext-side NTT (batching).
+//   - BV-style per-limb key switching (one gadget digit per RNS prime, no
+//     special modulus): digits are exact single-limb values, so no rounding
+//     step can disturb the plaintext residue — correctness over noise rate.
+//   - BGV modulus switching with the t-congruent correction, tracking the
+//     accumulated q^{-1} plaintext factor on the ciphertext.
+package bgv
+
+import (
+	"fmt"
+	"math/big"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+	"github.com/anaheim-sim/anaheim/internal/ntt"
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// Parameters describes a BGV instance.
+type Parameters struct {
+	logN int
+	n    int
+	t    modarith.Modulus // plaintext modulus, prime, t ≡ 1 mod 2N
+	rq   *ring.Ring
+	ptTb *ntt.Tables // NTT over Z_t for batching
+}
+
+// NewParameters builds a BGV parameter set: degree 2^logN, plaintext
+// modulus t (prime, ≡ 1 mod 2N), and a Q chain of the given bit sizes.
+func NewParameters(logN int, t uint64, logQ []int) (*Parameters, error) {
+	if !modarith.IsPrime(t) {
+		return nil, fmt.Errorf("bgv: plaintext modulus %d must be prime", t)
+	}
+	n := 1 << uint(logN)
+	if t%uint64(2*n) != 1 {
+		return nil, fmt.Errorf("bgv: t = %d must be 1 mod 2N for batching", t)
+	}
+	primes, err := modarith.GeneratePrimeChain(logQ, logN)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range primes {
+		if q == t {
+			return nil, fmt.Errorf("bgv: t collides with a ciphertext prime")
+		}
+	}
+	rq, err := ring.NewRing(logN, primes)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := modarith.NewModulus(t)
+	if err != nil {
+		return nil, err
+	}
+	ptTb, err := ntt.NewTables(tm, logN)
+	if err != nil {
+		return nil, err
+	}
+	return &Parameters{logN: logN, n: n, t: tm, rq: rq, ptTb: ptTb}, nil
+}
+
+// TestParameters returns a small insecure instance: N=2^10, t=65537,
+// five 50-bit primes (depth-3 multiplications with modulus switching).
+func TestParameters() (*Parameters, error) {
+	return NewParameters(10, 65537, []int{50, 50, 50, 50, 50})
+}
+
+// N returns the ring degree (= slot count for batching).
+func (p *Parameters) N() int { return p.n }
+
+// T returns the plaintext modulus.
+func (p *Parameters) T() uint64 { return p.t.Q }
+
+// MaxLevel returns the top ciphertext level.
+func (p *Parameters) MaxLevel() int { return p.rq.MaxLevel() }
+
+// RingQ exposes the ciphertext ring.
+func (p *Parameters) RingQ() *ring.Ring { return p.rq }
+
+// Encode batches n integers mod t into a plaintext polynomial (coefficient
+// domain): the slot values are the evaluations of the polynomial at the
+// 2N-th roots mod t, so slot-wise ops correspond to polynomial ops mod t.
+func (p *Parameters) Encode(values []uint64) (*ring.Poly, error) {
+	if len(values) > p.n {
+		return nil, fmt.Errorf("bgv: %d values exceed %d slots", len(values), p.n)
+	}
+	slots := make([]uint64, p.n)
+	for i, v := range values {
+		slots[i] = v % p.t.Q
+	}
+	p.ptTb.Inverse(slots) // slots -> coefficients mod t
+	pt := p.rq.NewPoly(p.MaxLevel())
+	for j := 0; j < p.n; j++ {
+		c := p.t.Centered(slots[j])
+		for i := range pt.Coeffs {
+			pt.Coeffs[i][j] = p.rq.Moduli[i].FromCentered(c)
+		}
+	}
+	return pt, nil
+}
+
+// decodeCoeffs maps centered coefficients to slot values mod t.
+func (p *Parameters) decodeCoeffs(coeffs []int64) []uint64 {
+	slots := make([]uint64, p.n)
+	for j, c := range coeffs {
+		slots[j] = p.t.FromCentered(c)
+	}
+	p.ptTb.Forward(slots)
+	return slots
+}
+
+// SecretKey is an RLWE secret in NTT form over Q.
+type SecretKey struct{ Value *ring.Poly }
+
+// PublicKey is (b, a) = (-a·s + t·e, a).
+type PublicKey struct{ B, A *ring.Poly }
+
+// RelinKey holds one BV gadget digit per RNS prime: for limb i,
+// B[i] + A[i]·s = t·e_i + g_i·s², where g_i ≡ 1 mod q_i and 0 mod q_j.
+type RelinKey struct{ B, A []*ring.Poly }
+
+// Ciphertext is (C0, C1) with C0 + C1·s = m + t·e (mod Q). PtFactor tracks
+// the accumulated q^{-1} factors from modulus switching: the decrypted
+// residue equals PtFactor · m (mod t).
+type Ciphertext struct {
+	C0, C1   *ring.Poly
+	PtFactor uint64
+}
+
+// Level returns the ciphertext level.
+func (ct *Ciphertext) Level() int { return ct.C0.Level() }
+
+// KeyGen samples a secret, public and relinearization key.
+func KeyGen(p *Parameters, seed int64) (*SecretKey, *PublicKey, *RelinKey) {
+	s := ring.NewSampler(seed)
+	lvl := p.MaxLevel()
+	sk := &SecretKey{Value: s.TernaryPoly(p.rq, lvl, 64)}
+	p.rq.NTT(sk.Value, lvl)
+
+	newErr := func() *ring.Poly {
+		e := s.GaussianPoly(p.rq, lvl, 3.2)
+		p.rq.NTT(e, lvl)
+		te := p.rq.NewPoly(lvl)
+		p.rq.MulScalar(te, e, p.t.Q, lvl)
+		return te
+	}
+
+	a := s.UniformPoly(p.rq, lvl, true)
+	b := p.rq.NewPoly(lvl)
+	b.IsNTT = true
+	p.rq.MulCoeffs(b, a, sk.Value, lvl)
+	p.rq.Neg(b, b, lvl)
+	p.rq.Add(b, b, newErr(), lvl)
+	pk := &PublicKey{B: b, A: a}
+
+	// Relinearization key: per-limb gadget encrypting s².
+	s2 := p.rq.NewPoly(lvl)
+	p.rq.MulCoeffs(s2, sk.Value, sk.Value, lvl)
+	s2.IsNTT = true
+	rlk := &RelinKey{B: make([]*ring.Poly, lvl+1), A: make([]*ring.Poly, lvl+1)}
+	for i := 0; i <= lvl; i++ {
+		ai := s.UniformPoly(p.rq, lvl, true)
+		bi := p.rq.NewPoly(lvl)
+		bi.IsNTT = true
+		p.rq.MulCoeffs(bi, ai, sk.Value, lvl)
+		p.rq.Neg(bi, bi, lvl)
+		p.rq.Add(bi, bi, newErr(), lvl)
+		// g_i·s² touches only limb i (g_i ≡ 1 mod q_i, 0 elsewhere).
+		mod := p.rq.Moduli[i]
+		for j := 0; j < p.n; j++ {
+			bi.Coeffs[i][j] = mod.Add(bi.Coeffs[i][j], s2.Coeffs[i][j])
+		}
+		rlk.B[i], rlk.A[i] = bi, ai
+	}
+	return sk, pk, rlk
+}
+
+// Encrypt produces (b·u + t·e0 + m, a·u + t·e1).
+func Encrypt(p *Parameters, pk *PublicKey, pt *ring.Poly, seed int64) *Ciphertext {
+	s := ring.NewSampler(seed)
+	lvl := p.MaxLevel()
+	u := s.TernaryPoly(p.rq, lvl, 64)
+	p.rq.NTT(u, lvl)
+	scaledErr := func() *ring.Poly {
+		e := s.GaussianPoly(p.rq, lvl, 3.2)
+		p.rq.NTT(e, lvl)
+		te := p.rq.NewPoly(lvl)
+		p.rq.MulScalar(te, e, p.t.Q, lvl)
+		return te
+	}
+	m := pt.CopyNew()
+	p.rq.NTT(m, lvl)
+
+	c0 := p.rq.NewPoly(lvl)
+	c0.IsNTT = true
+	p.rq.MulCoeffs(c0, pk.B, u, lvl)
+	p.rq.Add(c0, c0, scaledErr(), lvl)
+	p.rq.Add(c0, c0, m, lvl)
+
+	c1 := p.rq.NewPoly(lvl)
+	c1.IsNTT = true
+	p.rq.MulCoeffs(c1, pk.A, u, lvl)
+	p.rq.Add(c1, c1, scaledErr(), lvl)
+	return &Ciphertext{C0: c0, C1: c1, PtFactor: 1}
+}
+
+// Decrypt recovers the slot vector: [C0 + C1·s]_Q centered, reduced mod t,
+// multiplied by PtFactor^{-1}, then un-batched.
+func Decrypt(p *Parameters, sk *SecretKey, ct *Ciphertext) []uint64 {
+	lvl := ct.Level()
+	m := p.rq.NewPoly(lvl)
+	m.IsNTT = true
+	p.rq.MulCoeffs(m, ct.C1, sk.Value.Truncated(lvl), lvl)
+	p.rq.Add(m, m, ct.C0, lvl)
+	p.rq.INTT(m, lvl)
+
+	// CRT reconstruct centered coefficients (noise can approach Q/2).
+	moduli := p.rq.AtLevel(lvl)
+	bigQ := big.NewInt(1)
+	for _, md := range moduli {
+		bigQ.Mul(bigQ, new(big.Int).SetUint64(md.Q))
+	}
+	halfQ := new(big.Int).Rsh(bigQ, 1)
+	weights := make([]*big.Int, len(moduli))
+	for i, md := range moduli {
+		qi := new(big.Int).SetUint64(md.Q)
+		qHat := new(big.Int).Div(bigQ, qi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qHat, qi), qi)
+		weights[i] = new(big.Int).Mul(qHat, inv)
+	}
+	bigT := new(big.Int).SetUint64(p.t.Q)
+	coeffs := make([]int64, p.n)
+	for j := 0; j < p.n; j++ {
+		acc := big.NewInt(0)
+		for i := range moduli {
+			tmp := new(big.Int).SetUint64(m.Coeffs[i][j])
+			acc.Add(acc, tmp.Mul(tmp, weights[i]))
+		}
+		acc.Mod(acc, bigQ)
+		if acc.Cmp(halfQ) > 0 {
+			acc.Sub(acc, bigQ)
+		}
+		acc.Mod(acc, bigT)
+		coeffs[j] = int64(acc.Uint64())
+	}
+	slots := p.decodeCoeffs(coeffs)
+	// Undo the accumulated modulus-switch factor.
+	inv := p.t.MustInv(ct.PtFactor % p.t.Q)
+	for i := range slots {
+		slots[i] = p.t.Mul(slots[i], inv)
+	}
+	return slots
+}

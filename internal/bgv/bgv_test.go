@@ -1,0 +1,235 @@
+package bgv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type testCtx struct {
+	p   *Parameters
+	sk  *SecretKey
+	pk  *PublicKey
+	rlk *RelinKey
+	ev  *Evaluator
+}
+
+func newCtx(t *testing.T) *testCtx {
+	t.Helper()
+	p, err := TestParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, pk, rlk := KeyGen(p, 1)
+	return &testCtx{p: p, sk: sk, pk: pk, rlk: rlk, ev: NewEvaluator(p)}
+}
+
+func randSlots(r *rand.Rand, p *Parameters) []uint64 {
+	v := make([]uint64, p.N())
+	for i := range v {
+		v[i] = r.Uint64() % p.T()
+	}
+	return v
+}
+
+func (tc *testCtx) encrypt(t *testing.T, v []uint64, seed int64) *Ciphertext {
+	t.Helper()
+	pt, err := tc.p.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Encrypt(tc.p, tc.pk, pt, seed)
+}
+
+func assertSlots(t *testing.T, got, want []uint64, msg string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: slot %d: got %d want %d", msg, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBGVEncryptDecrypt(t *testing.T) {
+	tc := newCtx(t)
+	r := rand.New(rand.NewSource(1))
+	v := randSlots(r, tc.p)
+	ct := tc.encrypt(t, v, 2)
+	assertSlots(t, Decrypt(tc.p, tc.sk, ct), v, "round trip")
+}
+
+func TestBGVAddSub(t *testing.T) {
+	tc := newCtx(t)
+	r := rand.New(rand.NewSource(2))
+	a, b := randSlots(r, tc.p), randSlots(r, tc.p)
+	cta, ctb := tc.encrypt(t, a, 3), tc.encrypt(t, b, 4)
+	tmod := tc.p.T()
+
+	sum := Decrypt(tc.p, tc.sk, tc.ev.Add(cta, ctb))
+	diff := Decrypt(tc.p, tc.sk, tc.ev.Sub(cta, ctb))
+	for i := range a {
+		if sum[i] != (a[i]+b[i])%tmod {
+			t.Fatalf("add slot %d", i)
+		}
+		if diff[i] != (a[i]+tmod-b[i])%tmod {
+			t.Fatalf("sub slot %d", i)
+		}
+	}
+}
+
+func TestBGVPlainOps(t *testing.T) {
+	tc := newCtx(t)
+	r := rand.New(rand.NewSource(3))
+	a, p := randSlots(r, tc.p), randSlots(r, tc.p)
+	ct := tc.encrypt(t, a, 5)
+	pt, _ := tc.p.Encode(p)
+	tmod := tc.p.T()
+
+	sum := Decrypt(tc.p, tc.sk, tc.ev.AddPlain(ct, pt))
+	prod := Decrypt(tc.p, tc.sk, tc.ev.MulPlain(ct, pt))
+	for i := range a {
+		if sum[i] != (a[i]+p[i])%tmod {
+			t.Fatalf("addplain slot %d", i)
+		}
+		want := uint64((uint64(a[i]) * uint64(p[i])) % tmod)
+		if prod[i] != want {
+			t.Fatalf("mulplain slot %d: got %d want %d", i, prod[i], want)
+		}
+	}
+}
+
+func TestBGVMulRelin(t *testing.T) {
+	tc := newCtx(t)
+	r := rand.New(rand.NewSource(4))
+	a, b := randSlots(r, tc.p), randSlots(r, tc.p)
+	cta, ctb := tc.encrypt(t, a, 6), tc.encrypt(t, b, 7)
+	tmod := tc.p.T()
+
+	prod := Decrypt(tc.p, tc.sk, tc.ev.MulRelin(cta, ctb, tc.rlk))
+	for i := range a {
+		if want := (a[i] * b[i]) % tmod; prod[i] != want {
+			t.Fatalf("mul slot %d: got %d want %d", i, prod[i], want)
+		}
+	}
+}
+
+func TestBGVModSwitchPreservesPlaintext(t *testing.T) {
+	tc := newCtx(t)
+	r := rand.New(rand.NewSource(5))
+	v := randSlots(r, tc.p)
+	ct := tc.encrypt(t, v, 8)
+	sw := tc.ev.ModSwitch(ct)
+	if sw.Level() != ct.Level()-1 {
+		t.Fatal("level not dropped")
+	}
+	assertSlots(t, Decrypt(tc.p, tc.sk, sw), v, "after modswitch")
+	// Twice more.
+	sw = tc.ev.ModSwitch(tc.ev.ModSwitch(sw))
+	assertSlots(t, Decrypt(tc.p, tc.sk, sw), v, "after three modswitches")
+}
+
+func TestBGVMultiplicationChain(t *testing.T) {
+	// Depth-3 products with modulus switching between levels: exact integer
+	// results throughout.
+	tc := newCtx(t)
+	r := rand.New(rand.NewSource(6))
+	tmod := tc.p.T()
+	a, b, c, d := randSlots(r, tc.p), randSlots(r, tc.p), randSlots(r, tc.p), randSlots(r, tc.p)
+	cta, ctb := tc.encrypt(t, a, 9), tc.encrypt(t, b, 10)
+	ctc, ctd := tc.encrypt(t, c, 11), tc.encrypt(t, d, 12)
+
+	ab := tc.ev.ModSwitch(tc.ev.MulRelin(cta, ctb, tc.rlk))
+	cd := tc.ev.ModSwitch(tc.ev.MulRelin(ctc, ctd, tc.rlk))
+	abcd := tc.ev.ModSwitch(tc.ev.MulRelin(ab, cd, tc.rlk))
+
+	got := Decrypt(tc.p, tc.sk, abcd)
+	for i := range a {
+		want := a[i] % tmod
+		want = want * b[i] % tmod
+		want = want * c[i] % tmod
+		want = want * d[i] % tmod
+		if got[i] != want {
+			t.Fatalf("depth-2 product slot %d: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestBGVParametersValidation(t *testing.T) {
+	if _, err := NewParameters(10, 65536, []int{50}); err == nil {
+		t.Fatal("composite t must be rejected")
+	}
+	if _, err := NewParameters(10, 12289, []int{50}); err == nil {
+		// 12289 = 12·2^10+1 ≡ 1 mod 2^11? 12288 = 6·2^11 -> it IS 1 mod 2N.
+		// Use a prime that is not 1 mod 2N instead.
+		t.Log("12289 is 1 mod 2^11; acceptance is correct")
+	}
+	if _, err := NewParameters(10, 13, []int{50}); err == nil {
+		t.Fatal("t not congruent 1 mod 2N must be rejected")
+	}
+}
+
+func TestBGVBatchingIsNTT(t *testing.T) {
+	// Encoding then decoding without encryption is the identity, and the
+	// constant vector encodes to a constant polynomial.
+	p, err := TestParameters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]uint64, p.N())
+	for i := range v {
+		v[i] = 7
+	}
+	pt, err := p.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant slots -> only coefficient 0 is nonzero.
+	for j := 1; j < p.N(); j++ {
+		if pt.Coeffs[0][j] != 0 {
+			t.Fatalf("constant encode has nonzero coefficient %d", j)
+		}
+	}
+}
+
+func TestBGVPermute(t *testing.T) {
+	tc := newCtx(t)
+	r := rand.New(rand.NewSource(7))
+	v := randSlots(r, tc.p)
+	ct := tc.encrypt(t, v, 13)
+
+	for _, galEl := range []uint64{5, 25, uint64(2*tc.p.N() - 1)} {
+		gk, err := GenGaloisKey(tc.p, tc.sk, galEl, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := tc.ev.Permute(ct, gk)
+		got := Decrypt(tc.p, tc.sk, out)
+		perm := tc.p.PermutationOf(galEl)
+		for i := range got {
+			if got[i] != v[perm[i]] {
+				t.Fatalf("galEl=%d slot %d: got %d want %d", galEl, i, got[i], v[perm[i]])
+			}
+		}
+	}
+}
+
+func TestBGVGaloisKeyValidation(t *testing.T) {
+	tc := newCtx(t)
+	if _, err := GenGaloisKey(tc.p, tc.sk, 4, 1); err == nil {
+		t.Fatal("even galois element must be rejected")
+	}
+	if _, err := GenGaloisKey(tc.p, tc.sk, uint64(4*tc.p.N()), 1); err == nil {
+		t.Fatal("out-of-range galois element must be rejected")
+	}
+}
+
+func TestBGVPermutationIsBijective(t *testing.T) {
+	tc := newCtx(t)
+	perm := tc.p.PermutationOf(5)
+	seen := make([]bool, len(perm))
+	for _, idx := range perm {
+		if idx < 0 || idx >= len(perm) || seen[idx] {
+			t.Fatal("permutation is not a bijection")
+		}
+		seen[idx] = true
+	}
+}

@@ -1,0 +1,172 @@
+package bgv
+
+import (
+	"fmt"
+
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// Evaluator executes homomorphic integer operations. The element-wise parts
+// (additions, the Tensor step, KeyMult accumulations) are exactly the ops
+// Anaheim offloads for CKKS — §VIII-C's point that the PIM ISA carries over.
+type Evaluator struct {
+	p *Parameters
+}
+
+// NewEvaluator binds a parameter set.
+func NewEvaluator(p *Parameters) *Evaluator { return &Evaluator{p: p} }
+
+func (ev *Evaluator) checkFactors(a, b *Ciphertext) {
+	if a.PtFactor != b.PtFactor {
+		panic(fmt.Sprintf("bgv: plaintext factors diverged (%d vs %d); modulus-switch both operands alike",
+			a.PtFactor, b.PtFactor))
+	}
+}
+
+// Add returns a + b (slot-wise mod t).
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	ev.checkFactors(a, b)
+	rq := ev.p.rq
+	lvl := min(a.Level(), b.Level())
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), PtFactor: a.PtFactor}
+	rq.Add(out.C0, a.C0.Truncated(lvl), b.C0.Truncated(lvl), lvl)
+	rq.Add(out.C1, a.C1.Truncated(lvl), b.C1.Truncated(lvl), lvl)
+	return out
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	ev.checkFactors(a, b)
+	rq := ev.p.rq
+	lvl := min(a.Level(), b.Level())
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), PtFactor: a.PtFactor}
+	rq.Sub(out.C0, a.C0.Truncated(lvl), b.C0.Truncated(lvl), lvl)
+	rq.Sub(out.C1, a.C1.Truncated(lvl), b.C1.Truncated(lvl), lvl)
+	return out
+}
+
+// AddPlain returns ct + pt for an encoded plaintext.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *ring.Poly) *Ciphertext {
+	rq := ev.p.rq
+	lvl := ct.Level()
+	m := pt.Truncated(lvl).CopyNew()
+	rq.NTT(m, lvl)
+	if ct.PtFactor != 1 {
+		// Match the ciphertext's accumulated factor.
+		rq.MulScalar(m, m, ct.PtFactor, lvl)
+	}
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: ct.C1.CopyNew(), PtFactor: ct.PtFactor}
+	rq.Add(out.C0, ct.C0, m, lvl)
+	return out
+}
+
+// MulPlain returns ct ⊙ pt (slot-wise product with a plaintext vector).
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *ring.Poly) *Ciphertext {
+	rq := ev.p.rq
+	lvl := ct.Level()
+	m := pt.Truncated(lvl).CopyNew()
+	rq.NTT(m, lvl)
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), PtFactor: ct.PtFactor}
+	rq.MulCoeffs(out.C0, ct.C0, m, lvl)
+	rq.MulCoeffs(out.C1, ct.C1, m, lvl)
+	return out
+}
+
+// MulRelin returns a ⊙ b with BV relinearization: the Tensor element-wise
+// step, then the per-limb KeyMult accumulation (exact single-limb digits,
+// no rounding to disturb the plaintext residue).
+func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinKey) *Ciphertext {
+	ev.checkFactors(a, b)
+	rq := ev.p.rq
+	lvl := min(a.Level(), b.Level())
+
+	d0 := rq.NewPoly(lvl)
+	d1 := rq.NewPoly(lvl)
+	d2 := rq.NewPoly(lvl)
+	d0.IsNTT, d1.IsNTT, d2.IsNTT = true, true, true
+	rq.MulCoeffs(d0, a.C0.Truncated(lvl), b.C0.Truncated(lvl), lvl)
+	rq.MulCoeffsAdd(d1, a.C0.Truncated(lvl), b.C1.Truncated(lvl), lvl)
+	rq.MulCoeffsAdd(d1, a.C1.Truncated(lvl), b.C0.Truncated(lvl), lvl)
+	rq.MulCoeffs(d2, a.C1.Truncated(lvl), b.C1.Truncated(lvl), lvl)
+
+	// BV key switching: decompose d2 into exact per-limb digits.
+	coeff := d2.CopyNew()
+	rq.INTT(coeff, lvl)
+	u0 := rq.NewPoly(lvl)
+	u1 := rq.NewPoly(lvl)
+	u0.IsNTT, u1.IsNTT = true, true
+	for i := 0; i <= lvl; i++ {
+		digit := rq.NewPoly(lvl)
+		for j := 0; j <= lvl; j++ {
+			mod := rq.Moduli[j]
+			src := coeff.Coeffs[i]
+			dst := digit.Coeffs[j]
+			if j == i {
+				copy(dst, src)
+				continue
+			}
+			for k := range dst {
+				dst[k] = src[k] % mod.Q
+			}
+		}
+		rq.NTT(digit, lvl)
+		rq.MulCoeffsAdd(u0, digit, rlk.B[i].Truncated(lvl), lvl)
+		rq.MulCoeffsAdd(u1, digit, rlk.A[i].Truncated(lvl), lvl)
+	}
+	rq.Add(d0, d0, u0, lvl)
+	rq.Add(d1, d1, u1, lvl)
+	return &Ciphertext{C0: d0, C1: d1, PtFactor: ev.p.t.Mul(a.PtFactor, b.PtFactor)}
+}
+
+// ModSwitch drops the top prime with the BGV congruence correction: each
+// component becomes (c + δ)/q_top with δ = t·[(q_top - [c]_{q_top})·t^{-1}]
+// chosen so the division is exact and the plaintext residue is multiplied
+// by exactly q_top^{-1} (tracked in PtFactor). Controls noise growth across
+// multiplication chains.
+func (ev *Evaluator) ModSwitch(ct *Ciphertext) *Ciphertext {
+	rq := ev.p.rq
+	lvl := ct.Level()
+	if lvl == 0 {
+		panic("bgv: cannot modulus-switch at level 0")
+	}
+	t := ev.p.t
+	qTop := rq.Moduli[lvl]
+	tInvQ := qTop.MustInv(t.Q % qTop.Q)
+
+	// [ct']_t = q_top^{-1}·[ct]_t, so the tracked factor gains q_top^{-1}.
+	out := &Ciphertext{PtFactor: t.Mul(ct.PtFactor, t.MustInv(qTop.Q%t.Q))}
+	for c, src := range []*ring.Poly{ct.C0, ct.C1} {
+		w := src.CopyNew()
+		rq.INTT(w, lvl)
+		top := w.Coeffs[lvl]
+		for i := 0; i < lvl; i++ {
+			mod := rq.Moduli[i]
+			qInv := mod.MustInv(qTop.Q % mod.Q)
+			tModQi := t.Q % mod.Q
+			row := w.Coeffs[i]
+			for j := range row {
+				// u = (q_top - r)·t^{-1} mod q_top; δ = t·u ≡ -r (mod q_top),
+				// δ ≡ 0 (mod t).
+				r := top[j]
+				u := qTop.Mul(qTop.Sub(0, r), tInvQ)
+				delta := mod.Mul(tModQi, u%mod.Q)
+				row[j] = mod.Mul(mod.Add(row[j], delta), qInv)
+			}
+		}
+		tr := w.Truncated(lvl - 1)
+		rq.NTT(tr, lvl-1)
+		if c == 0 {
+			out.C0 = tr
+		} else {
+			out.C1 = tr
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestInnerSum(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(90))
+	slots := tc.params.Slots()
+	u := randomComplex(r, slots, 1)
+	for _, n := range []int{2, 8, 32} {
+		rots := []int{}
+		for s := 1; s < n; s <<= 1 {
+			rots = append(rots, s)
+		}
+		tc.kgen.GenRotationKeys(tc.sk, tc.keys, rots)
+		ct := tc.encryptVec(t, u)
+		out, err := tc.eval.InnerSum(ct, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tc.decryptVec(out)
+		for i := 0; i < slots; i += slots / 8 {
+			want := complex(0, 0)
+			for j := 0; j < n; j++ {
+				want += u[(i+j)%slots]
+			}
+			if cmplx.Abs(got[i]-want) > 1e-4 {
+				t.Fatalf("n=%d slot %d: got %v want %v", n, i, got[i], want)
+			}
+		}
+	}
+	if _, err := tc.eval.InnerSum(tc.encryptVec(t, u), 3); err == nil {
+		t.Fatal("non-power-of-two window must error")
+	}
+}
+
+func TestEvalPower(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(91))
+	u := randomComplex(r, tc.params.Slots(), 0.9)
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		ct := tc.encryptVec(t, u)
+		out, err := tc.eval.EvalPower(ct, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tc.decryptVec(out)
+		for i := 0; i < 16; i++ {
+			want := complex(1, 0)
+			for j := 0; j < k; j++ {
+				want *= u[i]
+			}
+			if cmplx.Abs(got[i]-want) > 1e-2 {
+				t.Fatalf("k=%d slot %d: got %v want %v", k, i, got[i], want)
+			}
+		}
+	}
+	if _, err := tc.eval.EvalPower(tc.encryptVec(t, u), 0); err == nil {
+		t.Fatal("power 0 must error")
+	}
+}
+
+func TestEvalInverse(t *testing.T) {
+	tc := newTestContext(t, compareParams())
+	r := rand.New(rand.NewSource(92))
+	slots := tc.params.Slots()
+	u := make([]complex128, slots)
+	for i := range u {
+		u[i] = complex(0.7+0.6*r.Float64(), 0) // (0.7, 1.3)
+	}
+	ct := tc.encryptVec(t, u)
+	out := tc.eval.EvalInverse(ct, 3)
+	got := tc.decryptVec(out)
+	for i := 0; i < slots; i += slots / 16 {
+		want := 1 / real(u[i])
+		if math.Abs(real(got[i])-want) > 1e-3 {
+			t.Fatalf("1/%.3f = %.5f, got %.5f", real(u[i]), want, real(got[i]))
+		}
+	}
+}
+
+func TestComputePrecision(t *testing.T) {
+	got := []complex128{1.001, 2.0}
+	want := []complex128{1.0, 2.0}
+	st := ComputePrecision(got, want)
+	if st.MaxErr < 0.0009 || st.MaxErr > 0.0011 {
+		t.Fatalf("max err %g", st.MaxErr)
+	}
+	if st.MinBits < 9.9 || st.MinBits > 10.1 {
+		t.Fatalf("min bits %g, want ~9.97", st.MinBits)
+	}
+	if st.String() == "" {
+		t.Fatal("empty render")
+	}
+	if z := ComputePrecision(nil, nil); z.MaxErr != 0 {
+		t.Fatal("empty input should be zero stats")
+	}
+	exact := ComputePrecision(want, want)
+	if !math.IsInf(exact.MinBits, 1) {
+		t.Fatal("exact match should report infinite bits")
+	}
+}

@@ -1,0 +1,105 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks of the functional stack's basic CKKS functions (§II-A) at
+// research scale (N=2^10), plus bootstrapping at N=2^11.
+
+func benchContext(b *testing.B) *testContext {
+	return newTestContext(b, TestParameters())
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tc := benchContext(b)
+	r := rand.New(rand.NewSource(1))
+	v := randomComplex(r, tc.params.Slots(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.enc.Encode(v, tc.params.MaxLevel(), tc.params.DefaultScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptDecrypt(b *testing.B) {
+	tc := benchContext(b)
+	r := rand.New(rand.NewSource(2))
+	v := randomComplex(r, tc.params.Slots(), 1)
+	pt, _ := tc.enc.Encode(v, tc.params.MaxLevel(), tc.params.DefaultScale())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct := tc.encr.EncryptNew(&Plaintext{Value: pt, Scale: tc.params.DefaultScale()}, tc.pk)
+		tc.decr.DecryptNew(ct)
+	}
+}
+
+func BenchmarkHADDFunc(b *testing.B) {
+	tc := benchContext(b)
+	r := rand.New(rand.NewSource(3))
+	ct1 := tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 1))
+	ct2 := tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.Add(ct1, ct2)
+	}
+}
+
+func BenchmarkHMULTFunc(b *testing.B) {
+	tc := benchContext(b)
+	r := rand.New(rand.NewSource(4))
+	ct1 := tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 1))
+	ct2 := tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.eval.Rescale(tc.eval.MulRelin(ct1, ct2, nil))
+	}
+}
+
+func BenchmarkHROTFunc(b *testing.B) {
+	tc := benchContext(b)
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, []int{1})
+	r := rand.New(rand.NewSource(5))
+	ct := tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.Rotate(ct, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinearTransformHoistedFunc(b *testing.B) {
+	tc := benchContext(b)
+	r := rand.New(rand.NewSource(6))
+	lt := randomSparseLT(r, tc.params.Slots(), []int{0, 1, 2, 3, 5, 8, 13, 21})
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, lt.Rotations())
+	ct := tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBootstrapFunc(b *testing.B) {
+	if testing.Short() {
+		b.Skip("bootstrapping bench is expensive")
+	}
+	tc := newTestContext(b, BootTestParameters())
+	boot, err := NewBootstrapper(tc.params, tc.enc, tc.eval, tc.kgen, tc.sk, tc.keys, DefaultBootstrapConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	ct := tc.eval.DropLevel(tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 0.7)), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := boot.Bootstrap(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

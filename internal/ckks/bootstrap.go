@@ -1,0 +1,205 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// BootstrapConfig selects the bootstrapping hyper-parameters (§II-C, §IV-C).
+type BootstrapConfig struct {
+	FFTIterC2S   int // number of grouped CoeffToSlot matrices
+	FFTIterS2C   int // number of grouped SlotToCoeff matrices
+	EvalModDeg   int // Chebyshev degree of the cosine approximation
+	DoubleAngles int // r: cos(θ/2^r) is interpolated, then doubled r times
+	K            int // bound on the modular-reduction integer I
+}
+
+// DefaultBootstrapConfig mirrors the paper's default fftIter mix of 3 and 4
+// at test scale (3 C2S / 3 S2C groups) with a deg-47 cosine and 3 double
+// angles.
+func DefaultBootstrapConfig() BootstrapConfig {
+	return BootstrapConfig{FFTIterC2S: 3, FFTIterS2C: 3, EvalModDeg: 47, DoubleAngles: 3, K: 12}
+}
+
+// Bootstrapper refreshes exhausted ciphertexts: sparse-secret encapsulation
+// [9], ModRaise, CoeffToSlot, EvalMod (homomorphic modular reduction by q0
+// via a scaled sine), SlotToCoeff.
+type Bootstrapper struct {
+	params *Parameters
+	enc    *Encoder
+	eval   *Evaluator
+	cfg    BootstrapConfig
+
+	c2s, s2c []*LinearTransform
+	evalMod  []float64 // Chebyshev coefficients of cos(2π(t-1/4)/2^r)
+
+	toSparse *SwitchingKey // dense -> sparse
+	toDense  *SwitchingKey // sparse -> dense
+
+	q0 float64
+}
+
+// NewBootstrapper generates all keys (encapsulation, rotations for the DFT
+// matrices, conjugation, relinearization if absent) and precomputes the
+// transform matrices and EvalMod polynomial.
+func NewBootstrapper(params *Parameters, enc *Encoder, eval *Evaluator,
+	kgen *KeyGenerator, sk *SecretKey, keys *EvaluationKeySet, cfg BootstrapConfig) (*Bootstrapper, error) {
+
+	if cfg.FFTIterC2S < 1 || cfg.FFTIterS2C < 1 {
+		return nil, fmt.Errorf("ckks: fftIter must be >= 1")
+	}
+	b := &Bootstrapper{
+		params: params,
+		enc:    enc,
+		eval:   eval,
+		cfg:    cfg,
+		q0:     float64(params.RingQ().Moduli[0].Q),
+	}
+	b.c2s = enc.CoeffToSlotMatrices(cfg.FFTIterC2S)
+	b.s2c = enc.SlotToCoeffMatrices(cfg.FFTIterS2C)
+
+	// cos(2π(t − 1/4)/2^r) on t ∈ [−(K+1), K+1]; after r double-angle steps
+	// this becomes cos(2πt − π/2) = sin(2πt).
+	r := float64(int(1) << uint(cfg.DoubleAngles))
+	f := func(t float64) float64 { return math.Cos(2 * math.Pi * (t - 0.25) / r) }
+	b.evalMod = ChebyshevInterpolation(f, -float64(cfg.K+1), float64(cfg.K+1), cfg.EvalModDeg)
+
+	// Keys.
+	skSparse := kgen.GenSparseSecretKey()
+	b.toSparse = kgen.GenKeySwitchKey(sk, skSparse)
+	b.toDense = kgen.GenKeySwitchKey(skSparse, sk)
+	if keys.Rlk == nil {
+		keys.Rlk = kgen.GenRelinearizationKey(sk)
+	}
+	kgen.GenConjugationKey(sk, keys)
+	rotSet := map[int]bool{}
+	for _, g := range append(append([]*LinearTransform{}, b.c2s...), b.s2c...) {
+		for _, r := range g.Rotations() {
+			rotSet[r] = true
+		}
+	}
+	rots := make([]int, 0, len(rotSet))
+	for r := range rotSet {
+		rots = append(rots, r)
+	}
+	kgen.GenRotationKeys(sk, keys, rots)
+	return b, nil
+}
+
+// ModRaise reinterprets a level-0 ciphertext at the full modulus: each
+// centered residue mod q0 is embedded into every prime of the chain. The
+// raised ciphertext encrypts W = Δu + q0·I for a small integer polynomial I
+// bounded by the (sparse) secret's Hamming weight.
+func (b *Bootstrapper) ModRaise(ct *Ciphertext) *Ciphertext {
+	rq := b.params.RingQ()
+	top := b.params.MaxLevel()
+	q0 := rq.Moduli[0]
+	out := &Ciphertext{Scale: ct.Scale}
+	for k, src := range []*ring.Poly{ct.C0, ct.C1} {
+		w := src.Truncated(0).CopyNew()
+		rq.INTT(w, 0)
+		raised := rq.NewPoly(top)
+		for j := 0; j < b.params.N(); j++ {
+			v := q0.Centered(w.Coeffs[0][j])
+			for i := 0; i <= top; i++ {
+				raised.Coeffs[i][j] = rq.Moduli[i].FromCentered(v)
+			}
+		}
+		rq.NTT(raised, top)
+		if k == 0 {
+			out.C0 = raised
+		} else {
+			out.C1 = raised
+		}
+	}
+	return out
+}
+
+// evalModCt removes the q0·I component of one real-slotted ciphertext. On
+// entry the slots hold w/s where w = Δu + q0·I and s is the declared scale;
+// on exit they hold u at the returned (re-declared) scale ≈ 2πΔ.
+func (b *Bootstrapper) evalModCt(ct *Ciphertext, delta float64) *Ciphertext {
+	ev := b.eval
+	k1 := float64(b.cfg.K + 1)
+
+	// Re-declare the scale so the message becomes t = w/q0 ∈ [-K-1, K+1].
+	work := ct.CopyNew()
+	work.Scale = b.q0
+
+	// cos(2π(t-1/4)/2^r), then r double angles -> sin(2πt).
+	out := ev.EvaluateChebyshev(work, b.evalMod, -k1, k1)
+	for i := 0; i < b.cfg.DoubleAngles; i++ {
+		sq := ev.Rescale(ev.Square(out))
+		out = ev.AddConst(ev.Add(sq, sq), -1)
+	}
+	// sin(2πt) = 2π(Δu)/q0 + O((Δu/q0)³): fold q0/(2πΔ) into the scale.
+	out.Scale *= 2 * math.Pi * delta / b.q0
+	return out
+}
+
+// Bootstrap refreshes ct (consumed at its lowest levels) back to a high
+// level. The input is dropped to level 0 first, matching the paper's L
+// schedule (2 -> 54 -> 24 for the full-scale Boot workload).
+func (b *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	ev := b.eval
+	rq := b.params.RingQ()
+	delta := ct.Scale
+
+	// 1. Sparse-secret encapsulation at the bottom of the chain.
+	low := ev.DropLevel(ct, 0)
+	low = ev.SwitchKeys(low, b.toSparse)
+
+	// 2. ModRaise under the sparse secret, then switch back to the dense
+	// secret at the top of the chain.
+	raised := b.ModRaise(low)
+	raised = ev.SwitchKeys(raised, b.toDense)
+
+	// 3. CoeffToSlot: slots now hold the raw coefficients (bit-reversed).
+	cur := raised
+	var err error
+	for _, g := range b.c2s {
+		cur, err = ev.EvaluateLinearTransformHoisted(cur, g, b.enc)
+		if err != nil {
+			return nil, err
+		}
+		cur = ev.Rescale(cur)
+	}
+
+	// 4. Split into real and imaginary coefficient vectors.
+	conj, err := ev.Conjugate(cur)
+	if err != nil {
+		return nil, err
+	}
+	qd := float64(rq.Moduli[cur.Level()].Q)
+	ct0 := ev.Rescale(ev.MultConst(ev.Add(cur, conj), 0.5, qd))
+	ct1 := ev.Rescale(ev.MultConst(ev.MulByI(ev.Sub(conj, cur)), 0.5, qd))
+
+	// 5. EvalMod on each real vector.
+	ct0 = b.evalModCt(ct0, delta)
+	ct1 = b.evalModCt(ct1, delta)
+
+	// 6. Recombine z = ct0 + i·ct1 and return to coefficient packing.
+	cur = ev.Add(ct0, ev.MulByI(ev.matchLevel(ct1, ct0)))
+	for _, g := range b.s2c {
+		cur, err = ev.EvaluateLinearTransformHoisted(cur, g, b.enc)
+		if err != nil {
+			return nil, err
+		}
+		cur = ev.Rescale(cur)
+	}
+
+	// 7. Normalize the scale back to exactly Δ using one level.
+	qd = float64(rq.Moduli[cur.Level()].Q)
+	cur = ev.Rescale(ev.MultConst(cur, 1.0, qd*delta/cur.Scale))
+	cur.Scale = delta
+	return cur, nil
+}
+
+// MinLevelBudget reports how many levels a bootstrap invocation consumes
+// with this configuration (used by tests and the workload trace generators).
+func (b *Bootstrapper) MinLevelBudget() int {
+	chebDepth := 2 + bitsLen(b.cfg.EvalModDeg)
+	return b.cfg.FFTIterC2S + 1 + chebDepth + b.cfg.DoubleAngles + b.cfg.FFTIterS2C + 1
+}

@@ -1,0 +1,194 @@
+package ckks
+
+import (
+	"math"
+)
+
+// ChebyshevInterpolation approximates f on [a, b] by a degree-"degree"
+// Chebyshev series (coefficients in the Chebyshev basis of the affinely
+// mapped variable t ∈ [-1, 1]).
+func ChebyshevInterpolation(f func(float64) float64, a, b float64, degree int) []float64 {
+	n := degree + 1
+	nodes := make([]float64, n)
+	fv := make([]float64, n)
+	for k := 0; k < n; k++ {
+		t := math.Cos(math.Pi * (float64(k) + 0.5) / float64(n))
+		nodes[k] = t
+		x := (b-a)/2*t + (b+a)/2
+		fv[k] = f(x)
+	}
+	coeffs := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += fv[k] * math.Cos(math.Pi*float64(j)*(float64(k)+0.5)/float64(n))
+		}
+		coeffs[j] = 2 * sum / float64(n)
+	}
+	coeffs[0] /= 2
+	return coeffs
+}
+
+// EvalChebyshevSeries evaluates a Chebyshev series on plaintext input
+// (reference for tests): Σ c_j T_j(t) with t = (2x-a-b)/(b-a).
+func EvalChebyshevSeries(coeffs []float64, a, b, x float64) float64 {
+	t := (2*x - a - b) / (b - a)
+	// Clenshaw recurrence.
+	var b0, b1 float64
+	for j := len(coeffs) - 1; j >= 1; j-- {
+		b0, b1 = coeffs[j]+2*t*b0-b1, b0
+	}
+	return coeffs[0] + t*b0 - b1
+}
+
+// splitChebyshev divides the series p by T_split: p = q·T_split + r using
+// 2·T_a·T_b = T_{a+b} + T_{|a-b|}; requires split ≥ (deg+1)/2 so all folded
+// indices stay in range.
+func splitChebyshev(coeffs []float64, split int) (quo, rem []float64) {
+	rem = make([]float64, split)
+	copy(rem, coeffs[:split])
+	quo = make([]float64, len(coeffs)-split)
+	quo[0] = coeffs[split]
+	for i := split + 1; i < len(coeffs); i++ {
+		quo[i-split] = 2 * coeffs[i]
+		rem[2*split-i] -= coeffs[i]
+	}
+	return quo, rem
+}
+
+// chebyshevPowers builds the Chebyshev basis ciphertexts T_1..T_{baby-1} and
+// the giant steps T_baby, T_{2·baby}, ... T_{2^k·baby} needed to evaluate a
+// series of the given degree via BSGS, using T_{2k} = 2T_k²-1 and
+// T_{i+j} = 2·T_i·T_j − T_{|i−j|}.
+func (ev *Evaluator) chebyshevPowers(t1 *Ciphertext, degree, baby int) map[int]*Ciphertext {
+	pow := map[int]*Ciphertext{1: t1}
+	var build func(k int) *Ciphertext
+	build = func(k int) *Ciphertext {
+		if ct, ok := pow[k]; ok {
+			return ct
+		}
+		// Split k = i + j with i = largest power of two ≤ k/2... prefer
+		// halves to minimize depth.
+		i := k / 2
+		j := k - i
+		ti := build(i)
+		tj := build(j)
+		prod := ev.Rescale(ev.MulRelin(ti, tj, nil))
+		two := ev.addCiphertexts(prod, prod)
+		var res *Ciphertext
+		if i == j {
+			res = ev.AddConst(two, -1) // 2T_i² − T_0
+		} else {
+			td := build(j - i)
+			res = ev.Sub(two, ev.matchLevel(td, two))
+		}
+		pow[k] = res
+		return res
+	}
+	for k := 2; k < baby; k++ {
+		build(k)
+	}
+	for g := baby; g <= degree; g <<= 1 {
+		build(g)
+	}
+	return pow
+}
+
+// addCiphertexts is Add without the scale check (operands are identical).
+func (ev *Evaluator) addCiphertexts(a, b *Ciphertext) *Ciphertext { return ev.Add(a, b) }
+
+// matchLevel drops a to b's level if needed.
+func (ev *Evaluator) matchLevel(a, b *Ciphertext) *Ciphertext {
+	if a.Level() > b.Level() {
+		return ev.DropLevel(a, b.Level())
+	}
+	return a
+}
+
+// EvaluateChebyshev homomorphically evaluates the Chebyshev series on a
+// ciphertext whose slots lie in [a, b]. Consumes ~2+log2(degree) levels.
+// The primes spanned by the evaluation must have near-uniform sizes (as in
+// the EvalMod region of a bootstrapping chain); otherwise the scales of
+// sibling BSGS branches diverge beyond the additive tolerance.
+func (ev *Evaluator) EvaluateChebyshev(ct *Ciphertext, coeffs []float64, a, b float64) *Ciphertext {
+	rq := ev.params.RingQ()
+	// t = (2x - a - b)/(b - a), computed with one constant mult + add.
+	lvl := ct.Level()
+	t1 := ev.MultConst(ct, 2/(b-a), float64(rq.Moduli[lvl].Q))
+	t1 = ev.Rescale(t1)
+	t1 = ev.AddConst(t1, -(a+b)/(b-a))
+
+	degree := len(coeffs) - 1
+	if degree == 0 {
+		out := ev.MultConst(t1, 0, float64(rq.Moduli[t1.Level()].Q))
+		out = ev.Rescale(out)
+		return ev.AddConst(out, coeffs[0])
+	}
+	baby := 1 << ((bitsLen(degree) + 1) / 2)
+	if baby < 2 {
+		baby = 2
+	}
+	pow := ev.chebyshevPowers(t1, degree, baby)
+
+	var eval func(c []float64) *Ciphertext
+	eval = func(c []float64) *Ciphertext {
+		deg := len(c) - 1
+		if deg < baby {
+			return ev.linearCombination(c, pow)
+		}
+		split := 1 << (bitsLen(deg) - 1)
+		if split < baby {
+			split = baby
+		}
+		quo, rem := splitChebyshev(c, split)
+		qc := eval(quo)
+		rc := eval(rem)
+		ts := pow[split]
+		prod := ev.Rescale(ev.MulRelin(qc, ev.matchLevel(ts, qc), nil))
+		return ev.Add(prod, ev.matchLevel(rc, prod))
+	}
+	return eval(coeffs)
+}
+
+// linearCombination computes Σ c_i·T_i for i < baby from the power basis,
+// encoding the constants at the dropped prime's scale so a single Rescale
+// lands all terms on a common scale.
+func (ev *Evaluator) linearCombination(c []float64, pow map[int]*Ciphertext) *Ciphertext {
+	rq := ev.params.RingQ()
+	// Find the lowest level among the needed powers.
+	lvl := ev.params.MaxLevel()
+	for i := 1; i < len(c); i++ {
+		if c[i] != 0 && pow[i].Level() < lvl {
+			lvl = pow[i].Level()
+		}
+	}
+	qd := float64(rq.Moduli[lvl].Q)
+	var acc *Ciphertext
+	for i := 1; i < len(c); i++ {
+		if c[i] == 0 {
+			continue
+		}
+		term := ev.MultConst(ev.DropLevel(pow[i], lvl), c[i], qd)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = ev.Add(acc, term)
+		}
+	}
+	if acc == nil {
+		// Only the constant term: manufacture a zero at the right scale.
+		t1 := pow[1]
+		acc = ev.MultConst(ev.DropLevel(t1, lvl), 0, qd)
+	}
+	acc = ev.Rescale(acc)
+	return ev.AddConst(acc, c[0])
+}
+
+func bitsLen(x int) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

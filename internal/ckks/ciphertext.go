@@ -1,0 +1,112 @@
+package ckks
+
+import (
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// Ciphertext is an RLWE pair (C0, C1) in NTT form decrypting to
+// C0 + C1·s = ⟨u⟩ + e at the tracked scale.
+type Ciphertext struct {
+	C0, C1 *ring.Poly
+	Scale  float64
+}
+
+// Level returns the ciphertext level (limbs - 1).
+func (ct *Ciphertext) Level() int { return ct.C0.Level() }
+
+// CopyNew returns a deep copy.
+func (ct *Ciphertext) CopyNew() *Ciphertext {
+	return &Ciphertext{C0: ct.C0.CopyNew(), C1: ct.C1.CopyNew(), Scale: ct.Scale}
+}
+
+// Plaintext couples an encoded polynomial with its scale.
+type Plaintext struct {
+	Value *ring.Poly
+	Scale float64
+}
+
+// Level returns the plaintext level.
+func (pt *Plaintext) Level() int { return pt.Value.Level() }
+
+// Encryptor encrypts plaintexts under a public or secret key.
+type Encryptor struct {
+	params  *Parameters
+	sampler *ring.Sampler
+}
+
+// NewEncryptor returns a deterministic encryptor (seeded sampler).
+func NewEncryptor(params *Parameters, seed int64) *Encryptor {
+	return &Encryptor{params: params, sampler: ring.NewSampler(seed)}
+}
+
+// EncryptNew encrypts pt under the public key:
+// (C0, C1) = (B·u + e0 + pt, A·u + e1).
+func (e *Encryptor) EncryptNew(pt *Plaintext, pk *PublicKey) *Ciphertext {
+	p := e.params
+	rq := p.RingQ()
+	lvl := pt.Level()
+
+	u := e.sampler.TernaryPoly(rq, lvl, p.HDense())
+	rq.NTT(u, lvl)
+	e0 := e.sampler.GaussianPoly(rq, lvl, p.Sigma())
+	rq.NTT(e0, lvl)
+	e1 := e.sampler.GaussianPoly(rq, lvl, p.Sigma())
+	rq.NTT(e1, lvl)
+
+	c0 := rq.NewPoly(lvl)
+	c0.IsNTT = true
+	rq.MulCoeffs(c0, pk.B.Truncated(lvl), u, lvl)
+	rq.Add(c0, c0, e0, lvl)
+	rq.Add(c0, c0, pt.Value, lvl)
+
+	c1 := rq.NewPoly(lvl)
+	c1.IsNTT = true
+	rq.MulCoeffs(c1, pk.A.Truncated(lvl), u, lvl)
+	rq.Add(c1, c1, e1, lvl)
+
+	return &Ciphertext{C0: c0, C1: c1, Scale: pt.Scale}
+}
+
+// EncryptSkNew encrypts pt under the secret key (fresh uniform mask, lower
+// noise than public-key encryption; used by tests and bootstrapping
+// internals).
+func (e *Encryptor) EncryptSkNew(pt *Plaintext, sk *SecretKey) *Ciphertext {
+	p := e.params
+	rq := p.RingQ()
+	lvl := pt.Level()
+
+	a := e.sampler.UniformPoly(rq, lvl, true)
+	err := e.sampler.GaussianPoly(rq, lvl, p.Sigma())
+	rq.NTT(err, lvl)
+
+	c0 := rq.NewPoly(lvl)
+	c0.IsNTT = true
+	rq.MulCoeffs(c0, a, sk.Q.Truncated(lvl), lvl)
+	rq.Neg(c0, c0, lvl)
+	rq.Add(c0, c0, err, lvl)
+	rq.Add(c0, c0, pt.Value, lvl)
+
+	return &Ciphertext{C0: c0, C1: a, Scale: pt.Scale}
+}
+
+// Decryptor recovers plaintexts.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor binds a secret key.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// DecryptNew returns the plaintext C0 + C1·s.
+func (d *Decryptor) DecryptNew(ct *Ciphertext) *Plaintext {
+	rq := d.params.RingQ()
+	lvl := ct.Level()
+	m := rq.NewPoly(lvl)
+	m.IsNTT = true
+	rq.MulCoeffs(m, ct.C1, d.sk.Q.Truncated(lvl), lvl)
+	rq.Add(m, m, ct.C0, lvl)
+	return &Plaintext{Value: m, Scale: ct.Scale}
+}

@@ -1,0 +1,68 @@
+package ckks
+
+// Homomorphic comparison primitives. The Sort workload of the paper's
+// evaluation ([35], §VII-A) is built from exactly these: an approximate
+// sign function evaluated as a composition of low-degree odd polynomials,
+// and the min/max "comparators" of a sorting network derived from it.
+
+// signPoly applies one step of the composite sign iteration
+// f(x) = (3x - x³)/2, which maps [-1,1] to itself and converges to sign(x).
+// Consumes three levels (square, constant scaling, product).
+func (ev *Evaluator) signPoly(ct *Ciphertext) *Ciphertext {
+	rq := ev.params.RingQ()
+	// x² (level -1)
+	x2 := ev.Rescale(ev.Square(ct))
+	// (3 - x²)/2 at the scale of x², via constant ops.
+	half := ev.MultConst(x2, -0.5, float64(rq.Moduli[x2.Level()].Q))
+	half = ev.Rescale(half)
+	half = ev.AddConst(half, 1.5)
+	// x · (3 - x²)/2 (level -2)
+	x := ev.DropLevel(ct, half.Level())
+	return ev.Rescale(ev.MulRelin(x, half, nil))
+}
+
+// EvalSign approximates sign(x) on slots in [-1, 1] with the given number
+// of composite iterations (each consumes three levels). More iterations
+// sharpen the transition around zero: after k iterations inputs with
+// |x| ≳ 0.6^k are mapped close to ±1.
+func (ev *Evaluator) EvalSign(ct *Ciphertext, iterations int) *Ciphertext {
+	out := ct
+	for i := 0; i < iterations; i++ {
+		out = ev.signPoly(out)
+	}
+	return out
+}
+
+// EvalCompare approximates (sign(a-b)+1)/2 ∈ {0, 1}: one for slots where
+// a > b, zero where a < b. Inputs must lie in [-1/2, 1/2] so the difference
+// stays in [-1, 1].
+func (ev *Evaluator) EvalCompare(a, b *Ciphertext, iterations int) *Ciphertext {
+	s := ev.EvalSign(ev.Sub(a, b), iterations)
+	half := ev.MultConst(s, 0.5, float64(ev.params.RingQ().Moduli[s.Level()].Q))
+	half = ev.Rescale(half)
+	return ev.AddConst(half, 0.5)
+}
+
+// EvalMinMax returns the slot-wise (min, max) of two ciphertexts with
+// values in [-1/2, 1/2]:
+//
+//	max = (a+b)/2 + (a-b)·sign(a-b)/2 ,  min = (a+b) - max.
+//
+// This is the two-way comparator of the Sort workload.
+func (ev *Evaluator) EvalMinMax(a, b *Ciphertext, iterations int) (minCt, maxCt *Ciphertext) {
+	rq := ev.params.RingQ()
+	diff := ev.Sub(a, b)
+	s := ev.EvalSign(diff, iterations)
+
+	// |a-b| ≈ (a-b)·sign(a-b)
+	d := ev.DropLevel(diff, s.Level())
+	abs := ev.Rescale(ev.MulRelin(d, s, nil))
+
+	sum := ev.Add(a, b)
+	sum = ev.DropLevel(sum, abs.Level())
+	// (sum + abs)/2 and (sum - abs)/2.
+	qd := float64(rq.Moduli[abs.Level()].Q)
+	maxCt = ev.Rescale(ev.MultConst(ev.Add(sum, abs), 0.5, qd))
+	minCt = ev.Rescale(ev.MultConst(ev.Sub(sum, abs), 0.5, qd))
+	return minCt, maxCt
+}

@@ -1,0 +1,103 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/anaheim-sim/anaheim/internal/trace"
+)
+
+// Cross-validation between the two halves of the repository: the simulator's
+// kernel traces (internal/trace) claim specific (I)NTT limb-transform counts
+// for each CKKS operation; the functional library, instrumented with ring
+// counters, must actually perform those counts. This pins the performance
+// model to the real algorithms.
+
+// traceParamsFor mirrors the functional parameter shape in the trace layer.
+func traceParamsFor(p *Parameters) trace.Params {
+	return trace.Params{
+		LogN:      p.LogN(),
+		N:         p.N(),
+		L:         p.MaxLevel() + 1,
+		Alpha:     p.Alpha(),
+		D:         p.Digits(p.MaxLevel()),
+		WordBytes: 8,
+	}
+}
+
+func TestTraceMatchesFunctionalKeySwitchNTTCount(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	rq := tc.params.RingQ()
+	rp := tc.params.RingP()
+	r := rand.New(rand.NewSource(110))
+	v := randomComplex(r, tc.params.Slots(), 1)
+	ct := tc.encryptVec(t, v)
+	lvl := ct.Level()
+
+	// Functional: count limb transforms of one full HMULT key switch
+	// (ModUp + ModDown), excluding the tensor and rescale parts.
+	rq.ResetCounters()
+	rp.ResetCounters()
+	dec := tc.eval.Decompose(ct.C1, lvl)
+	u0q, u0p, u1q, u1p := tc.eval.gadgetProduct(dec, tc.keys.Rlk)
+	tc.eval.ModDown(u0q, u0p, lvl)
+	tc.eval.ModDown(u1q, u1p, lvl)
+	nttQ, inttQ := rq.Counters()
+	nttP, inttP := rp.Counters()
+	functional := float64(nttQ + inttQ + nttP + inttP)
+
+	// Trace prediction: ModUp + KeyMult + ModDown kernels at the same level.
+	tp := traceParamsFor(tc.params)
+	b := trace.NewBuilder(tp, trace.GPUBaseline(), "ks")
+	b.ModUp(lvl)
+	b.KeyMult("ks", lvl)
+	b.ModDown(lvl, 2)
+	predicted := b.T.NTTLimbTransforms()
+
+	if rel := functional/predicted - 1; rel > 0.25 || rel < -0.25 {
+		t.Fatalf("trace predicts %.0f limb transforms, functional performs %.0f (rel err %.2f)",
+			predicted, functional, rel)
+	}
+	t.Logf("key switch: trace %.0f vs functional %.0f limb transforms", predicted, functional)
+}
+
+func TestTraceMatchesFunctionalHoistingSavings(t *testing.T) {
+	// Hoisting's (I)NTT savings must appear in the functional library with
+	// the same magnitude the trace predicts: K rotations share one ModUp.
+	tc := newTestContext(t, TestParameters())
+	rq := tc.params.RingQ()
+	rp := tc.params.RingP()
+	rots := []int{1, 2, 3, 5, 7, 11}
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, rots)
+	r := rand.New(rand.NewSource(111))
+	ct := tc.encryptVec(t, randomComplex(r, tc.params.Slots(), 1))
+
+	count := func(f func()) float64 {
+		rq.ResetCounters()
+		rp.ResetCounters()
+		f()
+		nq, iq := rq.Counters()
+		np, ip := rp.Counters()
+		return float64(nq + iq + np + ip)
+	}
+
+	hoisted := count(func() {
+		if _, err := tc.eval.RotateHoisted(ct, rots); err != nil {
+			t.Fatal(err)
+		}
+	})
+	separate := count(func() {
+		for _, k := range rots {
+			if _, err := tc.eval.Rotate(ct, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	ratio := separate / hoisted
+	// With K=6 rotations sharing one ModUp, the savings ratio should be
+	// well above 1 and below K.
+	if ratio < 1.5 || ratio > 6 {
+		t.Fatalf("hoisting savings ratio %.2f implausible", ratio)
+	}
+	t.Logf("hoisting: %.0f vs %.0f limb transforms (%.2fx saved)", hoisted, separate, ratio)
+}

@@ -1,0 +1,200 @@
+package ckks
+
+import (
+	"math/cmplx"
+)
+
+// Homomorphic DFT factors for CoeffToSlot and SlotToCoeff.
+//
+// With the special-FFT encoding E = (1/n)·B·S̄_2·S̄_4·…·S̄_n (B = bit-reversal,
+// S̄_len the radix-2 stage of the encoder's specialIFFT), the map that turns a
+// ciphertext's coefficients into its slots *in bit-reversed order* is
+//
+//	C2S = B·E = (1/n)·S̄_2·S̄_4·…·S̄_n ,
+//
+// a product of log(n) matrices each with only three nonzero diagonals at
+// offsets {0, ±len/2} — no permutation factor. SlotToCoeff is the inverse
+// product n·S̄_n^{-1}·…·S̄_2^{-1}. EvalMod is slot-wise, so the bit-reversed
+// intermediate ordering cancels between the two transforms.
+//
+// Decomposing each product into `fftIter` grouped matrices (by composing
+// consecutive stages) reproduces the fftIter knob of MAD [2] studied in
+// §IV-C: fewer groups → fewer levels consumed but denser matrices.
+
+// diagMap is a sparse slot-space matrix keyed by diagonal offset.
+type diagMap map[int][]complex128
+
+// composeDiag returns A·B (B applied first):
+// C_t[j] = Σ_{r+s=t} A_r[j] · B_s[(j+r) mod n].
+func composeDiag(a, b diagMap, n int) diagMap {
+	c := make(diagMap)
+	for r, ar := range a {
+		for s, bs := range b {
+			t := ((r+s)%n + n) % n
+			row, ok := c[t]
+			if !ok {
+				row = make([]complex128, n)
+				c[t] = row
+			}
+			for j := 0; j < n; j++ {
+				row[j] += ar[j] * bs[(j+r)%n]
+			}
+		}
+	}
+	// Prune numerically zero diagonals to keep rotation counts honest.
+	for t, row := range c {
+		nonzero := false
+		for _, v := range row {
+			if cmplx.Abs(v) > 1e-12 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			delete(c, t)
+		}
+	}
+	return c
+}
+
+// scaleDiag multiplies all entries by a scalar.
+func scaleDiag(d diagMap, c complex128) {
+	for _, row := range d {
+		for j := range row {
+			row[j] *= c
+		}
+	}
+}
+
+// c2sStage returns the 3-diagonal map of stage S̄_size (the encoder's
+// specialIFFT butterfly of the given size).
+func (e *Encoder) c2sStage(size int) diagMap {
+	n := e.params.Slots()
+	lenh, lenq := size>>1, size<<2
+	d0 := make([]complex128, n)
+	dp := make([]complex128, n) // offset +lenh
+	dm := make([]complex128, n) // offset -lenh (stored mod n)
+	for i := 0; i < n; i += size {
+		for j := 0; j < lenh; j++ {
+			idx := (lenq - (e.rotGroup[j] % lenq)) * e.m / lenq
+			k := e.ksiPows[idx]
+			// out[i+j] = v[i+j] + v[i+j+lenh]
+			d0[i+j] = 1
+			dp[i+j] = 1
+			// out[i+j+lenh] = (v[i+j] - v[i+j+lenh]) * k
+			d0[i+j+lenh] = -k
+			dm[i+j+lenh] = k
+		}
+	}
+	return mergeDiags(n, d0, dp, dm, lenh)
+}
+
+// mergeDiags assembles the three stage diagonals, summing the ±lenh entries
+// when they coincide (lenh = n/2, where +n/2 ≡ -n/2 mod n).
+func mergeDiags(n int, d0, dp, dm []complex128, lenh int) diagMap {
+	out := diagMap{0: d0}
+	addDiag := func(off int, row []complex128) {
+		off = ((off % n) + n) % n
+		if cur, ok := out[off]; ok {
+			for j := range cur {
+				cur[j] += row[j]
+			}
+		} else {
+			out[off] = row
+		}
+	}
+	addDiag(lenh, dp)
+	addDiag(-lenh, dm)
+	return out
+}
+
+// s2cStage returns the 3-diagonal map of S̄_size^{-1}.
+func (e *Encoder) s2cStage(size int) diagMap {
+	n := e.params.Slots()
+	lenh, lenq := size>>1, size<<2
+	d0 := make([]complex128, n)
+	dp := make([]complex128, n)
+	dm := make([]complex128, n)
+	for i := 0; i < n; i += size {
+		for j := 0; j < lenh; j++ {
+			idx := (lenq - (e.rotGroup[j] % lenq)) * e.m / lenq
+			k := e.ksiPows[idx]
+			// a[i+j]      = (w[i+j] + w[i+j+lenh]/k) / 2
+			// a[i+j+lenh] = (w[i+j] - w[i+j+lenh]/k) / 2
+			d0[i+j] = 0.5
+			dp[i+j] = 0.5 / k
+			dm[i+j+lenh] = 0.5
+			d0[i+j+lenh] = -0.5 / k
+		}
+	}
+	return mergeDiags(n, d0, dp, dm, lenh)
+}
+
+// groupStages composes the per-stage maps into `groups` matrices of (nearly)
+// equal stage counts. stages[0] is applied first homomorphically; within a
+// group later stages multiply from the left.
+func groupStages(stages []diagMap, groups, n int) []diagMap {
+	if groups > len(stages) {
+		groups = len(stages)
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	out := make([]diagMap, 0, groups)
+	per := len(stages) / groups
+	extra := len(stages) % groups
+	idx := 0
+	for g := 0; g < groups; g++ {
+		cnt := per
+		if g < extra {
+			cnt++
+		}
+		m := stages[idx]
+		for k := 1; k < cnt; k++ {
+			m = composeDiag(stages[idx+k], m, n)
+		}
+		idx += cnt
+		out = append(out, m)
+	}
+	return out
+}
+
+// CoeffToSlotMatrices returns the fftIter grouped matrices (applied in
+// order) whose product maps a ciphertext's coefficient packing to its slots
+// in bit-reversed order, including the 1/n normalization distributed evenly
+// across groups.
+func (e *Encoder) CoeffToSlotMatrices(fftIter int) []*LinearTransform {
+	n := e.params.Slots()
+	var stages []diagMap
+	for size := n; size >= 2; size >>= 1 {
+		stages = append(stages, e.c2sStage(size))
+	}
+	grouped := groupStages(stages, fftIter, n)
+	norm := complex(1/float64(n), 0)
+	per := cmplx.Pow(norm, complex(1/float64(len(grouped)), 0))
+	out := make([]*LinearTransform, len(grouped))
+	for i, g := range grouped {
+		scaleDiag(g, per)
+		out[i] = &LinearTransform{Slots: n, Diags: g}
+	}
+	return out
+}
+
+// SlotToCoeffMatrices returns the grouped inverse matrices (applied in
+// order), including the n normalization distributed evenly.
+func (e *Encoder) SlotToCoeffMatrices(fftIter int) []*LinearTransform {
+	n := e.params.Slots()
+	var stages []diagMap
+	for size := 2; size <= n; size <<= 1 {
+		stages = append(stages, e.s2cStage(size))
+	}
+	grouped := groupStages(stages, fftIter, n)
+	norm := complex(float64(n), 0)
+	per := cmplx.Pow(norm, complex(1/float64(len(grouped)), 0))
+	out := make([]*LinearTransform, len(grouped))
+	for i, g := range grouped {
+		scaleDiag(g, per)
+		out[i] = &LinearTransform{Slots: n, Diags: g}
+	}
+	return out
+}

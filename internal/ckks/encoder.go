@@ -1,0 +1,175 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+	"math/cmplx"
+
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// Encoder maps complex slot vectors u ∈ C^{N/2} to plaintext polynomials
+// ⟨u⟩ ∈ R_Q via the canonical embedding restricted to the rotation-group
+// orbit of 5 (§II-A). The special FFT below evaluates/interpolates at the
+// primitive 2N-th roots ζ^{5^j}, the ordering that makes slot rotations
+// Galois automorphisms.
+type Encoder struct {
+	params   *Parameters
+	m        int          // 2N
+	rotGroup []int        // 5^j mod 2N
+	ksiPows  []complex128 // ζ^k, k = 0..m
+}
+
+// NewEncoder builds the FFT tables for the parameter set.
+func NewEncoder(params *Parameters) *Encoder {
+	m := 2 * params.N()
+	e := &Encoder{
+		params:   params,
+		m:        m,
+		rotGroup: make([]int, params.Slots()),
+		ksiPows:  make([]complex128, m+1),
+	}
+	fivePow := 1
+	for j := 0; j < params.Slots(); j++ {
+		e.rotGroup[j] = fivePow
+		fivePow = fivePow * 5 % m
+	}
+	for k := 0; k <= m; k++ {
+		angle := 2 * math.Pi * float64(k) / float64(m)
+		e.ksiPows[k] = cmplx.Exp(complex(0, angle))
+	}
+	return e
+}
+
+func bitReversePermute(vals []complex128) {
+	n := len(vals)
+	logN := bits.Len(uint(n)) - 1
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> uint(64-logN))
+		if i < j {
+			vals[i], vals[j] = vals[j], vals[i]
+		}
+	}
+}
+
+// specialFFT evaluates: slots(m) from coefficients layout (decode direction).
+func (e *Encoder) specialFFT(vals []complex128) {
+	n := len(vals)
+	bitReversePermute(vals)
+	for size := 2; size <= n; size <<= 1 {
+		lenh, lenq := size>>1, size<<2
+		for i := 0; i < n; i += size {
+			for j := 0; j < lenh; j++ {
+				idx := (e.rotGroup[j] % lenq) * e.m / lenq
+				u := vals[i+j]
+				v := vals[i+j+lenh] * e.ksiPows[idx]
+				vals[i+j] = u + v
+				vals[i+j+lenh] = u - v
+			}
+		}
+	}
+}
+
+// specialIFFT interpolates: coefficients layout from slots (encode
+// direction), including the 1/n scaling.
+func (e *Encoder) specialIFFT(vals []complex128) {
+	n := len(vals)
+	for size := n; size >= 2; size >>= 1 {
+		lenh, lenq := size>>1, size<<2
+		for i := 0; i < n; i += size {
+			for j := 0; j < lenh; j++ {
+				idx := (lenq - (e.rotGroup[j] % lenq)) * e.m / lenq
+				u := vals[i+j] + vals[i+j+lenh]
+				v := (vals[i+j] - vals[i+j+lenh]) * e.ksiPows[idx]
+				vals[i+j] = u
+				vals[i+j+lenh] = v
+			}
+		}
+	}
+	bitReversePermute(vals)
+	inv := complex(1/float64(n), 0)
+	for i := range vals {
+		vals[i] *= inv
+	}
+}
+
+// Encode produces an NTT-domain plaintext polynomial at the given level and
+// scale from at most N/2 complex values (shorter inputs are zero-padded; the
+// input slice is not modified).
+func (e *Encoder) Encode(values []complex128, level int, scale float64) (*ring.Poly, error) {
+	slots := e.params.Slots()
+	if len(values) > slots {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
+	}
+	vals := make([]complex128, slots)
+	copy(vals, values)
+	e.specialIFFT(vals)
+
+	rq := e.params.RingQ()
+	p := rq.NewPoly(level)
+	nh := e.params.N() / 2
+	for j := 0; j < nh; j++ {
+		re := int64(math.Round(real(vals[j]) * scale))
+		im := int64(math.Round(imag(vals[j]) * scale))
+		for i := 0; i <= level; i++ {
+			mod := rq.Moduli[i]
+			p.Coeffs[i][j] = mod.FromCentered(re)
+			p.Coeffs[i][j+nh] = mod.FromCentered(im)
+		}
+	}
+	rq.NTT(p, level)
+	return p, nil
+}
+
+// Decode recovers the slot vector from a coefficient representation using
+// exact CRT reconstruction (robust to coefficients close to Q). pt may be in
+// either domain; it is not modified.
+func (e *Encoder) Decode(pt *ring.Poly, scale float64) []complex128 {
+	rq := e.params.RingQ()
+	level := pt.Level()
+	work := pt.CopyNew()
+	if work.IsNTT {
+		rq.INTT(work, level)
+	}
+
+	// CRT reconstruct each coefficient as a centered big integer, then to
+	// float64 via big.Float for full precision.
+	moduli := rq.AtLevel(level)
+	bigQ := big.NewInt(1)
+	for _, m := range moduli {
+		bigQ.Mul(bigQ, new(big.Int).SetUint64(m.Q))
+	}
+	halfQ := new(big.Int).Rsh(bigQ, 1)
+	// Precompute CRT weights w_i = (Q/q_i)·[(Q/q_i)^{-1}]_{q_i}.
+	weights := make([]*big.Int, len(moduli))
+	for i, m := range moduli {
+		qi := new(big.Int).SetUint64(m.Q)
+		qHat := new(big.Int).Div(bigQ, qi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qHat, qi), qi)
+		weights[i] = new(big.Int).Mul(qHat, inv)
+	}
+
+	coeffToFloat := func(j int) float64 {
+		acc := big.NewInt(0)
+		for i := range moduli {
+			t := new(big.Int).SetUint64(work.Coeffs[i][j])
+			acc.Add(acc, t.Mul(t, weights[i]))
+		}
+		acc.Mod(acc, bigQ)
+		if acc.Cmp(halfQ) > 0 {
+			acc.Sub(acc, bigQ)
+		}
+		f, _ := new(big.Float).SetInt(acc).Float64()
+		return f
+	}
+
+	nh := e.params.N() / 2
+	vals := make([]complex128, e.params.Slots())
+	for j := 0; j < nh; j++ {
+		vals[j] = complex(coeffToFloat(j)/scale, coeffToFloat(j+nh)/scale)
+	}
+	e.specialFFT(vals)
+	return vals
+}

@@ -1,0 +1,444 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+	"github.com/anaheim-sim/anaheim/internal/ring"
+	"github.com/anaheim-sim/anaheim/internal/rns"
+)
+
+// Evaluator executes homomorphic operations: the basic functions HADD,
+// PMULT, HMULT and HROT of §II-A and the primitives they decompose into
+// (ModUp, KeyMult, MAC, automorphism, ModDown, rescaling).
+type Evaluator struct {
+	params *Parameters
+	keys   *EvaluationKeySet
+
+	mu         sync.Mutex
+	digitConv  map[int]*rns.BasisConverter // (level<<8 | digit) -> Q_d -> Q+P
+	pToQConv   map[int]*rns.BasisConverter // level -> P -> Q_level
+	pInvModQ   []uint64                    // P^{-1} mod q_i (full chain)
+	monomialNT map[int]*ring.Poly          // level -> NTT(X^{N/2})
+}
+
+// NewEvaluator binds a key set (which may be extended later; the map is
+// shared).
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
+	ev := &Evaluator{
+		params:     params,
+		keys:       keys,
+		digitConv:  make(map[int]*rns.BasisConverter),
+		pToQConv:   make(map[int]*rns.BasisConverter),
+		monomialNT: make(map[int]*ring.Poly),
+	}
+	ev.pInvModQ = rns.ProductInvMod(params.RingP().Moduli, params.RingQ().Moduli)
+	return ev
+}
+
+// Params returns the bound parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+// ---------------------------------------------------------------------------
+// Element-wise operations (the PIM-friendly class of the Anaheim paper)
+
+const scaleTolerance = 1e-3
+
+func (ev *Evaluator) checkScales(a, b float64) {
+	if math.Abs(a/b-1) > scaleTolerance {
+		panic(fmt.Sprintf("ckks: scale mismatch on add: %g vs %g", a, b))
+	}
+}
+
+// Add returns ct0 + ct1 (HADD). Operands are aligned to the lower of the two
+// levels; scales must agree up to the tolerance imposed by near-Δ primes.
+func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
+	ev.checkScales(ct0.Scale, ct1.Scale)
+	rq := ev.params.RingQ()
+	lvl := min(ct0.Level(), ct1.Level())
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), Scale: ct0.Scale}
+	rq.Add(out.C0, ct0.C0.Truncated(lvl), ct1.C0.Truncated(lvl), lvl)
+	rq.Add(out.C1, ct0.C1.Truncated(lvl), ct1.C1.Truncated(lvl), lvl)
+	return out
+}
+
+// Sub returns ct0 - ct1.
+func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) *Ciphertext {
+	ev.checkScales(ct0.Scale, ct1.Scale)
+	rq := ev.params.RingQ()
+	lvl := min(ct0.Level(), ct1.Level())
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), Scale: ct0.Scale}
+	rq.Sub(out.C0, ct0.C0.Truncated(lvl), ct1.C0.Truncated(lvl), lvl)
+	rq.Sub(out.C1, ct0.C1.Truncated(lvl), ct1.C1.Truncated(lvl), lvl)
+	return out
+}
+
+// Neg returns -ct.
+func (ev *Evaluator) Neg(ct *Ciphertext) *Ciphertext {
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), Scale: ct.Scale}
+	rq.Neg(out.C0, ct.C0, lvl)
+	rq.Neg(out.C1, ct.C1, lvl)
+	return out
+}
+
+// AddPlain returns ct + pt.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	ev.checkScales(ct.Scale, pt.Scale)
+	rq := ev.params.RingQ()
+	lvl := min(ct.Level(), pt.Level())
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: ct.C1.Truncated(lvl).CopyNew(), Scale: ct.Scale}
+	rq.Add(out.C0, ct.C0.Truncated(lvl), pt.Value.Truncated(lvl), lvl)
+	return out
+}
+
+// MulPlain returns ct ⊙ pt (PMULT). The output scale is the product of the
+// operand scales; callers typically follow with Rescale.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	rq := ev.params.RingQ()
+	lvl := min(ct.Level(), pt.Level())
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), Scale: ct.Scale * pt.Scale}
+	rq.MulCoeffs(out.C0, ct.C0.Truncated(lvl), pt.Value.Truncated(lvl), lvl)
+	rq.MulCoeffs(out.C1, ct.C1.Truncated(lvl), pt.Value.Truncated(lvl), lvl)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Key switching: ModUp -> KeyMult/MAC -> ModDown (Fig 1)
+
+// digitConverter returns the cached BConv for digit d at the given level.
+func (ev *Evaluator) digitConverter(level, digit int) *rns.BasisConverter {
+	key := level<<8 | digit
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if c, ok := ev.digitConv[key]; ok {
+		return c
+	}
+	p := ev.params
+	alpha := p.Alpha()
+	lo, hi := digit*alpha, min((digit+1)*alpha, level+1)
+	from := p.RingQ().Moduli[lo:hi]
+	to := make([]modarith.Modulus, 0, level+1+p.Alpha())
+	to = append(append(to, p.RingQ().Moduli[:level+1]...), p.RingP().Moduli...)
+	bc, err := rns.NewBasisConverter(from, to)
+	if err != nil {
+		panic(err)
+	}
+	ev.digitConv[key] = bc
+	return bc
+}
+
+// pToQConverter returns the cached BConv P -> Q_level.
+func (ev *Evaluator) pToQConverter(level int) *rns.BasisConverter {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if c, ok := ev.pToQConv[level]; ok {
+		return c
+	}
+	p := ev.params
+	bc, err := rns.NewBasisConverter(p.RingP().Moduli, p.RingQ().Moduli[:level+1])
+	if err != nil {
+		panic(err)
+	}
+	ev.pToQConv[level] = bc
+	return bc
+}
+
+// decomposed holds the ModUp digits of a polynomial in the extended basis
+// Q_level ∪ P (NTT form). Computing it once and reusing it across rotations
+// is exactly the hoisting optimization of §III-B.
+type decomposed struct {
+	level int
+	q     []*ring.Poly // digit -> poly at level
+	p     []*ring.Poly // digit -> poly over RingP
+}
+
+// Decompose performs ModUp on c (NTT, level lvl): for each digit d it
+// INTTs the digit's limbs, base-converts them to the full basis, and NTTs
+// the result (the INTT -> BConv -> NTT "ModSwitch" sequence of §II-B).
+func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	alpha := p.Alpha()
+	digits := p.Digits(lvl)
+
+	coeff := c.Truncated(lvl).CopyNew()
+	rq.INTT(coeff, lvl)
+
+	dec := &decomposed{level: lvl, q: make([]*ring.Poly, digits), p: make([]*ring.Poly, digits)}
+	nTargetsQ := lvl + 1
+	for d := 0; d < digits; d++ {
+		lo, hi := d*alpha, min((d+1)*alpha, lvl+1)
+		bc := ev.digitConverter(lvl, d)
+		in := coeff.Coeffs[lo:hi]
+		outRows := make([][]uint64, nTargetsQ+rp.MaxLevel()+1)
+		pq := rq.NewPoly(lvl)
+		pp := rp.NewPoly(rp.MaxLevel())
+		copy(outRows[:nTargetsQ], pq.Coeffs)
+		copy(outRows[nTargetsQ:], pp.Coeffs)
+		bc.Convert(outRows, in)
+		rq.NTT(pq, lvl)
+		rp.NTT(pp, rp.MaxLevel())
+		dec.q[d], dec.p[d] = pq, pp
+	}
+	return dec
+}
+
+// gadgetProduct computes the inner product of the digits with a switching
+// key (KeyMult + MAC): (u0, u1) over Q_level ∪ P such that
+// u0 + u1·under = P·c·w + e.
+func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p, u1q, u1p *ring.Poly) {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvl := dec.level
+	lvlP := rp.MaxLevel()
+	u0q, u1q = rq.NewPoly(lvl), rq.NewPoly(lvl)
+	u0p, u1p = rp.NewPoly(lvlP), rp.NewPoly(lvlP)
+	u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
+	for d := range dec.q {
+		rq.MulCoeffsAdd(u0q, dec.q[d], swk.BQ[d].Truncated(lvl), lvl)
+		rq.MulCoeffsAdd(u1q, dec.q[d], swk.AQ[d].Truncated(lvl), lvl)
+		rp.MulCoeffsAdd(u0p, dec.p[d], swk.BP[d], lvlP)
+		rp.MulCoeffsAdd(u1p, dec.p[d], swk.AP[d], lvlP)
+	}
+	return
+}
+
+// ModDown divides a Q∪P value by P with rounding, returning a Q-basis
+// polynomial at uq's level: out_i = (uq_i - BConv(up)_i)·[P^{-1}]_{q_i}
+// (the ModDownEp compound instruction of Table II).
+func (ev *Evaluator) ModDown(uq, up *ring.Poly, lvl int) *ring.Poly {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	work := up.CopyNew()
+	rp.INTT(work, rp.MaxLevel())
+	conv := rq.NewPoly(lvl)
+	ev.pToQConverter(lvl).Convert(conv.Coeffs, work.Coeffs)
+	rq.NTT(conv, lvl)
+	out := rq.NewPoly(lvl)
+	rq.Sub(out, uq, conv, lvl)
+	rq.MulByLimbScalars(out, out, ev.pInvModQ[:lvl+1], lvl)
+	out.IsNTT = true
+	return out
+}
+
+// keySwitch applies the full ModUp -> KeyMult/MAC -> ModDown pipeline to c.
+func (ev *Evaluator) keySwitch(c *ring.Poly, lvl int, swk *SwitchingKey) (d0, d1 *ring.Poly) {
+	dec := ev.Decompose(c, lvl)
+	u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
+	return ev.ModDown(u0q, u0p, lvl), ev.ModDown(u1q, u1p, lvl)
+}
+
+// SwitchKeys re-encrypts ct under the key targeted by swk (used for
+// sparse-secret encapsulation in bootstrapping).
+func (ev *Evaluator) SwitchKeys(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	d0, d1 := ev.keySwitch(ct.C1, lvl, swk)
+	rq.Add(d0, d0, ct.C0, lvl)
+	return &Ciphertext{C0: d0, C1: d1, Scale: ct.Scale}
+}
+
+// MulRelin returns ct0 ⊙ ct1 with relinearization (HMULT): the Tensor
+// element-wise step followed by key switching of the degree-2 component.
+func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *SwitchingKey) *Ciphertext {
+	if rlk == nil {
+		rlk = ev.keys.Rlk
+	}
+	rq := ev.params.RingQ()
+	lvl := min(ct0.Level(), ct1.Level())
+
+	d0 := rq.NewPoly(lvl)
+	d1 := rq.NewPoly(lvl)
+	d2 := rq.NewPoly(lvl)
+	d0.IsNTT, d1.IsNTT, d2.IsNTT = true, true, true
+	a0, a1 := ct0.C0.Truncated(lvl), ct0.C1.Truncated(lvl)
+	b0, b1 := ct1.C0.Truncated(lvl), ct1.C1.Truncated(lvl)
+	rq.MulCoeffs(d0, a0, b0, lvl)
+	rq.MulCoeffsAdd(d1, a0, b1, lvl)
+	rq.MulCoeffsAdd(d1, a1, b0, lvl)
+	rq.MulCoeffs(d2, a1, b1, lvl)
+
+	u0, u1 := ev.keySwitch(d2, lvl, rlk)
+	rq.Add(d0, d0, u0, lvl)
+	rq.Add(d1, d1, u1, lvl)
+	return &Ciphertext{C0: d0, C1: d1, Scale: ct0.Scale * ct1.Scale}
+}
+
+// Square returns ct ⊙ ct using the TensorSq shortcut.
+func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
+	return ev.MulRelin(ct, ct, nil)
+}
+
+// Rescale divides the ciphertext by its top prime and drops a level,
+// restoring the scale after a multiplication.
+func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	if lvl == 0 {
+		panic("ckks: cannot rescale at level 0")
+	}
+	out := &Ciphertext{Scale: ct.Scale / float64(rq.Moduli[lvl].Q)}
+	for i, src := range []*ring.Poly{ct.C0, ct.C1} {
+		w := src.CopyNew()
+		rq.INTT(w, lvl)
+		rns.DivRoundByLastModulus(rq.Moduli[:lvl+1], w.Coeffs)
+		t := w.Truncated(lvl - 1)
+		rq.NTT(t, lvl-1)
+		if i == 0 {
+			out.C0 = t
+		} else {
+			out.C1 = t
+		}
+	}
+	return out
+}
+
+// DropLevel discards limbs down to the target level without scaling.
+func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) *Ciphertext {
+	return &Ciphertext{
+		C0:    ct.C0.Truncated(level).CopyNew(),
+		C1:    ct.C1.Truncated(level).CopyNew(),
+		Scale: ct.Scale,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Automorphisms: HROT and conjugation
+
+// automorphism applies σ_g with key switching: ModUp(c1) -> KeyMult/MAC ->
+// ModDown -> automorphism, the order of Fig 1 enabled by the key layout.
+func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) (*Ciphertext, error) {
+	swk, err := ev.keys.GaloisKey(galEl)
+	if err != nil {
+		return nil, err
+	}
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	d0, d1 := ev.keySwitch(ct.C1, lvl, swk)
+	rq.Add(d0, d0, ct.C0, lvl)
+
+	o0 := rq.NewPoly(lvl)
+	o1 := rq.NewPoly(lvl)
+	rq.AutomorphismNTT(o0, d0, galEl, lvl)
+	rq.AutomorphismNTT(o1, d1, galEl, lvl)
+	return &Ciphertext{C0: o0, C1: o1, Scale: ct.Scale}, nil
+}
+
+// Rotate returns HROT(ct, k): the slot vector cyclically rotated by k.
+func (ev *Evaluator) Rotate(ct *Ciphertext, k int) (*Ciphertext, error) {
+	if k%ev.params.Slots() == 0 {
+		return ct.CopyNew(), nil
+	}
+	return ev.automorphism(ct, ev.params.RingQ().GaloisElement(k))
+}
+
+// Conjugate returns the slot-wise complex conjugate of ct.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	return ev.automorphism(ct, ev.params.RingQ().GaloisElementConjugate())
+}
+
+// RotateHoisted evaluates many rotations of one ciphertext sharing a single
+// ModUp (hoisting, §III-B): K rotations cost one decomposition instead of K.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ciphertext, error) {
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	dec := ev.Decompose(ct.C1, lvl)
+	out := make(map[int]*Ciphertext, len(rotations))
+	for _, k := range rotations {
+		if k%ev.params.Slots() == 0 {
+			out[k] = ct.CopyNew()
+			continue
+		}
+		g := rq.GaloisElement(k)
+		swk, err := ev.keys.GaloisKey(g)
+		if err != nil {
+			return nil, err
+		}
+		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
+		d0 := ev.ModDown(u0q, u0p, lvl)
+		d1 := ev.ModDown(u1q, u1p, lvl)
+		rq.Add(d0, d0, ct.C0, lvl)
+		o0 := rq.NewPoly(lvl)
+		o1 := rq.NewPoly(lvl)
+		rq.AutomorphismNTT(o0, d0, g, lvl)
+		rq.AutomorphismNTT(o1, d1, g, lvl)
+		out[k] = &Ciphertext{C0: o0, C1: o1, Scale: ct.Scale}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Scalar operations
+
+// bigScaled returns round(c * scale) as a big.Int, computed in high
+// precision (bootstrapping constants overflow float64 mantissas).
+func bigScaled(c *big.Float, scale float64) *big.Int {
+	v := new(big.Float).SetPrec(200).Mul(c, big.NewFloat(scale))
+	half := big.NewFloat(0.5)
+	if v.Sign() >= 0 {
+		v.Add(v, half)
+	} else {
+		v.Sub(v, half)
+	}
+	out, _ := v.Int(nil)
+	return out
+}
+
+// AddConst adds the real constant c to every slot.
+func (ev *Evaluator) AddConst(ct *Ciphertext, c float64) *Ciphertext {
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	out := ct.CopyNew()
+	rq.AddScalarBig(out.C0, out.C0, bigScaled(big.NewFloat(c), ct.Scale), lvl)
+	return out
+}
+
+// MultConst multiplies every slot by the real constant c, encoding it at
+// scale constScale (the ciphertext scale is multiplied accordingly; choosing
+// constScale equal to the prime dropped by the following Rescale restores
+// the original scale exactly).
+func (ev *Evaluator) MultConst(ct *Ciphertext, c float64, constScale float64) *Ciphertext {
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	k := bigScaled(big.NewFloat(c), constScale)
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), Scale: ct.Scale * constScale}
+	rq.MulScalarBig(out.C0, ct.C0, k, lvl)
+	rq.MulScalarBig(out.C1, ct.C1, k, lvl)
+	out.C0.IsNTT, out.C1.IsNTT = true, true
+	return out
+}
+
+// monomial returns the cached NTT form of X^{N/2} at the given level; its
+// slots are the constant i, so multiplying by it is an exact multiply-by-i.
+func (ev *Evaluator) monomial(lvl int) *ring.Poly {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if m, ok := ev.monomialNT[lvl]; ok {
+		return m
+	}
+	rq := ev.params.RingQ()
+	m := rq.NewPoly(lvl)
+	for i := 0; i <= lvl; i++ {
+		m.Coeffs[i][ev.params.N()/2] = 1
+	}
+	rq.NTT(m, lvl)
+	ev.monomialNT[lvl] = m
+	return m
+}
+
+// MulByI multiplies every slot by the imaginary unit, exactly and without
+// consuming a level.
+func (ev *Evaluator) MulByI(ct *Ciphertext) *Ciphertext {
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	m := ev.monomial(lvl)
+	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), Scale: ct.Scale}
+	rq.MulCoeffs(out.C0, ct.C0, m, lvl)
+	rq.MulCoeffs(out.C1, ct.C1, m, lvl)
+	return out
+}

@@ -1,0 +1,247 @@
+package ckks
+
+import (
+	"fmt"
+
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// SecretKey holds the ternary secret s embedded in both the Q and P bases
+// (NTT domain).
+type SecretKey struct {
+	Q *ring.Poly // over RingQ at max level
+	P *ring.Poly // over RingP
+}
+
+// PublicKey is an RLWE encryption of zero: (B, A) = (-A·s + e, A) over Q.
+type PublicKey struct {
+	B, A *ring.Poly
+}
+
+// SwitchingKey is a gadget ("hybrid") key-switching key with D digits
+// (Table I: 2·D polynomials in R_PQ). Digit d encrypts P·g_d·w under the key
+// s', where g_d = (Q/Q_d)·[(Q/Q_d)^{-1}]_{Q_d} is the RNS gadget factor:
+//
+//	B[d] + A[d]·s' = P·g_d·w + e_d  (mod PQ).
+//
+// For rotation keys, w = s and s' = σ_g^{-1}(s), the layout that supports
+// hoisting: the ModUp digits of c1 can be computed once and reused across
+// rotations, with the automorphism applied after the inner product (§III-B).
+type SwitchingKey struct {
+	BQ, AQ []*ring.Poly // Q parts, indexed by digit, max level, NTT
+	BP, AP []*ring.Poly // P parts
+}
+
+// Digits returns the decomposition number D of the key.
+func (k *SwitchingKey) Digits() int { return len(k.BQ) }
+
+// EvaluationKeySet bundles the keys an Evaluator may need.
+type EvaluationKeySet struct {
+	Rlk *SwitchingKey            // relinearization key (w = s²)
+	Gal map[uint64]*SwitchingKey // Galois keys by Galois element
+}
+
+// NewEvaluationKeySet returns an empty key set.
+func NewEvaluationKeySet() *EvaluationKeySet {
+	return &EvaluationKeySet{Gal: make(map[uint64]*SwitchingKey)}
+}
+
+// GaloisKey returns the switching key for a Galois element, or an error
+// listing it as missing.
+func (s *EvaluationKeySet) GaloisKey(galEl uint64) (*SwitchingKey, error) {
+	if k, ok := s.Gal[galEl]; ok {
+		return k, nil
+	}
+	return nil, fmt.Errorf("ckks: missing Galois key for element %d", galEl)
+}
+
+// KeyGenerator samples keys for a parameter set.
+type KeyGenerator struct {
+	params  *Parameters
+	sampler *ring.Sampler
+}
+
+// NewKeyGenerator returns a deterministic key generator (seeded; see
+// ring.NewSampler).
+func NewKeyGenerator(params *Parameters, seed int64) *KeyGenerator {
+	return &KeyGenerator{params: params, sampler: ring.NewSampler(seed)}
+}
+
+// GenSecretKey samples a dense ternary secret of Hamming weight params.HDense.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	return kg.genSecretKeyWithWeight(kg.params.HDense())
+}
+
+// GenSparseSecretKey samples a sparse ternary secret (Hamming weight H_s)
+// for the sparse-secret encapsulation of bootstrapping [9].
+func (kg *KeyGenerator) GenSparseSecretKey() *SecretKey {
+	return kg.genSecretKeyWithWeight(kg.params.HSparse())
+}
+
+func (kg *KeyGenerator) genSecretKeyWithWeight(h int) *SecretKey {
+	p := kg.params
+	v := kg.sampler.TernaryVector(p.N(), h)
+	sk := &SecretKey{
+		Q: ring.SmallVectorToPoly(p.RingQ(), p.MaxLevel(), v),
+		P: ring.SmallVectorToPoly(p.RingP(), p.RingP().MaxLevel(), v),
+	}
+	p.RingQ().NTT(sk.Q, p.MaxLevel())
+	p.RingP().NTT(sk.P, p.RingP().MaxLevel())
+	return sk
+}
+
+// GenPublicKey returns an RLWE encryption of zero under sk.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	p := kg.params
+	rq := p.RingQ()
+	lvl := p.MaxLevel()
+	a := kg.sampler.UniformPoly(rq, lvl, true)
+	e := kg.sampler.GaussianPoly(rq, lvl, p.Sigma())
+	rq.NTT(e, lvl)
+	b := rq.NewPoly(lvl)
+	b.IsNTT = true
+	rq.MulCoeffs(b, a, sk.Q, lvl)
+	rq.Neg(b, b, lvl)
+	rq.Add(b, b, e, lvl)
+	return &PublicKey{B: b, A: a}
+}
+
+// genSwitchingKey produces a key with digit d satisfying
+// B[d] + A[d]·under = P·g_d·w + e_d over PQ, where w and under are NTT-form
+// secrets over (Q, P).
+func (kg *KeyGenerator) genSwitchingKey(wQ *ring.Poly, underQ, underP *ring.Poly) *SwitchingKey {
+	p := kg.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvlQ, lvlP := p.MaxLevel(), rp.MaxLevel()
+	alpha := p.Alpha()
+	digits := p.Digits(lvlQ)
+
+	// P mod q_i for the in-group gadget term.
+	pModQ := make([]uint64, lvlQ+1)
+	for i := 0; i <= lvlQ; i++ {
+		prod := uint64(1)
+		for _, pm := range rp.Moduli {
+			prod = rq.Moduli[i].Mul(prod, pm.Q%rq.Moduli[i].Q)
+		}
+		pModQ[i] = prod
+	}
+
+	key := &SwitchingKey{
+		BQ: make([]*ring.Poly, digits),
+		AQ: make([]*ring.Poly, digits),
+		BP: make([]*ring.Poly, digits),
+		AP: make([]*ring.Poly, digits),
+	}
+	for d := 0; d < digits; d++ {
+		aQ := kg.sampler.UniformPoly(rq, lvlQ, true)
+		aP := kg.sampler.UniformPoly(rp, lvlP, true)
+		ev := kg.sampler.GaussianVector(p.N(), p.Sigma())
+		eQ := ring.SmallVectorToPoly(rq, lvlQ, ev)
+		eP := ring.SmallVectorToPoly(rp, lvlP, ev)
+		rq.NTT(eQ, lvlQ)
+		rp.NTT(eP, lvlP)
+
+		bQ := rq.NewPoly(lvlQ)
+		bQ.IsNTT = true
+		rq.MulCoeffs(bQ, aQ, underQ, lvlQ)
+		rq.Neg(bQ, bQ, lvlQ)
+		rq.Add(bQ, bQ, eQ, lvlQ)
+		// Gadget term: P·g_d·w has residue (P mod q_i)·w_i for i in the
+		// digit's prime group and 0 elsewhere (and 0 mod every p_j).
+		lo, hi := d*alpha, min((d+1)*alpha, lvlQ+1)
+		for i := lo; i < hi; i++ {
+			mod := rq.Moduli[i]
+			dst, src := bQ.Coeffs[i], wQ.Coeffs[i]
+			c := pModQ[i]
+			cs := mod.ShoupPrecomp(c)
+			for j := range dst {
+				dst[j] = mod.Add(dst[j], mod.MulShoup(src[j], c, cs))
+			}
+		}
+
+		bP := rp.NewPoly(lvlP)
+		bP.IsNTT = true
+		rp.MulCoeffs(bP, aP, underP, lvlP)
+		rp.Neg(bP, bP, lvlP)
+		rp.Add(bP, bP, eP, lvlP)
+
+		key.BQ[d], key.AQ[d] = bQ, aQ
+		key.BP[d], key.AP[d] = bP, aP
+	}
+	return key
+}
+
+// GenRelinearizationKey returns the key switching s² -> s.
+func (kg *KeyGenerator) GenRelinearizationKey(sk *SecretKey) *SwitchingKey {
+	p := kg.params
+	rq := p.RingQ()
+	lvl := p.MaxLevel()
+	s2 := rq.NewPoly(lvl)
+	rq.MulCoeffs(s2, sk.Q, sk.Q, lvl)
+	s2.IsNTT = true
+	return kg.genSwitchingKey(s2, sk.Q, sk.P)
+}
+
+// GenGaloisKey returns the key enabling the automorphism σ_g on ciphertexts
+// under sk, in the hoisting-compatible layout (w = s, under = σ_g^{-1}(s)).
+func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, galEl uint64) *SwitchingKey {
+	p := kg.params
+	rq, rp := p.RingQ(), p.RingP()
+	gInv := invGalois(galEl, uint64(2*p.N()))
+	underQ := rq.NewPoly(p.MaxLevel())
+	rq.AutomorphismNTT(underQ, sk.Q, gInv, p.MaxLevel())
+	underP := rp.NewPoly(rp.MaxLevel())
+	rp.AutomorphismNTT(underP, sk.P, gInv, rp.MaxLevel())
+	return kg.genSwitchingKey(sk.Q, underQ, underP)
+}
+
+// GenRotationKeys populates ks with Galois keys for the given slot
+// rotations.
+func (kg *KeyGenerator) GenRotationKeys(sk *SecretKey, ks *EvaluationKeySet, rotations []int) {
+	rq := kg.params.RingQ()
+	for _, r := range rotations {
+		g := rq.GaloisElement(r)
+		if _, ok := ks.Gal[g]; !ok {
+			ks.Gal[g] = kg.GenGaloisKey(sk, g)
+		}
+	}
+}
+
+// GenConjugationKey adds the key for complex conjugation.
+func (kg *KeyGenerator) GenConjugationKey(sk *SecretKey, ks *EvaluationKeySet) {
+	g := kg.params.RingQ().GaloisElementConjugate()
+	if _, ok := ks.Gal[g]; !ok {
+		ks.Gal[g] = kg.GenGaloisKey(sk, g)
+	}
+}
+
+// GenKeySwitchKey returns the key switching ciphertexts under skFrom to
+// skTo (used by sparse-secret encapsulation).
+func (kg *KeyGenerator) GenKeySwitchKey(skFrom, skTo *SecretKey) *SwitchingKey {
+	return kg.genSwitchingKey(skFrom.Q, skTo.Q, skTo.P)
+}
+
+// invGalois returns g^{-1} mod m for odd g (m a power of two).
+func invGalois(g, m uint64) uint64 {
+	// The multiplicative group mod 2^k has exponent 2^{k-2}; brute power is
+	// fine for our sizes, but extended Euclid is simplest and exact.
+	var inv func(a, m int64) int64
+	inv = func(a, m int64) int64 {
+		g0, g1 := m, a
+		x0, x1 := int64(0), int64(1)
+		for g1 != 0 {
+			q := g0 / g1
+			g0, g1 = g1, g0-q*g1
+			x0, x1 = x1, x0-q*x1
+		}
+		return ((x0 % m) + m) % m
+	}
+	return uint64(inv(int64(g%m), int64(m)))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

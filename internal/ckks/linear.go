@@ -1,0 +1,193 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// LinearTransform is a slot-space linear map in the diagonal (Halevi–Shoup)
+// representation used for FHE linear transforms (§III-B):
+//
+//	(M·u)_j = Σ_r Diags[r][j] · u_{(j+r) mod slots} ,
+//
+// i.e. M·u = Σ_r d_r ⊙ (u ≪ r), evaluated homomorphically with K = |Diags|
+// PMULT and HROT pairs.
+type LinearTransform struct {
+	Slots int
+	Diags map[int][]complex128
+}
+
+// NewLinearTransform copies the provided diagonals.
+func NewLinearTransform(slots int, diags map[int][]complex128) *LinearTransform {
+	lt := &LinearTransform{Slots: slots, Diags: make(map[int][]complex128, len(diags))}
+	for r, d := range diags {
+		v := make([]complex128, slots)
+		copy(v, d)
+		lt.Diags[((r%slots)+slots)%slots] = v
+	}
+	return lt
+}
+
+// Rotations returns the rotation indices needed to evaluate the transform.
+func (lt *LinearTransform) Rotations() []int {
+	out := make([]int, 0, len(lt.Diags))
+	for r := range lt.Diags {
+		if r != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Apply evaluates the transform on a plaintext vector (reference for tests).
+func (lt *LinearTransform) Apply(u []complex128) []complex128 {
+	n := lt.Slots
+	out := make([]complex128, n)
+	for r, d := range lt.Diags {
+		for j := 0; j < n; j++ {
+			out[j] += d[j] * u[(j+r)%n]
+		}
+	}
+	return out
+}
+
+// encodeDiagQP encodes a diagonal into both the Q basis (level lvl) and the
+// P basis, sharing the same integer coefficients — the "larger plaintexts in
+// the extended modulus PQ" that hoisting requires (§III-B).
+func (e *Encoder) encodeDiagQP(values []complex128, lvl int, scale float64) (*ring.Poly, *ring.Poly, error) {
+	slots := e.params.Slots()
+	if len(values) > slots {
+		return nil, nil, fmt.Errorf("ckks: diagonal longer than slot count")
+	}
+	vals := make([]complex128, slots)
+	copy(vals, values)
+	e.specialIFFT(vals)
+
+	nh := e.params.N() / 2
+	ints := make([]int64, e.params.N())
+	for j := 0; j < nh; j++ {
+		ints[j] = int64(math.Round(real(vals[j]) * scale))
+		ints[j+nh] = int64(math.Round(imag(vals[j]) * scale))
+	}
+	rq, rp := e.params.RingQ(), e.params.RingP()
+	pq := ring.SmallVectorToPoly(rq, lvl, ints)
+	pp := ring.SmallVectorToPoly(rp, rp.MaxLevel(), ints)
+	rq.NTT(pq, lvl)
+	rp.NTT(pp, rp.MaxLevel())
+	return pq, pp, nil
+}
+
+// EvaluateLinearTransformHoisted computes M·u with the hoisting optimization
+// of Fig 1/Fig 5: one ModUp for all K rotations, PMULT and accumulation in
+// the extended modulus PQ, and a single hoisted ModDown at the end. The
+// diagonals are encoded at the scale of the ciphertext's top prime so that
+// the caller's Rescale restores the input scale exactly.
+func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTransform, enc *Encoder) (*Ciphertext, error) {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvl := ct.Level()
+	lvlP := rp.MaxLevel()
+	ptScale := float64(rq.Moduli[lvl].Q)
+
+	dec := ev.Decompose(ct.C1, lvl)
+
+	// Q-basis accumulators for the rotation-0 term and the c0 parts;
+	// QP-basis accumulators for the hoisted key-switched parts.
+	accQ0, accQ1 := rq.NewPoly(lvl), rq.NewPoly(lvl)
+	accQ0.IsNTT, accQ1.IsNTT = true, true
+	accE0q, accE1q := rq.NewPoly(lvl), rq.NewPoly(lvl)
+	accE0p, accE1p := rp.NewPoly(lvlP), rp.NewPoly(lvlP)
+	accE0q.IsNTT, accE1q.IsNTT, accE0p.IsNTT, accE1p.IsNTT = true, true, true, true
+	anyExt := false
+
+	for r, diag := range lt.Diags {
+		ptQ, ptP, err := enc.encodeDiagQP(diag, lvl, ptScale)
+		if err != nil {
+			return nil, err
+		}
+		if r == 0 {
+			rq.MulCoeffsAdd(accQ0, ct.C0, ptQ, lvl)
+			rq.MulCoeffsAdd(accQ1, ct.C1, ptQ, lvl)
+			continue
+		}
+		anyExt = true
+		g := rq.GaloisElement(r)
+		swk, err := ev.keys.GaloisKey(g)
+		if err != nil {
+			return nil, err
+		}
+		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
+		// Automorphism of the extended-basis partial results, then PMULT
+		// and accumulation in PQ (AutAccum precedes the single ModDown).
+		rot0q, rot1q := rq.NewPoly(lvl), rq.NewPoly(lvl)
+		rot0p, rot1p := rp.NewPoly(lvlP), rp.NewPoly(lvlP)
+		rq.AutomorphismNTT(rot0q, u0q, g, lvl)
+		rq.AutomorphismNTT(rot1q, u1q, g, lvl)
+		rp.AutomorphismNTT(rot0p, u0p, g, lvlP)
+		rp.AutomorphismNTT(rot1p, u1p, g, lvlP)
+		rq.MulCoeffsAdd(accE0q, rot0q, ptQ, lvl)
+		rq.MulCoeffsAdd(accE1q, rot1q, ptQ, lvl)
+		rp.MulCoeffsAdd(accE0p, rot0p, ptP, lvlP)
+		rp.MulCoeffsAdd(accE1p, rot1p, ptP, lvlP)
+		// The σ(c0) contribution stays in the Q basis.
+		rotC0 := rq.NewPoly(lvl)
+		rq.AutomorphismNTT(rotC0, ct.C0, g, lvl)
+		rq.MulCoeffsAdd(accQ0, rotC0, ptQ, lvl)
+	}
+
+	out := &Ciphertext{Scale: ct.Scale * ptScale}
+	if anyExt {
+		d0 := ev.ModDown(accE0q, accE0p, lvl)
+		d1 := ev.ModDown(accE1q, accE1p, lvl)
+		rq.Add(d0, d0, accQ0, lvl)
+		rq.Add(d1, d1, accQ1, lvl)
+		out.C0, out.C1 = d0, d1
+	} else {
+		out.C0, out.C1 = accQ0, accQ1
+	}
+	return out, nil
+}
+
+// EvaluateLinearTransformMinKS computes M·u with the minimum-key-switching
+// strategy (§III-B): only the rotation-by-one key is used, iterating
+// HROT(·, 1) and accumulating the needed diagonals. It trades K evaluation
+// keys for K sequential key switches.
+func (ev *Evaluator) EvaluateLinearTransformMinKS(ct *Ciphertext, lt *LinearTransform, enc *Encoder) (*Ciphertext, error) {
+	p := ev.params
+	rq := p.RingQ()
+	lvl := ct.Level()
+	ptScale := float64(rq.Moduli[lvl].Q)
+
+	maxRot := 0
+	for r := range lt.Diags {
+		if r > maxRot {
+			maxRot = r
+		}
+	}
+
+	acc0, acc1 := rq.NewPoly(lvl), rq.NewPoly(lvl)
+	acc0.IsNTT, acc1.IsNTT = true, true
+	cur := ct
+	for k := 0; k <= maxRot; k++ {
+		if k > 0 {
+			var err error
+			cur, err = ev.Rotate(cur, 1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		diag, ok := lt.Diags[k]
+		if !ok {
+			continue
+		}
+		ptQ, _, err := enc.encodeDiagQP(diag, lvl, ptScale)
+		if err != nil {
+			return nil, err
+		}
+		rq.MulCoeffsAdd(acc0, cur.C0, ptQ, lvl)
+		rq.MulCoeffsAdd(acc1, cur.C1, ptQ, lvl)
+	}
+	return &Ciphertext{C0: acc0, C1: acc1, Scale: ct.Scale * ptScale}, nil
+}

@@ -1,0 +1,208 @@
+// Package ckks implements the RNS-CKKS approximate homomorphic encryption
+// scheme (Cheon–Kim–Kim–Song) with the structure assumed by the Anaheim
+// paper: residue-number-system polynomial arithmetic, hybrid key switching
+// with decomposition number D = ceil(L/α) and special modulus P (Table I),
+// hoisting- and MinKS-based homomorphic linear transforms (§III-B), and full
+// bootstrapping with sparse-secret encapsulation, grouped-DFT CoeffToSlot /
+// SlotToCoeff (the fftIter knob of §IV-C) and Chebyshev EvalMod.
+//
+// The functional implementation targets research-scale parameters; the
+// paper-scale N = 2^16 configurations are exercised by the performance
+// simulator (internal/trace, internal/gpu, internal/pim), which consumes the
+// op structure defined here.
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// ParametersLiteral is the user-facing description of a CKKS parameter set.
+type ParametersLiteral struct {
+	LogN     int   // ring degree N = 2^LogN
+	LogQ     []int // bit sizes of the Q primes; LogQ[0] is the base prime q0
+	LogP     []int // bit sizes of the special-modulus primes (α = len(LogP))
+	LogScale int   // log2 of the default scaling factor Δ
+	HDense   int   // Hamming weight of the dense secret (Table IV H_d)
+	HSparse  int   // Hamming weight of the sparse secret (Table IV H_s)
+	Sigma    float64
+}
+
+// Parameters is a compiled, immutable CKKS parameter set.
+type Parameters struct {
+	logN  int
+	n     int
+	slots int
+
+	ringQ *ring.Ring
+	ringP *ring.Ring
+
+	scale   float64
+	hDense  int
+	hSparse int
+	sigma   float64
+}
+
+// NewParameters compiles a literal into a usable parameter set, generating
+// the NTT-friendly prime chains.
+func NewParameters(lit ParametersLiteral) (*Parameters, error) {
+	if lit.LogN < 3 || lit.LogN > 16 {
+		return nil, fmt.Errorf("ckks: LogN=%d out of supported range [3,16]", lit.LogN)
+	}
+	if len(lit.LogQ) < 1 || len(lit.LogP) < 1 {
+		return nil, fmt.Errorf("ckks: need at least one Q prime and one P prime")
+	}
+	if lit.Sigma == 0 {
+		lit.Sigma = 3.2
+	}
+	if lit.HDense == 0 {
+		lit.HDense = 1 << 8
+	}
+	if lit.HSparse == 0 {
+		lit.HSparse = 32
+	}
+	all := append(append([]int{}, lit.LogQ...), lit.LogP...)
+	chain, err := modarith.GeneratePrimeChain(all, lit.LogN)
+	if err != nil {
+		return nil, err
+	}
+	qPrimes := chain[:len(lit.LogQ)]
+	pPrimes := chain[len(lit.LogQ):]
+	rq, err := ring.NewRing(lit.LogN, qPrimes)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := ring.NewRing(lit.LogN, pPrimes)
+	if err != nil {
+		return nil, err
+	}
+	n := 1 << uint(lit.LogN)
+	return &Parameters{
+		logN:    lit.LogN,
+		n:       n,
+		slots:   n / 2,
+		ringQ:   rq,
+		ringP:   rp,
+		scale:   math.Exp2(float64(lit.LogScale)),
+		hDense:  lit.HDense,
+		hSparse: lit.HSparse,
+		sigma:   lit.Sigma,
+	}, nil
+}
+
+// N returns the ring degree.
+func (p *Parameters) N() int { return p.n }
+
+// LogN returns log2 of the ring degree.
+func (p *Parameters) LogN() int { return p.logN }
+
+// Slots returns the number of complex slots (N/2).
+func (p *Parameters) Slots() int { return p.slots }
+
+// MaxLevel returns the highest usable ciphertext level L-1 (L = #Q primes).
+func (p *Parameters) MaxLevel() int { return p.ringQ.MaxLevel() }
+
+// Alpha returns the number of special-modulus primes α.
+func (p *Parameters) Alpha() int { return len(p.ringP.Moduli) }
+
+// Digits returns the decomposition number D = ceil(#limbs/α) for a
+// key-switching operation at the given level.
+func (p *Parameters) Digits(level int) int {
+	a := p.Alpha()
+	return (level + 1 + a - 1) / a
+}
+
+// RingQ returns the ciphertext-modulus ring.
+func (p *Parameters) RingQ() *ring.Ring { return p.ringQ }
+
+// RingP returns the special-modulus ring.
+func (p *Parameters) RingP() *ring.Ring { return p.ringP }
+
+// DefaultScale returns the default scaling factor Δ.
+func (p *Parameters) DefaultScale() float64 { return p.scale }
+
+// Sigma returns the error standard deviation.
+func (p *Parameters) Sigma() float64 { return p.sigma }
+
+// HDense and HSparse return the dense/sparse secret Hamming weights.
+func (p *Parameters) HDense() int  { return p.hDense }
+func (p *Parameters) HSparse() int { return p.hSparse }
+
+// LogQP returns the total bit size of the full modulus PQ, the quantity
+// constrained by the 128-bit security tables (log PQ < 1623 for N = 2^16,
+// §IV-B).
+func (p *Parameters) LogQP() float64 {
+	total := 0.0
+	for _, m := range p.ringQ.Moduli {
+		total += math.Log2(float64(m.Q))
+	}
+	for _, m := range p.ringP.Moduli {
+		total += math.Log2(float64(m.Q))
+	}
+	return total
+}
+
+func repeatInts(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// TestParameters returns a small, fast, insecure parameter set for unit
+// tests: N=2^10, 6 scaling levels.
+func TestParameters() ParametersLiteral {
+	return ParametersLiteral{
+		LogN:     10,
+		LogQ:     append([]int{55}, repeatInts(45, 6)...),
+		LogP:     []int{58, 58},
+		LogScale: 45,
+		HDense:   64,
+		HSparse:  16,
+	}
+}
+
+// BootTestParameters returns an insecure but functionally complete
+// bootstrapping parameter set (N=2^11) with enough modulus budget for
+// CoeffToSlot, EvalMod and SlotToCoeff. Chain bottom-to-top:
+// q0 (60b) | 3 usable (50b) | 1 scale-fix (50b) | 3 S2C (50b) |
+// 15 EvalMod (60b, scale ≈ q0 during the sine evaluation) |
+// 1 conj-split (50b) | 3 C2S (50b).
+func BootTestParameters() ParametersLiteral {
+	logQ := []int{60}
+	logQ = append(logQ, repeatInts(50, 3)...)  // usable post-boot levels
+	logQ = append(logQ, 50)                    // scale fix
+	logQ = append(logQ, repeatInts(50, 3)...)  // SlotToCoeff
+	logQ = append(logQ, repeatInts(60, 15)...) // EvalMod
+	logQ = append(logQ, 50)                    // conjugate split
+	logQ = append(logQ, repeatInts(50, 3)...)  // CoeffToSlot
+	return ParametersLiteral{
+		LogN:     11,
+		LogQ:     logQ,
+		LogP:     []int{60, 60, 60},
+		LogScale: 50,
+		HDense:   64,
+		HSparse:  16,
+	}
+}
+
+// PaperParameters returns the Table IV configuration used by the Anaheim
+// evaluation as a *structural* description: N = 2^16, L = 54, α = 14, D = 4,
+// primes < 2^28 with double-prime scaling (Δ = 2^48 spans two 24-bit primes
+// [1,45]), log PQ = 1618 < 1623 for standard 128-bit security (§IV-B). It is
+// consumed by the performance simulator; instantiating it functionally is
+// possible but slow.
+func PaperParameters() ParametersLiteral {
+	return ParametersLiteral{
+		LogN:     16,
+		LogQ:     repeatInts(24, 54),
+		LogP:     repeatInts(23, 14),
+		LogScale: 48,
+		HDense:   1 << 8,
+		HSparse:  1 << 5,
+	}
+}

@@ -1,0 +1,50 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// PrecisionStats summarizes the slot-wise error of an approximate
+// computation, in the log2 form FHE papers report precision in.
+type PrecisionStats struct {
+	MaxErr   float64
+	MeanErr  float64
+	MinBits  float64 // -log2(MaxErr): worst-case correct bits
+	MeanBits float64 // -log2(MeanErr)
+}
+
+// ComputePrecision compares a computed slot vector against the expected one.
+func ComputePrecision(got, want []complex128) PrecisionStats {
+	if len(want) == 0 {
+		return PrecisionStats{}
+	}
+	var maxE, sum float64
+	for i := range want {
+		e := cmplx.Abs(got[i] - want[i])
+		if e > maxE {
+			maxE = e
+		}
+		sum += e
+	}
+	mean := sum / float64(len(want))
+	stats := PrecisionStats{MaxErr: maxE, MeanErr: mean}
+	if maxE > 0 {
+		stats.MinBits = -math.Log2(maxE)
+	} else {
+		stats.MinBits = math.Inf(1)
+	}
+	if mean > 0 {
+		stats.MeanBits = -math.Log2(mean)
+	} else {
+		stats.MeanBits = math.Inf(1)
+	}
+	return stats
+}
+
+// String renders the stats in the usual "x.y bits" form.
+func (s PrecisionStats) String() string {
+	return fmt.Sprintf("max err %.3g (%.1f bits), mean err %.3g (%.1f bits)",
+		s.MaxErr, s.MinBits, s.MeanErr, s.MeanBits)
+}

@@ -1,0 +1,156 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Failure-injection and adversarial-condition tests: the scheme must fail
+// loudly (panic on misuse) or safely (garbage without the right key), never
+// silently produce near-correct results for an attacker.
+
+func TestDecryptWithWrongKeyIsGarbage(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(100))
+	v := randomComplex(r, tc.params.Slots(), 1)
+	ct := tc.encryptVec(t, v)
+
+	wrongKG := NewKeyGenerator(tc.params, 999)
+	wrongSk := wrongKG.GenSecretKey()
+	wrongDec := NewDecryptor(tc.params, wrongSk)
+	got := tc.enc.Decode(wrongDec.DecryptNew(ct).Value, ct.Scale)
+
+	// The wrong key must not recover anything close to the message: with a
+	// uniform mask the decoded values are enormous relative to the inputs.
+	close := 0
+	for i := range v {
+		if cmplx.Abs(got[i]-v[i]) < 1 {
+			close++
+		}
+	}
+	if close > len(v)/100 {
+		t.Fatalf("%d/%d slots decrypted near-correctly under the wrong key", close, len(v))
+	}
+}
+
+func TestTamperedCiphertextDecryptsWrong(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(101))
+	v := randomComplex(r, tc.params.Slots(), 1)
+	ct := tc.encryptVec(t, v)
+	// Flip one residue in C0.
+	ct.C0.Coeffs[0][17] ^= 1
+	got := tc.decryptVec(ct)
+	same := 0
+	for i := range v {
+		if cmplx.Abs(got[i]-v[i]) < 1e-9 {
+			same++
+		}
+	}
+	if same == len(v) {
+		t.Fatal("tampering had no effect on decryption")
+	}
+}
+
+func TestFreshCiphertextsDiffer(t *testing.T) {
+	// Probabilistic encryption: the same message encrypts to different
+	// ciphertexts.
+	tc := newTestContext(t, TestParameters())
+	v := []complex128{1, 2, 3}
+	ct1, _ := tc.enc.Encode(v, tc.params.MaxLevel(), tc.params.DefaultScale())
+	a := tc.encr.EncryptNew(&Plaintext{Value: ct1, Scale: tc.params.DefaultScale()}, tc.pk)
+	b := tc.encr.EncryptNew(&Plaintext{Value: ct1, Scale: tc.params.DefaultScale()}, tc.pk)
+	if a.C0.Equal(b.C0) || a.C1.Equal(b.C1) {
+		t.Fatal("two encryptions of the same message are identical")
+	}
+}
+
+func TestRescaleAtLevelZeroPanics(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	ct := tc.eval.DropLevel(tc.encryptVec(t, []complex128{1}), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescale at level 0 must panic")
+		}
+	}()
+	tc.eval.Rescale(ct)
+}
+
+func TestAddScaleMismatchPanics(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	a := tc.encryptVec(t, []complex128{1})
+	b := a.CopyNew()
+	b.Scale *= 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adding ciphertexts at incompatible scales must panic")
+		}
+	}()
+	tc.eval.Add(a, b)
+}
+
+// Property-based homomorphism checks over random messages.
+
+func TestHomomorphismProperties(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	slots := tc.params.Slots()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := randomComplex(r, slots, 1)
+		v := randomComplex(r, slots, 1)
+		ctU, ctV := tc.encryptVec(t, u), tc.encryptVec(t, v)
+
+		// Additive homomorphism + commutativity.
+		s1 := tc.decryptVec(tc.eval.Add(ctU, ctV))
+		s2 := tc.decryptVec(tc.eval.Add(ctV, ctU))
+		for i := range u {
+			if cmplx.Abs(s1[i]-(u[i]+v[i])) > 1e-5 || cmplx.Abs(s1[i]-s2[i]) > 1e-7 {
+				return false
+			}
+		}
+		// a - a = 0.
+		z := tc.decryptVec(tc.eval.Sub(ctU, ctU))
+		for i := range z {
+			if cmplx.Abs(z[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulCommutesWithPlain(t *testing.T) {
+	// PMULT(u, p) must agree with HMULT(u, Enc(p)).
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(103))
+	u := randomComplex(r, tc.params.Slots(), 1)
+	p := randomComplex(r, tc.params.Slots(), 1)
+	ct := tc.encryptVec(t, u)
+
+	ptp, _ := tc.enc.Encode(p, ct.Level(), tc.params.DefaultScale())
+	viaPlain := tc.decryptVec(tc.eval.Rescale(tc.eval.MulPlain(ct, &Plaintext{Value: ptp, Scale: tc.params.DefaultScale()})))
+	viaCipher := tc.decryptVec(tc.eval.Rescale(tc.eval.MulRelin(ct, tc.encryptVec(t, p), nil)))
+	if e := maxErr(viaPlain, viaCipher); e > 1e-4 {
+		t.Fatalf("PMULT and HMULT disagree by %g", e)
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// HROT(HROT(ct, a), b) == HROT(ct, a+b).
+	tc := newTestContext(t, TestParameters())
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, []int{3, 4, 7})
+	r := rand.New(rand.NewSource(104))
+	v := randomComplex(r, tc.params.Slots(), 1)
+	ct := tc.encryptVec(t, v)
+	r3, _ := tc.eval.Rotate(ct, 3)
+	r34, _ := tc.eval.Rotate(r3, 4)
+	r7, _ := tc.eval.Rotate(ct, 7)
+	if e := maxErr(tc.decryptVec(r34), tc.decryptVec(r7)); e > 1e-4 {
+		t.Fatalf("rotation composition violated by %g", e)
+	}
+}

@@ -1,0 +1,185 @@
+// Package dram models the DRAM devices of the evaluated GPUs at the level
+// needed by the Anaheim PIM study: device geometry (dies, banks), bank
+// timing for all-bank PIM operation (row activation/precharge exposed, §VI-B),
+// and per-bit access energy split into the architectural tiers of
+// O'Connor et al. (FGDRAM) — cell array, in-die datapath, and off-chip
+// interface — which is what makes PIM accesses cheaper than GPU-side
+// accesses (Fig 4b).
+package dram
+
+import "fmt"
+
+// Kind distinguishes the modeled DRAM technologies.
+type Kind int
+
+const (
+	HBM2 Kind = iota
+	GDDR6X
+	CustomHBM // HBM with PIM units on the logic die (§VI-D)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case HBM2:
+		return "HBM2"
+	case GDDR6X:
+		return "GDDR6X"
+	case CustomHBM:
+		return "custom-HBM"
+	default:
+		return fmt.Sprintf("dram.Kind(%d)", int(k))
+	}
+}
+
+// Config describes one GPU's DRAM subsystem (Table III).
+type Config struct {
+	Kind Kind
+	Name string
+
+	Dies        int // DRAM dies (A100: 5 stacks × 8-Hi = 40; 4090: 12)
+	BanksPerDie int // 64 (HBM2) or 32 (GDDR6X)
+
+	ExternalBWGBs float64 // off-chip bandwidth seen by the GPU (GB/s)
+	CapacityGB    float64
+
+	// Bank timing (ns). All-bank PIM operation exposes ACT/PRE directly
+	// (§VI-B): switching the open row of every bank costs tRP + tRCD plus a
+	// stagger delay from activating thousands of banks under tFAW/power
+	// limits.
+	TRCDns       float64
+	TRPns        float64
+	ActStaggerNs float64
+
+	ChunkBits int // global I/O datapath width per bank access (256)
+
+	// RowBits is the DRAM row size (8Kb rows -> 32 chunks per row).
+	RowBits int
+
+	// Energy per bit (pJ/bit) by tier. A GPU-side access pays all three;
+	// a near-bank PIM access pays only the array tier (plus a short local
+	// datapath); a logic-die (custom-HBM) PIM access pays array + TSV.
+	ArrayPJb   float64
+	OnDiePJb   float64 // global in-die datapath + TSV
+	OffChipPJb float64 // interface, PHY, interposer/PCB
+}
+
+// RowSwitchNs is the exposed cost of changing the open row under all-bank
+// operation.
+func (c Config) RowSwitchNs() float64 { return c.TRCDns + c.TRPns + c.ActStaggerNs }
+
+// ChunksPerRow returns how many I/O chunks one row holds.
+func (c Config) ChunksPerRow() int { return c.RowBits / c.ChunkBits }
+
+// TotalBanks returns the number of banks across all dies.
+func (c Config) TotalBanks() int { return c.Dies * c.BanksPerDie }
+
+// GPUAccessPJb is the per-bit energy of a GPU-side DRAM access.
+func (c Config) GPUAccessPJb() float64 { return c.ArrayPJb + c.OnDiePJb + c.OffChipPJb }
+
+// PIMAccessPJb is the per-bit energy of a PIM-side access for the given PIM
+// placement: near-bank units touch only the array and a short local wire;
+// logic-die units also pay the in-die datapath/TSV tier.
+func (c Config) PIMAccessPJb(logicDie bool) float64 {
+	if logicDie {
+		return c.ArrayPJb + c.OnDiePJb
+	}
+	return c.ArrayPJb + 0.15*c.OnDiePJb
+}
+
+// A100HBM2 returns the DRAM configuration of the NVIDIA A100 80GB
+// (5 HBM2e stacks, Table III).
+func A100HBM2() Config {
+	return Config{
+		Kind:          HBM2,
+		Name:          "A100-HBM2e",
+		Dies:          40, // 5 stacks × 8-Hi
+		BanksPerDie:   64,
+		ExternalBWGBs: 1802,
+		CapacityGB:    80,
+		TRCDns:        14,
+		TRPns:         14,
+		ActStaggerNs:  78, // staggered all-bank activation under tFAW/power limits
+		ChunkBits:     256,
+		RowBits:       8 * 1024,
+		ArrayPJb:      0.8,
+		OnDiePJb:      1.4,
+		OffChipPJb:    1.7,
+	}
+}
+
+// RTX4090GDDR6X returns the DRAM configuration of the RTX 4090
+// (12 GDDR6X dies, Table III).
+func RTX4090GDDR6X() Config {
+	return Config{
+		Kind:          GDDR6X,
+		Name:          "RTX4090-GDDR6X",
+		Dies:          12,
+		BanksPerDie:   32,
+		ExternalBWGBs: 939,
+		CapacityGB:    24,
+		TRCDns:        14,
+		TRPns:         14,
+		ActStaggerNs:  80,
+		ChunkBits:     256,
+		RowBits:       8 * 1024,
+		ArrayPJb:      0.9,
+		OnDiePJb:      1.6,
+		OffChipPJb:    5.0, // PCB signaling is far costlier than interposer
+	}
+}
+
+// DDR5 returns a DDR5-based accelerator memory system (8 channels of
+// DDR5-6400): the commodity end of §VI-D's "Anaheim can be applied to DDR,
+// GDDR, and LPDDR memories". External bandwidth is scarce, so PIM's
+// internal-bandwidth multiple is large.
+func DDR5() Config {
+	return Config{
+		Kind:          GDDR6X, // per-device formatting bucket
+		Name:          "DDR5-6400x8ch",
+		Dies:          16,
+		BanksPerDie:   32,
+		ExternalBWGBs: 410,
+		CapacityGB:    128,
+		TRCDns:        16,
+		TRPns:         16,
+		ActStaggerNs:  60,
+		ChunkBits:     256,
+		RowBits:       8 * 1024,
+		ArrayPJb:      1.0,
+		OnDiePJb:      1.8,
+		OffChipPJb:    7.0, // DIMM interface
+	}
+}
+
+// LPDDR5X returns a mobile-class memory system (LPDDR5X-8533, 4 channels):
+// low bandwidth and very low access energy.
+func LPDDR5X() Config {
+	return Config{
+		Kind:          GDDR6X,
+		Name:          "LPDDR5X-8533x4ch",
+		Dies:          8,
+		BanksPerDie:   16,
+		ExternalBWGBs: 273,
+		CapacityGB:    32,
+		TRCDns:        18,
+		TRPns:         18,
+		ActStaggerNs:  40,
+		ChunkBits:     256,
+		RowBits:       4 * 1024,
+		ArrayPJb:      0.7,
+		OnDiePJb:      1.0,
+		OffChipPJb:    2.2,
+	}
+}
+
+// A100CustomHBM returns the custom-HBM variant: same stacks, PIM units on
+// the logic die fed by extra TSVs (4× the external bandwidth internally,
+// Table III), with per-unit multi-bank scheduling that hides most of the
+// activation stagger.
+func A100CustomHBM() Config {
+	c := A100HBM2()
+	c.Kind = CustomHBM
+	c.Name = "A100-customHBM"
+	c.ActStaggerNs = 0 // per-unit bank interleaving hides the stagger
+	return c
+}

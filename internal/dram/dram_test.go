@@ -1,0 +1,67 @@
+package dram
+
+import "testing"
+
+func TestConfigGeometry(t *testing.T) {
+	a := A100HBM2()
+	if a.TotalBanks() != 2560 {
+		t.Fatalf("A100 banks = %d, want 2560 (5 stacks x 8 dies x 64 banks)", a.TotalBanks())
+	}
+	if a.ChunksPerRow() != 32 {
+		t.Fatalf("chunks per row = %d, want 32 (8Kb rows / 256b chunks)", a.ChunksPerRow())
+	}
+	r := RTX4090GDDR6X()
+	if r.TotalBanks() != 384 {
+		t.Fatalf("4090 banks = %d, want 384 (12 dies x 32 banks)", r.TotalBanks())
+	}
+	if r.CapacityGB != 24 || a.CapacityGB != 80 {
+		t.Fatal("capacities must match Table III")
+	}
+}
+
+func TestRowSwitchComponents(t *testing.T) {
+	a := A100HBM2()
+	if a.RowSwitchNs() != a.TRCDns+a.TRPns+a.ActStaggerNs {
+		t.Fatal("row switch must be tRCD + tRP + stagger")
+	}
+	c := A100CustomHBM()
+	if c.ActStaggerNs != 0 {
+		t.Fatal("custom-HBM hides the activation stagger (§VI-D)")
+	}
+	if c.RowSwitchNs() >= a.RowSwitchNs() {
+		t.Fatal("custom-HBM row switches must be cheaper")
+	}
+}
+
+func TestEnergyTiers(t *testing.T) {
+	for _, c := range []Config{A100HBM2(), RTX4090GDDR6X(), A100CustomHBM()} {
+		gpu := c.GPUAccessPJb()
+		nearBank := c.PIMAccessPJb(false)
+		logicDie := c.PIMAccessPJb(true)
+		if !(nearBank < logicDie && logicDie < gpu) {
+			t.Fatalf("%s: energy tiers must order near-bank < logic-die < GPU: %.2f %.2f %.2f",
+				c.Name, nearBank, logicDie, gpu)
+		}
+	}
+	// GDDR6X off-chip signaling (PCB) costs more than HBM's interposer.
+	if RTX4090GDDR6X().OffChipPJb <= A100HBM2().OffChipPJb {
+		t.Fatal("GDDR6X off-chip energy should exceed HBM's")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{HBM2: "HBM2", GDDR6X: "GDDR6X", CustomHBM: "custom-HBM"} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q", int(k), k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kinds should still format")
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	if RTX4090GDDR6X().ExternalBWGBs >= A100HBM2().ExternalBWGBs {
+		t.Fatal("A100 must have higher DRAM bandwidth (1802 vs 939 GB/s)")
+	}
+}

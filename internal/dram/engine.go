@@ -1,0 +1,134 @@
+package dram
+
+import "fmt"
+
+// Command-level bank timing engine: a Ramulator-style simulator for the
+// regular all-bank command streams PIM execution produces. It schedules
+// ACT/RD/WR/PRE against the bank's timing constraints and reports the
+// stream's makespan. The analytical model in internal/pim is validated
+// against this engine (they must agree on Alg-1 streams); the engine is the
+// ground truth for irregular streams.
+
+// CommandKind enumerates DRAM commands.
+type CommandKind int
+
+const (
+	ACT CommandKind = iota
+	RD
+	WR
+	PRE
+)
+
+func (k CommandKind) String() string {
+	return [...]string{"ACT", "RD", "WR", "PRE"}[k]
+}
+
+// Command is one DRAM command addressed to a row (RD/WR operate on the open
+// row; their Row field is advisory).
+type Command struct {
+	Kind CommandKind
+	Row  int
+}
+
+// Timing bundles the constraint set in nanoseconds.
+type Timing struct {
+	TRCD float64 // ACT -> first RD/WR
+	TRP  float64 // PRE -> next ACT
+	TRAS float64 // ACT -> PRE (minimum row-open time)
+	TRC  float64 // ACT -> next ACT (0: derive as tRAS + tRP)
+	TCCD float64 // RD/WR -> next RD/WR (column-to-column, the chunk interval)
+	// ActExtra models the staggered all-bank activation overhead exposed
+	// under lock-step PIM operation (§VI-B).
+	ActExtra float64
+}
+
+// TimingFor derives the engine constraints from a device config at the PIM
+// clock (one chunk per cycle through the MMAC datapath).
+func TimingFor(c Config, pimClockMHz float64) Timing {
+	cycleNs := 1e3 / pimClockMHz
+	return Timing{
+		TRCD:     c.TRCDns,
+		TRP:      c.TRPns,
+		TRAS:     33,
+		TCCD:     cycleNs,
+		ActExtra: c.ActStaggerNs,
+	}
+}
+
+// BankState tracks one bank during simulation.
+type BankState struct {
+	rowOpen   bool
+	openRow   int
+	lastACT   float64
+	lastPRE   float64
+	lastCol   float64
+	nowNs     float64
+	acts      int
+	colAccess int
+}
+
+// Stats summarizes an executed stream.
+type Stats struct {
+	TotalNs   float64
+	ACTs      int
+	ColAccess int
+}
+
+// Execute runs a command stream on one bank from t=0 and returns its
+// makespan and counts. It returns an error on protocol violations (RD/WR
+// with no open row, ACT on an open bank, PRE with no open row).
+func Execute(cmds []Command, t Timing) (Stats, error) {
+	if t.TRC == 0 {
+		t.TRC = t.TRAS + t.TRP
+	}
+	var b BankState
+	b.lastACT = -1e18
+	b.lastPRE = -1e18
+	b.lastCol = -1e18
+
+	for i, c := range cmds {
+		switch c.Kind {
+		case ACT:
+			if b.rowOpen {
+				return Stats{}, fmt.Errorf("dram: command %d: ACT on bank with open row %d", i, b.openRow)
+			}
+			start := b.nowNs
+			start = maxf(start, b.lastPRE+t.TRP)
+			start = maxf(start, b.lastACT+t.TRC)
+			done := start + t.ActExtra
+			b.lastACT = done
+			b.nowNs = done
+			b.rowOpen, b.openRow = true, c.Row
+			b.acts++
+		case RD, WR:
+			if !b.rowOpen {
+				return Stats{}, fmt.Errorf("dram: command %d: %v with no open row", i, c.Kind)
+			}
+			if c.Row != b.openRow {
+				return Stats{}, fmt.Errorf("dram: command %d: %v to row %d but row %d is open", i, c.Kind, c.Row, b.openRow)
+			}
+			start := b.nowNs
+			start = maxf(start, b.lastACT+t.TRCD)
+			start = maxf(start, b.lastCol+t.TCCD)
+			b.lastCol = start
+			b.nowNs = start + t.TCCD
+			b.colAccess++
+		case PRE:
+			if !b.rowOpen {
+				return Stats{}, fmt.Errorf("dram: command %d: PRE with no open row", i)
+			}
+			start := maxf(b.nowNs, b.lastACT+t.TRAS-t.ActExtra)
+			b.lastPRE = start
+			b.nowNs = start
+			b.rowOpen = false
+		}
+	}
+	return Stats{TotalNs: b.nowNs, ACTs: b.acts, ColAccess: b.colAccess}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

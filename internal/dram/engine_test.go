@@ -1,0 +1,90 @@
+package dram
+
+import (
+	"testing"
+)
+
+func simpleTiming() Timing {
+	return Timing{TRCD: 14, TRP: 14, TRAS: 33, TCCD: 2, ActExtra: 0}
+}
+
+func TestEngineBasicStream(t *testing.T) {
+	// ACT, 4 reads, PRE: tRCD + 4*tCCD, then PRE waits for tRAS.
+	cmds := []Command{
+		{ACT, 0}, {RD, 0}, {RD, 0}, {RD, 0}, {RD, 0}, {PRE, 0},
+	}
+	st, err := Execute(cmds, simpleTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ACTs != 1 || st.ColAccess != 4 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	// First RD starts at tRCD=14, reads end 14+4*2=22 < tRAS=33 -> PRE at 33.
+	if st.TotalNs != 33 {
+		t.Fatalf("makespan = %.1f, want 33 (tRAS-bound)", st.TotalNs)
+	}
+}
+
+func TestEngineLongRowVisitNotRASBound(t *testing.T) {
+	cmds := []Command{{ACT, 0}}
+	for i := 0; i < 32; i++ {
+		cmds = append(cmds, Command{RD, 0})
+	}
+	cmds = append(cmds, Command{PRE, 0})
+	st, err := Execute(cmds, simpleTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 14.0 + 32*2; st.TotalNs != want {
+		t.Fatalf("makespan = %.1f, want %.1f", st.TotalNs, want)
+	}
+}
+
+func TestEngineRowSwitchCost(t *testing.T) {
+	// Two row visits: the second ACT waits tRP after PRE (and tRC after the
+	// first ACT).
+	cmds := []Command{
+		{ACT, 0}, {RD, 0}, {PRE, 0},
+		{ACT, 1}, {RD, 1}, {PRE, 1},
+	}
+	st, err := Execute(cmds, simpleTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// visit1 PRE at 33 (tRAS); ACT2 at 33+14=47; RD at 47+14=61+2; PRE2 at
+	// max(63, 47+33) = 80.
+	if st.TotalNs != 80 {
+		t.Fatalf("makespan = %.1f, want 80", st.TotalNs)
+	}
+}
+
+func TestEngineProtocolViolations(t *testing.T) {
+	tm := simpleTiming()
+	if _, err := Execute([]Command{{RD, 0}}, tm); err == nil {
+		t.Fatal("RD with no open row must error")
+	}
+	if _, err := Execute([]Command{{ACT, 0}, {ACT, 1}}, tm); err == nil {
+		t.Fatal("ACT on open bank must error")
+	}
+	if _, err := Execute([]Command{{PRE, 0}}, tm); err == nil {
+		t.Fatal("PRE with no open row must error")
+	}
+	if _, err := Execute([]Command{{ACT, 0}, {RD, 1}}, tm); err == nil {
+		t.Fatal("RD to a closed row must error")
+	}
+}
+
+func TestEngineActExtraExposed(t *testing.T) {
+	tm := simpleTiming()
+	tm.ActExtra = 78
+	cmds := []Command{{ACT, 0}, {RD, 0}, {PRE, 0}}
+	st, err := Execute(cmds, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ACT done at 78; RD at 78+14; PRE at max(94, 78+33-78)=94.
+	if st.TotalNs != 94 {
+		t.Fatalf("makespan = %.1f, want 94", st.TotalNs)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import "testing"
+
+func TestExtGeneralPurposePIM(t *testing.T) {
+	ms, tbl := ExtGeneralPurposePIM()
+	if len(ms) != 3 || tbl == nil {
+		t.Fatal("want GPU, Anaheim, and UPMEM-style rows")
+	}
+	byUnit := map[string]ExtGeneralPurposeMetrics{}
+	for _, m := range ms {
+		byUnit[m.Unit] = m
+	}
+	anaheim := byUnit["A100 near-bank"]
+	gp := byUnit["A100 general-purpose PIM (UPMEM-style)"]
+	if anaheim.Speedup <= 1.2 {
+		t.Fatalf("Anaheim unit should clearly beat the GPU, got %.2fx", anaheim.Speedup)
+	}
+	// §IX: general-purpose PIM gains "stay at modest levels even compared
+	// to CPUs" — in our model it actively loses to the GPU on FHE.
+	if gp.Speedup >= 1.0 {
+		t.Fatalf("UPMEM-style PIM should not beat the GPU on FHE, got %.2fx", gp.Speedup)
+	}
+	if gp.Speedup >= anaheim.Speedup {
+		t.Fatal("the custom MMAC datapath must be decisive")
+	}
+}
+
+func TestExtPipelining(t *testing.T) {
+	ms, tbl := ExtPipelining()
+	if len(ms) != 6 || tbl == nil {
+		t.Fatal("want all six workloads")
+	}
+	for _, m := range ms {
+		if m.OverlapMs > m.SerialMs {
+			t.Fatalf("%s: overlap bound exceeds serial time", m.Workload)
+		}
+		// §V-C: "further gains from pipelining would be marginal" once
+		// Anaheim has shrunk the element-wise share.
+		if m.MaxGainPct > 35 {
+			t.Fatalf("%s: pipelining bound %.1f%% is not marginal — model drifted", m.Workload, m.MaxGainPct)
+		}
+		if m.MaxGainPct < 0 {
+			t.Fatalf("%s: negative gain", m.Workload)
+		}
+	}
+}
+
+func TestExtMemoryTechnologies(t *testing.T) {
+	ms, tbl := ExtMemoryTechnologies()
+	if len(ms) != 4 || tbl == nil {
+		t.Fatal("want four memory technologies")
+	}
+	byName := map[string]ExtMemoryTechMetrics{}
+	for _, m := range ms {
+		byName[m.Memory] = m
+		if m.Speedup < 1.0 {
+			t.Errorf("%s: Anaheim should not lose to the GPU (%.2fx)", m.Memory, m.Speedup)
+		}
+	}
+	// §IV-D: the element-wise share grows as external bandwidth shrinks.
+	hbm := byName["A100-HBM2e"]
+	ddr := byName["DDR5-6400x8ch"]
+	if ddr.EWShareGPU <= hbm.EWShareGPU {
+		t.Error("lower bandwidth must raise the element-wise share")
+	}
+	if ddr.Speedup <= hbm.Speedup {
+		t.Error("PIM leverage should grow as external bandwidth shrinks")
+	}
+}

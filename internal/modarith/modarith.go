@@ -1,0 +1,264 @@
+// Package modarith provides 64-bit modular arithmetic primitives used by the
+// RNS-CKKS stack: Barrett and Montgomery reductions, Shoup multiplication for
+// fixed operands (NTT twiddle factors), modular exponentiation and inversion,
+// and primitive-root search for number-theoretic transforms.
+//
+// All moduli are odd primes q < 2^61 so that lazy sums such as 2q fit in a
+// uint64 without overflow.
+package modarith
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxModulusBits is the largest supported modulus size in bits.
+const MaxModulusBits = 61
+
+// Modulus bundles a prime modulus with its precomputed reduction constants.
+// The zero value is not usable; construct with NewModulus.
+type Modulus struct {
+	Q     uint64 // the modulus itself
+	Bits  int    // bit length of Q
+	QHalf uint64 // floor(Q/2), used for centered representations
+
+	// Montgomery constants: QInvNeg = -Q^{-1} mod 2^64 and
+	// RSq = 2^128 mod Q (to enter Montgomery form with one MRed).
+	QInvNeg uint64
+	RSq     uint64
+}
+
+// NewModulus precomputes reduction constants for an odd modulus q.
+// q must be odd (required by Montgomery reduction) and < 2^61.
+func NewModulus(q uint64) (Modulus, error) {
+	if q < 3 || q&1 == 0 {
+		return Modulus{}, fmt.Errorf("modarith: modulus %d must be an odd integer >= 3", q)
+	}
+	if bits.Len64(q) > MaxModulusBits {
+		return Modulus{}, fmt.Errorf("modarith: modulus %d exceeds %d bits", q, MaxModulusBits)
+	}
+	m := Modulus{
+		Q:     q,
+		Bits:  bits.Len64(q),
+		QHalf: q >> 1,
+	}
+	// Newton iteration for -q^{-1} mod 2^64.
+	qInv := q // correct mod 2^3
+	for i := 0; i < 5; i++ {
+		qInv *= 2 - q*qInv
+	}
+	m.QInvNeg = -qInv
+	// 2^128 mod q via two reductions of 2^64 mod q.
+	r := (1<<63)%q + (1<<63)%q // 2^64 mod q, < 2q < 2^62
+	r %= q
+	hi, lo := bits.Mul64(r, r)
+	_, m.RSq = bits.Div64(hi%q, lo, q)
+	return m, nil
+}
+
+// MustModulus is NewModulus that panics on error; for package-internal tables
+// and tests with known-good inputs.
+func MustModulus(q uint64) Modulus {
+	m, err := NewModulus(q)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Add returns a+b mod q for a,b < q.
+func (m Modulus) Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= m.Q {
+		s -= m.Q
+	}
+	return s
+}
+
+// Sub returns a-b mod q for a,b < q.
+func (m Modulus) Sub(a, b uint64) uint64 {
+	d := a - b
+	if d > a { // borrow
+		d += m.Q
+	}
+	return d
+}
+
+// Neg returns -a mod q for a < q.
+func (m Modulus) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return m.Q - a
+}
+
+// Reduce returns a mod q for arbitrary a.
+func (m Modulus) Reduce(a uint64) uint64 { return a % m.Q }
+
+// Mul returns a*b mod q for a,b < q using a 128-bit product and hardware
+// division. Exact for all inputs; the hot NTT paths use MulShoup instead.
+func (m Modulus) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, r := bits.Div64(hi%m.Q, lo, m.Q)
+	return r
+}
+
+// MulAdd returns a*b + c mod q for a,b,c < q.
+func (m Modulus) MulAdd(a, b, c uint64) uint64 { return m.Add(m.Mul(a, b), c) }
+
+// ShoupPrecomp returns floor(w * 2^64 / q), the Shoup companion constant for
+// multiplying by the fixed operand w < q.
+func (m Modulus) ShoupPrecomp(w uint64) uint64 {
+	// floor(w * 2^64 / q); bits.Div64 requires w < q, which holds for all
+	// valid fixed operands.
+	q, _ := bits.Div64(w, 0, m.Q)
+	return q
+}
+
+// MulShoup returns a*w mod q where wShoup = ShoupPrecomp(w). Requires a < q
+// (w < q by construction). This is the fast fixed-operand multiplication used
+// throughout the NTT.
+func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	r := a*w - hi*m.Q
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// MRed performs Montgomery reduction: returns a*b/2^64 mod q. If b is in
+// Montgomery form (b = x*2^64 mod q), the result is a*x mod q.
+func (m Modulus) MRed(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	mq := lo * m.QInvNeg
+	h2, _ := bits.Mul64(mq, m.Q)
+	var carry uint64
+	if lo != 0 {
+		carry = 1
+	}
+	r := hi + h2 + carry
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// MForm converts a < q into Montgomery form: a*2^64 mod q.
+func (m Modulus) MForm(a uint64) uint64 { return m.MRed(a, m.RSq) }
+
+// IForm converts out of Montgomery form: a/2^64 mod q.
+func (m Modulus) IForm(a uint64) uint64 { return m.MRed(a, 1) }
+
+// Pow returns a^e mod q by square-and-multiply.
+func (m Modulus) Pow(a, e uint64) uint64 {
+	result := uint64(1)
+	base := a % m.Q
+	for e > 0 {
+		if e&1 == 1 {
+			result = m.Mul(result, base)
+		}
+		base = m.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns a^{-1} mod q (q prime, a != 0 mod q) via Fermat's little
+// theorem.
+func (m Modulus) Inv(a uint64) (uint64, error) {
+	if a%m.Q == 0 {
+		return 0, fmt.Errorf("modarith: no inverse of 0 mod %d", m.Q)
+	}
+	return m.Pow(a, m.Q-2), nil
+}
+
+// MustInv is Inv that panics on error.
+func (m Modulus) MustInv(a uint64) uint64 {
+	v, err := m.Inv(a)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Centered maps a residue a < q to its centered signed representative in
+// (-q/2, q/2].
+func (m Modulus) Centered(a uint64) int64 {
+	if a > m.QHalf {
+		return int64(a) - int64(m.Q)
+	}
+	return int64(a)
+}
+
+// FromCentered maps a signed value to its residue mod q.
+func (m Modulus) FromCentered(v int64) uint64 {
+	r := v % int64(m.Q)
+	if r < 0 {
+		r += int64(m.Q)
+	}
+	return uint64(r)
+}
+
+// primeFactors returns the distinct prime factors of n by trial division.
+// The moduli used in this package have smooth q-1 = 2^k * odd with small odd
+// cofactors, so trial division is adequate.
+func primeFactors(n uint64) []uint64 {
+	var fs []uint64
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13} {
+		if n%p == 0 {
+			fs = append(fs, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	for p := uint64(17); p*p <= n; p += 2 {
+		if n%p == 0 {
+			fs = append(fs, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group Z_q^*.
+func (m Modulus) PrimitiveRoot() (uint64, error) {
+	factors := primeFactors(m.Q - 1)
+	for g := uint64(2); g < m.Q; g++ {
+		ok := true
+		for _, p := range factors {
+			if m.Pow(g, (m.Q-1)/p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("modarith: no primitive root found mod %d", m.Q)
+}
+
+// PrimitiveNthRoot returns a primitive n-th root of unity mod q. Requires
+// n | q-1.
+func (m Modulus) PrimitiveNthRoot(n uint64) (uint64, error) {
+	if (m.Q-1)%n != 0 {
+		return 0, fmt.Errorf("modarith: %d does not divide q-1 = %d", n, m.Q-1)
+	}
+	g, err := m.PrimitiveRoot()
+	if err != nil {
+		return 0, err
+	}
+	psi := m.Pow(g, (m.Q-1)/n)
+	// Verify order is exactly n.
+	if m.Pow(psi, n/2) == 1 {
+		return 0, fmt.Errorf("modarith: root order check failed for n=%d mod %d", n, m.Q)
+	}
+	return psi, nil
+}

@@ -1,0 +1,137 @@
+// Package ntt implements the negacyclic number-theoretic transform over
+// Z_q[X]/(X^N+1) for power-of-two N and NTT-friendly primes q ≡ 1 (mod 2N).
+//
+// The forward transform maps a coefficient vector (natural order) to its
+// evaluations at the primitive 2N-th roots of unity ψ^(2·brv(i)+1), i.e. the
+// output is in "bit-reversed evaluation order", the conventional layout that
+// makes both butterflies access contiguous memory (Longa–Naehrig). The
+// inverse transform undoes it exactly, including the 1/N scaling.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+)
+
+// Tables holds per-(q, N) precomputed twiddle factors.
+type Tables struct {
+	N    int
+	LogN int
+	Mod  modarith.Modulus
+
+	Psi uint64 // primitive 2N-th root of unity mod q
+
+	// psiRev[i] = ψ^brv(i), bit-reversed over logN bits; Shoup companions
+	// alongside. psiInvRev likewise for ψ^{-1}.
+	psiRev      []uint64
+	psiRevShoup []uint64
+	psiInvRev   []uint64
+	psiInvShoup []uint64
+
+	nInv      uint64 // N^{-1} mod q
+	nInvShoup uint64
+}
+
+// NewTables builds twiddle tables for N = 2^logN and modulus q.
+func NewTables(mod modarith.Modulus, logN int) (*Tables, error) {
+	if logN < 1 || logN > 17 {
+		return nil, fmt.Errorf("ntt: logN=%d out of range [1,17]", logN)
+	}
+	n := 1 << uint(logN)
+	psi, err := mod.PrimitiveNthRoot(uint64(2 * n))
+	if err != nil {
+		return nil, fmt.Errorf("ntt: modulus %d: %w", mod.Q, err)
+	}
+	t := &Tables{
+		N:           n,
+		LogN:        logN,
+		Mod:         mod,
+		Psi:         psi,
+		psiRev:      make([]uint64, n),
+		psiRevShoup: make([]uint64, n),
+		psiInvRev:   make([]uint64, n),
+		psiInvShoup: make([]uint64, n),
+	}
+	psiInv := mod.MustInv(psi)
+	fwd, inv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := reverseBits(uint64(i), logN)
+		t.psiRev[r] = fwd
+		t.psiInvRev[r] = inv
+		fwd = mod.Mul(fwd, psi)
+		inv = mod.Mul(inv, psiInv)
+	}
+	for i := 0; i < n; i++ {
+		t.psiRevShoup[i] = mod.ShoupPrecomp(t.psiRev[i])
+		t.psiInvShoup[i] = mod.ShoupPrecomp(t.psiInvRev[i])
+	}
+	t.nInv = mod.MustInv(uint64(n))
+	t.nInvShoup = mod.ShoupPrecomp(t.nInv)
+	return t, nil
+}
+
+func reverseBits(x uint64, n int) uint64 {
+	return bits.Reverse64(x) >> uint(64-n)
+}
+
+// Forward transforms a (length N, coefficients < q, natural order) in place
+// into bit-reversed NTT form.
+func (t *Tables) Forward(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Forward on slice of length %d, want %d", len(a), t.N))
+	}
+	mod := t.Mod
+	span := t.N
+	for m := 1; m < t.N; m <<= 1 {
+		span >>= 1
+		for i := 0; i < m; i++ {
+			w := t.psiRev[m+i]
+			ws := t.psiRevShoup[m+i]
+			j1 := 2 * i * span
+			for j := j1; j < j1+span; j++ {
+				u := a[j]
+				v := mod.MulShoup(a[j+span], w, ws)
+				a[j] = mod.Add(u, v)
+				a[j+span] = mod.Sub(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms a (bit-reversed NTT form) in place back to natural-order
+// coefficients, including the 1/N scaling.
+func (t *Tables) Inverse(a []uint64) {
+	if len(a) != t.N {
+		panic(fmt.Sprintf("ntt: Inverse on slice of length %d, want %d", len(a), t.N))
+	}
+	mod := t.Mod
+	span := 1
+	for m := t.N >> 1; m >= 1; m >>= 1 {
+		for i := 0; i < m; i++ {
+			w := t.psiInvRev[m+i]
+			ws := t.psiInvShoup[m+i]
+			j1 := 2 * i * span
+			for j := j1; j < j1+span; j++ {
+				u := a[j]
+				v := a[j+span]
+				a[j] = mod.Add(u, v)
+				a[j+span] = mod.MulShoup(mod.Sub(u, v), w, ws)
+			}
+		}
+		span <<= 1
+	}
+	for j := range a {
+		a[j] = mod.MulShoup(a[j], t.nInv, t.nInvShoup)
+	}
+}
+
+// MulCoeffs computes the element-wise product c = a ⊙ b of two NTT-form
+// vectors, i.e. the negacyclic convolution of the underlying polynomials.
+func (t *Tables) MulCoeffs(c, a, b []uint64) {
+	mod := t.Mod
+	for i := range c {
+		c[i] = mod.Mul(a[i], b[i])
+	}
+}

@@ -1,0 +1,188 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+)
+
+func newTestTables(t testing.TB, logN int) *Tables {
+	t.Helper()
+	primes, err := modarith.GenerateNTTPrimes(55, logN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTables(modarith.MustModulus(primes[0]), logN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func randPoly(r *rand.Rand, n int, q uint64) []uint64 {
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = r.Uint64() % q
+	}
+	return a
+}
+
+// naiveNegacyclic computes the schoolbook negacyclic convolution
+// c = a*b mod (X^N+1, q).
+func naiveNegacyclic(a, b []uint64, mod modarith.Modulus) []uint64 {
+	n := len(a)
+	c := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			p := mod.Mul(a[i], b[j])
+			k := i + j
+			if k < n {
+				c[k] = mod.Add(c[k], p)
+			} else {
+				c[k-n] = mod.Sub(c[k-n], p)
+			}
+		}
+	}
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, logN := range []int{3, 6, 10, 13} {
+		tbl := newTestTables(t, logN)
+		r := rand.New(rand.NewSource(int64(logN)))
+		a := randPoly(r, tbl.N, tbl.Mod.Q)
+		orig := append([]uint64(nil), a...)
+		tbl.Forward(a)
+		tbl.Inverse(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				t.Fatalf("logN=%d: round trip differs at %d: %d != %d", logN, i, a[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestConvolutionMatchesSchoolbook(t *testing.T) {
+	for _, logN := range []int{3, 5, 8} {
+		tbl := newTestTables(t, logN)
+		r := rand.New(rand.NewSource(42))
+		a := randPoly(r, tbl.N, tbl.Mod.Q)
+		b := randPoly(r, tbl.N, tbl.Mod.Q)
+		want := naiveNegacyclic(a, b, tbl.Mod)
+
+		fa := append([]uint64(nil), a...)
+		fb := append([]uint64(nil), b...)
+		tbl.Forward(fa)
+		tbl.Forward(fb)
+		c := make([]uint64, tbl.N)
+		tbl.MulCoeffs(c, fa, fb)
+		tbl.Inverse(c)
+		for i := range c {
+			if c[i] != want[i] {
+				t.Fatalf("logN=%d: convolution differs at %d: got %d want %d", logN, i, c[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	tbl := newTestTables(t, 6)
+	mod := tbl.Mod
+	f := func(seed int64, s1, s2 uint32) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randPoly(r, tbl.N, mod.Q)
+		b := randPoly(r, tbl.N, mod.Q)
+		c1, c2 := uint64(s1)%mod.Q, uint64(s2)%mod.Q
+		// NTT(c1*a + c2*b) == c1*NTT(a) + c2*NTT(b)
+		lhs := make([]uint64, tbl.N)
+		for i := range lhs {
+			lhs[i] = mod.Add(mod.Mul(c1, a[i]), mod.Mul(c2, b[i]))
+		}
+		tbl.Forward(lhs)
+		fa := append([]uint64(nil), a...)
+		fb := append([]uint64(nil), b...)
+		tbl.Forward(fa)
+		tbl.Forward(fb)
+		for i := range lhs {
+			rhs := mod.Add(mod.Mul(c1, fa[i]), mod.Mul(c2, fb[i]))
+			if lhs[i] != rhs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantPolynomial(t *testing.T) {
+	// NTT of the constant polynomial c is the all-c vector.
+	tbl := newTestTables(t, 8)
+	a := make([]uint64, tbl.N)
+	a[0] = 7
+	tbl.Forward(a)
+	for i := range a {
+		if a[i] != 7 {
+			t.Fatalf("NTT(const 7)[%d] = %d", i, a[i])
+		}
+	}
+}
+
+func TestMonomialShiftIsNegacyclic(t *testing.T) {
+	// X^(N-1) * X = X^N = -1 mod X^N+1.
+	tbl := newTestTables(t, 4)
+	mod := tbl.Mod
+	a := make([]uint64, tbl.N) // X^(N-1)
+	a[tbl.N-1] = 1
+	b := make([]uint64, tbl.N) // X
+	b[1] = 1
+	tbl.Forward(a)
+	tbl.Forward(b)
+	c := make([]uint64, tbl.N)
+	tbl.MulCoeffs(c, a, b)
+	tbl.Inverse(c)
+	if c[0] != mod.Q-1 {
+		t.Fatalf("c[0] = %d, want q-1 (i.e. -1)", c[0])
+	}
+	for i := 1; i < tbl.N; i++ {
+		if c[i] != 0 {
+			t.Fatalf("c[%d] = %d, want 0", i, c[i])
+		}
+	}
+}
+
+func TestRejectsWrongLength(t *testing.T) {
+	tbl := newTestTables(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Forward on wrong-length slice should panic")
+		}
+	}()
+	tbl.Forward(make([]uint64, 3))
+}
+
+func BenchmarkForwardN4096(b *testing.B) {
+	tbl := newTestTables(b, 12)
+	r := rand.New(rand.NewSource(9))
+	a := randPoly(r, tbl.N, tbl.Mod.Q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Forward(a)
+	}
+}
+
+func BenchmarkInverseN4096(b *testing.B) {
+	tbl := newTestTables(b, 12)
+	r := rand.New(rand.NewSource(9))
+	a := randPoly(r, tbl.N, tbl.Mod.Q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Inverse(a)
+	}
+}

@@ -1,0 +1,129 @@
+package pim
+
+import (
+	"github.com/anaheim-sim/anaheim/internal/dram"
+)
+
+// UnitConfig describes one Anaheim PIM deployment (Table III).
+type UnitConfig struct {
+	Name string
+	DRAM dram.Config
+
+	LogicDie     bool // custom-HBM variant: units on the HBM logic die
+	ClockMHz     float64
+	BufferSize   int // B, data buffer entries
+	BanksPerUnit int // 1 near-bank; >1 for logic-die units
+	MMACsPerUnit int // lanes matching the 256-bit global I/O (8 × 28-bit)
+
+	DieGroups int // PIM die groups sharing a prime per instruction (§VI-B)
+
+	// Reported characteristics (Table III).
+	BWIncrease    float64 // theoretical internal-BW multiple of external BW
+	TOPSPerGroup  float64 // MMAC throughput per die (near-bank) or stack
+	AreaMM2PerDie float64
+	AreaPortion   float64 // fraction of die (or logic die) area
+
+	MMACEnergyPJ float64 // energy per modular multiply-accumulate (28-bit)
+	ActEnergyNJ  float64 // energy of one all-bank row switch, per bank
+
+	// CyclesPerChunk is the unit's processing cost per 256-bit chunk.
+	// Anaheim's 8 MMAC lanes sustain one chunk per cycle (zero means 1);
+	// general-purpose PIM cores (§VI-D, UPMEM-style [24]) emulate modular
+	// arithmetic in software and pay an order of magnitude more.
+	CyclesPerChunk float64
+}
+
+// A100NearBank is Anaheim on A100 80GB with near-bank PIM units.
+func A100NearBank() UnitConfig {
+	return UnitConfig{
+		Name:          "A100 near-bank",
+		DRAM:          dram.A100HBM2(),
+		ClockMHz:      378,
+		BufferSize:    16,
+		BanksPerUnit:  1,
+		MMACsPerUnit:  8,
+		DieGroups:     5, // one per HBM stack
+		BWIncrease:    16,
+		TOPSPerGroup:  0.194,
+		AreaMM2PerDie: 10.7,
+		AreaPortion:   0.0969,
+		MMACEnergyPJ:  0.9,
+		ActEnergyNJ:   1.0,
+	}
+}
+
+// A100CustomHBM is the logic-die variant (§VI-D): PIM units on the HBM
+// logic die, each serving several banks over widened TSVs; internal
+// bandwidth limited to 4× external by the TSV budget.
+func A100CustomHBM() UnitConfig {
+	return UnitConfig{
+		Name:          "A100 custom-HBM",
+		DRAM:          dram.A100CustomHBM(),
+		LogicDie:      true,
+		ClockMHz:      756,
+		BufferSize:    16,
+		BanksPerUnit:  8,
+		MMACsPerUnit:  8,
+		DieGroups:     5,
+		BWIncrease:    4,
+		TOPSPerGroup:  0.388,
+		AreaMM2PerDie: 10.9,
+		AreaPortion:   0.0994,
+		MMACEnergyPJ:  0.55, // logic process node, not DRAM process
+		ActEnergyNJ:   1.0,
+	}
+}
+
+// RTX4090NearBank is Anaheim on RTX 4090 with near-bank PIM in GDDR6X.
+func RTX4090NearBank() UnitConfig {
+	return UnitConfig{
+		Name:          "RTX4090 near-bank",
+		DRAM:          dram.RTX4090GDDR6X(),
+		ClockMHz:      656,
+		BufferSize:    32,
+		BanksPerUnit:  1,
+		MMACsPerUnit:  8,
+		DieGroups:     3, // 4 dies per group
+		BWIncrease:    8,
+		TOPSPerGroup:  0.168,
+		AreaMM2PerDie: 7.26,
+		AreaPortion:   0.0758,
+		MMACEnergyPJ:  0.9,
+		ActEnergyNJ:   1.1,
+	}
+}
+
+// UPMEMStyle returns a general-purpose near-bank PIM deployment in the
+// spirit of UPMEM [24], fitted to the A100's DRAM geometry: one scalar DPU
+// per bank that emulates 28-bit modular arithmetic in software (~12 cycles
+// per element, ~96 per chunk). §VI-D notes Anaheim's software stack and
+// layout still apply to such devices; §IX explains why their FHE gains
+// "stay at modest levels".
+func UPMEMStyle() UnitConfig {
+	u := A100NearBank()
+	u.Name = "A100 general-purpose PIM (UPMEM-style)"
+	u.ClockMHz = 400
+	u.MMACsPerUnit = 1
+	u.CyclesPerChunk = 96
+	u.TOPSPerGroup = 0.002
+	u.MMACEnergyPJ = 8
+	return u
+}
+
+// BanksPerGroup returns the banks cooperating on one limb's coefficients.
+func (u UnitConfig) BanksPerGroup() int {
+	return u.DRAM.TotalBanks() / u.DieGroups
+}
+
+// InternalBWGBs returns the aggregate PIM-side bandwidth: all banks
+// delivering one chunk per PIM clock, capped by the configured
+// internal-bandwidth multiple (the TSV budget for custom-HBM).
+func (u UnitConfig) InternalBWGBs() float64 {
+	chunkBytes := float64(u.DRAM.ChunkBits) / 8
+	raw := float64(u.DRAM.TotalBanks()) / float64(u.BanksPerUnit) * chunkBytes * u.ClockMHz * 1e6 / 1e9 * float64(u.BanksPerUnit)
+	cap := u.BWIncrease * u.DRAM.ExternalBWGBs
+	if u.LogicDie && raw > cap {
+		return cap
+	}
+	return raw
+}

@@ -1,0 +1,150 @@
+package pim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cost is the outcome of executing one PIM instruction (or kernel) instance.
+type Cost struct {
+	TimeNs   float64
+	EnergyNJ float64
+	Bytes    int64 // PIM-side DRAM bytes accessed
+}
+
+// Add accumulates another cost (kernels are sequences of instructions).
+func (c *Cost) Add(o Cost) {
+	c.TimeNs += o.TimeNs
+	c.EnergyNJ += o.EnergyNJ
+	c.Bytes += o.Bytes
+}
+
+// wordBytes is the in-DRAM element size: data are stored in 32-bit
+// granularity and truncated to 28 bits at the PIM unit (§VI-A).
+const wordBytes = 4
+
+// InstrCost models one instruction over polynomials with `limbs` limbs of
+// `n` coefficients, executed all-bank with buffer size B and the chosen
+// layout, following Alg 1: per iteration, each phase opens its PolyGroup's
+// row(s) and streams G chunks of every polynomial it touches.
+func (u UnitConfig) InstrCost(op Opcode, k, limbs, n, bufferSize int, columnPartitioned bool) (Cost, error) {
+	spec := Spec(op, k)
+	if !spec.Supported(bufferSize) {
+		return Cost{}, fmt.Errorf("pim: %v needs %d buffer entries, have %d (§VII-C)",
+			op, spec.BufferSlots, bufferSize)
+	}
+	g := spec.ChunkGranularity(bufferSize)
+
+	elemsPerChunk := u.DRAM.ChunkBits / (wordBytes * 8)
+	banksPerGroup := u.BanksPerGroup()
+	chunksPerBankPerLimb := int(math.Ceil(float64(n) / float64(banksPerGroup*elemsPerChunk)))
+	limbsPerGroup := (limbs + u.DieGroups - 1) / u.DieGroups
+	c := limbsPerGroup * chunksPerBankPerLimb // per-bank chunk count per polynomial
+	iters := (c + g - 1) / g
+
+	rowChunks := u.DRAM.ChunksPerRow()
+	clkGHz := u.ClockMHz / 1e3
+	rsCycles := u.DRAM.RowSwitchNs() * clkGHz
+
+	// Exact totals: the final iteration processes only the remaining chunks.
+	cyclesPerChunk := u.CyclesPerChunk
+	if cyclesPerChunk == 0 {
+		cyclesPerChunk = 1
+	}
+	totalWorkCycles := float64(spec.PIMAccesses()*c) * cyclesPerChunk
+	var rowsPerIter float64
+	for _, ph := range spec.Phases {
+		l := PolyGroupLayout{Polys: ph.GroupPolys, ChunksPerBank: c, RowChunks: rowChunks}
+		rowsPerIter += float64(l.RowsTouched(0, g, columnPartitioned))
+	}
+	totalRows := float64(iters) * rowsPerIter
+
+	var cycles float64
+	if u.LogicDie {
+		// A logic-die unit round-robins its banks: row switches on one bank
+		// overlap with chunk transfers on the others, at the price of
+		// serializing the banks' transfers through the unit.
+		hidden := float64(u.BanksPerUnit-1) * totalWorkCycles
+		exposed := totalRows*rsCycles - hidden
+		if exposed < 0 {
+			exposed = 0
+		}
+		cycles = float64(u.BanksPerUnit)*totalWorkCycles + exposed
+	} else {
+		cycles = totalWorkCycles + totalRows*rsCycles
+	}
+	timeNs := cycles / clkGHz
+
+	activeGroups := u.DieGroups
+	if limbs < u.DieGroups {
+		activeGroups = limbs
+	}
+	activeBanks := banksPerGroup * activeGroups
+	bytes := int64(spec.PIMAccesses()*c) * int64(u.DRAM.ChunkBits/8) * int64(activeBanks)
+
+	if u.LogicDie {
+		// TSV-budget bandwidth cap (4× external for custom-HBM), derated by
+		// the achievable TSV utilization.
+		const tsvUtilization = 0.7
+		minTime := float64(bytes) / (u.InternalBWGBs() * tsvUtilization)
+		if minTime > timeNs {
+			timeNs = minTime
+		}
+	}
+
+	mmacOps := float64(spec.ModMuls) * float64(limbs) * float64(n)
+	energy := float64(bytes*8)*u.DRAM.PIMAccessPJb(u.LogicDie)/1e3 + // pJ/b -> nJ
+		totalRows*float64(activeBanks)*u.ActEnergyNJ +
+		mmacOps*u.MMACEnergyPJ/1e3
+	return Cost{TimeNs: timeNs, EnergyNJ: energy, Bytes: bytes}, nil
+}
+
+// GPUCorePJb is the energy of moving one bit through the GPU's on-chip
+// hierarchy (LSU, L2, register file, pipeline overhead) on top of the DRAM
+// access itself; PIM avoids this tier entirely, which is a large part of the
+// per-instruction energy-efficiency gains of Fig 9.
+const GPUCorePJb = 4.0
+
+// GPUBaselineCost models the GPU executing the same computation with its
+// standard (unfused for compound ops) kernels: purely DRAM-bandwidth-bound
+// element-wise traffic (§IV-D: < 2 ops/byte of arithmetic intensity).
+func (u UnitConfig) GPUBaselineCost(op Opcode, k, limbs, n int, effBWFrac, gpuDramPJb float64) Cost {
+	spec := Spec(op, k)
+	perElemAccesses := float64(spec.GPUAccesses) / float64(spec.OutPolys)
+	outElems := float64(spec.OutPolys) * float64(limbs) * float64(n)
+	bytes := perElemAccesses * outElems * wordBytes
+	bw := u.DRAM.ExternalBWGBs * effBWFrac // GB/s == B/ns
+	return Cost{
+		TimeNs:   bytes / bw,
+		EnergyNJ: bytes * 8 * gpuDramPJb / 1e3,
+		Bytes:    int64(bytes),
+	}
+}
+
+// Microbenchmark reports the Fig 9 quantities for one instruction at a given
+// buffer size: PIM vs GPU speedup and energy-efficiency improvement.
+type Microbenchmark struct {
+	Op        Opcode
+	K         int
+	B         int
+	Supported bool
+	Speedup   float64
+	EnergyEff float64
+}
+
+// RunMicrobenchmark sweeps one instruction at one buffer size using the
+// paper's default workload shape (all limbs of an extended-modulus
+// polynomial at N = 2^16, L+α = 68).
+func (u UnitConfig) RunMicrobenchmark(op Opcode, k, bufferSize int) Microbenchmark {
+	const limbs, n = 68, 1 << 16
+	mb := Microbenchmark{Op: op, K: k, B: bufferSize}
+	pimCost, err := u.InstrCost(op, k, limbs, n, bufferSize, true)
+	if err != nil {
+		return mb
+	}
+	mb.Supported = true
+	gpuCost := u.GPUBaselineCost(op, k, limbs, n, 0.85, u.DRAM.GPUAccessPJb()+GPUCorePJb)
+	mb.Speedup = gpuCost.TimeNs / pimCost.TimeNs
+	mb.EnergyEff = gpuCost.EnergyNJ / pimCost.EnergyNJ
+	return mb
+}

@@ -1,0 +1,94 @@
+package pim
+
+// Column-partitioning data layout (§VI-B, Fig 7): each DRAM row (32 chunks)
+// is split into column groups (CGs), one polynomial per CG, so that fused
+// instructions reading several polynomials of one PolyGroup hit a single
+// open row. The naive alternative stores each polynomial contiguously,
+// paying one row activation per polynomial per phase (the "w/o CP" ablation
+// of Fig 10).
+
+// Location is a physical placement of one chunk inside a bank.
+type Location struct {
+	Row int
+	Col int // chunk index within the row
+}
+
+// PolyGroupLayout places `Polys` polynomials of `ChunksPerBank` chunks each
+// (per bank) into a PolyGroup.
+type PolyGroupLayout struct {
+	Polys         int
+	ChunksPerBank int
+	RowChunks     int // chunks per DRAM row (32 for 8Kb rows, 256b chunks)
+	BaseRow       int
+}
+
+// CGWidth returns the chunks available to each polynomial per row.
+func (l PolyGroupLayout) CGWidth() int {
+	w := l.RowChunks / l.Polys
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Rows returns the number of rows the PolyGroup spans (its row group).
+func (l PolyGroupLayout) Rows() int {
+	w := l.CGWidth()
+	return (l.ChunksPerBank + w - 1) / w
+}
+
+// Chunk returns the location of chunk c of polynomial p under column
+// partitioning.
+func (l PolyGroupLayout) Chunk(p, c int) Location {
+	w := l.CGWidth()
+	return Location{
+		Row: l.BaseRow + c/w,
+		Col: p*w + c%w,
+	}
+}
+
+// ChunkNaive returns the location under contiguous (naive) allocation:
+// each polynomial occupies its own row range ("placing the polynomials all
+// in separate DRAM rows", §VI-C) — in a real allocator the rest of each row
+// is filled by the same polynomial's other limbs.
+func (l PolyGroupLayout) ChunkNaive(p, c int) Location {
+	rowsPerPoly := (l.ChunksPerBank + l.RowChunks - 1) / l.RowChunks
+	return Location{
+		Row: l.BaseRow + p*rowsPerPoly + c/l.RowChunks,
+		Col: c % l.RowChunks,
+	}
+}
+
+// RowAccessCounts returns, for an access to chunks [c0, c0+g) of every
+// polynomial in the group, the touched rows and how many chunk accesses
+// land in each (used to generate command streams).
+func (l PolyGroupLayout) RowAccessCounts(c0, g int, columnPartitioned bool) map[int]int {
+	rows := map[int]int{}
+	for p := 0; p < l.Polys; p++ {
+		for c := c0; c < c0+g && c < l.ChunksPerBank; c++ {
+			if columnPartitioned {
+				rows[l.Chunk(p, c).Row]++
+			} else {
+				rows[l.ChunkNaive(p, c).Row]++
+			}
+		}
+	}
+	return rows
+}
+
+// RowsTouched returns how many distinct rows an access to chunks
+// [c0, c0+g) of every polynomial in the group activates, under either
+// layout. This is the quantity Alg 1 amortizes.
+func (l PolyGroupLayout) RowsTouched(c0, g int, columnPartitioned bool) int {
+	rows := map[int]bool{}
+	for p := 0; p < l.Polys; p++ {
+		for c := c0; c < c0+g && c < l.ChunksPerBank; c++ {
+			if columnPartitioned {
+				rows[l.Chunk(p, c).Row] = true
+			} else {
+				rows[l.ChunkNaive(p, c).Row] = true
+			}
+		}
+	}
+	return len(rows)
+}

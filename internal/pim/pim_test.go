@@ -1,0 +1,235 @@
+package pim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func configs() []UnitConfig {
+	return []UnitConfig{A100NearBank(), A100CustomHBM(), RTX4090NearBank()}
+}
+
+func TestSpecCoversISA(t *testing.T) {
+	for _, op := range AllOpcodes() {
+		s := Spec(op, 4)
+		if s.BufferSlots < 2 || len(s.Phases) == 0 || s.OutPolys < 1 {
+			t.Errorf("%v: malformed spec %+v", op, s)
+		}
+		if s.PIMAccesses() < s.OutPolys {
+			t.Errorf("%v: accesses < outputs", op)
+		}
+		if s.GPUAccesses < s.PIMAccesses() {
+			t.Errorf("%v: GPU baseline cheaper than PIM accesses", op)
+		}
+	}
+}
+
+func TestSmallBufferUnsupported(t *testing.T) {
+	// §VII-C: Tensor and PAccum⟨4⟩ are not supported at small B.
+	for _, op := range []Opcode{Tensor, PAccum} {
+		s := Spec(op, 4)
+		if s.Supported(4) {
+			t.Errorf("%v should be unsupported at B=4", op)
+		}
+		if !s.Supported(16) {
+			t.Errorf("%v should be supported at B=16", op)
+		}
+	}
+	if !Spec(Move, 0).Supported(4) {
+		t.Error("Move should be supported at B=4")
+	}
+}
+
+func TestChunkGranularityMatchesAlg1(t *testing.T) {
+	// Alg 1 line 1: G = floor(B/6) for PAccum⟨4⟩.
+	s := Spec(PAccum, 4)
+	if g := s.ChunkGranularity(16); g != 2 {
+		t.Fatalf("PAccum⟨4⟩ G at B=16: got %d want 2", g)
+	}
+	if g := s.ChunkGranularity(64); g != 10 {
+		t.Fatalf("PAccum⟨4⟩ G at B=64: got %d want 10", g)
+	}
+}
+
+func TestLayoutAddressesBijective(t *testing.T) {
+	l := PolyGroupLayout{Polys: 4, ChunksPerBank: 16, RowChunks: 32}
+	f := func(p1, c1, p2, c2 uint8) bool {
+		a1 := Location{}
+		a2 := Location{}
+		pp1, cc1 := int(p1)%l.Polys, int(c1)%l.ChunksPerBank
+		pp2, cc2 := int(p2)%l.Polys, int(c2)%l.ChunksPerBank
+		a1 = l.Chunk(pp1, cc1)
+		a2 = l.Chunk(pp2, cc2)
+		if pp1 == pp2 && cc1 == cc2 {
+			return a1 == a2
+		}
+		return a1 != a2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnPartitioningSharesRows(t *testing.T) {
+	// Fig 7 / §VI-C: under CP, G-chunk reads of all polynomials in a
+	// PolyGroup touch one row; naive allocation touches one row per poly.
+	l := PolyGroupLayout{Polys: 4, ChunksPerBank: 16, RowChunks: 32}
+	if rows := l.RowsTouched(0, 2, true); rows != 1 {
+		t.Fatalf("CP rows touched = %d, want 1", rows)
+	}
+	if rows := l.RowsTouched(0, 2, false); rows != 4 {
+		t.Fatalf("naive rows touched = %d, want 4 (one per polynomial)", rows)
+	}
+}
+
+func TestNaiveLayoutActPreMultipliers(t *testing.T) {
+	// §VI-C: for PAccum⟨4⟩ the naive layout needs 4×, 8×, 2× more ACT/PRE
+	// in phases (1), (2), (3).
+	s := Spec(PAccum, 4)
+	g := s.ChunkGranularity(16)
+	for i, want := range []int{4, 8, 2} {
+		ph := s.Phases[i]
+		l := PolyGroupLayout{Polys: ph.GroupPolys, ChunksPerBank: 16, RowChunks: 32}
+		cp := l.RowsTouched(0, g, true)
+		naive := l.RowsTouched(0, g, false)
+		if naive/cp != want {
+			t.Fatalf("phase %d: naive/CP ACT ratio = %d/%d, want %d", i+1, naive, cp, want)
+		}
+	}
+}
+
+func TestInstrCostBasicProperties(t *testing.T) {
+	for _, u := range configs() {
+		for _, op := range AllOpcodes() {
+			k := 0
+			if op == PAccum {
+				k = 4
+			}
+			if op == CAccum {
+				k = 8
+			}
+			cost, err := u.InstrCost(op, k, 68, 1<<16, u.BufferSize, true)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", u.Name, op, err)
+			}
+			if cost.TimeNs <= 0 || cost.EnergyNJ <= 0 || cost.Bytes <= 0 {
+				t.Fatalf("%s/%v: non-positive cost %+v", u.Name, op, cost)
+			}
+			// Column partitioning must never be slower than naive.
+			naive, err := u.InstrCost(op, k, 68, 1<<16, u.BufferSize, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if naive.TimeNs < cost.TimeNs {
+				t.Fatalf("%s/%v: naive layout faster than CP", u.Name, op)
+			}
+		}
+	}
+}
+
+func TestUnsupportedInstrErrors(t *testing.T) {
+	u := A100NearBank()
+	if _, err := u.InstrCost(Tensor, 0, 68, 1<<16, 4, true); err == nil {
+		t.Fatal("expected error for Tensor at B=4")
+	}
+}
+
+func TestMicrobenchmarkBands(t *testing.T) {
+	// §VII-C: with the default configurations, Anaheim shows 1.65–10.33×
+	// speedups and 2.63–17.39× energy-efficiency improvements, with
+	// especially high speedups for PAccum and CAccum.
+	minS, maxS := 1e18, 0.0
+	minE, maxE := 1e18, 0.0
+	for _, u := range configs() {
+		var basicMax, paccum, caccum float64
+		for _, op := range AllOpcodes() {
+			k := 0
+			if op == PAccum {
+				k = 4
+			}
+			if op == CAccum {
+				k = 8
+			}
+			mb := u.RunMicrobenchmark(op, k, u.BufferSize)
+			if !mb.Supported {
+				t.Fatalf("%s/%v unsupported at default B", u.Name, op)
+			}
+			minS, maxS = minf(minS, mb.Speedup), maxf(maxS, mb.Speedup)
+			minE, maxE = minf(minE, mb.EnergyEff), maxf(maxE, mb.EnergyEff)
+			switch op {
+			case PAccum:
+				paccum = mb.Speedup
+			case CAccum:
+				caccum = mb.Speedup
+			case Move, Add, Sub, Mult, MAC:
+				basicMax = maxf(basicMax, mb.Speedup)
+			}
+		}
+		if paccum < basicMax || caccum < basicMax {
+			t.Errorf("%s: compound instructions should outperform basic ones (PAccum %.2f, CAccum %.2f, basic %.2f)",
+				u.Name, paccum, caccum, basicMax)
+		}
+	}
+	if minS < 1.05 || maxS > 13 {
+		t.Errorf("speedup range [%.2f, %.2f] outside the paper band ~[1.65, 10.33]", minS, maxS)
+	}
+	if minE < 1.8 || maxE > 20 {
+		t.Errorf("energy range [%.2f, %.2f] outside the paper band ~[2.63, 17.39]", minE, maxE)
+	}
+}
+
+func TestMicrobenchmarkSaturatesWithB(t *testing.T) {
+	// Fig 9: performance improves with B and eventually saturates; the
+	// saturation is faster for custom-HBM.
+	for _, u := range configs() {
+		prev := 0.0
+		for _, b := range []int{8, 16, 32, 64} {
+			mb := u.RunMicrobenchmark(Add, 0, b)
+			if !mb.Supported {
+				t.Fatalf("%s: Add unsupported at B=%d", u.Name, b)
+			}
+			if mb.Speedup+1e-9 < prev {
+				t.Fatalf("%s: speedup decreased with larger B (%.3f -> %.3f)", u.Name, prev, mb.Speedup)
+			}
+			prev = mb.Speedup
+		}
+	}
+	// Saturation: going 16 -> 64 should help near-bank more than custom-HBM.
+	nb16 := A100NearBank().RunMicrobenchmark(Add, 0, 16).Speedup
+	nb64 := A100NearBank().RunMicrobenchmark(Add, 0, 64).Speedup
+	ch16 := A100CustomHBM().RunMicrobenchmark(Add, 0, 16).Speedup
+	ch64 := A100CustomHBM().RunMicrobenchmark(Add, 0, 64).Speedup
+	if (nb64 / nb16) < (ch64 / ch16) {
+		t.Errorf("near-bank should benefit more from larger B: NB %.3f x vs CH %.3f x", nb64/nb16, ch64/ch16)
+	}
+}
+
+func TestTableIIIConfigValues(t *testing.T) {
+	a := A100NearBank()
+	if a.DRAM.TotalBanks() != 2560 || a.BanksPerGroup() != 512 {
+		t.Fatalf("A100 bank geometry wrong: %d total, %d per group", a.DRAM.TotalBanks(), a.BanksPerGroup())
+	}
+	r := RTX4090NearBank()
+	if r.DRAM.TotalBanks() != 384 || r.BanksPerGroup() != 128 {
+		t.Fatalf("4090 bank geometry wrong")
+	}
+	// BW increase sanity: banks × 32B × clk / external ≈ BWIncrease.
+	raw := float64(a.DRAM.TotalBanks()) * 32 * a.ClockMHz * 1e6 / 1e9
+	ratio := raw / a.DRAM.ExternalBWGBs
+	if ratio < 14 || ratio > 20 {
+		t.Fatalf("A100 internal/external BW ratio %.1f implausible vs Table III 16x", ratio)
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package ring
+
+import (
+	"math/bits"
+)
+
+// Galois automorphisms σ_g: X -> X^g for odd g mod 2N. In CKKS, the rotation
+// of the slot vector by r positions corresponds to g = 5^r mod 2N, and
+// complex conjugation to g = 2N-1 (§II-B "automorphism").
+
+// GaloisElement returns the Galois element 5^r mod 2N realizing a cyclic
+// slot rotation by r (r may be negative).
+func (r *Ring) GaloisElement(rot int) uint64 {
+	twoN := uint64(2 * r.N)
+	n2 := r.N >> 1 // slot count; rotations are cyclic mod N/2
+	rot = ((rot % n2) + n2) % n2
+	g := uint64(1)
+	base := uint64(5)
+	for k := 0; k < rot; k++ {
+		g = g * base % twoN
+	}
+	return g
+}
+
+// GaloisElementConjugate returns the Galois element for complex conjugation.
+func (r *Ring) GaloisElementConjugate() uint64 { return uint64(2*r.N) - 1 }
+
+// AutomorphismCoeff applies σ_g to a coefficient-domain polynomial:
+// coefficient j of the input lands at position g*j mod 2N, negated when the
+// exponent wraps past N.
+func (r *Ring) AutomorphismCoeff(out, in *Poly, g uint64, level int) {
+	if in.IsNTT {
+		panic("ring: AutomorphismCoeff requires coefficient domain")
+	}
+	if out == in {
+		panic("ring: AutomorphismCoeff cannot operate in place")
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		src, dst := in.Coeffs[i], out.Coeffs[i]
+		for j := uint64(0); j < n; j++ {
+			k := (j * g) & mask
+			if k < n {
+				dst[k] = src[j]
+			} else {
+				dst[k-n] = mod.Neg(src[j])
+			}
+		}
+	}
+	out.IsNTT = false
+}
+
+// nttAutoIndex builds (and caches) the NTT-domain permutation for σ_g: with
+// the bit-reversed evaluation order, output slot i holds the value at root
+// exponent e_i = 2·brv(i)+1, and σ_g moves the value from exponent g·e_i.
+func (r *Ring) nttAutoIndex(g uint64) []int {
+	r.autoMu.Lock()
+	defer r.autoMu.Unlock()
+	if idx, ok := r.autoCache[g]; ok {
+		return idx
+	}
+	n := uint64(r.N)
+	logN := r.LogN
+	mask := 2*n - 1
+	idx := make([]int, n)
+	for i := uint64(0); i < n; i++ {
+		e := 2*brv(i, logN) + 1
+		src := (g * e) & mask
+		idx[i] = int(brv((src-1)>>1, logN))
+	}
+	r.autoCache[g] = idx
+	return idx
+}
+
+func brv(x uint64, n int) uint64 { return bits.Reverse64(x) >> uint(64-n) }
+
+// AutomorphismNTT applies σ_g to an NTT-domain polynomial via slot
+// permutation (no arithmetic).
+func (r *Ring) AutomorphismNTT(out, in *Poly, g uint64, level int) {
+	if !in.IsNTT {
+		panic("ring: AutomorphismNTT requires NTT domain")
+	}
+	if out == in {
+		panic("ring: AutomorphismNTT cannot operate in place")
+	}
+	idx := r.nttAutoIndex(g)
+	for i := 0; i <= level; i++ {
+		src, dst := in.Coeffs[i], out.Coeffs[i]
+		for j, k := range idx {
+			dst[j] = src[k]
+		}
+	}
+	out.IsNTT = true
+}
+
+// Automorphism dispatches on the polynomial's current domain.
+func (r *Ring) Automorphism(out, in *Poly, g uint64, level int) {
+	if in.IsNTT {
+		r.AutomorphismNTT(out, in, g, level)
+	} else {
+		r.AutomorphismCoeff(out, in, g, level)
+	}
+}

@@ -1,0 +1,160 @@
+package ring
+
+import "math/big"
+
+// Limb-wise ring operations. All operate on limbs 0..level and write into
+// out, which may alias either input. Domain flags are propagated from the
+// first input; element-wise operations are valid in either domain (they are
+// coefficient-wise in both).
+
+// Add sets out = a + b.
+func (r *Ring) Add(out, a, b *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oo {
+			oo[j] = mod.Add(oa[j], ob[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Sub sets out = a - b.
+func (r *Ring) Sub(out, a, b *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oo {
+			oo[j] = mod.Sub(oa[j], ob[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Neg sets out = -a.
+func (r *Ring) Neg(out, a *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		oa, oo := a.Coeffs[i], out.Coeffs[i]
+		for j := range oo {
+			oo[j] = mod.Neg(oa[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulCoeffs sets out = a ⊙ b (element-wise product). In the NTT domain this
+// is the ring product.
+func (r *Ring) MulCoeffs(out, a, b *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oo {
+			oo[j] = mod.Mul(oa[j], ob[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulCoeffsAdd sets out += a ⊙ b.
+func (r *Ring) MulCoeffsAdd(out, a, b *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oo {
+			oo[j] = mod.Add(oo[j], mod.Mul(oa[j], ob[j]))
+		}
+	}
+}
+
+// MulCoeffsSub sets out -= a ⊙ b.
+func (r *Ring) MulCoeffsSub(out, a, b *Poly, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range oo {
+			oo[j] = mod.Sub(oo[j], mod.Mul(oa[j], ob[j]))
+		}
+	}
+}
+
+// MulScalar sets out = a * s for a small unsigned scalar s (reduced per
+// limb).
+func (r *Ring) MulScalar(out, a *Poly, s uint64, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		sr := s % mod.Q
+		srs := mod.ShoupPrecomp(sr)
+		oa, oo := a.Coeffs[i], out.Coeffs[i]
+		for j := range oo {
+			oo[j] = mod.MulShoup(oa[j], sr, srs)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulByLimbScalars sets out[i] = a[i] * s[i] where s carries one scalar per
+// limb (already reduced). Used for gadget factors and rescaling constants.
+func (r *Ring) MulByLimbScalars(out, a *Poly, s []uint64, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		sr := s[i]
+		srs := mod.ShoupPrecomp(sr)
+		oa, oo := a.Coeffs[i], out.Coeffs[i]
+		for j := range oo {
+			oo[j] = mod.MulShoup(oa[j], sr, srs)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// AddScalarBig adds an arbitrarily large signed integer constant (reduced
+// per limb). Needed by bootstrapping, where constants scale with q0 and
+// exceed int64. Domain handling matches AddScalarInt.
+func (r *Ring) AddScalarBig(out, a *Poly, v *big.Int, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		c := new(big.Int).Mod(v, new(big.Int).SetUint64(mod.Q)).Uint64()
+		oa, oo := a.Coeffs[i], out.Coeffs[i]
+		if a.IsNTT {
+			for j := range oo {
+				oo[j] = mod.Add(oa[j], c)
+			}
+		} else {
+			copy(oo, oa)
+			oo[0] = mod.Add(oa[0], c)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulScalarBig multiplies by an arbitrarily large signed integer constant
+// (reduced per limb).
+func (r *Ring) MulScalarBig(out, a *Poly, v *big.Int, level int) {
+	s := make([]uint64, level+1)
+	for i := 0; i <= level; i++ {
+		s[i] = new(big.Int).Mod(v, new(big.Int).SetUint64(r.Moduli[i].Q)).Uint64()
+	}
+	r.MulByLimbScalars(out, a, s, level)
+}
+
+// AddScalarInt adds a signed integer constant to the polynomial's constant
+// term representation: in the coefficient domain this touches coefficient 0;
+// in the NTT domain a constant shifts every slot, so it is added to all
+// positions.
+func (r *Ring) AddScalarInt(out, a *Poly, v int64, level int) {
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		c := mod.FromCentered(v)
+		oa, oo := a.Coeffs[i], out.Coeffs[i]
+		if a.IsNTT {
+			for j := range oo {
+				oo[j] = mod.Add(oa[j], c)
+			}
+		} else {
+			copy(oo, oa)
+			oo[0] = mod.Add(oa[0], c)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}

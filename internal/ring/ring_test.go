@@ -1,0 +1,264 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+)
+
+func newTestRing(t testing.TB, logN, nPrimes int) *Ring {
+	t.Helper()
+	primes, err := modarith.GenerateNTTPrimes(50, logN, nPrimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(logN, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewPolyShape(t *testing.T) {
+	r := newTestRing(t, 6, 4)
+	p := r.NewPoly(2)
+	if p.Level() != 2 {
+		t.Fatalf("level = %d", p.Level())
+	}
+	if len(p.Coeffs) != 3 || len(p.Coeffs[0]) != r.N {
+		t.Fatalf("bad shape")
+	}
+}
+
+func TestAddSubNegIdentities(t *testing.T) {
+	r := newTestRing(t, 5, 3)
+	s := NewSampler(7)
+	level := r.MaxLevel()
+	a := s.UniformPoly(r, level, false)
+	b := s.UniformPoly(r, level, false)
+
+	sum := r.NewPoly(level)
+	r.Add(sum, a, b, level)
+	diff := r.NewPoly(level)
+	r.Sub(diff, sum, b, level)
+	if !diff.Equal(a) {
+		t.Fatal("(a+b)-b != a")
+	}
+
+	neg := r.NewPoly(level)
+	r.Neg(neg, a, level)
+	r.Add(neg, neg, a, level)
+	zero := r.NewPoly(level)
+	if !neg.Equal(zero) {
+		t.Fatal("a + (-a) != 0")
+	}
+}
+
+func TestMulCoeffsDistributes(t *testing.T) {
+	r := newTestRing(t, 5, 2)
+	level := r.MaxLevel()
+	f := func(seed int64) bool {
+		s := NewSampler(seed)
+		a := s.UniformPoly(r, level, true)
+		b := s.UniformPoly(r, level, true)
+		c := s.UniformPoly(r, level, true)
+		// a*(b+c) == a*b + a*c
+		bc := r.NewPoly(level)
+		r.Add(bc, b, c, level)
+		lhs := r.NewPoly(level)
+		r.MulCoeffs(lhs, a, bc, level)
+		rhs := r.NewPoly(level)
+		rhs.IsNTT = true
+		r.MulCoeffsAdd(rhs, a, b, level)
+		r.MulCoeffsAdd(rhs, a, c, level)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNTTRoundTripPoly(t *testing.T) {
+	r := newTestRing(t, 7, 3)
+	s := NewSampler(3)
+	level := r.MaxLevel()
+	a := s.UniformPoly(r, level, false)
+	orig := a.CopyNew()
+	r.NTT(a, level)
+	if !a.IsNTT {
+		t.Fatal("domain flag not set")
+	}
+	r.INTT(a, level)
+	if !a.Equal(orig) {
+		t.Fatal("NTT/INTT round trip failed")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	r := newTestRing(t, 4, 2)
+	s := NewSampler(11)
+	level := r.MaxLevel()
+	a := s.UniformPoly(r, level, false)
+	out := r.NewPoly(level)
+	r.MulScalar(out, a, 3, level)
+	want := r.NewPoly(level)
+	r.Add(want, a, a, level)
+	r.Add(want, want, a, level)
+	if !out.Equal(want) {
+		t.Fatal("3*a != a+a+a")
+	}
+}
+
+func TestAutomorphismCoeffVsNTT(t *testing.T) {
+	r := newTestRing(t, 8, 2)
+	s := NewSampler(13)
+	level := r.MaxLevel()
+	for _, rot := range []int{1, 2, 5, 31, -1, -7} {
+		g := r.GaloisElement(rot)
+		a := s.UniformPoly(r, level, false)
+
+		// Path 1: coefficient-domain automorphism then NTT.
+		c1 := r.NewPoly(level)
+		r.AutomorphismCoeff(c1, a, g, level)
+		r.NTT(c1, level)
+
+		// Path 2: NTT then NTT-domain automorphism.
+		an := a.CopyNew()
+		r.NTT(an, level)
+		c2 := r.NewPoly(level)
+		r.AutomorphismNTT(c2, an, g, level)
+
+		if !c1.Equal(c2) {
+			t.Fatalf("rot=%d: NTT-domain automorphism disagrees with coefficient-domain", rot)
+		}
+	}
+}
+
+func TestAutomorphismGroupLaw(t *testing.T) {
+	// σ_g1 ∘ σ_g2 = σ_{g1*g2 mod 2N}
+	r := newTestRing(t, 6, 2)
+	s := NewSampler(17)
+	level := r.MaxLevel()
+	a := s.UniformPoly(r, level, false)
+	g1, g2 := r.GaloisElement(3), r.GaloisElement(7)
+	twoN := uint64(2 * r.N)
+
+	t1 := r.NewPoly(level)
+	r.AutomorphismCoeff(t1, a, g2, level)
+	t2 := r.NewPoly(level)
+	r.AutomorphismCoeff(t2, t1, g1, level)
+
+	t3 := r.NewPoly(level)
+	r.AutomorphismCoeff(t3, a, g1*g2%twoN, level)
+	if !t2.Equal(t3) {
+		t.Fatal("automorphism composition law violated")
+	}
+}
+
+func TestAutomorphismConjugateInvolution(t *testing.T) {
+	r := newTestRing(t, 6, 2)
+	s := NewSampler(19)
+	level := r.MaxLevel()
+	a := s.UniformPoly(r, level, true)
+	g := r.GaloisElementConjugate()
+	b := r.NewPoly(level)
+	r.AutomorphismNTT(b, a, g, level)
+	c := r.NewPoly(level)
+	r.AutomorphismNTT(c, b, g, level)
+	if !c.Equal(a) {
+		t.Fatal("conjugation applied twice is not the identity")
+	}
+}
+
+func TestGaloisElementRotationComposition(t *testing.T) {
+	r := newTestRing(t, 8, 1)
+	twoN := uint64(2 * r.N)
+	f := func(r1, r2 uint8) bool {
+		a := int(r1) % (r.N / 2)
+		b := int(r2) % (r.N / 2)
+		return r.GaloisElement(a)*r.GaloisElement(b)%twoN == r.GaloisElement(a+b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTernaryPolyWeight(t *testing.T) {
+	r := newTestRing(t, 8, 2)
+	s := NewSampler(23)
+	h := 32
+	p := s.TernaryPoly(r, r.MaxLevel(), h)
+	nonzero := 0
+	for j := 0; j < r.N; j++ {
+		c := r.Moduli[0].Centered(p.Coeffs[0][j])
+		switch c {
+		case 0:
+		case 1, -1:
+			nonzero++
+		default:
+			t.Fatalf("ternary coefficient %d out of range", c)
+		}
+		// All limbs must agree on the signed value.
+		for i := 1; i <= p.Level(); i++ {
+			if r.Moduli[i].Centered(p.Coeffs[i][j]) != c {
+				t.Fatal("limbs disagree on small value")
+			}
+		}
+	}
+	if nonzero != h {
+		t.Fatalf("hamming weight = %d, want %d", nonzero, h)
+	}
+}
+
+func TestGaussianPolyBounded(t *testing.T) {
+	r := newTestRing(t, 8, 1)
+	s := NewSampler(29)
+	sigma := 3.2
+	p := s.GaussianPoly(r, 0, sigma)
+	var sum, sumSq float64
+	for j := 0; j < r.N; j++ {
+		c := float64(r.Moduli[0].Centered(p.Coeffs[0][j]))
+		if c > 6*sigma || c < -6*sigma {
+			t.Fatalf("gaussian sample %f outside 6 sigma", c)
+		}
+		sum += c
+		sumSq += c * c
+	}
+	n := float64(r.N)
+	mean := sum / n
+	std := sumSq/n - mean*mean
+	if std < sigma*sigma/2 || std > sigma*sigma*2 {
+		t.Fatalf("sample variance %f implausible for sigma=%f", std, sigma)
+	}
+}
+
+func TestAddScalarInt(t *testing.T) {
+	r := newTestRing(t, 4, 2)
+	s := NewSampler(31)
+	level := r.MaxLevel()
+	a := s.UniformPoly(r, level, false)
+	out := r.NewPoly(level)
+	r.AddScalarInt(out, a, -5, level)
+	r.AddScalarInt(out, out, 5, level)
+	if !out.Equal(a) {
+		t.Fatal("add scalar then its negation is not identity")
+	}
+}
+
+func TestUniformRejectionIsUniform(t *testing.T) {
+	// Crude sanity: mean of residues should be ~q/2.
+	r := newTestRing(t, 10, 1)
+	s := NewSampler(rand.Int63())
+	p := s.UniformPoly(r, 0, false)
+	q := float64(r.Moduli[0].Q)
+	var sum float64
+	for _, v := range p.Coeffs[0] {
+		sum += float64(v)
+	}
+	mean := sum / float64(r.N)
+	if mean < 0.4*q || mean > 0.6*q {
+		t.Fatalf("uniform sample mean %.3g implausible for q=%.3g", mean, q)
+	}
+}

@@ -1,0 +1,108 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws the random polynomials used by RLWE key generation and
+// encryption. It is deterministic given its seed, which the test suite and
+// examples rely on; production use would seed from crypto/rand.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler returns a sampler seeded deterministically.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// UniformPoly fills a fresh polynomial with residues uniform in [0, q_i) per
+// limb. Uniform polynomials are invariant under the NTT (the transform of a
+// uniform polynomial is uniform), so the domain flag is set by the caller's
+// needs via asNTT.
+func (s *Sampler) UniformPoly(r *Ring, level int, asNTT bool) *Poly {
+	p := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		row := p.Coeffs[i]
+		bound := ^uint64(0) - ^uint64(0)%q // rejection bound for uniformity
+		for j := range row {
+			for {
+				v := s.rng.Uint64()
+				if v < bound {
+					row[j] = v % q
+					break
+				}
+			}
+		}
+	}
+	p.IsNTT = asNTT
+	return p
+}
+
+// SmallVectorToPoly embeds a small signed integer vector into all limbs of a
+// fresh coefficient-domain polynomial. It is used to lift one sampled secret
+// or error into several rings (e.g. both the Q and P bases of a key).
+func SmallVectorToPoly(r *Ring, level int, v []int64) *Poly {
+	return smallToPoly(r, level, v)
+}
+
+// TernaryVector samples a length-n vector with exactly h entries in {-1,+1}.
+func (s *Sampler) TernaryVector(n, h int) []int64 {
+	v := make([]int64, n)
+	perm := s.rng.Perm(n)
+	for k := 0; k < h && k < n; k++ {
+		if s.rng.Intn(2) == 0 {
+			v[perm[k]] = 1
+		} else {
+			v[perm[k]] = -1
+		}
+	}
+	return v
+}
+
+// GaussianVector samples a length-n rounded-Gaussian vector with standard
+// deviation sigma, truncated at 6 sigma.
+func (s *Sampler) GaussianVector(n int, sigma float64) []int64 {
+	v := make([]int64, n)
+	bound := int64(math.Ceil(6 * sigma))
+	for j := range v {
+		for {
+			x := int64(math.Round(s.rng.NormFloat64() * sigma))
+			if x >= -bound && x <= bound {
+				v[j] = x
+				break
+			}
+		}
+	}
+	return v
+}
+
+// smallToPoly embeds a small signed integer vector into all limbs of a fresh
+// coefficient-domain polynomial.
+func smallToPoly(r *Ring, level int, v []int64) *Poly {
+	p := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		row := p.Coeffs[i]
+		for j, x := range v {
+			row[j] = mod.FromCentered(x)
+		}
+	}
+	return p
+}
+
+// TernaryPoly samples a polynomial with exactly h coefficients in {-1, +1}
+// (a fixed-Hamming-weight ternary secret, Table IV's H_d / H_s) and the rest
+// zero. Returned in the coefficient domain.
+func (s *Sampler) TernaryPoly(r *Ring, level, h int) *Poly {
+	return smallToPoly(r, level, s.TernaryVector(r.N, h))
+}
+
+// GaussianPoly samples a discrete Gaussian error polynomial with standard
+// deviation sigma (rounded continuous Gaussian, adequate for a research
+// implementation). Returned in the coefficient domain.
+func (s *Sampler) GaussianPoly(r *Ring, level int, sigma float64) *Poly {
+	return smallToPoly(r, level, s.GaussianVector(r.N, sigma))
+}

@@ -1,0 +1,167 @@
+// Package rns provides residue-number-system utilities on top of the prime
+// chains used by RNS-CKKS: the fast (approximate) basis conversion BConv of
+// §II-B, rounding division by the last modulus (rescaling), and the constant
+// vectors (P mod q_i, P^{-1} mod q_i) used by ModUp/ModDown key switching.
+package rns
+
+import (
+	"fmt"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+)
+
+// BasisConverter performs the fast base conversion of a value represented in
+// basis "from" (moduli q_0..q_{k-1}, product Q) into basis "to": for each
+// target prime p_j it computes
+//
+//	out_j = Σ_i [x·(Q/q_i)^{-1}]_{q_i} · (Q/q_i)  mod p_j ,
+//
+// which equals x + e·Q for some 0 ≤ e < k (the standard approximate BConv;
+// the small multiple of Q is absorbed by the noise in CKKS). Computing BConv
+// is "mostly equivalent to a matrix-matrix mult between a predefined α×L
+// BConv matrix and the L×N input" (§II-B), which is exactly the loop below.
+type BasisConverter struct {
+	From []modarith.Modulus
+	To   []modarith.Modulus
+
+	qHatInv      []uint64   // [ (Q/q_i)^{-1} ]_{q_i}
+	qHatInvShoup []uint64   // Shoup companions for the per-limb premultiply
+	qHatModTo    [][]uint64 // qHatModTo[j][i] = (Q/q_i) mod p_j
+}
+
+// NewBasisConverter precomputes the conversion constants.
+func NewBasisConverter(from, to []modarith.Modulus) (*BasisConverter, error) {
+	if len(from) == 0 || len(to) == 0 {
+		return nil, fmt.Errorf("rns: empty basis")
+	}
+	k := len(from)
+	bc := &BasisConverter{
+		From:         from,
+		To:           to,
+		qHatInv:      make([]uint64, k),
+		qHatInvShoup: make([]uint64, k),
+		qHatModTo:    make([][]uint64, len(to)),
+	}
+	for i, qi := range from {
+		// Q/q_i mod q_i = prod of the other primes mod q_i.
+		prod := uint64(1)
+		for l, ql := range from {
+			if l != i {
+				prod = qi.Mul(prod, ql.Q%qi.Q)
+			}
+		}
+		inv, err := qi.Inv(prod)
+		if err != nil {
+			return nil, fmt.Errorf("rns: duplicate primes in basis (q_%d)", i)
+		}
+		bc.qHatInv[i] = inv
+		bc.qHatInvShoup[i] = qi.ShoupPrecomp(inv)
+	}
+	for j, pj := range to {
+		row := make([]uint64, k)
+		for i := range from {
+			prod := uint64(1)
+			for l, ql := range from {
+				if l != i {
+					prod = pj.Mul(prod, ql.Q%pj.Q)
+				}
+			}
+			row[i] = prod
+		}
+		bc.qHatModTo[j] = row
+	}
+	return bc, nil
+}
+
+// Convert converts coefficient-domain residue rows in (len(From) rows of
+// equal length) into out (len(To) rows). out must not alias in.
+func (bc *BasisConverter) Convert(out, in [][]uint64) {
+	if len(in) != len(bc.From) || len(out) != len(bc.To) {
+		panic(fmt.Sprintf("rns: Convert shape mismatch: in %d/%d, out %d/%d",
+			len(in), len(bc.From), len(out), len(bc.To)))
+	}
+	n := len(in[0])
+	k := len(bc.From)
+	// tmp_i = [x · qHatInv_i]_{q_i}
+	tmp := make([][]uint64, k)
+	for i := 0; i < k; i++ {
+		qi := bc.From[i]
+		row := make([]uint64, n)
+		src := in[i]
+		w, ws := bc.qHatInv[i], bc.qHatInvShoup[i]
+		for c := 0; c < n; c++ {
+			row[c] = qi.MulShoup(src[c], w, ws)
+		}
+		tmp[i] = row
+	}
+	for j := range bc.To {
+		pj := bc.To[j]
+		dst := out[j]
+		hat := bc.qHatModTo[j]
+		for c := 0; c < n; c++ {
+			acc := uint64(0)
+			for i := 0; i < k; i++ {
+				acc = pj.Add(acc, pj.Mul(tmp[i][c]%pj.Q, hat[i]))
+			}
+			dst[c] = acc
+		}
+	}
+}
+
+// DivRoundByLastModulus computes the rounding division of a coefficient-
+// domain RNS value by its last modulus q_L and drops that limb:
+//
+//	out_i = [ (x + q_L/2 − [x + q_L/2]_{q_L}) / q_L ]_{q_i} ,  i < L,
+//
+// i.e. out = round(x / q_L) exactly, limb-wise. rows carries level+1 limbs
+// of equal length; the first level rows are updated in place and the last
+// row becomes dead.
+func DivRoundByLastModulus(moduli []modarith.Modulus, rows [][]uint64) {
+	l := len(rows) - 1
+	if l < 1 {
+		panic("rns: cannot rescale a single-limb value")
+	}
+	qL := moduli[l]
+	half := qL.QHalf
+	n := len(rows[0])
+	// t = [x + q_L/2]_{q_L}
+	t := make([]uint64, n)
+	for c := 0; c < n; c++ {
+		t[c] = qL.Add(rows[l][c], half)
+	}
+	for i := 0; i < l; i++ {
+		qi := moduli[i]
+		inv := qi.MustInv(qL.Q % qi.Q)
+		invS := qi.ShoupPrecomp(inv)
+		halfModQi := half % qi.Q
+		row := rows[i]
+		for c := 0; c < n; c++ {
+			// (x + half) mod q_i  −  t mod q_i, then exact division.
+			v := qi.Sub(qi.Add(row[c], halfModQi), t[c]%qi.Q)
+			row[c] = qi.MulShoup(v, inv, invS)
+		}
+	}
+}
+
+// ProductMod returns (∏ primes) mod each modulus of target.
+func ProductMod(primes []modarith.Modulus, target []modarith.Modulus) []uint64 {
+	out := make([]uint64, len(target))
+	for j, tj := range target {
+		prod := uint64(1)
+		for _, p := range primes {
+			prod = tj.Mul(prod, p.Q%tj.Q)
+		}
+		out[j] = prod
+	}
+	return out
+}
+
+// ProductInvMod returns (∏ primes)^{-1} mod each modulus of target. The
+// product must be invertible (distinct primes).
+func ProductInvMod(primes []modarith.Modulus, target []modarith.Modulus) []uint64 {
+	out := ProductMod(primes, target)
+	for j, tj := range target {
+		out[j] = tj.MustInv(out[j])
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+)
+
+func mustModuli(t testing.TB, bits, logN, count int) []modarith.Modulus {
+	t.Helper()
+	primes, err := modarith.GenerateNTTPrimes(bits, logN, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]modarith.Modulus, count)
+	for i, q := range primes {
+		out[i] = modarith.MustModulus(q)
+	}
+	return out
+}
+
+func basisProduct(ms []modarith.Modulus) *big.Int {
+	p := big.NewInt(1)
+	for _, m := range ms {
+		p.Mul(p, new(big.Int).SetUint64(m.Q))
+	}
+	return p
+}
+
+func decompose(x *big.Int, ms []modarith.Modulus, n, col int, rows [][]uint64) {
+	for i, m := range ms {
+		rows[i][col] = new(big.Int).Mod(x, new(big.Int).SetUint64(m.Q)).Uint64()
+	}
+	_ = n
+}
+
+func TestConvertMatchesBigInt(t *testing.T) {
+	from := mustModuli(t, 45, 10, 4)
+	to := mustModuli(t, 50, 10, 3)
+	bc, err := NewBasisConverter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 8
+	in := make([][]uint64, len(from))
+	for i := range in {
+		in[i] = make([]uint64, n)
+	}
+	out := make([][]uint64, len(to))
+	for i := range out {
+		out[i] = make([]uint64, n)
+	}
+	r := rand.New(rand.NewSource(1))
+	Q := basisProduct(from)
+	xs := make([]*big.Int, n)
+	for c := 0; c < n; c++ {
+		x := new(big.Int).Rand(r, Q)
+		xs[c] = x
+		decompose(x, from, n, c, in)
+	}
+	bc.Convert(out, in)
+
+	// Expected: v = Σ_i [x·qHatInv_i]_{q_i}·(Q/q_i); check v ≡ x (mod Q),
+	// v < k·Q, and out_j = v mod p_j.
+	for c := 0; c < n; c++ {
+		v := big.NewInt(0)
+		for i, qi := range from {
+			term := new(big.Int).SetUint64(qi.Mul(in[i][c], bc.qHatInv[i]))
+			qHat := new(big.Int).Div(Q, new(big.Int).SetUint64(qi.Q))
+			v.Add(v, term.Mul(term, qHat))
+		}
+		if new(big.Int).Mod(v, Q).Cmp(xs[c]) != 0 {
+			t.Fatalf("col %d: v mod Q != x", c)
+		}
+		if v.Cmp(new(big.Int).Mul(Q, big.NewInt(int64(len(from))))) >= 0 {
+			t.Fatalf("col %d: overflow multiple too large", c)
+		}
+		for j, pj := range to {
+			want := new(big.Int).Mod(v, new(big.Int).SetUint64(pj.Q)).Uint64()
+			if out[j][c] != want {
+				t.Fatalf("col %d target %d: got %d want %d", c, j, out[j][c], want)
+			}
+		}
+	}
+}
+
+func TestConvertOffsetIsSmallMultipleOfQ(t *testing.T) {
+	// The fast conversion returns x + e·Q with a single 0 ≤ e < k consistent
+	// across all target primes (§II-B approximate BConv).
+	from := mustModuli(t, 45, 8, 3)
+	to := mustModuli(t, 50, 8, 2)
+	bc, err := NewBasisConverter(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Q := basisProduct(from)
+	f := func(raw uint64) bool {
+		x := new(big.Int).Mod(new(big.Int).SetUint64(raw), Q)
+		in := make([][]uint64, len(from))
+		for i := range in {
+			in[i] = []uint64{new(big.Int).Mod(x, new(big.Int).SetUint64(from[i].Q)).Uint64()}
+		}
+		out := make([][]uint64, len(to))
+		for i := range out {
+			out[i] = []uint64{0}
+		}
+		bc.Convert(out, in)
+		for e := int64(0); e < int64(len(from)); e++ {
+			v := new(big.Int).Add(x, new(big.Int).Mul(Q, big.NewInt(e)))
+			ok := true
+			for j := range to {
+				if out[j][0] != new(big.Int).Mod(v, new(big.Int).SetUint64(to[j].Q)).Uint64() {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivRoundByLastModulus(t *testing.T) {
+	ms := mustModuli(t, 45, 8, 4)
+	Q := basisProduct(ms)
+	qL := new(big.Int).SetUint64(ms[len(ms)-1].Q)
+	n := 16
+	r := rand.New(rand.NewSource(5))
+	rows := make([][]uint64, len(ms))
+	for i := range rows {
+		rows[i] = make([]uint64, n)
+	}
+	xs := make([]*big.Int, n)
+	for c := 0; c < n; c++ {
+		x := new(big.Int).Rand(r, Q)
+		xs[c] = x
+		decompose(x, ms, n, c, rows)
+	}
+	DivRoundByLastModulus(ms, rows)
+	for c := 0; c < n; c++ {
+		// round(x/qL) = floor((x + qL/2)/qL)
+		want := new(big.Int).Add(xs[c], new(big.Int).Rsh(qL, 1))
+		want.Div(want, qL)
+		for i := 0; i < len(ms)-1; i++ {
+			w := new(big.Int).Mod(want, new(big.Int).SetUint64(ms[i].Q)).Uint64()
+			if rows[i][c] != w {
+				t.Fatalf("col %d limb %d: got %d want %d", c, i, rows[i][c], w)
+			}
+		}
+	}
+}
+
+func TestProductModAndInv(t *testing.T) {
+	p := mustModuli(t, 45, 8, 2)
+	q := mustModuli(t, 50, 8, 3)
+	pm := ProductMod(p, q)
+	pinv := ProductInvMod(p, q)
+	for j, qj := range q {
+		if qj.Mul(pm[j], pinv[j]) != 1 {
+			t.Fatalf("P * P^{-1} != 1 mod q_%d", j)
+		}
+		want := new(big.Int).Mod(basisProduct(p), new(big.Int).SetUint64(qj.Q)).Uint64()
+		if pm[j] != want {
+			t.Fatalf("ProductMod wrong at %d", j)
+		}
+	}
+}
+
+func TestNewBasisConverterRejectsDuplicates(t *testing.T) {
+	ms := mustModuli(t, 45, 8, 2)
+	dup := []modarith.Modulus{ms[0], ms[0]}
+	if _, err := NewBasisConverter(dup, ms); err == nil {
+		t.Fatal("expected error for duplicate primes")
+	}
+	if _, err := NewBasisConverter(nil, ms); err == nil {
+		t.Fatal("expected error for empty basis")
+	}
+}

@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/anaheim-sim/anaheim/internal/trace"
+)
+
+// RenderGantt draws an ASCII Gantt chart of a timeline (Fig 4a style): one
+// lane for GPU kernels split by class, one for PIM kernels. width is the
+// chart width in characters.
+func RenderGantt(timeline []Segment, totalNs float64, width int) string {
+	if len(timeline) == 0 || totalNs <= 0 {
+		return "(empty timeline)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	scale := float64(width) / totalNs
+
+	lanes := []struct {
+		label string
+		match func(Segment) bool
+		fill  byte
+	}{
+		{"GPU ModSwitch", func(s Segment) bool {
+			return !s.PIM && (s.Class == trace.ClassNTT || s.Class == trace.ClassINTT || s.Class == trace.ClassBConv)
+		}, 'M'},
+		{"GPU elem-wise", func(s Segment) bool { return !s.PIM && s.Class == trace.ClassEW }, 'E'},
+		{"GPU automorph", func(s Segment) bool { return !s.PIM && s.Class == trace.ClassAut }, 'A'},
+		{"PIM kernels  ", func(s Segment) bool { return s.PIM }, 'P'},
+	}
+
+	var sb strings.Builder
+	for _, lane := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		used := false
+		for _, seg := range timeline {
+			if !lane.match(seg) {
+				continue
+			}
+			used = true
+			start := int(seg.StartNs * scale)
+			end := int((seg.StartNs + seg.DurNs) * scale)
+			if end == start && end < width {
+				end = start + 1
+			}
+			for i := start; i < end && i < width; i++ {
+				row[i] = lane.fill
+			}
+		}
+		if used {
+			sb.WriteString(fmt.Sprintf("%s |%s|\n", lane.label, row))
+		}
+	}
+	sb.WriteString(fmt.Sprintf("%s  0%sT=%.0fus\n", strings.Repeat(" ", 13),
+		strings.Repeat(" ", width-10), totalNs/1e3))
+	return sb.String()
+}

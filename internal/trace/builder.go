@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/anaheim-sim/anaheim/internal/pim"
+)
+
+// Options selects the Anaheim algorithm/fusion configuration (§V, Fig 10).
+type Options struct {
+	Hoist     bool // hoisting-based linear transforms (vs. Base)
+	MinKS     bool // minimum-key-switching linear transforms (excludes Hoist)
+	BasicFuse bool // PAccum/CAccum compound instructions (+BasicFuse)
+	AutFuse   bool // automorphism fused with accumulation (+AutFuse)
+	ExtraFuse bool // GPU-only extra fusions, e.g. ModDown fusion [38]
+	PIM       bool // mark element-wise kernels for PIM offloading
+}
+
+// AnaheimDefault is the full Anaheim configuration.
+func AnaheimDefault() Options {
+	return Options{Hoist: true, BasicFuse: true, AutFuse: true, PIM: true}
+}
+
+// GPUBaseline is the best GPU-only configuration (Cheddar + all GPU fusions).
+func GPUBaseline() Options {
+	return Options{Hoist: true, BasicFuse: true, AutFuse: true, ExtraFuse: true}
+}
+
+// Builder emits kernels into a trace.
+type Builder struct {
+	P   Params
+	Opt Options
+	T   *Trace
+}
+
+// NewBuilder starts a trace.
+func NewBuilder(p Params, opt Options, name string) *Builder {
+	return &Builder{P: p, Opt: opt, T: &Trace{Name: name, P: p}}
+}
+
+// --- primitive emissions ---------------------------------------------------
+
+// The (I)NTT/BConv chains of a ModSwitch stream their intermediates through
+// the L2 cache (a level-53 polynomial is 13.8 MB against 40-72 MB of L2), so
+// only the chain boundaries touch DRAM: the INTT pays its input read, the
+// NTT its output write, and the BConv in between is cache-resident. This is
+// what keeps (I)NTT and BConv compute-bound on GPUs (§IV-D).
+
+func (b *Builder) ntt(name string, limbs int) {
+	b.T.Append(Kernel{
+		Name: name, Class: ClassNTT,
+		WeightedOps: nttWeightedOps(b.P, float64(limbs)),
+		Bytes:       b.P.PolyBytes(limbs), // output write
+		Limbs:       limbs, Instances: 1,
+	})
+}
+
+func (b *Builder) intt(name string, limbs int) {
+	b.T.Append(Kernel{
+		Name: name, Class: ClassINTT,
+		WeightedOps: nttWeightedOps(b.P, float64(limbs)),
+		Bytes:       b.P.PolyBytes(limbs), // input read
+		Limbs:       limbs, Instances: 1,
+	})
+}
+
+func (b *Builder) bconv(name string, kin, kout int) {
+	b.T.Append(Kernel{
+		Name: name, Class: ClassBConv,
+		WeightedOps: bconvWeightedOps(b.P, kin, kout),
+		Bytes:       0, // cache-resident between INTT and NTT
+		Limbs:       kout, Instances: 1,
+	})
+}
+
+// ew emits an element-wise kernel of `instances` instruction instances over
+// polynomials of `limbs` limbs. oneTime is the streaming portion of its
+// traffic (whole kernel).
+func (b *Builder) ew(name string, op pim.Opcode, k, limbs, instances int, oneTime float64) {
+	// Without compound fusion (+BasicFuse off), accumulations execute as
+	// unfused PMAC/CMAC chains re-touching their accumulators — on the GPU
+	// and on PIM alike (§VII-D).
+	if !b.Opt.BasicFuse {
+		switch op {
+		case pim.PAccum:
+			op, instances, k = pim.PMAC, instances*k, 0
+		case pim.CAccum:
+			op, instances, k = pim.CMAC, instances*2*k, 0
+		}
+	}
+	spec := pim.Spec(op, k)
+	accesses := spec.PIMAccesses()
+	b.T.Append(Kernel{
+		Name: name, Class: ClassEW,
+		WeightedOps: float64(spec.ModMuls) * float64(limbs) * float64(b.P.N) * modMulW * float64(instances),
+		Bytes:       float64(accesses) * b.P.PolyBytes(limbs) * float64(instances),
+		OneTime:     oneTime,
+		Op:          op, OpK: k, Limbs: limbs, Instances: instances,
+		Offload: b.Opt.PIM,
+	})
+}
+
+// aut emits automorphism kernels (GPU-only: complex data movement is
+// unsuited to PIM, §V-A). With AutFuse the permutation is fused with the
+// accumulation (read src + read acc + write acc); without it the
+// permutation round-trips DRAM before a separate accumulation kernel.
+func (b *Builder) aut(name string, limbs, instances int, withAccum bool) {
+	accesses := 2.0
+	if withAccum {
+		if b.Opt.AutFuse {
+			accesses = 3
+		} else {
+			accesses = 5 // Aut (2) + separate accumulate (3)
+		}
+	}
+	b.T.Append(Kernel{
+		Name: name, Class: ClassAut,
+		Bytes: accesses * b.P.PolyBytes(limbs) * float64(instances),
+		Limbs: limbs, Instances: instances,
+	})
+}
+
+// markWriteBack tags the most recent kernel with coherence write-back bytes
+// (charged only when the consuming block actually runs on PIM).
+func (b *Builder) markWriteBack(bytes float64) {
+	if b.Opt.PIM && len(b.T.Kernels) > 0 {
+		b.T.Kernels[len(b.T.Kernels)-1].WriteBack += bytes
+	}
+}
+
+// MemOp emits a pure data-movement kernel that stays on the GPU (e.g.
+// ModRaise's centered rebroadcast, which needs comparisons unsuited to the
+// MMAC datapath).
+func (b *Builder) MemOp(name string, limbs int) {
+	b.T.Append(Kernel{
+		Name: name, Class: ClassEW,
+		Bytes: 2 * b.P.PolyBytes(limbs),
+		Op:    pim.Move, Limbs: limbs, Instances: 1,
+	})
+}
+
+// --- composite CKKS operations (Fig 1) --------------------------------------
+
+// ModUp raises a level-ℓ polynomial into the extended basis: one INTT over
+// its limbs, then per digit a BConv and an NTT over the fresh limbs.
+func (b *Builder) ModUp(level int) {
+	d := b.P.Digits(level)
+	b.intt("ModUp.INTT", level+1)
+	for i := 0; i < d; i++ {
+		b.bconv(fmt.Sprintf("ModUp.BConv[%d]", i), b.P.Alpha, level+1)
+		b.ntt(fmt.Sprintf("ModUp.NTT[%d]", i), level+1)
+	}
+	// The D digit polynomials must reside in DRAM before a PIM KeyMult.
+	b.markWriteBack(float64(d) * b.P.PolyBytes(level+1+b.P.Alpha))
+}
+
+// ModUpNoINTT re-decomposes a value already held in coefficient-accessible
+// form (double-hoisted giant steps [8]): BConv+NTT per digit, no INTT.
+func (b *Builder) ModUpNoINTT(level int) {
+	d := b.P.Digits(level)
+	for i := 0; i < d; i++ {
+		b.bconv(fmt.Sprintf("ModUp.BConv[%d]", i), b.P.Alpha, level+1)
+		b.ntt(fmt.Sprintf("ModUp.NTT[%d]", i), level+1)
+	}
+	b.markWriteBack(float64(d) * b.P.PolyBytes(level+1+b.P.Alpha))
+}
+
+// KeyMult performs the inner product with a switching key: with BasicFuse a
+// single PAccum⟨D⟩ per component pair, reading the 2·D evk polynomials as
+// one-time data.
+func (b *Builder) KeyMult(name string, level int) {
+	d := b.P.Digits(level)
+	ext := level + 1 + b.P.Alpha
+	b.ew(name, pim.PAccum, d, ext, 1, 2*float64(d)*b.P.PolyBytes(ext))
+}
+
+// ModDown lowers both components from the extended basis back to Q:
+// INTT/BConv/NTT on the P part plus the ModDownEp element-wise epilogue.
+// With ExtraFuse (GPU-only baseline) the epilogue is fused into the NTT,
+// halving its traffic.
+func (b *Builder) ModDown(level, components int) {
+	for c := 0; c < components; c++ {
+		b.intt(fmt.Sprintf("ModDown.INTT[%d]", c), b.P.Alpha)
+		b.bconv(fmt.Sprintf("ModDown.BConv[%d]", c), b.P.Alpha, level+1)
+		b.ntt(fmt.Sprintf("ModDown.NTT[%d]", c), level+1)
+		b.markWriteBack(b.P.PolyBytes(level + 1))
+		if b.Opt.ExtraFuse && !b.Opt.PIM {
+			// ModDown fusion [38]: the epilogue rides the NTT's output pass.
+			b.T.Kernels[len(b.T.Kernels)-1].Bytes += b.P.PolyBytes(level + 1)
+			continue
+		}
+		b.ew(fmt.Sprintf("ModDown.Ep[%d]", c), pim.ModDownEp, 0, level+1, 1, 0)
+	}
+}
+
+// Rescale drops the top prime: INTT of the dropped limb, its broadcast NTT
+// across the remaining primes (fused with the element-wise division, whose
+// traffic the epilogue kernel carries).
+func (b *Builder) Rescale(level int) {
+	b.intt("Rescale.INTT", 2)
+	b.T.Append(Kernel{ // broadcast NTT: compute only, fused with the epilogue
+		Name: "Rescale.NTT", Class: ClassNTT,
+		WeightedOps: nttWeightedOps(b.P, float64(2*level)),
+		Limbs:       2 * level, Instances: 1,
+	})
+	b.ew("Rescale.Ep", pim.ModDownEp, 0, 2*level, 1, 0)
+}
+
+// --- basic functions (Fig 2a) -----------------------------------------------
+
+// HADD emits an inter-ciphertext addition.
+func (b *Builder) HADD(level int) {
+	b.ew("HADD", pim.Add, 0, 2*(level+1), 1, 0)
+}
+
+// PMULT emits a plaintext-ciphertext multiplication; the plaintext is
+// one-time data.
+func (b *Builder) PMULT(level int) {
+	b.ew("PMULT", pim.PMult, 0, level+1, 1, b.P.PolyBytes(level+1))
+}
+
+// HMULT emits an inter-ciphertext multiplication with relinearization and
+// rescaling.
+func (b *Builder) HMULT(level int) {
+	b.ew("HMULT.Tensor", pim.Tensor, 0, level+1, 1, 0)
+	b.ModUp(level)
+	b.KeyMult("HMULT.KeyMult", level)
+	b.ModDown(level, 2)
+	b.ew("HMULT.Add", pim.Add, 0, 2*(level+1), 1, 0)
+	b.Rescale(level)
+}
+
+// HSQUARE is HMULT with the TensorSq shortcut.
+func (b *Builder) HSQUARE(level int) {
+	b.ew("HSQ.TensorSq", pim.TensorSq, 0, level+1, 1, 0)
+	b.ModUp(level)
+	b.KeyMult("HSQ.KeyMult", level)
+	b.ModDown(level, 2)
+	b.ew("HSQ.Add", pim.Add, 0, 2*(level+1), 1, 0)
+	b.Rescale(level)
+}
+
+// EW2 emits a constant multiply-and-add over both ciphertext components
+// (CMAC), the shape of EvalMod's affine maps and double-angle epilogues.
+func (b *Builder) EW2(name string, level int) {
+	b.ew(name, pim.CMAC, 0, 2*(level+1), 1, 0)
+}
+
+// CAccum emits a K-term constant accumulation (the BSGS leaf linear
+// combinations of Chebyshev evaluation).
+func (b *Builder) CAccum(name string, level, k int) {
+	b.ew(name, pim.CAccum, k, level+1, 1, 0)
+}
+
+// HROT emits a ciphertext rotation: ModUp → KeyMult → automorphism →
+// ModDown → add (Fig 1).
+func (b *Builder) HROT(level int) {
+	b.ModUp(level)
+	b.KeyMult("HROT.KeyMult", level)
+	b.aut("HROT.Aut", 2*(level+1+b.P.Alpha), 1, false)
+	b.ModDown(level, 2)
+	b.ew("HROT.Add", pim.Add, 0, level+1, 1, 0)
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/anaheim-sim/anaheim/internal/pim"
+)
+
+func TestPaperParamsSizes(t *testing.T) {
+	p := PaperParams()
+	// §III-A: a polynomial can be as large as 17MB, an evk 136MB; a
+	// ciphertext is 27MB (3×27MB fit alongside an evk in a 217MB cache).
+	if got := p.PolyBytes(p.L + p.Alpha); got < 16e6 || got > 19e6 {
+		t.Fatalf("extended polynomial = %.1fMB, want ~17MB", got/1e6)
+	}
+	if got := p.EvkBytes(p.L - 1); got < 130e6 || got > 145e6 {
+		t.Fatalf("evk = %.1fMB, want ~136MB", got/1e6)
+	}
+	if got := p.CtBytes(p.L - 1); got < 26e6 || got > 30e6 {
+		t.Fatalf("ciphertext = %.1fMB, want ~27MB", got/1e6)
+	}
+}
+
+func TestWithDKeepsLimbBudget(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4, 6, 8} {
+		p := PaperParams().WithD(d)
+		if p.L+p.Alpha != 68 {
+			t.Fatalf("D=%d: L+alpha = %d, want 68", d, p.L+p.Alpha)
+		}
+		if got := (p.L + p.Alpha - 1) / p.Alpha; got != d {
+			t.Fatalf("D=%d: derived D = %d", d, got)
+		}
+	}
+	p4 := PaperParams().WithD(4)
+	if p4.L != 54 || p4.Alpha != 14 {
+		t.Fatalf("D=4 should recover Table IV: L=%d alpha=%d", p4.L, p4.Alpha)
+	}
+}
+
+func TestModUpWriteBackIs68MB(t *testing.T) {
+	// §V-D: "we write back only up to 68MB more for ModUp(a)".
+	p := PaperParams()
+	b := NewBuilder(p, Options{PIM: true}, "wb")
+	b.ModUp(p.L - 1)
+	var wb float64
+	for _, k := range b.T.Kernels {
+		wb += k.WriteBack
+	}
+	if wb < 65e6 || wb > 72e6 {
+		t.Fatalf("ModUp write-back = %.1fMB, want ~68MB", wb/1e6)
+	}
+}
+
+func TestWriteBackOnlyWhenPIM(t *testing.T) {
+	p := PaperParams()
+	b := NewBuilder(p, Options{PIM: false}, "nowb")
+	b.ModUp(p.L - 1)
+	for _, k := range b.T.Kernels {
+		if k.WriteBack != 0 {
+			t.Fatal("write-backs must only be emitted in PIM mode")
+		}
+	}
+}
+
+func TestHoistingReducesNTT(t *testing.T) {
+	// Fig 1 table: hoisting reduces the (I)NTT count ~2.47x for linear
+	// transforms; Base and MinKS share the same compute.
+	p := PaperParams()
+	counts := map[string]float64{}
+	for _, alg := range []struct {
+		name string
+		opt  Options
+	}{
+		{"base", Options{}},
+		{"hoist", Options{Hoist: true}},
+		{"minks", Options{MinKS: true}},
+	} {
+		b := NewBuilder(p, alg.opt, "lt")
+		b.LinearTransform(p.L-1, 31)
+		counts[alg.name] = b.T.NTTLimbTransforms()
+	}
+	if counts["base"] != counts["minks"] {
+		t.Fatalf("Base (%v) and MinKS (%v) should have equal (I)NTT counts", counts["base"], counts["minks"])
+	}
+	ratio := counts["base"] / counts["hoist"]
+	if ratio < 1.8 || ratio > 4 {
+		t.Fatalf("hoisting (I)NTT reduction = %.2fx, want ~2.5x", ratio)
+	}
+}
+
+func TestMinKSNeedsTwoKeys(t *testing.T) {
+	p := PaperParams()
+	bm := NewBuilder(p, Options{MinKS: true}, "")
+	bh := NewBuilder(p, Options{Hoist: true}, "")
+	if bm.EvkCount(31) != 2 {
+		t.Fatalf("MinKS evk count = %d, want 2", bm.EvkCount(31))
+	}
+	if bh.EvkCount(31) <= 2 {
+		t.Fatal("hoisting should need one key per distinct rotation")
+	}
+}
+
+func TestHoistingPlaintextsLarger(t *testing.T) {
+	// §III-B: hoisting performs PMULT in the extended modulus, requiring
+	// larger plaintexts.
+	p := PaperParams()
+	bh := NewBuilder(p, Options{Hoist: true}, "")
+	bb := NewBuilder(p, Options{}, "")
+	if bh.PlaintextBytes(p.L-1, 8) <= bb.PlaintextBytes(p.L-1, 8) {
+		t.Fatal("hoisted plaintexts should be larger (extended modulus)")
+	}
+}
+
+func TestBasicFuseReducesEWBytes(t *testing.T) {
+	p := PaperParams()
+	fused := NewBuilder(p, Options{BasicFuse: true}, "")
+	fused.KeyMult("km", p.L-1)
+	unfused := NewBuilder(p, Options{}, "")
+	unfused.KeyMult("km", p.L-1)
+	fb := fused.T.TotalBytes()
+	ub := unfused.T.TotalBytes()
+	if fb >= ub {
+		t.Fatalf("BasicFuse should reduce traffic: %.0f vs %.0f", fb, ub)
+	}
+	// Unfused: 7K accesses vs fused 3K+2 (PAccum spec).
+	want := float64(pim.Spec(pim.PAccum, p.D).GPUAccesses) / float64(pim.Spec(pim.PAccum, p.D).PIMAccesses())
+	if got := ub / fb; got < want*0.9 || got > want*1.1 {
+		t.Fatalf("unfused/fused byte ratio = %.2f, want ~%.2f", got, want)
+	}
+}
+
+func TestAutFuseReducesAutBytes(t *testing.T) {
+	p := PaperParams()
+	get := func(autFuse bool) float64 {
+		b := NewBuilder(p, Options{Hoist: true, AutFuse: autFuse}, "")
+		b.LinearTransform(p.L-1, 16)
+		return b.T.CountClass(ClassAut, func(k Kernel) float64 { return k.Bytes })
+	}
+	if get(true) >= get(false) {
+		t.Fatal("AutFuse should reduce automorphism traffic")
+	}
+}
+
+func TestEWKernelsOffloadableOnlyWithPIM(t *testing.T) {
+	p := PaperParams()
+	b := NewBuilder(p, AnaheimDefault(), "")
+	b.HMULT(p.L - 1)
+	sawEW, sawNonOffload := false, false
+	for _, k := range b.T.Kernels {
+		if k.Class == ClassEW && k.Offload {
+			sawEW = true
+		}
+		if k.Class != ClassEW && k.Offload {
+			t.Fatalf("non-EW kernel %s marked offloadable", k.Name)
+		}
+		if k.Class == ClassAut || k.Class == ClassNTT {
+			sawNonOffload = true
+		}
+	}
+	if !sawEW || !sawNonOffload {
+		t.Fatal("HMULT should mix offloadable EW and GPU-only kernels")
+	}
+}
+
+func TestTraceAccountingInvariants(t *testing.T) {
+	p := PaperParams()
+	f := func(kRaw, lvlRaw uint8) bool {
+		k := int(kRaw)%30 + 2
+		lvl := int(lvlRaw)%40 + 10
+		b := NewBuilder(p, AnaheimDefault(), "q")
+		b.LinearTransform(lvl, k)
+		for _, kn := range b.T.Kernels {
+			if kn.Bytes < 0 || kn.OneTime < 0 || kn.OneTime > kn.Bytes+1 {
+				return false
+			}
+			if kn.WeightedOps < 0 || kn.Limbs < 0 || kn.Instances < 0 {
+				return false
+			}
+		}
+		return b.T.TotalBytes() > 0 && b.T.NTTLimbTransforms() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

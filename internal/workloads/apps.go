@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"github.com/anaheim-sim/anaheim/internal/trace"
+)
+
+// The application traces compose bootstrapping with each workload's
+// published op mix (§VII-A). The structures below are derived from the cited
+// workload papers at the level of operation counts — what the simulator
+// needs — not from their trained models or datasets (see DESIGN.md's
+// substitution table).
+
+// Workload couples a trace generator with its paper metadata.
+type Workload struct {
+	Name string
+	LEff int
+	Gen  func(p trace.Params, opt trace.Options) *trace.Trace
+}
+
+// All returns the six evaluation workloads of Fig 8.
+func All() []Workload {
+	return []Workload{
+		{"Boot", 11, func(p trace.Params, o trace.Options) *trace.Trace {
+			return Bootstrap(p, o, DefaultBoot())
+		}},
+		{"HELR", 10, HELR},
+		{"Sort", 9, Sort},
+		{"RNN", 10, RNN},
+		{"ResNet20", 8, ResNet20},
+		{"ResNet18", 7, ResNet18AESPA},
+	}
+}
+
+// ByName returns one workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// FootprintGB estimates a workload's DRAM residency: bootstrapping keys and
+// matrices plus workload weights/plaintexts and live feature maps. ResNet20
+// and ResNet18-AESPA exceed the RTX 4090's 24GB (§VIII-B: "ResNet18-AESPA
+// requires over 40GB of memory").
+func FootprintGB(name string, p trace.Params) float64 {
+	boot := BootFootprintGB(p, DefaultBoot())
+	switch name {
+	case "Boot":
+		return boot
+	case "HELR":
+		sparse := DefaultBoot()
+		sparse.SlotsLog = 8
+		return BootFootprintGB(p, sparse) + 1
+	case "Sort":
+		return boot + 3 // comparison polynomial plaintexts + live arrays
+	case "RNN":
+		return boot + 4 // two weight matrices as diagonal plaintexts
+	case "ResNet20":
+		// 20 layers of multiplexed convolution plaintexts + feature maps.
+		return boot + 20*0.35 + 20*p.CtBytes(p.L-1)/1e9 + 6
+	case "ResNet18":
+		// ImageNet feature maps: several ciphertexts per layer and NeuJeans
+		// convolution matrices (paper: > 40GB).
+		return boot + 18*0.8 + 80*p.CtBytes(p.L-1)/1e9 + 12
+	default:
+		return boot
+	}
+}
+
+// levelFor returns a representative mid-schedule level for application ops.
+func levelFor(p trace.Params, depth int) int {
+	l := p.L - 1 - 2*depth
+	if l < 3 {
+		l = 3
+	}
+	return l
+}
+
+// HELR is one training iteration of logistic regression on a 1024-batch of
+// 14×14 MNIST images [33]: the model has only 196 weights, so bootstrapping
+// packs few slots and its linear transforms shrink, leaving ModSwitch
+// dominant (§VII-B explains the resulting smaller Anaheim gains).
+func HELR(p trace.Params, opt trace.Options) *trace.Trace {
+	b := trace.NewBuilder(p, opt, "HELR")
+	lvl := levelFor(p, 2)
+	// Batch inner products: sigma(X·w): one mat-vec plus rotations for the
+	// intra-ciphertext reduction tree.
+	b.LinearTransform(lvl, 8)
+	for i := 0; i < 8; i++ { // log-depth rotation-sum over 196 packed weights
+		b.HROT(lvl - 2)
+	}
+	// Degree-3 sigmoid approximation and gradient computation.
+	for i := 0; i < 4; i++ {
+		b.HMULT(lvl - 4 - 2*i)
+	}
+	b.PMULT(lvl - 8)
+	b.HADD(lvl - 8)
+	// Sparse-slot bootstrapping: only 196 slots are packed, so the DFT
+	// matrices have few diagonals (SlotsLog 8) while ModSwitch retains its
+	// full cost.
+	cfg := DefaultBoot()
+	cfg.SlotsLog = 8
+	boot := Bootstrap(p, opt, cfg)
+	t := b.T
+	t.Concat(boot, 2) // one bootstrap per ciphertext pair kept alive
+	t.LEff = 10
+	return t
+}
+
+// Sort is the two-way sorting of 2^14 reals [35]: a bitonic-style network of
+// log²-depth rounds, each evaluating a minimax comparison polynomial and a
+// swap, with periodic bootstrapping.
+func Sort(p trace.Params, opt trace.Options) *trace.Trace {
+	b := trace.NewBuilder(p, opt, "Sort")
+	rounds := 105 // log(2^14)·(log(2^14)+1)/2 comparator rounds
+	boot := Bootstrap(p, opt, DefaultBoot())
+	t := b.T
+	for r := 0; r < rounds; r++ {
+		rb := trace.NewBuilder(p, opt, "Sort.round")
+		lvl := levelFor(p, 1)
+		// Comparison via a composition of minimax polynomials (depth ~15)
+		// plus the swap network; consumes more than L_eff levels, so each
+		// round bootstraps twice.
+		for i := 0; i < 15; i++ {
+			rb.HMULT(lvl - 2*(i%7))
+		}
+		rb.HROT(lvl - 6)
+		rb.HADD(lvl - 8)
+		rb.HADD(lvl - 8)
+		t.Concat(rb.T, 1)
+		t.Concat(boot, 2)
+	}
+	t.LEff = 9
+	return t
+}
+
+// RNN is 200 iterations of an RNN cell on a 32-batch of 128-long
+// embeddings [67]: two 128×128 mat-vecs, a tanh-like activation, and a
+// bootstrap every few cells.
+func RNN(p trace.Params, opt trace.Options) *trace.Trace {
+	t := &trace.Trace{Name: "RNN", P: p, LEff: 10}
+	boot := Bootstrap(p, opt, DefaultBoot())
+	for it := 0; it < 200; it++ {
+		b := trace.NewBuilder(p, opt, "RNN.cell")
+		lvl := levelFor(p, 1)
+		b.LinearTransform(lvl, 16)   // W_x·x
+		b.LinearTransform(lvl-2, 16) // W_h·h
+		b.HADD(lvl - 4)
+		for i := 0; i < 3; i++ { // activation polynomial
+			b.HMULT(lvl - 4 - 2*i)
+		}
+		t.Concat(b.T, 1)
+		if it%3 == 2 {
+			t.Concat(boot, 1)
+		}
+	}
+	return t
+}
+
+// ResNet20 is CIFAR-10 inference [49]: 20 convolution layers as multiplexed
+// packed convolutions (rotation-heavy linear transforms), AESPA-free ReLU
+// via a composite minimax polynomial, and one bootstrap per layer.
+func ResNet20(p trace.Params, opt trace.Options) *trace.Trace {
+	t := &trace.Trace{Name: "ResNet20", P: p, LEff: 8}
+	boot := Bootstrap(p, opt, DefaultBoot())
+	for layer := 0; layer < 20; layer++ {
+		b := trace.NewBuilder(p, opt, "R20.layer")
+		lvl := levelFor(p, 1)
+		b.LinearTransform(lvl, 18) // multiplexed parallel convolution
+		for i := 0; i < 6; i++ {   // high-degree ReLU approximation
+			b.HMULT(lvl - 2 - 2*i)
+		}
+		b.HADD(lvl - 12)
+		t.Concat(b.T, 1)
+		t.Concat(boot, 1)
+	}
+	return t
+}
+
+// ResNet18AESPA is ImageNet inference with NeuJeans packing and AESPA
+// activations [37][64]: larger feature maps mean several ciphertexts per
+// layer, convolutions fused with bootstrapping's DFTs, and quadratic
+// activations.
+func ResNet18AESPA(p trace.Params, opt trace.Options) *trace.Trace {
+	t := &trace.Trace{Name: "ResNet18", P: p, LEff: 7}
+	boot := Bootstrap(p, opt, DefaultBoot())
+	for layer := 0; layer < 18; layer++ {
+		b := trace.NewBuilder(p, opt, "R18.layer")
+		lvl := levelFor(p, 1)
+		cts := 2 // ciphertexts per layer after NeuJeans packing
+		for c := 0; c < cts; c++ {
+			b.LinearTransform(lvl, 24)
+			b.HSQUARE(lvl - 2) // AESPA quadratic activation
+			b.PMULT(lvl - 4)
+			b.HADD(lvl - 4)
+		}
+		t.Concat(b.T, 1)
+		t.Concat(boot, 2)
+	}
+	return t
+}
