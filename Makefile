@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race bench micro serve clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Paper-figure benchmarks (testing.B, one per artifact).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# FHE op microbenchmarks -> BENCH_PR1.json (the perf trajectory file).
+micro:
+	$(GO) run ./cmd/anaheim-bench -micro -o BENCH_PR1.json
+
+serve:
+	$(GO) run ./cmd/anaheim-serve -addr :8080
+
+clean:
+	$(GO) clean ./...

@@ -19,8 +19,10 @@ package anaheim
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/anaheim-sim/anaheim/internal/ckks"
+	"github.com/anaheim-sim/anaheim/internal/engine"
 	"github.com/anaheim-sim/anaheim/internal/experiments"
 	"github.com/anaheim-sim/anaheim/internal/gpu"
 	"github.com/anaheim-sim/anaheim/internal/pim"
@@ -44,7 +46,29 @@ type (
 	LinearTransform = ckks.LinearTransform
 	// BootstrapConfig selects bootstrapping hyper-parameters.
 	BootstrapConfig = ckks.BootstrapConfig
+	// EvaluationKeySet bundles the relinearization and Galois keys a server
+	// needs to evaluate on a client's ciphertexts.
+	EvaluationKeySet = ckks.EvaluationKeySet
+	// PublicKey is an RLWE public encryption key.
+	PublicKey = ckks.PublicKey
+
+	// Engine is the concurrent serving runtime (session manager, job DAG
+	// scheduler, bounded worker pool). See internal/engine.
+	Engine = engine.Engine
+	// EngineConfig sizes the serving runtime.
+	EngineConfig = engine.Config
+	// EngineSession is one client's serving context inside an Engine.
+	EngineSession = engine.Session
+	// JobSpec describes an encrypted-compute job (op DAG over ciphertexts).
+	JobSpec = engine.JobSpec
+	// OpSpec is one node of a job's op DAG.
+	OpSpec = engine.OpSpec
+	// Job is a submitted job handle.
+	Job = engine.Job
 )
+
+// NewEngine starts a serving runtime. Close it when done.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // NewLinearTransform builds a diagonal-form linear map over the given slot
 // count.
@@ -60,6 +84,13 @@ func TestParameters() ParametersLiteral { return ckks.TestParameters() }
 func BootParameters() ParametersLiteral { return ckks.BootTestParameters() }
 
 // Context owns a key set and the engines for encrypted computation.
+//
+// A Context is safe for concurrent use once its keys are in place:
+// evaluation ops (Add/Mul/Rotate/...) and Decrypt may be called from many
+// goroutines, and Encrypt serializes its internal randomness sampler.
+// Key-generation calls (GenRotationKeys, GenConjugationKey,
+// SetupBootstrapping) mutate the shared key set and must complete before
+// concurrent evaluation starts.
 type Context struct {
 	Params *Parameters
 
@@ -72,6 +103,8 @@ type Context struct {
 	decr *ckks.Decryptor
 	eval *ckks.Evaluator
 	boot *ckks.Bootstrapper
+
+	encMu sync.Mutex // serializes the encryptor's stateful sampler
 }
 
 // NewContext compiles parameters and generates the base keys (secret,
@@ -103,18 +136,64 @@ func (c *Context) GenRotationKeys(rotations ...int) {
 // GenConjugationKey prepares the complex-conjugation key.
 func (c *Context) GenConjugationKey() { c.kgen.GenConjugationKey(c.sk, c.keys) }
 
+// EvaluationKeys returns the context's evaluation key set — the material a
+// client uploads to a server (relinearization + Galois keys, no secret).
+func (c *Context) EvaluationKeys() *EvaluationKeySet { return c.keys }
+
+// PublicKey returns the encryption key.
+func (c *Context) PublicKey() *PublicKey { return c.pk }
+
+// NewServerContext builds an evaluation-only Context from a client's
+// uploaded evaluation keys: it can run Add/Mul/Rotate/linear transforms but
+// holds no secret or encryption key (Encrypt and Decrypt are unavailable).
+// This is the trust model of the serving runtime: secrets stay client-side.
+func NewServerContext(lit ParametersLiteral, keys *EvaluationKeySet) (*Context, error) {
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		return nil, err
+	}
+	if keys == nil {
+		return nil, fmt.Errorf("anaheim: server context needs evaluation keys")
+	}
+	c := &Context{Params: params, keys: keys}
+	c.enc = ckks.NewEncoder(params)
+	c.eval = ckks.NewEvaluator(params, keys)
+	return c, nil
+}
+
+// AttachSession registers this context's parameters and evaluation keys as
+// a session of the serving runtime and returns the session handle.
+func (c *Context) AttachSession(e *Engine) (*EngineSession, error) {
+	s, err := e.AttachSession(c.Params, c.keys)
+	if err != nil {
+		return nil, err
+	}
+	if c.boot != nil {
+		s.SetBootstrapper(c.boot)
+	}
+	return s, nil
+}
+
 // Encrypt encodes and encrypts a complex vector (at most N/2 values) at the
-// top level and default scale.
+// top level and default scale. Safe for concurrent use.
 func (c *Context) Encrypt(values []complex128) (*Ciphertext, error) {
+	if c.encr == nil {
+		return nil, fmt.Errorf("anaheim: server context has no encryption key")
+	}
 	pt, err := c.enc.Encode(values, c.Params.MaxLevel(), c.Params.DefaultScale())
 	if err != nil {
 		return nil, err
 	}
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
 	return c.encr.EncryptNew(&ckks.Plaintext{Value: pt, Scale: c.Params.DefaultScale()}, c.pk), nil
 }
 
-// Decrypt returns the slot vector of a ciphertext.
+// Decrypt returns the slot vector of a ciphertext. Safe for concurrent use.
 func (c *Context) Decrypt(ct *Ciphertext) []complex128 {
+	if c.decr == nil {
+		panic("anaheim: server context holds no secret key and cannot decrypt")
+	}
 	pt := c.decr.DecryptNew(ct)
 	return c.enc.Decode(pt.Value, pt.Scale)
 }

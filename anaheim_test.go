@@ -1,6 +1,8 @@
 package anaheim
 
 import (
+	"context"
+	"fmt"
 	"math/cmplx"
 	"math/rand"
 	"strings"
@@ -209,5 +211,134 @@ func TestRunExperimentFacade(t *testing.T) {
 	}
 	if len(Workloads()) != 6 {
 		t.Fatalf("want 6 workloads, got %d", len(Workloads()))
+	}
+}
+
+// TestConcurrentContextOps shares one Context between goroutines that
+// interleave Encrypt, Mul, Rotate and Decrypt. Run under -race this guards
+// the evaluator's and ring's internal caches, the encryptor mutex, and the
+// limb worker pool.
+func TestConcurrentContextOps(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.GenRotationKeys(1, 2)
+	r := rand.New(rand.NewSource(5))
+	n := ctx.Params.Slots()
+	u := randVec(r, n)
+	v := randVec(r, n)
+
+	const goroutines = 2
+	const iters = 3
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			errs <- func() error {
+				rot := g + 1 // goroutine 0 rotates by 1, goroutine 1 by 2
+				for it := 0; it < iters; it++ {
+					cu, err := ctx.Encrypt(u)
+					if err != nil {
+						return err
+					}
+					cv, err := ctx.Encrypt(v)
+					if err != nil {
+						return err
+					}
+					prod := ctx.Mul(cu, cv)
+					rotated, err := ctx.Rotate(prod, rot)
+					if err != nil {
+						return err
+					}
+					got := ctx.Decrypt(rotated)
+					want := make([]complex128, n)
+					for i := range want {
+						want[i] = u[(i+rot)%n] * v[(i+rot)%n]
+					}
+					if e := facadeMaxErr(got, want); e > 1e-3 {
+						return fmt.Errorf("goroutine %d iter %d: error %g", g, it, e)
+					}
+				}
+				return nil
+			}()
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestServerContext checks the serving trust model: an evaluation-only
+// context computes on ciphertexts it cannot decrypt.
+func TestServerContext(t *testing.T) {
+	client := newCtx(t)
+	client.GenRotationKeys(1)
+
+	server, err := NewServerContext(TestParameters(), client.EvaluationKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Encrypt([]complex128{1}); err == nil {
+		t.Fatal("server context must not encrypt")
+	}
+
+	u := []complex128{1, 2, 3, 4}
+	cu, err := client.Encrypt(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := server.Mul(cu, cu)
+	rotated, err := server.Rotate(sq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := client.Decrypt(rotated)
+	want := []complex128{4, 9, 16}
+	if e := facadeMaxErr(got[:3], want); e > 1e-3 {
+		t.Fatalf("server-evaluated result off by %g", e)
+	}
+}
+
+// TestEngineFacade drives a job DAG through the serving runtime via the
+// facade hooks.
+func TestEngineFacade(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.GenRotationKeys(1)
+
+	eng := NewEngine(EngineConfig{Workers: 2})
+	defer eng.Close()
+	sess, err := ctx.AttachSession(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u := []complex128{0.5, -0.25, 1, 2}
+	cu, err := ctx.Encrypt(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := eng.Submit(JobSpec{
+		SessionID: sess.ID,
+		Inputs:    map[string]*Ciphertext{"x": cu},
+		Ops: []OpSpec{
+			{ID: "sq", Op: "square", Args: []string{"x"}},
+			{ID: "r", Op: "rotate", Args: []string{"sq"}, K: 1},
+		},
+		Outputs: []string{"r"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.Decrypt(outs["r"])
+	want := []complex128{0.0625, 1, 4}
+	if e := facadeMaxErr(got[:3], want); e > 1e-3 {
+		t.Fatalf("engine job result off by %g", e)
 	}
 }

@@ -6,6 +6,7 @@
 //	anaheim-bench -exp fig8        # one experiment
 //	anaheim-bench -all             # everything
 //	anaheim-bench -list            # available experiment ids
+//	anaheim-bench -micro -o BENCH_PR1.json   # FHE op microbenchmarks as JSON
 package main
 
 import (
@@ -22,6 +23,8 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	list := flag.Bool("list", false, "list experiment ids")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	micro := flag.Bool("micro", false, "run FHE op microbenchmarks, emit JSON")
+	outPath := flag.String("o", "", "write -micro JSON here instead of stdout")
 	flag.Parse()
 
 	run := func(id string) (string, error) {
@@ -32,6 +35,21 @@ func main() {
 	}
 
 	switch {
+	case *micro:
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := runMicro(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	case *list:
 		fmt.Println(strings.Join(anaheim.ExperimentIDs(), "\n"))
 	case *all:

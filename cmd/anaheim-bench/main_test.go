@@ -1,0 +1,29 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunMicroEmitsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("microbenchmarks are slow")
+	}
+	var sb strings.Builder
+	if err := runMicro(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var rep microReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(rep.Results) < 5 {
+		t.Fatalf("want >=5 benchmarked ops, got %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Op == "" || r.NsPerOp <= 0 {
+			t.Fatalf("bad result entry: %+v", r)
+		}
+	}
+}

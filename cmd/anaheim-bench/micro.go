@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"github.com/anaheim-sim/anaheim"
+	"github.com/anaheim-sim/anaheim/internal/par"
+)
+
+// microResult is one operation's measured cost, the unit future PRs diff
+// their perf trajectory against (see BENCH_PR1.json at the repo root).
+type microResult struct {
+	Op       string  `json:"op"`
+	NsPerOp  float64 `json:"nsPerOp"`
+	AllocsOp int64   `json:"allocsPerOp"`
+	BytesOp  int64   `json:"bytesPerOp"`
+}
+
+type microReport struct {
+	GoVersion string        `json:"goVersion"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"numCpu"`
+	Workers   int           `json:"parWorkers"`
+	Params    string        `json:"params"`
+	Results   []microResult `json:"results"`
+}
+
+// runMicro benchmarks the FHE hot ops at the test-scale parameter set and
+// writes machine-readable JSON. testing.Benchmark picks the iteration count,
+// so wall-clock stays in seconds even on slow hosts.
+func runMicro(out io.Writer) error {
+	ctx, err := anaheim.NewContext(anaheim.TestParameters(), 1)
+	if err != nil {
+		return err
+	}
+	ctx.GenRotationKeys(1)
+	u := make([]complex128, ctx.Params.Slots())
+	for i := range u {
+		u[i] = complex(float64(i%7)/8, -float64(i%3)/4)
+	}
+	ctU, err := ctx.Encrypt(u)
+	if err != nil {
+		return err
+	}
+	ctV, err := ctx.Encrypt(u)
+	if err != nil {
+		return err
+	}
+	pt, err := ctx.Encode(u, ctU.Level())
+	if err != nil {
+		return err
+	}
+
+	benches := map[string]func(b *testing.B){
+		"encrypt": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ctx.Encrypt(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"decrypt": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx.Decrypt(ctU)
+			}
+		},
+		"add": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx.Add(ctU, ctV)
+			}
+		},
+		"mul-relin-rescale": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx.Mul(ctU, ctV)
+			}
+		},
+		"mul-plain": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx.MulPlain(ctU, pt)
+			}
+		},
+		"rotate": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ctx.Rotate(ctU, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+
+	rep := microReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   par.Workers(),
+		Params:    fmt.Sprintf("logN=%d levels=%d (test preset)", ctx.Params.LogN(), ctx.Params.MaxLevel()+1),
+	}
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := testing.Benchmark(benches[name])
+		rep.Results = append(rep.Results, microResult{
+			Op:       name,
+			NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-18s %12.0f ns/op %8d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,106 @@
+// Command anaheim-serve runs the FHE serving runtime as an HTTP/JSON
+// service. Clients create a session by uploading their evaluation keys
+// (relinearization + Galois; the secret key never leaves the client), then
+// submit op-DAG jobs over base64-encoded ciphertexts and poll for results.
+//
+// Usage:
+//
+//	anaheim-serve -addr :8080 -workers 4 -queue 16 -maxjobs 64
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	POST /v1/sessions                   create a session from evaluation keys
+//	POST /v1/sessions/{sid}/transforms  register a named linear transform
+//	POST /v1/sessions/{sid}/jobs        submit a job (429 when saturated)
+//	GET  /v1/jobs/{id}                  poll job status
+//	GET  /v1/jobs/{id}/result           fetch output ciphertexts
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/engine"
+)
+
+type serveConfig struct {
+	addr     string
+	workers  int
+	queue    int
+	maxJobs  int
+	deadline time.Duration
+}
+
+func parseFlags(args []string) (serveConfig, error) {
+	fs := flag.NewFlagSet("anaheim-serve", flag.ContinueOnError)
+	cfg := serveConfig{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", 0, "op worker goroutines (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.queue, "queue", 0, "ready-op queue depth (0 = 4x workers)")
+	fs.IntVar(&cfg.maxJobs, "maxjobs", 0, "max in-flight jobs before 429 (0 = default)")
+	fs.DurationVar(&cfg.deadline, "deadline", 0, "default per-job deadline (0 = engine default)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// run starts the engine and HTTP server and blocks until ctx is cancelled,
+// then drains both. Split from main so tests can drive it.
+func run(ctx context.Context, cfg serveConfig, ready chan<- string) error {
+	e := engine.New(engine.Config{
+		Workers:         cfg.workers,
+		QueueSize:       cfg.queue,
+		MaxActiveJobs:   cfg.maxJobs,
+		DefaultDeadline: cfg.deadline,
+	})
+	defer e.Close()
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           engine.NewHTTPHandler(e),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("anaheim-serve: listen %s: %w", cfg.addr, err)
+	}
+	log.Printf("anaheim-serve: listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/anaheim-sim/anaheim"
+)
+
+func postJSON(t *testing.T, url string, req, resp any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return r
+}
+
+func getJSON(t *testing.T, url string, resp any) *http.Response {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return r
+}
+
+// TestServeRoundTrip runs the whole serving story over a real socket: a
+// client context generates keys locally, uploads only the evaluation keys,
+// ships encrypted inputs through the wire format, and decrypts the
+// server-computed result.
+func TestServeRoundTrip(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, serveConfig{addr: "127.0.0.1:0", workers: 2}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz = %q", health.Status)
+	}
+
+	// Client side: full context with secret key, rotation key for k=1.
+	client, err := anaheim.NewContext(anaheim.TestParameters(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.GenRotationKeys(1)
+	keysRaw, err := client.EvaluationKeys().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sess struct {
+		SessionID string `json:"sessionId"`
+		LogN      int    `json:"logN"`
+	}
+	postJSON(t, base+"/v1/sessions", map[string]string{
+		"preset":   "test",
+		"evalKeys": base64.StdEncoding.EncodeToString(keysRaw),
+	}, &sess)
+	if sess.SessionID == "" {
+		t.Fatal("no session id")
+	}
+
+	u := []complex128{0.5, -1, 2, 0.25}
+	cu, err := client.Encrypt(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuRaw, err := cu.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job: r = rotate(x*x, 1).
+	var submitted struct {
+		JobID string `json:"jobId"`
+	}
+	postJSON(t, fmt.Sprintf("%s/v1/sessions/%s/jobs", base, sess.SessionID), map[string]any{
+		"inputs": map[string]string{"x": base64.StdEncoding.EncodeToString(cuRaw)},
+		"ops": []map[string]any{
+			{"id": "sq", "op": "square", "args": []string{"x"}},
+			{"id": "r", "op": "rotate", "args": []string{"sq"}, "k": 1},
+		},
+		"outputs": []string{"r"},
+	}, &submitted)
+	if submitted.JobID == "" {
+		t.Fatal("no job id")
+	}
+
+	var status struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, base+"/v1/jobs/"+submitted.JobID, &status)
+		if status.Status == "done" || status.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", status.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if status.Status != "done" {
+		t.Fatalf("job failed: %s", status.Error)
+	}
+
+	var result struct {
+		Outputs map[string]string `json:"outputs"`
+	}
+	getJSON(t, base+"/v1/jobs/"+submitted.JobID+"/result", &result)
+	outRaw, err := base64.StdEncoding.DecodeString(result.Outputs["r"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &anaheim.Ciphertext{}
+	if err := out.UnmarshalBinary(outRaw); err != nil {
+		t.Fatal(err)
+	}
+
+	got := client.Decrypt(out)
+	want := []complex128{1, 4, 0.0625} // (u[i+1])^2
+	for i, w := range want {
+		if d := got[i] - w; real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], w)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeBadRequests covers the error paths of the HTTP surface.
+func TestServeBadRequests(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	go run(ctx, serveConfig{addr: "127.0.0.1:0", workers: 1}, ready)
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr
+
+	if r := postJSON(t, base+"/v1/sessions", map[string]string{"preset": "nope"}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad preset: status %d", r.StatusCode)
+	}
+	if r := postJSON(t, base+"/v1/sessions", map[string]string{"evalKeys": "!!!"}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad keys: status %d", r.StatusCode)
+	}
+	if r := postJSON(t, base+"/v1/sessions/nosuch/jobs", map[string]any{}, nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", r.StatusCode)
+	}
+	if r := getJSON(t, base+"/v1/jobs/nosuch", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", r.StatusCode)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "1.2.3.4:99", "-workers", "3", "-deadline", "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "1.2.3.4:99" || cfg.workers != 3 || cfg.deadline != 5*time.Second {
+		t.Fatalf("bad config: %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}

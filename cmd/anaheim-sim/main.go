@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/anaheim-sim/anaheim"
@@ -21,38 +22,48 @@ var platforms = []anaheim.SimPlatform{
 	anaheim.RTX4090, anaheim.RTX4090PIM,
 }
 
-func printResult(r anaheim.SimResult) {
+func printResult(out io.Writer, r anaheim.SimResult) {
 	if r.OoM {
-		fmt.Printf("%-10s %-18s OoM (exceeds DRAM capacity)\n", r.Workload, r.Platform)
+		fmt.Fprintf(out, "%-10s %-18s OoM (exceeds DRAM capacity)\n", r.Workload, r.Platform)
 		return
 	}
-	fmt.Printf("%-10s %-18s time=%9.2fms energy=%8.1fmJ EDP=%12.1f EW=%4.1f%% gpuDRAM=%7.2fGB pimDRAM=%7.2fGB\n",
+	fmt.Fprintf(out, "%-10s %-18s time=%9.2fms energy=%8.1fmJ EDP=%12.1f EW=%4.1f%% gpuDRAM=%7.2fGB pimDRAM=%7.2fGB\n",
 		r.Workload, r.Platform, r.TimeMs, r.EnergyMJ, r.EDP, 100*r.EWShare, r.GPUDramGB, r.PIMDramGB)
 }
 
-func main() {
-	workload := flag.String("workload", "Boot", "workload name (Boot, HELR, Sort, RNN, ResNet20, ResNet18)")
-	platform := flag.String("platform", string(anaheim.A100NearBank), "platform id")
-	all := flag.Bool("all", false, "simulate every workload on every platform")
-	flag.Parse()
+// run is the testable body of main: parse args, simulate, print.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("anaheim-sim", flag.ContinueOnError)
+	workload := fs.String("workload", "Boot", "workload name (Boot, HELR, Sort, RNN, ResNet20, ResNet18)")
+	platform := fs.String("platform", string(anaheim.A100NearBank), "platform id")
+	all := fs.Bool("all", false, "simulate every workload on every platform")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *all {
 		for _, w := range anaheim.Workloads() {
 			for _, p := range platforms {
 				r, err := anaheim.Simulate(w, p)
 				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
+					return err
 				}
-				printResult(r)
+				printResult(out, r)
 			}
 		}
-		return
+		return nil
 	}
 	r, err := anaheim.Simulate(*workload, anaheim.SimPlatform(*platform))
 	if err != nil {
+		return err
+	}
+	printResult(out, r)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	printResult(r)
 }

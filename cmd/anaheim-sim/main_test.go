@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingle(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "Boot", "-platform", "a100-nearbank"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Boot") || !strings.Contains(out, "a100-nearbank") {
+		t.Fatalf("output missing workload/platform:\n%s", out)
+	}
+	if !strings.Contains(out, "time=") || !strings.Contains(out, "energy=") {
+		t.Fatalf("output missing metrics:\n%s", out)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-all"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(sb.String()), "\n") + 1
+	// every workload on every platform, one line each
+	if want := len(platforms) * 6; lines != want {
+		t.Fatalf("got %d result lines, want %d:\n%s", lines, want, sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "NoSuch"}, &sb); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+	if err := run([]string{"-platform", "abacus"}, &sb); err == nil {
+		t.Fatal("want error for unknown platform")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}

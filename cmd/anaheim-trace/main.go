@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/anaheim-sim/anaheim/internal/gpu"
@@ -19,33 +20,43 @@ import (
 	"github.com/anaheim-sim/anaheim/internal/workloads"
 )
 
-func main() {
-	workload := flag.String("workload", "", "workload trace to dump (Boot, HELR, ...)")
-	lt := flag.Int("lt", 0, "emit a single hoisted linear transform with K diagonals instead")
-	platform := flag.String("platform", "a100-nearbank", "a100 | a100-nearbank | a100-customhbm | rtx4090 | rtx4090-nearbank")
-	limit := flag.Int("limit", 30, "max kernels to list (0 = all)")
-	width := flag.Int("width", 100, "gantt width")
-	flag.Parse()
-
-	p := trace.PaperParams()
-	var cfg sched.Config
-	switch *platform {
+func platformConfig(name string) (sched.Config, error) {
+	switch name {
 	case "a100":
-		cfg = sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar()}
+		return sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar()}, nil
 	case "a100-nearbank":
 		u := pim.A100NearBank()
-		cfg = sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: &u}
+		return sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: &u}, nil
 	case "a100-customhbm":
 		u := pim.A100CustomHBM()
-		cfg = sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: &u}
+		return sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: &u}, nil
 	case "rtx4090":
-		cfg = sched.Config{GPU: gpu.RTX4090(), Lib: gpu.Cheddar()}
+		return sched.Config{GPU: gpu.RTX4090(), Lib: gpu.Cheddar()}, nil
 	case "rtx4090-nearbank":
 		u := pim.RTX4090NearBank()
-		cfg = sched.Config{GPU: gpu.RTX4090(), Lib: gpu.Cheddar(), PIM: &u}
+		return sched.Config{GPU: gpu.RTX4090(), Lib: gpu.Cheddar(), PIM: &u}, nil
 	default:
-		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
-		os.Exit(2)
+		return sched.Config{}, fmt.Errorf("unknown platform %q", name)
+	}
+}
+
+// run is the testable body of main: parse args, build the trace, schedule it,
+// and print the kernel table plus Gantt chart.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("anaheim-trace", flag.ContinueOnError)
+	workload := fs.String("workload", "", "workload trace to dump (Boot, HELR, ...)")
+	lt := fs.Int("lt", 0, "emit a single hoisted linear transform with K diagonals instead")
+	platform := fs.String("platform", "a100-nearbank", "a100 | a100-nearbank | a100-customhbm | rtx4090 | rtx4090-nearbank")
+	limit := fs.Int("limit", 30, "max kernels to list (0 = all)")
+	width := fs.Int("width", 100, "gantt width")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := trace.PaperParams()
+	cfg, err := platformConfig(*platform)
+	if err != nil {
+		return err
 	}
 
 	opt := trace.GPUBaseline()
@@ -61,34 +72,40 @@ func main() {
 	case *workload != "":
 		w, ok := workloads.ByName(*workload)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-			os.Exit(2)
+			return fmt.Errorf("unknown workload %q", *workload)
 		}
 		t = w.Gen(p, opt)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return fmt.Errorf("anaheim-trace: need -workload or -lt")
 	}
 
 	r := sched.Run(t, cfg)
-	fmt.Printf("trace %s: %d kernels, %.2fms, %.1fmJ, GPU %.2fGB / PIM %.2fGB\n\n",
+	fmt.Fprintf(out, "trace %s: %d kernels, %.2fms, %.1fmJ, GPU %.2fGB / PIM %.2fGB\n\n",
 		t.Name, len(t.Kernels), r.TimeMs(), r.EnergyMJ(), r.GPUBytes/1e9, r.PIMBytes/1e9)
 
 	n := len(r.Timeline)
 	if *limit > 0 && *limit < n {
 		n = *limit
 	}
-	fmt.Printf("%-28s %-6s %-5s %12s %12s\n", "kernel", "class", "unit", "start(us)", "dur(us)")
+	fmt.Fprintf(out, "%-28s %-6s %-5s %12s %12s\n", "kernel", "class", "unit", "start(us)", "dur(us)")
 	for _, s := range r.Timeline[:n] {
 		unit := "GPU"
 		if s.PIM {
 			unit = "PIM"
 		}
-		fmt.Printf("%-28s %-6s %-5s %12.2f %12.2f\n", s.Name, s.Class, unit, s.StartNs/1e3, s.DurNs/1e3)
+		fmt.Fprintf(out, "%-28s %-6s %-5s %12.2f %12.2f\n", s.Name, s.Class, unit, s.StartNs/1e3, s.DurNs/1e3)
 	}
 	if n < len(r.Timeline) {
-		fmt.Printf("... (%d more kernels)\n", len(r.Timeline)-n)
+		fmt.Fprintf(out, "... (%d more kernels)\n", len(r.Timeline)-n)
 	}
-	fmt.Println()
-	fmt.Print(sched.RenderGantt(r.Timeline, r.TimeNs, *width))
+	fmt.Fprintln(out)
+	fmt.Fprint(out, sched.RenderGantt(r.Timeline, r.TimeNs, *width))
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 }

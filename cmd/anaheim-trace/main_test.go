@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunLinearTransform(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-lt", "8", "-limit", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "trace LT-K8:") {
+		t.Fatalf("missing trace header:\n%s", out)
+	}
+	if !strings.Contains(out, "kernel") || !strings.Contains(out, "start(us)") {
+		t.Fatalf("missing kernel table:\n%s", out)
+	}
+	// the Gantt chart ends the output and is non-empty
+	if len(strings.TrimSpace(out)) < 200 {
+		t.Fatalf("suspiciously short output:\n%s", out)
+	}
+}
+
+func TestRunWorkloadTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "HELR", "-platform", "a100", "-limit", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "trace HELR") {
+		t.Fatalf("missing workload header:\n%s", out)
+	}
+	if !strings.Contains(out, "GPU") {
+		t.Fatalf("missing unit column:\n%s", out)
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("want error when neither -workload nor -lt given")
+	}
+	if err := run([]string{"-workload", "NoSuch"}, &sb); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+	if err := run([]string{"-lt", "4", "-platform", "abacus"}, &sb); err == nil {
+		t.Fatal("want error for unknown platform")
+	}
+}

@@ -160,13 +160,16 @@ type decomposed struct {
 // Decompose performs ModUp on c (NTT, level lvl): for each digit d it
 // INTTs the digit's limbs, base-converts them to the full basis, and NTTs
 // the result (the INTT -> BConv -> NTT "ModSwitch" sequence of §II-B).
+// The digit polynomials are borrowed from the ring buffer pools; callers
+// that are done with the decomposition should release it via dec.release.
 func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	alpha := p.Alpha()
 	digits := p.Digits(lvl)
 
-	coeff := c.Truncated(lvl).CopyNew()
+	coeff := rq.GetPoly(lvl)
+	coeff.Copy(c.Truncated(lvl))
 	rq.INTT(coeff, lvl)
 
 	dec := &decomposed{level: lvl, q: make([]*ring.Poly, digits), p: make([]*ring.Poly, digits)}
@@ -176,8 +179,8 @@ func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
 		bc := ev.digitConverter(lvl, d)
 		in := coeff.Coeffs[lo:hi]
 		outRows := make([][]uint64, nTargetsQ+rp.MaxLevel()+1)
-		pq := rq.NewPoly(lvl)
-		pp := rp.NewPoly(rp.MaxLevel())
+		pq := rq.GetPoly(lvl)
+		pp := rp.GetPoly(rp.MaxLevel())
 		copy(outRows[:nTargetsQ], pq.Coeffs)
 		copy(outRows[nTargetsQ:], pp.Coeffs)
 		bc.Convert(outRows, in)
@@ -185,7 +188,19 @@ func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
 		rp.NTT(pp, rp.MaxLevel())
 		dec.q[d], dec.p[d] = pq, pp
 	}
+	rq.PutPoly(coeff)
 	return dec
+}
+
+// release returns the decomposition's digit polynomials to the buffer pools.
+// The decomposed value must not be used afterwards.
+func (dec *decomposed) release(p *Parameters) {
+	rq, rp := p.RingQ(), p.RingP()
+	for d := range dec.q {
+		rq.PutPoly(dec.q[d])
+		rp.PutPoly(dec.p[d])
+		dec.q[d], dec.p[d] = nil, nil
+	}
 }
 
 // gadgetProduct computes the inner product of the digits with a switching
@@ -196,8 +211,8 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 	rq, rp := p.RingQ(), p.RingP()
 	lvl := dec.level
 	lvlP := rp.MaxLevel()
-	u0q, u1q = rq.NewPoly(lvl), rq.NewPoly(lvl)
-	u0p, u1p = rp.NewPoly(lvlP), rp.NewPoly(lvlP)
+	u0q, u1q = rq.GetPoly(lvl), rq.GetPoly(lvl)
+	u0p, u1p = rp.GetPoly(lvlP), rp.GetPoly(lvlP)
 	u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
 	for d := range dec.q {
 		rq.MulCoeffsAdd(u0q, dec.q[d], swk.BQ[d].Truncated(lvl), lvl)
@@ -210,27 +225,40 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 
 // ModDown divides a Q∪P value by P with rounding, returning a Q-basis
 // polynomial at uq's level: out_i = (uq_i - BConv(up)_i)·[P^{-1}]_{q_i}
-// (the ModDownEp compound instruction of Table II).
+// (the ModDownEp compound instruction of Table II). Scratch buffers come
+// from the ring buffer pools.
 func (ev *Evaluator) ModDown(uq, up *ring.Poly, lvl int) *ring.Poly {
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
-	work := up.CopyNew()
+	work := rp.GetPoly(rp.MaxLevel())
+	work.Copy(up)
 	rp.INTT(work, rp.MaxLevel())
-	conv := rq.NewPoly(lvl)
+	conv := rq.GetPoly(lvl)
 	ev.pToQConverter(lvl).Convert(conv.Coeffs, work.Coeffs)
 	rq.NTT(conv, lvl)
 	out := rq.NewPoly(lvl)
 	rq.Sub(out, uq, conv, lvl)
 	rq.MulByLimbScalars(out, out, ev.pInvModQ[:lvl+1], lvl)
 	out.IsNTT = true
+	rp.PutPoly(work)
+	rq.PutPoly(conv)
 	return out
 }
 
 // keySwitch applies the full ModUp -> KeyMult/MAC -> ModDown pipeline to c.
 func (ev *Evaluator) keySwitch(c *ring.Poly, lvl int, swk *SwitchingKey) (d0, d1 *ring.Poly) {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
 	dec := ev.Decompose(c, lvl)
 	u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
-	return ev.ModDown(u0q, u0p, lvl), ev.ModDown(u1q, u1p, lvl)
+	dec.release(p)
+	d0 = ev.ModDown(u0q, u0p, lvl)
+	d1 = ev.ModDown(u1q, u1p, lvl)
+	rq.PutPoly(u0q)
+	rq.PutPoly(u1q)
+	rp.PutPoly(u0p)
+	rp.PutPoly(u1p)
+	return d0, d1
 }
 
 // SwitchKeys re-encrypts ct under the key targeted by swk (used for
@@ -254,7 +282,7 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *SwitchingKey) *Cipherte
 
 	d0 := rq.NewPoly(lvl)
 	d1 := rq.NewPoly(lvl)
-	d2 := rq.NewPoly(lvl)
+	d2 := rq.GetPoly(lvl)
 	d0.IsNTT, d1.IsNTT, d2.IsNTT = true, true, true
 	a0, a1 := ct0.C0.Truncated(lvl), ct0.C1.Truncated(lvl)
 	b0, b1 := ct1.C0.Truncated(lvl), ct1.C1.Truncated(lvl)
@@ -264,6 +292,7 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *SwitchingKey) *Cipherte
 	rq.MulCoeffs(d2, a1, b1, lvl)
 
 	u0, u1 := ev.keySwitch(d2, lvl, rlk)
+	rq.PutPoly(d2)
 	rq.Add(d0, d0, u0, lvl)
 	rq.Add(d1, d1, u1, lvl)
 	return &Ciphertext{C0: d0, C1: d1, Scale: ct0.Scale * ct1.Scale}
@@ -284,11 +313,16 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	}
 	out := &Ciphertext{Scale: ct.Scale / float64(rq.Moduli[lvl].Q)}
 	for i, src := range []*ring.Poly{ct.C0, ct.C1} {
-		w := src.CopyNew()
+		w := rq.GetPoly(lvl)
+		w.Copy(src)
 		rq.INTT(w, lvl)
 		rns.DivRoundByLastModulus(rq.Moduli[:lvl+1], w.Coeffs)
-		t := w.Truncated(lvl - 1)
+		t := rq.NewPoly(lvl - 1)
+		for l := 0; l < lvl; l++ {
+			copy(t.Coeffs[l], w.Coeffs[l])
+		}
 		rq.NTT(t, lvl-1)
+		rq.PutPoly(w)
 		if i == 0 {
 			out.C0 = t
 		} else {
@@ -326,6 +360,8 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) (*Ciphertext, er
 	o1 := rq.NewPoly(lvl)
 	rq.AutomorphismNTT(o0, d0, galEl, lvl)
 	rq.AutomorphismNTT(o1, d1, galEl, lvl)
+	rq.PutPoly(d0)
+	rq.PutPoly(d1)
 	return &Ciphertext{C0: o0, C1: o1, Scale: ct.Scale}, nil
 }
 
@@ -345,9 +381,10 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 // RotateHoisted evaluates many rotations of one ciphertext sharing a single
 // ModUp (hoisting, §III-B): K rotations cost one decomposition instead of K.
 func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ciphertext, error) {
-	rq := ev.params.RingQ()
+	rq, rp := ev.params.RingQ(), ev.params.RingP()
 	lvl := ct.Level()
 	dec := ev.Decompose(ct.C1, lvl)
+	defer dec.release(ev.params)
 	out := make(map[int]*Ciphertext, len(rotations))
 	for _, k := range rotations {
 		if k%ev.params.Slots() == 0 {
@@ -362,11 +399,17 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
 		d0 := ev.ModDown(u0q, u0p, lvl)
 		d1 := ev.ModDown(u1q, u1p, lvl)
+		rq.PutPoly(u0q)
+		rq.PutPoly(u1q)
+		rp.PutPoly(u0p)
+		rp.PutPoly(u1p)
 		rq.Add(d0, d0, ct.C0, lvl)
 		o0 := rq.NewPoly(lvl)
 		o1 := rq.NewPoly(lvl)
 		rq.AutomorphismNTT(o0, d0, g, lvl)
 		rq.AutomorphismNTT(o1, d1, g, lvl)
+		rq.PutPoly(d0)
+		rq.PutPoly(d1)
 		out[k] = &Ciphertext{C0: o0, C1: o1, Scale: ct.Scale}
 	}
 	return out, nil

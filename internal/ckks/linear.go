@@ -92,6 +92,7 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 	ptScale := float64(rq.Moduli[lvl].Q)
 
 	dec := ev.Decompose(ct.C1, lvl)
+	defer dec.release(p)
 
 	// Q-basis accumulators for the rotation-0 term and the c0 parts;
 	// QP-basis accumulators for the hoisted key-switched parts.
@@ -121,20 +122,29 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
 		// Automorphism of the extended-basis partial results, then PMULT
 		// and accumulation in PQ (AutAccum precedes the single ModDown).
-		rot0q, rot1q := rq.NewPoly(lvl), rq.NewPoly(lvl)
-		rot0p, rot1p := rp.NewPoly(lvlP), rp.NewPoly(lvlP)
+		rot0q, rot1q := rq.GetPoly(lvl), rq.GetPoly(lvl)
+		rot0p, rot1p := rp.GetPoly(lvlP), rp.GetPoly(lvlP)
 		rq.AutomorphismNTT(rot0q, u0q, g, lvl)
 		rq.AutomorphismNTT(rot1q, u1q, g, lvl)
 		rp.AutomorphismNTT(rot0p, u0p, g, lvlP)
 		rp.AutomorphismNTT(rot1p, u1p, g, lvlP)
+		rq.PutPoly(u0q)
+		rq.PutPoly(u1q)
+		rp.PutPoly(u0p)
+		rp.PutPoly(u1p)
 		rq.MulCoeffsAdd(accE0q, rot0q, ptQ, lvl)
 		rq.MulCoeffsAdd(accE1q, rot1q, ptQ, lvl)
 		rp.MulCoeffsAdd(accE0p, rot0p, ptP, lvlP)
 		rp.MulCoeffsAdd(accE1p, rot1p, ptP, lvlP)
+		rq.PutPoly(rot0q)
+		rq.PutPoly(rot1q)
+		rp.PutPoly(rot0p)
+		rp.PutPoly(rot1p)
 		// The σ(c0) contribution stays in the Q basis.
-		rotC0 := rq.NewPoly(lvl)
+		rotC0 := rq.GetPoly(lvl)
 		rq.AutomorphismNTT(rotC0, ct.C0, g, lvl)
 		rq.MulCoeffsAdd(accQ0, rotC0, ptQ, lvl)
+		rq.PutPoly(rotC0)
 	}
 
 	out := &Ciphertext{Scale: ct.Scale * ptScale}

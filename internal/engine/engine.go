@@ -1,0 +1,461 @@
+// Package engine is the concurrent FHE serving runtime that sits between
+// the public facade and the ckks evaluator. It owns three things:
+//
+//   - a session manager: per-client CKKS contexts (compiled parameters +
+//     uploaded evaluation keys + evaluator) with concurrency-safe access;
+//
+//   - a job scheduler: clients submit encrypted-compute jobs — DAGs of
+//     homomorphic ops over named ciphertext handles — and the scheduler
+//     tracks dependencies, dispatching each op as soon as its inputs exist;
+//
+//   - a bounded worker pool: ready ops flow through a bounded queue to a
+//     fixed set of workers, with backpressure at job admission, context
+//     cancellation, and per-job deadlines.
+//
+// The layering mirrors how the Cheddar GPU library (the substrate of the
+// Anaheim paper) gets its throughput: streams and kernel queues above the
+// math kernels, buffer reuse below them (the ring-level poly pool).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the runtime.
+type Config struct {
+	// Workers is the number of op-executing goroutines. Defaults to
+	// GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the ready-op queue between scheduler and workers.
+	// Defaults to 4×Workers.
+	QueueSize int
+	// MaxActiveJobs bounds admitted (queued or running) jobs; Submit fails
+	// fast with ErrBusy beyond it. Defaults to 64.
+	MaxActiveJobs int
+	// DefaultDeadline applies to jobs that do not set one. Defaults to 2
+	// minutes.
+	DefaultDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4 * c.Workers
+	}
+	if c.MaxActiveJobs <= 0 {
+		c.MaxActiveJobs = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Minute
+	}
+	return c
+}
+
+// ErrBusy is returned by Submit when the engine is at its admission limit.
+// Clients should retry with backoff; the HTTP layer maps it to 429.
+var ErrBusy = errors.New("engine: job queue full")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Engine is the serving runtime. Create with New, stop with Close.
+type Engine struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*Session
+	jobs     map[string]*Job
+
+	active atomic.Int64 // admitted (queued or running) jobs
+	seq    atomic.Uint64
+
+	events chan event
+	ready  chan *opTask
+	wg     sync.WaitGroup
+}
+
+type eventKind int
+
+const (
+	evSubmit eventKind = iota
+	evOpDone
+	evJobAbort
+)
+
+type event struct {
+	kind   eventKind
+	job    *Job
+	task   *opTask
+	result *result
+	err    error
+}
+
+type opTask struct {
+	job *Job
+	op  *OpSpec
+}
+
+// New starts the worker pool and scheduler.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:      cfg,
+		ctx:      ctx,
+		cancel:   cancel,
+		sessions: make(map[string]*Session),
+		jobs:     make(map[string]*Job),
+		events:   make(chan event),
+		ready:    make(chan *opTask, cfg.QueueSize),
+	}
+	e.wg.Add(1)
+	go e.dispatch()
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Config returns the effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Close stops the runtime. In-flight jobs fail with context.Canceled.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cancel()
+	e.wg.Wait()
+}
+
+func (e *Engine) newID(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, e.seq.Add(1))
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case t := <-e.ready:
+			res, err := e.executeTask(t)
+			select {
+			case e.events <- event{kind: evOpDone, job: t.job, task: t, result: res, err: err}:
+			case <-e.ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// executeTask runs one op, converting evaluator panics (scale mismatches,
+// level exhaustion) into job failures rather than process crashes.
+func (e *Engine) executeTask(t *opTask) (res *result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("op %q (%s): panic: %v", t.op.ID, t.op.Op, r)
+		}
+	}()
+	if err := t.job.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.job.sess.apply(t.job, t.op)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+// jobState is dispatcher-private dependency bookkeeping for one job.
+type jobState struct {
+	waiting    map[string]int      // opID -> unmet dependency count
+	dependents map[string][]string // opID -> ops unblocked by it
+	byID       map[string]*OpSpec
+	remaining  int
+}
+
+func (e *Engine) dispatch() {
+	defer e.wg.Done()
+	states := make(map[*Job]*jobState)
+	var pending []*opTask
+
+	enqueueReady := func(j *Job, st *jobState, opID string) {
+		pending = append(pending, &opTask{job: j, op: st.byID[opID]})
+	}
+
+	handle := func(ev event) {
+		j := ev.job
+		switch ev.kind {
+		case evSubmit:
+			st := newJobState(&j.spec)
+			states[j] = st
+			j.setStatus(StatusRunning, nil)
+			for _, op := range j.spec.Ops {
+				if st.waiting[op.ID] == 0 {
+					enqueueReady(j, st, op.ID)
+				}
+			}
+		case evOpDone:
+			st := states[j]
+			if st == nil {
+				return // job already finished (failed or aborted)
+			}
+			if ev.err != nil {
+				e.finishJob(j, states, fmt.Errorf("op %q: %w", ev.task.op.ID, ev.err))
+				return
+			}
+			j.storeResult(ev.task.op.ID, ev.result)
+			st.remaining--
+			for _, dep := range st.dependents[ev.task.op.ID] {
+				st.waiting[dep]--
+				if st.waiting[dep] == 0 {
+					enqueueReady(j, st, dep)
+				}
+			}
+			if st.remaining == 0 {
+				e.finishJob(j, states, nil)
+			}
+		case evJobAbort:
+			if states[j] != nil {
+				e.finishJob(j, states, j.ctx.Err())
+			}
+		}
+	}
+
+	for {
+		var readyCh chan *opTask
+		var head *opTask
+		if len(pending) > 0 {
+			// Skip ops of jobs that already failed.
+			for len(pending) > 0 && pending[0].job.terminal() {
+				pending = pending[1:]
+			}
+			if len(pending) > 0 {
+				readyCh, head = e.ready, pending[0]
+			}
+		}
+		select {
+		case <-e.ctx.Done():
+			// Fail whatever is still tracked so waiters wake up.
+			for j := range states {
+				j.setStatus(StatusFailed, context.Canceled)
+				j.cancel()
+				e.active.Add(-1)
+			}
+			return
+		case ev := <-e.events:
+			handle(ev)
+		case readyCh <- head:
+			pending = pending[1:]
+		}
+	}
+}
+
+// finishJob transitions a job to its terminal state and releases its
+// admission slot.
+func (e *Engine) finishJob(j *Job, states map[*Job]*jobState, err error) {
+	delete(states, j)
+	if err != nil {
+		j.setStatus(StatusFailed, err)
+	} else {
+		j.setStatus(StatusDone, nil)
+	}
+	j.cancel()
+	e.active.Add(-1)
+}
+
+// newJobState builds the dependency graph (validated at Submit).
+func newJobState(spec *JobSpec) *jobState {
+	st := &jobState{
+		waiting:    make(map[string]int),
+		dependents: make(map[string][]string),
+		byID:       make(map[string]*OpSpec),
+		remaining:  len(spec.Ops),
+	}
+	for i := range spec.Ops {
+		op := &spec.Ops[i]
+		st.byID[op.ID] = op
+		for _, a := range op.Args {
+			if _, isOp := opArg(spec, a); isOp {
+				st.waiting[op.ID]++
+				st.dependents[a] = append(st.dependents[a], op.ID)
+			}
+		}
+	}
+	return st
+}
+
+// opArg reports whether an argument name refers to an op (vs an input).
+func opArg(spec *JobSpec, name string) (*OpSpec, bool) {
+	for i := range spec.Ops {
+		if spec.Ops[i].ID == name {
+			return &spec.Ops[i], true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+
+// Submit validates and admits a job. It fails fast with ErrBusy when the
+// engine is at MaxActiveJobs, giving HTTP clients an explicit backpressure
+// signal instead of unbounded queueing.
+func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sess := e.sessions[spec.SessionID]
+	e.mu.Unlock()
+	if sess == nil {
+		return nil, fmt.Errorf("engine: unknown session %q", spec.SessionID)
+	}
+	if err := validate(&spec); err != nil {
+		return nil, err
+	}
+	// Admission control (backpressure).
+	for {
+		n := e.active.Load()
+		if n >= int64(e.cfg.MaxActiveJobs) {
+			return nil, ErrBusy
+		}
+		if e.active.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+
+	deadline := spec.Deadline
+	if deadline <= 0 {
+		deadline = e.cfg.DefaultDeadline
+	}
+	ctx, cancel := context.WithTimeout(e.ctx, deadline)
+	j := &Job{
+		ID:      e.newID("job"),
+		sess:    sess,
+		spec:    spec,
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  StatusQueued,
+		results: make(map[string]*result, len(spec.Ops)),
+		done:    make(chan struct{}),
+	}
+	e.mu.Lock()
+	e.jobs[j.ID] = j
+	e.mu.Unlock()
+
+	// Deadline/cancellation watcher: wakes the dispatcher so jobs whose
+	// remaining ops never reach a worker (e.g. expired while queued) still
+	// terminate.
+	go func() {
+		<-ctx.Done()
+		select {
+		case e.events <- event{kind: evJobAbort, job: j}:
+		case <-e.ctx.Done():
+		}
+	}()
+
+	select {
+	case e.events <- event{kind: evSubmit, job: j}:
+	case <-e.ctx.Done():
+		e.active.Add(-1)
+		cancel()
+		return nil, ErrClosed
+	}
+	return j, nil
+}
+
+// Job returns a submitted job by ID.
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// validate checks the job spec shape before admission: known op kinds,
+// resolvable references, unique IDs, and an acyclic dependency graph.
+func validate(spec *JobSpec) error {
+	if len(spec.Ops) == 0 {
+		return fmt.Errorf("engine: job has no ops")
+	}
+	names := make(map[string]bool, len(spec.Inputs)+len(spec.Ops))
+	for in := range spec.Inputs {
+		if in == "" {
+			return fmt.Errorf("engine: empty input name")
+		}
+		names[in] = true
+	}
+	for i := range spec.Ops {
+		op := &spec.Ops[i]
+		if op.ID == "" {
+			return fmt.Errorf("engine: op %d has no id", i)
+		}
+		if names[op.ID] {
+			return fmt.Errorf("engine: duplicate name %q", op.ID)
+		}
+		names[op.ID] = true
+		if err := checkOp(op); err != nil {
+			return err
+		}
+	}
+	for i := range spec.Ops {
+		for _, a := range spec.Ops[i].Args {
+			if !names[a] {
+				return fmt.Errorf("engine: op %q references unknown name %q", spec.Ops[i].ID, a)
+			}
+		}
+	}
+	if len(spec.Outputs) == 0 {
+		return fmt.Errorf("engine: job has no outputs")
+	}
+	for _, o := range spec.Outputs {
+		if _, isOp := opArg(spec, o); !isOp {
+			return fmt.Errorf("engine: output %q is not an op id", o)
+		}
+	}
+	// Cycle detection: Kahn's algorithm over the op-to-op edges.
+	st := newJobState(spec)
+	queue := make([]string, 0, len(spec.Ops))
+	for _, op := range spec.Ops {
+		if st.waiting[op.ID] == 0 {
+			queue = append(queue, op.ID)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, dep := range st.dependents[id] {
+			st.waiting[dep]--
+			if st.waiting[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if seen != len(spec.Ops) {
+		return fmt.Errorf("engine: op dependency cycle")
+	}
+	return nil
+}

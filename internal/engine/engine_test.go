@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/ckks"
+)
+
+// testClient is the client side of a serving session: it owns the secret
+// key and encrypts/decrypts locally; only evaluation keys go to the engine.
+type testClient struct {
+	params *ckks.Parameters
+	enc    *ckks.Encoder
+	encr   *ckks.Encryptor
+	decr   *ckks.Decryptor
+	pk     *ckks.PublicKey
+	keys   *ckks.EvaluationKeySet
+}
+
+func newTestClient(t testing.TB, rotations ...int) *testClient {
+	t.Helper()
+	params, err := ckks.NewParameters(ckks.TestParameters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgen := ckks.NewKeyGenerator(params, 7)
+	sk := kgen.GenSecretKey()
+	keys := ckks.NewEvaluationKeySet()
+	keys.Rlk = kgen.GenRelinearizationKey(sk)
+	kgen.GenRotationKeys(sk, keys, rotations)
+	return &testClient{
+		params: params,
+		enc:    ckks.NewEncoder(params),
+		encr:   ckks.NewEncryptor(params, 8),
+		decr:   ckks.NewDecryptor(params, sk),
+		pk:     kgen.GenPublicKey(sk),
+		keys:   keys,
+	}
+}
+
+func (c *testClient) encrypt(t testing.TB, vals []complex128) *ckks.Ciphertext {
+	t.Helper()
+	pt, err := c.enc.Encode(vals, c.params.MaxLevel(), c.params.DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.encr.EncryptNew(&ckks.Plaintext{Value: pt, Scale: c.params.DefaultScale()}, c.pk)
+}
+
+func (c *testClient) decrypt(ct *ckks.Ciphertext) []complex128 {
+	pt := c.decr.DecryptNew(ct)
+	return c.enc.Decode(pt.Value, pt.Scale)
+}
+
+func checkSlots(t *testing.T, got, want []complex128, n int, tol float64, label string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if d := cmplxAbs(got[i] - want[i]); d > tol {
+			t.Fatalf("%s: slot %d: got %v want %v (|Δ|=%g)", label, i, got[i], want[i], d)
+		}
+	}
+}
+
+func cmplxAbs(z complex128) float64 {
+	return math.Hypot(real(z), imag(z))
+}
+
+func TestJobDAGRoundTrip(t *testing.T) {
+	client := newTestClient(t, 1)
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 8
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i)*0.1, 0)
+		y[i] = complex(1.5-float64(i)*0.05, 0)
+	}
+
+	job, err := e.Submit(JobSpec{
+		SessionID: sess.ID,
+		Inputs: map[string]*ckks.Ciphertext{
+			"x": client.encrypt(t, x),
+			"y": client.encrypt(t, y),
+		},
+		Ops: []OpSpec{
+			{ID: "m", Op: "mul", Args: []string{"x", "y"}},
+			{ID: "r", Op: "rotate", Args: []string{"m"}, K: 1},
+			{ID: "s", Op: "add", Args: []string{"r", "r"}},
+		},
+		Outputs: []string{"s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plaintext reference: 2 * rot1(x ⊙ y).
+	slots := client.params.Slots()
+	prod := make([]complex128, slots)
+	for i := 0; i < n; i++ {
+		prod[i] = x[i] * y[i]
+	}
+	want := make([]complex128, slots)
+	for i := range want {
+		want[i] = 2 * prod[(i+1)%slots]
+	}
+	checkSlots(t, client.decrypt(outs["s"]), want, n-1, 1e-4, "2*rot1(x*y)")
+}
+
+func TestSubmitValidation(t *testing.T) {
+	client := newTestClient(t)
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := client.encrypt(t, []complex128{1})
+	in := map[string]*ckks.Ciphertext{"x": ct}
+
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"no ops", JobSpec{SessionID: sess.ID, Inputs: in, Outputs: []string{"x"}}, "no ops"},
+		{"unknown kind", JobSpec{SessionID: sess.ID, Inputs: in,
+			Ops: []OpSpec{{ID: "a", Op: "frobnicate", Args: []string{"x"}}}, Outputs: []string{"a"}}, "unknown kind"},
+		{"bad arity", JobSpec{SessionID: sess.ID, Inputs: in,
+			Ops: []OpSpec{{ID: "a", Op: "add", Args: []string{"x"}}}, Outputs: []string{"a"}}, "want 2 args"},
+		{"unknown ref", JobSpec{SessionID: sess.ID, Inputs: in,
+			Ops: []OpSpec{{ID: "a", Op: "square", Args: []string{"zzz"}}}, Outputs: []string{"a"}}, "unknown name"},
+		{"dup id", JobSpec{SessionID: sess.ID, Inputs: in,
+			Ops: []OpSpec{{ID: "x", Op: "square", Args: []string{"x"}}}, Outputs: []string{"x"}}, "duplicate"},
+		{"cycle", JobSpec{SessionID: sess.ID, Inputs: in,
+			Ops: []OpSpec{
+				{ID: "a", Op: "add", Args: []string{"b", "x"}},
+				{ID: "b", Op: "add", Args: []string{"a", "x"}},
+			}, Outputs: []string{"b"}}, "cycle"},
+		{"output not op", JobSpec{SessionID: sess.ID, Inputs: in,
+			Ops: []OpSpec{{ID: "a", Op: "square", Args: []string{"x"}}}, Outputs: []string{"x"}}, "not an op id"},
+		{"bad session", JobSpec{SessionID: "nope", Inputs: in,
+			Ops: []OpSpec{{ID: "a", Op: "square", Args: []string{"x"}}}, Outputs: []string{"a"}}, "unknown session"},
+	}
+	for _, tc := range cases {
+		_, err := e.Submit(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	client := newTestClient(t)
+	e := New(Config{Workers: 1, MaxActiveJobs: 2})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the admission budget artificially, then verify Submit sheds
+	// load with ErrBusy instead of queueing without bound.
+	e.active.Add(int64(e.cfg.MaxActiveJobs))
+	_, err = e.Submit(JobSpec{
+		SessionID: sess.ID,
+		Inputs:    map[string]*ckks.Ciphertext{"x": client.encrypt(t, []complex128{1})},
+		Ops:       []OpSpec{{ID: "a", Op: "square", Args: []string{"x"}}},
+		Outputs:   []string{"a"},
+	})
+	if err != ErrBusy {
+		t.Fatalf("got %v, want ErrBusy", err)
+	}
+	e.active.Add(-int64(e.cfg.MaxActiveJobs))
+}
+
+func TestJobDeadline(t *testing.T) {
+	client := newTestClient(t)
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := e.Submit(JobSpec{
+		SessionID: sess.ID,
+		Inputs:    map[string]*ckks.Ciphertext{"x": client.encrypt(t, []complex128{1})},
+		Ops:       []OpSpec{{ID: "a", Op: "square", Args: []string{"x"}}},
+		Outputs:   []string{"a"},
+		Deadline:  time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := job.Wait(context.Background())
+	st, _ := job.Status()
+	if st != StatusFailed || werr == nil {
+		t.Fatalf("status=%s err=%v, want failed with deadline error", st, werr)
+	}
+}
+
+func TestOpFailureFailsJob(t *testing.T) {
+	client := newTestClient(t) // no rotation keys
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := e.Submit(JobSpec{
+		SessionID: sess.ID,
+		Inputs:    map[string]*ckks.Ciphertext{"x": client.encrypt(t, []complex128{1})},
+		Ops: []OpSpec{
+			{ID: "r", Op: "rotate", Args: []string{"x"}, K: 3}, // missing galois key
+			{ID: "s", Op: "square", Args: []string{"r"}},
+		},
+		Outputs: []string{"s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := job.Wait(context.Background()); werr == nil {
+		t.Fatal("want job failure from missing rotation key")
+	}
+	if _, rerr := job.Results(); rerr == nil {
+		t.Fatal("Results on failed job must error")
+	}
+}
+
+// TestConcurrentJobs drives several jobs through one shared session at once
+// and checks every result; run with -race this exercises the evaluator's
+// concurrency safety through the engine path.
+func TestConcurrentJobs(t *testing.T) {
+	client := newTestClient(t, 1)
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for k := 0; k < jobs; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := []complex128{complex(float64(k)+1, 0), complex(0.5, 0)}
+			job, err := e.Submit(JobSpec{
+				SessionID: sess.ID,
+				Inputs:    map[string]*ckks.Ciphertext{"x": client.encrypt(t, v)},
+				Ops: []OpSpec{
+					{ID: "sq", Op: "square", Args: []string{"x"}},
+					{ID: "tw", Op: "add", Args: []string{"sq", "sq"}},
+				},
+				Outputs: []string{"tw"},
+			})
+			if err != nil {
+				errs <- fmt.Errorf("job %d: %w", k, err)
+				return
+			}
+			if err := job.Wait(context.Background()); err != nil {
+				errs <- fmt.Errorf("job %d: %w", k, err)
+				return
+			}
+			outs, err := job.Results()
+			if err != nil {
+				errs <- fmt.Errorf("job %d: %w", k, err)
+				return
+			}
+			got := client.decrypt(outs["tw"])
+			want := 2 * (float64(k) + 1) * (float64(k) + 1)
+			if d := math.Abs(real(got[0]) - want); d > 1e-3 {
+				errs <- fmt.Errorf("job %d: slot0 = %v, want %v", k, got[0], want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// BenchmarkEngineThroughput compares sequential submission against
+// engine-concurrent execution of independent jobs — the acceptance demo
+// that the worker-pool runtime sustains concurrent jobs with speedup on a
+// multi-core host.
+func BenchmarkEngineThroughput(b *testing.B) {
+	client := newTestClient(b, 1)
+	spec := func(sess *Session, ct *ckks.Ciphertext) JobSpec {
+		return JobSpec{
+			SessionID: sess.ID,
+			Inputs:    map[string]*ckks.Ciphertext{"x": ct},
+			Ops: []OpSpec{
+				{ID: "m", Op: "square", Args: []string{"x"}},
+				{ID: "r", Op: "rotate", Args: []string{"m"}, K: 1},
+			},
+			Outputs: []string{"r"},
+		}
+	}
+	ct := client.encrypt(b, []complex128{1, 2, 3, 4})
+	const batch = 4
+
+	b.Run("sequential", func(b *testing.B) {
+		e := New(Config{Workers: 1})
+		defer e.Close()
+		sess, _ := e.AttachSession(client.params, client.keys)
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < batch; k++ {
+				job, err := e.Submit(spec(sess, ct))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := job.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		e := New(Config{})
+		defer e.Close()
+		sess, _ := e.AttachSession(client.params, client.keys)
+		for i := 0; i < b.N; i++ {
+			jobs := make([]*Job, batch)
+			for k := range jobs {
+				job, err := e.Submit(spec(sess, ct))
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs[k] = job
+			}
+			for _, j := range jobs {
+				if err := j.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/ckks"
+)
+
+// HTTP/JSON front-end for the serving runtime, consumed by cmd/anaheim-serve.
+// Binary FHE payloads (evaluation keys, ciphertexts) ride inside JSON as
+// base64 of the internal/ckks wire format. The protocol is deliberately
+// poll-based: submit a job, poll its status, fetch the result.
+//
+//	POST /v1/sessions                     {preset|params, evalKeys}  -> {sessionId}
+//	POST /v1/sessions/{sid}/transforms    {name, diags}              -> {name}
+//	POST /v1/sessions/{sid}/jobs          {inputs, ops, outputs}     -> {jobId}
+//	GET  /v1/jobs/{id}                                               -> {status, error?}
+//	GET  /v1/jobs/{id}/result                                        -> {outputs}
+//	GET  /healthz
+
+type createSessionRequest struct {
+	// Preset names a built-in parameter set ("test" or "boot"); Params
+	// supplies an explicit literal instead.
+	Preset   string                  `json:"preset,omitempty"`
+	Params   *ckks.ParametersLiteral `json:"params,omitempty"`
+	EvalKeys string                  `json:"evalKeys"`
+}
+
+type createSessionResponse struct {
+	SessionID string `json:"sessionId"`
+	LogN      int    `json:"logN"`
+	MaxLevel  int    `json:"maxLevel"`
+}
+
+type registerTransformRequest struct {
+	Name string `json:"name"`
+	// Diags maps diagonal index -> per-slot [re, im] pairs.
+	Diags map[string][][2]float64 `json:"diags"`
+}
+
+type submitJobRequest struct {
+	Inputs     map[string]string `json:"inputs"` // name -> base64 ciphertext
+	Ops        []OpSpec          `json:"ops"`
+	Outputs    []string          `json:"outputs"`
+	DeadlineMs int               `json:"deadlineMs,omitempty"`
+}
+
+type jobStatusResponse struct {
+	JobID  string `json:"jobId"`
+	Status Status `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+type jobResultResponse struct {
+	JobID   string            `json:"jobId"`
+	Outputs map[string]string `json:"outputs"` // op id -> base64 ciphertext
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// PresetParameters resolves a named parameter preset.
+func PresetParameters(name string) (ckks.ParametersLiteral, error) {
+	switch name {
+	case "", "test":
+		return ckks.TestParameters(), nil
+	case "boot":
+		return ckks.BootTestParameters(), nil
+	default:
+		return ckks.ParametersLiteral{}, fmt.Errorf("engine: unknown parameter preset %q", name)
+	}
+}
+
+// NewHTTPHandler exposes the engine over HTTP/JSON.
+func NewHTTPHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"workers": e.cfg.Workers,
+			"active":  e.active.Load(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req createSessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		lit := ckks.ParametersLiteral{}
+		if req.Params != nil {
+			lit = *req.Params
+		} else {
+			var err error
+			if lit, err = PresetParameters(req.Preset); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		raw, err := base64.StdEncoding.DecodeString(req.EvalKeys)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("evalKeys: %w", err))
+			return
+		}
+		keys := &ckks.EvaluationKeySet{}
+		if err := keys.UnmarshalBinary(raw); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("evalKeys: %w", err))
+			return
+		}
+		sess, err := e.CreateSession(lit, keys)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, createSessionResponse{
+			SessionID: sess.ID,
+			LogN:      sess.Params.LogN(),
+			MaxLevel:  sess.Params.MaxLevel(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{sid}/transforms", func(w http.ResponseWriter, r *http.Request) {
+		sess, ok := e.Session(r.PathValue("sid"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
+			return
+		}
+		var req registerTransformRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		if req.Name == "" || len(req.Diags) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("transform needs a name and diagonals"))
+			return
+		}
+		diags := make(map[int][]complex128, len(req.Diags))
+		for k, vals := range req.Diags {
+			idx, err := strconv.Atoi(k)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("diagonal index %q: %w", k, err))
+				return
+			}
+			row := make([]complex128, len(vals))
+			for i, v := range vals {
+				row[i] = complex(v[0], v[1])
+			}
+			diags[idx] = row
+		}
+		sess.RegisterTransform(req.Name, ckks.NewLinearTransform(sess.Params.Slots(), diags))
+		writeJSON(w, http.StatusOK, map[string]string{"name": req.Name})
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{sid}/jobs", func(w http.ResponseWriter, r *http.Request) {
+		sid := r.PathValue("sid")
+		if _, ok := e.Session(sid); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
+			return
+		}
+		var req submitJobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		inputs := make(map[string]*ckks.Ciphertext, len(req.Inputs))
+		for name, b64 := range req.Inputs {
+			raw, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("input %q: %w", name, err))
+				return
+			}
+			ct := &ckks.Ciphertext{}
+			if err := ct.UnmarshalBinary(raw); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("input %q: %w", name, err))
+				return
+			}
+			inputs[name] = ct
+		}
+		spec := JobSpec{
+			SessionID: sid,
+			Inputs:    inputs,
+			Ops:       req.Ops,
+			Outputs:   req.Outputs,
+			Deadline:  time.Duration(req.DeadlineMs) * time.Millisecond,
+		}
+		job, err := e.Submit(spec)
+		switch {
+		case errors.Is(err, ErrBusy):
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobStatusResponse{JobID: job.ID, Status: StatusQueued})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+			return
+		}
+		st, err := job.Status()
+		resp := jobStatusResponse{JobID: job.ID, Status: st}
+		if err != nil {
+			resp.Error = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+			return
+		}
+		outs, err := job.Results()
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		resp := jobResultResponse{JobID: job.ID, Outputs: make(map[string]string, len(outs))}
+		for name, ct := range outs {
+			raw, err := ct.MarshalBinary()
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+			resp.Outputs[name] = base64.StdEncoding.EncodeToString(raw)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	return mux
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/ckks"
+)
+
+// OpSpec is one node of a job's op DAG. Args name either job inputs or
+// other ops; an op becomes runnable when every op it references has
+// produced its result.
+type OpSpec struct {
+	ID   string   `json:"id"`
+	Op   string   `json:"op"`             // add|sub|mul|square|rotate|conjugate|addconst|mulconst|rescale|droplevel|lintrans|bootstrap
+	Args []string `json:"args"`           // input names or op ids
+	K    int      `json:"k,omitempty"`    // rotation amount / target level
+	Val  float64  `json:"val,omitempty"`  // constant for addconst/mulconst
+	Name string   `json:"name,omitempty"` // registered linear-transform name
+}
+
+// arity of each op kind (number of ciphertext arguments).
+var opArity = map[string]int{
+	"add": 2, "sub": 2, "mul": 2,
+	"square": 1, "rotate": 1, "conjugate": 1,
+	"addconst": 1, "mulconst": 1,
+	"rescale": 1, "droplevel": 1,
+	"lintrans": 1, "bootstrap": 1,
+}
+
+func checkOp(op *OpSpec) error {
+	want, ok := opArity[op.Op]
+	if !ok {
+		return fmt.Errorf("engine: op %q: unknown kind %q", op.ID, op.Op)
+	}
+	if len(op.Args) != want {
+		return fmt.Errorf("engine: op %q (%s): want %d args, got %d", op.ID, op.Op, want, len(op.Args))
+	}
+	if op.Op == "lintrans" && op.Name == "" {
+		return fmt.Errorf("engine: op %q: lintrans needs a transform name", op.ID)
+	}
+	return nil
+}
+
+// JobSpec describes an encrypted-compute job: named input ciphertexts, an
+// op DAG over them, and which op results to return.
+type JobSpec struct {
+	SessionID string
+	Inputs    map[string]*ckks.Ciphertext
+	Ops       []OpSpec
+	Outputs   []string
+	// Deadline bounds the job's wall-clock time from admission; 0 uses the
+	// engine default.
+	Deadline time.Duration
+}
+
+// Status is a job lifecycle state.
+type Status string
+
+// Job lifecycle: Queued -> Running -> Done | Failed.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// result is the value an op produced.
+type result struct {
+	ct *ckks.Ciphertext
+}
+
+// Job is an admitted job handle.
+type Job struct {
+	ID string
+
+	sess   *Session
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	status  Status
+	err     error
+	results map[string]*result
+	done    chan struct{}
+}
+
+// Status returns the lifecycle state and, for failed jobs, the error.
+func (j *Job) Status() (Status, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.err
+}
+
+func (j *Job) setStatus(s Status, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusDone || j.status == StatusFailed {
+		return // terminal states are sticky
+	}
+	j.status = s
+	j.err = err
+	if s == StatusDone || s == StatusFailed {
+		close(j.done)
+	}
+}
+
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusDone || j.status == StatusFailed
+}
+
+func (j *Job) storeResult(opID string, r *result) {
+	j.mu.Lock()
+	j.results[opID] = r
+	j.mu.Unlock()
+}
+
+// arg resolves a name to a ciphertext (input or prior op result).
+func (j *Job) arg(name string) (*ckks.Ciphertext, error) {
+	if ct, ok := j.spec.Inputs[name]; ok {
+		return ct, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if r, ok := j.results[name]; ok {
+		return r.ct, nil
+	}
+	return nil, fmt.Errorf("engine: argument %q not materialized", name)
+}
+
+// Wait blocks until the job reaches a terminal state (returning its error,
+// if any) or ctx expires. Every admitted job terminates: op completion and
+// deadline expiry both wake the dispatcher, and engine shutdown fails all
+// tracked jobs.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		_, err := j.Status()
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Results returns the requested output ciphertexts of a Done job.
+func (j *Job) Results() (map[string]*ckks.Ciphertext, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusDone {
+		return nil, fmt.Errorf("engine: job %s is %s, not done", j.ID, j.status)
+	}
+	out := make(map[string]*ckks.Ciphertext, len(j.spec.Outputs))
+	for _, o := range j.spec.Outputs {
+		r, ok := j.results[o]
+		if !ok || r.ct == nil {
+			return nil, fmt.Errorf("engine: output %q missing", o)
+		}
+		out[o] = r.ct
+	}
+	return out, nil
+}

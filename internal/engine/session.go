@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/ckks"
+)
+
+// Session is one client's serving context: compiled parameters, the
+// client-uploaded evaluation keys, and the evaluator bound to them. The
+// server never holds secret material — clients keep the secret key, upload
+// only relinearization/Galois keys, and ship ciphertexts.
+//
+// A Session is safe for concurrent use: the evaluator's lazy caches are
+// internally locked and every op allocates its outputs. The session mutex
+// only serializes the few stateful extras (bootstrapper, transform map).
+type Session struct {
+	ID      string
+	Params  *ckks.Parameters
+	Keys    *ckks.EvaluationKeySet
+	Eval    *ckks.Evaluator
+	Enc     *ckks.Encoder
+	Created time.Time
+
+	mu         sync.Mutex
+	boot       *ckks.Bootstrapper
+	transforms map[string]*ckks.LinearTransform
+}
+
+// CreateSession compiles a parameter literal, binds the client's evaluation
+// keys, and registers the session.
+func (e *Engine) CreateSession(lit ckks.ParametersLiteral, keys *ckks.EvaluationKeySet) (*Session, error) {
+	params, err := ckks.NewParameters(lit)
+	if err != nil {
+		return nil, err
+	}
+	return e.AttachSession(params, keys)
+}
+
+// AttachSession registers a session over already-compiled parameters (the
+// embedded path, where the caller owns a full local context).
+func (e *Engine) AttachSession(params *ckks.Parameters, keys *ckks.EvaluationKeySet) (*Session, error) {
+	if keys == nil {
+		return nil, fmt.Errorf("engine: session needs an evaluation key set")
+	}
+	s := &Session{
+		ID:         e.newID("sess"),
+		Params:     params,
+		Keys:       keys,
+		Eval:       ckks.NewEvaluator(params, keys),
+		Enc:        ckks.NewEncoder(params),
+		Created:    time.Now(),
+		transforms: make(map[string]*ckks.LinearTransform),
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.sessions[s.ID] = s
+	return s, nil
+}
+
+// Session returns a registered session by ID.
+func (e *Engine) Session(id string) (*Session, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[id]
+	return s, ok
+}
+
+// DropSession removes a session; running jobs keep their reference.
+func (e *Engine) DropSession(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.sessions, id)
+}
+
+// SetBootstrapper enables the "bootstrap" op for embedded sessions (the
+// HTTP path cannot: constructing a bootstrapper requires the secret key).
+func (s *Session) SetBootstrapper(b *ckks.Bootstrapper) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.boot = b
+}
+
+// RegisterTransform names a linear transform for use by "lintrans" ops.
+// The needed rotation keys must be present in the session's key set.
+func (s *Session) RegisterTransform(name string, lt *ckks.LinearTransform) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.transforms[name] = lt
+}
+
+func (s *Session) transform(name string) (*ckks.LinearTransform, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lt, ok := s.transforms[name]
+	return lt, ok
+}
+
+// apply executes one op of a job against this session's evaluator.
+func (s *Session) apply(j *Job, op *OpSpec) (*result, error) {
+	args := make([]*ckks.Ciphertext, len(op.Args))
+	for i, a := range op.Args {
+		ct, err := j.arg(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ct
+	}
+	ev := s.Eval
+	var out *ckks.Ciphertext
+	var err error
+	switch op.Op {
+	case "add":
+		out = ev.Add(args[0], args[1])
+	case "sub":
+		out = ev.Sub(args[0], args[1])
+	case "mul":
+		out = ev.Rescale(ev.MulRelin(args[0], args[1], nil))
+	case "square":
+		out = ev.Rescale(ev.Square(args[0]))
+	case "rotate":
+		out, err = ev.Rotate(args[0], op.K)
+	case "conjugate":
+		out, err = ev.Conjugate(args[0])
+	case "addconst":
+		out = ev.AddConst(args[0], op.Val)
+	case "mulconst":
+		qd := float64(s.Params.RingQ().Moduli[args[0].Level()].Q)
+		out = ev.Rescale(ev.MultConst(args[0], op.Val, qd))
+	case "rescale":
+		out = ev.Rescale(args[0])
+	case "droplevel":
+		out = ev.DropLevel(args[0], op.K)
+	case "lintrans":
+		lt, ok := s.transform(op.Name)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown transform %q", op.Name)
+		}
+		out, err = ev.EvaluateLinearTransformHoisted(args[0], lt, s.Enc)
+		if err == nil {
+			out = ev.Rescale(out)
+		}
+	case "bootstrap":
+		s.mu.Lock()
+		boot := s.boot
+		s.mu.Unlock()
+		if boot == nil {
+			return nil, fmt.Errorf("engine: session has no bootstrapper")
+		}
+		out, err = boot.Bootstrap(args[0])
+	default:
+		err = fmt.Errorf("engine: unknown op kind %q", op.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &result{ct: out}, nil
+}

@@ -13,6 +13,7 @@ import (
 	"math/bits"
 
 	"github.com/anaheim-sim/anaheim/internal/modarith"
+	"github.com/anaheim-sim/anaheim/internal/par"
 )
 
 // Tables holds per-(q, N) precomputed twiddle factors.
@@ -125,6 +126,42 @@ func (t *Tables) Inverse(a []uint64) {
 	for j := range a {
 		a[j] = mod.MulShoup(a[j], t.nInv, t.nInvShoup)
 	}
+}
+
+// parallelLimbThreshold is the limb count above which batch transforms are
+// spread over the shared worker pool. Below it the per-chunk synchronization
+// costs more than the transforms.
+const parallelLimbThreshold = 8
+
+// ForwardMany runs tables[i].Forward(rows[i]) for every limb, in parallel on
+// the shared worker pool when the batch is large enough. Limbs are
+// independent RNS residues, so this is always safe.
+func ForwardMany(tables []*Tables, rows [][]uint64) {
+	if len(tables) != len(rows) {
+		panic(fmt.Sprintf("ntt: ForwardMany on %d tables, %d rows", len(tables), len(rows)))
+	}
+	if len(rows) < parallelLimbThreshold {
+		for i := range rows {
+			tables[i].Forward(rows[i])
+		}
+		return
+	}
+	par.ForEach(len(rows), func(i int) { tables[i].Forward(rows[i]) })
+}
+
+// InverseMany runs tables[i].Inverse(rows[i]) for every limb, in parallel on
+// the shared worker pool when the batch is large enough.
+func InverseMany(tables []*Tables, rows [][]uint64) {
+	if len(tables) != len(rows) {
+		panic(fmt.Sprintf("ntt: InverseMany on %d tables, %d rows", len(tables), len(rows)))
+	}
+	if len(rows) < parallelLimbThreshold {
+		for i := range rows {
+			tables[i].Inverse(rows[i])
+		}
+		return
+	}
+	par.ForEach(len(rows), func(i int) { tables[i].Inverse(rows[i]) })
 }
 
 // MulCoeffs computes the element-wise product c = a ⊙ b of two NTT-form

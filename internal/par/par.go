@@ -1,0 +1,110 @@
+// Package par provides the process-wide worker pool that the RNS limb-level
+// kernels (ring element-wise ops, per-limb NTT/INTT) share. Limbs of an RNS
+// polynomial are independent, so spreading them across cores is always safe;
+// what needs care is doing it without spawning goroutines per call and
+// without deadlocking when parallel sections nest (e.g. an engine job worker
+// calling into a parallel NTT).
+//
+// The pool keeps a fixed set of long-lived workers fed by an unbuffered task
+// channel. Submission never blocks: if no worker is idle, the submitting
+// goroutine runs the chunk inline. Under nesting this degrades gracefully
+// toward serial execution instead of deadlocking, and an idle machine gets
+// full fan-out.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	mu      sync.Mutex
+	size    int         // configured width; 0 = GOMAXPROCS at first use
+	tasks   chan func() // unbuffered: a send succeeds only if a worker is idle
+	started int         // workers spawned so far
+)
+
+// Workers returns the configured pool width.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	if size == 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return size
+}
+
+// SetWorkers fixes the pool width and returns the previous value. n <= 1
+// forces serial execution. Intended for benchmarks comparing serial vs
+// parallel kernels; already-running workers beyond the new width drain
+// naturally (they only matter if a task is submitted to them).
+func SetWorkers(n int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := size
+	if prev == 0 {
+		prev = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	size = n
+	return prev
+}
+
+// ensure spawns workers up to the configured width and returns the task
+// channel along with the effective width.
+func ensure() (chan func(), int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if size == 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	if tasks == nil {
+		tasks = make(chan func())
+	}
+	for ; started < size; started++ {
+		go func(ch chan func()) {
+			for f := range ch {
+				f()
+			}
+		}(tasks)
+	}
+	return tasks, size
+}
+
+// ForEach runs f(i) for every i in [0, n), spreading the iterations over the
+// shared pool in strided chunks. It returns only after every call completed.
+// With a pool width of 1 (or n == 1) it is exactly a for loop.
+func ForEach(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	ch, width := ensure()
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		w := w
+		chunk := func() {
+			defer wg.Done()
+			for i := w; i < n; i += width {
+				f(i)
+			}
+		}
+		select {
+		case ch <- chunk:
+		default:
+			chunk() // no idle worker: run inline (nesting-safe)
+		}
+	}
+	wg.Wait()
+}

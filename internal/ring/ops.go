@@ -6,82 +6,86 @@ import "math/big"
 // out, which may alias either input. Domain flags are propagated from the
 // first input; element-wise operations are valid in either domain (they are
 // coefficient-wise in both).
+//
+// Every loop body touches only its own limb, so the loops are spread over
+// the shared worker pool (forEachLimb) once the limb count crosses the
+// parallel threshold — the same pattern as the per-limb NTT batches.
 
 // Add sets out = a + b.
 func (r *Ring) Add(out, a, b *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oo {
 			oo[j] = mod.Add(oa[j], ob[j])
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
 // Sub sets out = a - b.
 func (r *Ring) Sub(out, a, b *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oo {
 			oo[j] = mod.Sub(oa[j], ob[j])
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
 // Neg sets out = -a.
 func (r *Ring) Neg(out, a *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		oa, oo := a.Coeffs[i], out.Coeffs[i]
 		for j := range oo {
 			oo[j] = mod.Neg(oa[j])
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
 // MulCoeffs sets out = a ⊙ b (element-wise product). In the NTT domain this
 // is the ring product.
 func (r *Ring) MulCoeffs(out, a, b *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oo {
 			oo[j] = mod.Mul(oa[j], ob[j])
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
 // MulCoeffsAdd sets out += a ⊙ b.
 func (r *Ring) MulCoeffsAdd(out, a, b *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oo {
 			oo[j] = mod.Add(oo[j], mod.Mul(oa[j], ob[j]))
 		}
-	}
+	})
 }
 
 // MulCoeffsSub sets out -= a ⊙ b.
 func (r *Ring) MulCoeffsSub(out, a, b *Poly, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range oo {
 			oo[j] = mod.Sub(oo[j], mod.Mul(oa[j], ob[j]))
 		}
-	}
+	})
 }
 
 // MulScalar sets out = a * s for a small unsigned scalar s (reduced per
 // limb).
 func (r *Ring) MulScalar(out, a *Poly, s uint64, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		sr := s % mod.Q
 		srs := mod.ShoupPrecomp(sr)
@@ -89,14 +93,14 @@ func (r *Ring) MulScalar(out, a *Poly, s uint64, level int) {
 		for j := range oo {
 			oo[j] = mod.MulShoup(oa[j], sr, srs)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
 // MulByLimbScalars sets out[i] = a[i] * s[i] where s carries one scalar per
 // limb (already reduced). Used for gadget factors and rescaling constants.
 func (r *Ring) MulByLimbScalars(out, a *Poly, s []uint64, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		sr := s[i]
 		srs := mod.ShoupPrecomp(sr)
@@ -104,7 +108,7 @@ func (r *Ring) MulByLimbScalars(out, a *Poly, s []uint64, level int) {
 		for j := range oo {
 			oo[j] = mod.MulShoup(oa[j], sr, srs)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -112,7 +116,7 @@ func (r *Ring) MulByLimbScalars(out, a *Poly, s []uint64, level int) {
 // per limb). Needed by bootstrapping, where constants scale with q0 and
 // exceed int64. Domain handling matches AddScalarInt.
 func (r *Ring) AddScalarBig(out, a *Poly, v *big.Int, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		c := new(big.Int).Mod(v, new(big.Int).SetUint64(mod.Q)).Uint64()
 		oa, oo := a.Coeffs[i], out.Coeffs[i]
@@ -124,7 +128,7 @@ func (r *Ring) AddScalarBig(out, a *Poly, v *big.Int, level int) {
 			copy(oo, oa)
 			oo[0] = mod.Add(oa[0], c)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -143,7 +147,7 @@ func (r *Ring) MulScalarBig(out, a *Poly, v *big.Int, level int) {
 // in the NTT domain a constant shifts every slot, so it is added to all
 // positions.
 func (r *Ring) AddScalarInt(out, a *Poly, v int64, level int) {
-	for i := 0; i <= level; i++ {
+	forEachLimb(level, func(i int) {
 		mod := r.Moduli[i]
 		c := mod.FromCentered(v)
 		oa, oo := a.Coeffs[i], out.Coeffs[i]
@@ -155,6 +159,6 @@ func (r *Ring) AddScalarInt(out, a *Poly, v int64, level int) {
 			copy(oo, oa)
 			oo[0] = mod.Add(oa[0], c)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }

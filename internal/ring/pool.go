@@ -1,0 +1,49 @@
+package ring
+
+import "sync"
+
+// polyPool recycles Poly scratch buffers, one sync.Pool per limb count.
+// Evaluator hot paths (Rescale, ModDown, Decompose) allocate and discard a
+// polynomial of N×limbs uint64 per call; at serving throughput that is the
+// dominant GC pressure, so they borrow from here instead.
+//
+// Ownership rules: a borrowed Poly is exclusively the caller's until
+// returned. Only return polynomials whose backing storage has not escaped
+// (no Truncated view or Coeffs row may outlive the Put). Double-Put is a
+// caller bug and corrupts the pool.
+type polyPool struct {
+	mu    sync.Mutex
+	pools []*sync.Pool // index = limbs-1
+}
+
+func (pp *polyPool) pool(limbs int) *sync.Pool {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	for len(pp.pools) < limbs {
+		pp.pools = append(pp.pools, &sync.Pool{})
+	}
+	return pp.pools[limbs-1]
+}
+
+// GetPoly borrows a zeroed coefficient-domain polynomial with level+1 limbs
+// from the ring's buffer pool. It is interchangeable with NewPoly; callers
+// that are done with the scratch value should hand it back via PutPoly.
+func (r *Ring) GetPoly(level int) *Poly {
+	limbs := level + 1
+	if v := r.pool.pool(limbs).Get(); v != nil {
+		p := v.(*Poly)
+		p.Zero()
+		p.IsNTT = false
+		return p
+	}
+	return r.NewPoly(level)
+}
+
+// PutPoly returns a borrowed polynomial to the pool. Polynomials of foreign
+// shape (wrong N, truncated views) are dropped rather than pooled.
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil || len(p.Coeffs) == 0 || len(p.Coeffs[0]) != r.N {
+		return
+	}
+	r.pool.pool(len(p.Coeffs)).Put(p)
+}

@@ -11,12 +11,12 @@ package ring
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"github.com/anaheim-sim/anaheim/internal/modarith"
 	"github.com/anaheim-sim/anaheim/internal/ntt"
+	"github.com/anaheim-sim/anaheim/internal/par"
 )
 
 // Ring is an RNS cyclotomic ring: degree N = 2^LogN with a chain of NTT-
@@ -30,6 +30,9 @@ type Ring struct {
 
 	autoMu    sync.Mutex
 	autoCache map[uint64][]int // galois element -> NTT-domain permutation
+
+	// pool recycles Poly scratch buffers per limb count (see pool.go).
+	pool polyPool
 
 	// Limb-transform counters (atomic), used to cross-validate the
 	// simulator's kernel traces against the functional library's actual
@@ -157,34 +160,23 @@ func (p *Poly) Equal(q *Poly) bool {
 	return true
 }
 
-// parallelLimbThreshold is the limb count above which per-limb transforms
-// are spread across CPUs. Limbs are independent (RNS), so this is safe.
+// parallelLimbThreshold is the limb count above which per-limb work is
+// spread over the shared worker pool (internal/par). Limbs are independent
+// (RNS), so this is safe; below the threshold the synchronization overhead
+// dominates.
 const parallelLimbThreshold = 8
 
-// forEachLimb runs f over limbs 0..level, in parallel when worthwhile.
+// forEachLimb runs f over limbs 0..level, on the shared worker pool when
+// worthwhile.
 func forEachLimb(level int, f func(i int)) {
 	limbs := level + 1
-	workers := runtime.GOMAXPROCS(0)
-	if limbs < parallelLimbThreshold || workers < 2 {
+	if limbs < parallelLimbThreshold || par.Workers() < 2 {
 		for i := 0; i < limbs; i++ {
 			f(i)
 		}
 		return
 	}
-	if workers > limbs {
-		workers = limbs
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < limbs; i += workers {
-				f(i)
-			}
-		}(w)
-	}
-	wg.Wait()
+	par.ForEach(limbs, f)
 }
 
 // NTT transforms p in place to the NTT domain (all limbs up to level).
@@ -192,7 +184,7 @@ func (r *Ring) NTT(p *Poly, level int) {
 	if p.IsNTT {
 		panic("ring: NTT on a polynomial already in NTT form")
 	}
-	forEachLimb(level, func(i int) { r.Tables[i].Forward(p.Coeffs[i]) })
+	ntt.ForwardMany(r.Tables[:level+1], p.Coeffs[:level+1])
 	r.nttLimbs.Add(int64(level + 1))
 	p.IsNTT = true
 }
@@ -202,7 +194,7 @@ func (r *Ring) INTT(p *Poly, level int) {
 	if !p.IsNTT {
 		panic("ring: INTT on a polynomial already in coefficient form")
 	}
-	forEachLimb(level, func(i int) { r.Tables[i].Inverse(p.Coeffs[i]) })
+	ntt.InverseMany(r.Tables[:level+1], p.Coeffs[:level+1])
 	r.inttLimbs.Add(int64(level + 1))
 	p.IsNTT = false
 }
