@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench micro serve clean
+.PHONY: all build vet test race bench micro fuzz bench-compare serve clean
 
 all: vet build test
 
@@ -23,6 +23,18 @@ bench:
 # FHE op microbenchmarks -> BENCH_PR1.json (the perf trajectory file).
 micro:
 	$(GO) run ./cmd/anaheim-bench -micro -o BENCH_PR1.json
+
+# Fuzz smoke: 10s per untrusted-input decoder (CI runs the same).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzCiphertextUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
+	$(GO) test -run=^$$ -fuzz=FuzzEvaluationKeySetUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
+	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=$(FUZZTIME) ./internal/engine
+
+# Rerun the microbenchmarks and diff against the committed baseline.
+bench-compare:
+	$(GO) run ./cmd/anaheim-bench -micro -metrics -o /tmp/bench-new.json
+	$(GO) run ./cmd/anaheim-bench -compare BENCH_PR1.json -against /tmp/bench-new.json
 
 serve:
 	$(GO) run ./cmd/anaheim-serve -addr :8080

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// runCompare diffs two -micro reports op by op and reports any op whose
+// ns/op slowed down by more than tolerance percent. It returns regressed =
+// true (exit code 3 in main) without treating that as a hard error: the CI
+// bench stage runs on shared runners whose timing jitter makes a blocking
+// gate flaky, so regressions warn loudly instead of failing the build.
+func runCompare(out io.Writer, basePath, newPath string, tolerance float64) (regressed bool, err error) {
+	if newPath == "" {
+		return false, fmt.Errorf("anaheim-bench: -compare needs -against NEW.json")
+	}
+	base, err := readReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	cand, err := readReport(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	baseBy := make(map[string]microResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Op] = r
+	}
+
+	fmt.Fprintf(out, "%-20s %14s %14s %9s\n", "op", "base ns/op", "new ns/op", "delta")
+	for _, n := range cand.Results {
+		b, ok := baseBy[n.Op]
+		if !ok {
+			fmt.Fprintf(out, "%-20s %14s %14.0f %9s\n", n.Op, "-", n.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (n.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		mark := ""
+		if delta > tolerance {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(out, "%-20s %14.0f %14.0f %+8.1f%%%s\n", n.Op, b.NsPerOp, n.NsPerOp, delta, mark)
+	}
+	if regressed {
+		fmt.Fprintf(out, "\nWARNING: ops slowed down by more than %.0f%% vs %s\n", tolerance, basePath)
+	}
+	return regressed, nil
+}
+
+func readReport(path string) (microReport, error) {
+	var rep microReport
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -7,6 +7,8 @@
 //	anaheim-bench -all             # everything
 //	anaheim-bench -list            # available experiment ids
 //	anaheim-bench -micro -o BENCH_PR1.json   # FHE op microbenchmarks as JSON
+//	anaheim-bench -micro -metrics            # ...with obs registry snapshot attached
+//	anaheim-bench -compare BENCH_PR1.json -against new.json   # perf regression gate
 package main
 
 import (
@@ -24,7 +26,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	micro := flag.Bool("micro", false, "run FHE op microbenchmarks, emit JSON")
+	metrics := flag.Bool("metrics", false, "attach obs registry snapshot to -micro JSON")
 	outPath := flag.String("o", "", "write -micro JSON here instead of stdout")
+	compareBase := flag.String("compare", "", "baseline -micro JSON to compare against")
+	compareNew := flag.String("against", "", "candidate -micro JSON for -compare")
+	tolerance := flag.Float64("tolerance", 25, "percent ns/op slowdown tolerated by -compare")
 	flag.Parse()
 
 	run := func(id string) (string, error) {
@@ -35,6 +41,15 @@ func main() {
 	}
 
 	switch {
+	case *compareBase != "":
+		regressed, err := runCompare(os.Stdout, *compareBase, *compareNew, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(3) // distinct from hard errors so CI can treat it as a warning
+		}
 	case *micro:
 		out := os.Stdout
 		if *outPath != "" {
@@ -46,7 +61,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := runMicro(out); err != nil {
+		if err := runMicro(out, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 		t.Skip("microbenchmarks are slow")
 	}
 	var sb strings.Builder
-	if err := runMicro(&sb); err != nil {
+	if err := runMicro(&sb, true); err != nil {
 		t.Fatal(err)
 	}
 	var rep microReport
@@ -25,5 +26,64 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 		if r.Op == "" || r.NsPerOp <= 0 {
 			t.Fatalf("bad result entry: %+v", r)
 		}
+	}
+	if rep.Metrics == nil {
+		t.Fatal("-metrics snapshot missing from report")
+	}
+	if v, ok := rep.Metrics.Counters[`ckks_ops_total{op="mul"}`]; !ok || v <= 0 {
+		t.Fatalf("metrics snapshot has no mul count: %v", rep.Metrics.Counters)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep microReport) string {
+		t.Helper()
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/" + name
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", microReport{Results: []microResult{
+		{Op: "add", NsPerOp: 100},
+		{Op: "mul", NsPerOp: 1000},
+	}})
+	cand := write("cand.json", microReport{Results: []microResult{
+		{Op: "add", NsPerOp: 110},  // +10%: within tolerance
+		{Op: "mul", NsPerOp: 1500}, // +50%: regression
+		{Op: "rotate", NsPerOp: 5}, // new op: reported, not a regression
+	}})
+
+	var sb strings.Builder
+	regressed, err := runCompare(&sb, base, cand, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("want regression flagged:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") || !strings.Contains(sb.String(), "mul") {
+		t.Fatalf("missing regression marker:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	regressed, err = runCompare(&sb, base, cand, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("60%% tolerance must pass:\n%s", sb.String())
+	}
+
+	if _, err := runCompare(&sb, base, "", 25); err == nil {
+		t.Fatal("want error when -against is missing")
+	}
+	if _, err := runCompare(&sb, dir+"/nosuch.json", cand, 25); err == nil {
+		t.Fatal("want error for missing baseline file")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/anaheim-sim/anaheim"
+	"github.com/anaheim-sim/anaheim/internal/obs"
 	"github.com/anaheim-sim/anaheim/internal/par"
 )
 
@@ -30,12 +31,17 @@ type microReport struct {
 	Workers   int           `json:"parWorkers"`
 	Params    string        `json:"params"`
 	Results   []microResult `json:"results"`
+	// Metrics is the obs registry snapshot after the run (counter totals,
+	// latency quantiles), attached when -metrics is set so the same JSON
+	// artifact carries both ns/op numbers and instrumentation counts.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // runMicro benchmarks the FHE hot ops at the test-scale parameter set and
 // writes machine-readable JSON. testing.Benchmark picks the iteration count,
-// so wall-clock stays in seconds even on slow hosts.
-func runMicro(out io.Writer) error {
+// so wall-clock stays in seconds even on slow hosts. withMetrics attaches
+// the observability registry snapshot to the report.
+func runMicro(out io.Writer, withMetrics bool) error {
 	ctx, err := anaheim.NewContext(anaheim.TestParameters(), 1)
 	if err != nil {
 		return err
@@ -118,6 +124,11 @@ func runMicro(out io.Writer) error {
 		})
 		fmt.Fprintf(os.Stderr, "%-18s %12.0f ns/op %8d allocs/op\n",
 			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	if withMetrics {
+		snap := obs.Default.Snapshot()
+		rep.Metrics = &snap
 	}
 
 	enc := json.NewEncoder(out)

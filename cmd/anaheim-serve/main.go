@@ -10,11 +10,17 @@
 // Endpoints:
 //
 //	GET  /healthz
+//	GET  /metrics                       Prometheus text-format metrics
+//	GET  /debug/spans                   recent job/op span trace (text table)
 //	POST /v1/sessions                   create a session from evaluation keys
 //	POST /v1/sessions/{sid}/transforms  register a named linear transform
 //	POST /v1/sessions/{sid}/jobs        submit a job (429 when saturated)
 //	GET  /v1/jobs/{id}                  poll job status
 //	GET  /v1/jobs/{id}/result           fetch output ciphertexts
+//
+// With -pprof ADDR, net/http/pprof is served on a side listener so
+// profiling traffic never competes with (or exposes itself to) the public
+// serving port.
 package main
 
 import (
@@ -24,34 +30,68 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/engine"
+	"github.com/anaheim-sim/anaheim/internal/obs"
+	"github.com/anaheim-sim/anaheim/internal/trace"
 )
 
 type serveConfig struct {
-	addr     string
-	workers  int
-	queue    int
-	maxJobs  int
-	deadline time.Duration
+	addr      string
+	pprofAddr string
+	workers   int
+	queue     int
+	maxJobs   int
+	maxBody   int64
+	deadline  time.Duration
 }
 
 func parseFlags(args []string) (serveConfig, error) {
 	fs := flag.NewFlagSet("anaheim-serve", flag.ContinueOnError)
 	cfg := serveConfig{}
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.pprofAddr, "pprof", "", "side-port address for net/http/pprof (empty = disabled)")
 	fs.IntVar(&cfg.workers, "workers", 0, "op worker goroutines (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.queue, "queue", 0, "ready-op queue depth (0 = 4x workers)")
 	fs.IntVar(&cfg.maxJobs, "maxjobs", 0, "max in-flight jobs before 429 (0 = default)")
+	fs.Int64Var(&cfg.maxBody, "maxbody", 0, "max request body bytes before 413 (0 = 64MiB)")
 	fs.DurationVar(&cfg.deadline, "deadline", 0, "default per-job deadline (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	return cfg, nil
+}
+
+// observedMux wraps the engine's API with the observability endpoints.
+func observedMux(e *engine.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", engine.NewHTTPHandler(e))
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, trace.SpanTable(obs.DefaultTracer.Snapshot()).String())
+	})
+	return mux
+}
+
+// pprofMux builds an explicit pprof mux so the profiling handlers bind only
+// to the side listener, never to the public serving mux.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // run starts the engine and HTTP server and blocks until ctx is cancelled,
@@ -61,13 +101,14 @@ func run(ctx context.Context, cfg serveConfig, ready chan<- string) error {
 		Workers:         cfg.workers,
 		QueueSize:       cfg.queue,
 		MaxActiveJobs:   cfg.maxJobs,
+		MaxBodyBytes:    cfg.maxBody,
 		DefaultDeadline: cfg.deadline,
 	})
 	defer e.Close()
 
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           engine.NewHTTPHandler(e),
+		Handler:           observedMux(e),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -76,6 +117,18 @@ func run(ctx context.Context, cfg serveConfig, ready chan<- string) error {
 		return fmt.Errorf("anaheim-serve: listen %s: %w", cfg.addr, err)
 	}
 	log.Printf("anaheim-serve: listening on %s", ln.Addr())
+
+	var pprofSrv *http.Server
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("anaheim-serve: pprof listen %s: %w", cfg.pprofAddr, err)
+		}
+		pprofSrv = &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		log.Printf("anaheim-serve: pprof on %s", pln.Addr())
+		go pprofSrv.Serve(pln)
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -85,10 +138,16 @@ func run(ctx context.Context, cfg serveConfig, ready chan<- string) error {
 
 	select {
 	case err := <-errc:
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
 		return err
 	case <-ctx.Done():
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if pprofSrv != nil {
+			pprofSrv.Shutdown(shutCtx)
+		}
 		return srv.Shutdown(shutCtx)
 	}
 }

@@ -6,7 +6,10 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"regexp"
+	"strings"
 	"testing"
 	"time"
 
@@ -45,6 +48,23 @@ func getJSON(t *testing.T, url string, resp any) *http.Response {
 		}
 	}
 	return r
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, r.StatusCode)
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }
 
 // TestServeRoundTrip runs the whole serving story over a real socket: a
@@ -166,6 +186,37 @@ func TestServeRoundTrip(t *testing.T) {
 		}
 	}
 
+	// After a completed job the metrics endpoint must show live counters:
+	// the job was admitted, per-op counters ticked, and the latency
+	// histograms carry observations.
+	metrics := getText(t, base+"/metrics")
+	for _, want := range []string{
+		"engine_jobs_admitted_total",
+		`engine_ops_total{op="square"}`,
+		`engine_ops_total{op="rotate"}`,
+		`ckks_ops_total{op="mul"}`,
+		"engine_op_exec_seconds_bucket",
+		"engine_op_queue_wait_seconds_count",
+		"ring_pool_gets_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	for _, re := range []string{
+		`engine_jobs_admitted_total ([1-9][\d.e+]*)`,
+		`engine_ops_total\{op="square"\} ([1-9][\d.e+]*)`,
+	} {
+		if !regexp.MustCompile(re).MatchString(metrics) {
+			t.Errorf("/metrics counter not non-zero: %s in\n%s", re, metrics)
+		}
+	}
+
+	spans := getText(t, base+"/debug/spans")
+	if !strings.Contains(spans, "job") || !strings.Contains(spans, "op:square") {
+		t.Errorf("/debug/spans missing job/op spans:\n%s", spans)
+	}
+
 	cancel()
 	if err := <-done; err != nil {
 		t.Fatalf("shutdown: %v", err)
@@ -197,6 +248,50 @@ func TestServeBadRequests(t *testing.T) {
 	}
 	if r := getJSON(t, base+"/v1/jobs/nosuch", nil); r.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job: status %d", r.StatusCode)
+	}
+}
+
+// TestServeBodyLimit verifies oversized request bodies are cut off with
+// 413 before they reach the JSON decoder. The pprof side port is enabled
+// here too, so its start/stop path runs under test.
+func TestServeBodyLimit(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	go run(ctx, serveConfig{
+		addr:      "127.0.0.1:0",
+		pprofAddr: "127.0.0.1:0",
+		workers:   1,
+		maxBody:   512,
+	}, ready)
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr
+
+	// Valid JSON so the decoder keeps reading until the byte cap trips
+	// (a syntax error would 400 before the limit is ever reached).
+	big := []byte(`{"evalKeys":"` + strings.Repeat("a", 64<<10) + `"}`)
+	r, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", r.StatusCode)
+	}
+
+	// A within-limit malformed body must still be a plain 400.
+	r, err = http.Post(base+"/v1/sessions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", r.StatusCode)
 	}
 }
 

@@ -3,6 +3,7 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/ring"
 )
@@ -143,6 +144,7 @@ func (b *Bootstrapper) evalModCt(ct *Ciphertext, delta float64) *Ciphertext {
 // level. The input is dropped to level 0 first, matching the paper's L
 // schedule (2 -> 54 -> 24 for the full-scale Boot workload).
 func (b *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
+	defer obsBootstrap.done(time.Now())
 	ev := b.eval
 	rq := b.params.RingQ()
 	delta := ct.Scale

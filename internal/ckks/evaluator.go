@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 	"sync"
+	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/modarith"
 	"github.com/anaheim-sim/anaheim/internal/ring"
@@ -56,12 +57,16 @@ func (ev *Evaluator) checkScales(a, b float64) {
 // Add returns ct0 + ct1 (HADD). Operands are aligned to the lower of the two
 // levels; scales must agree up to the tolerance imposed by near-Δ primes.
 func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
+	// Explicit done() instead of defer: Add is the one op cheap enough
+	// (~35µs at test scale) that defer overhead shows up in benchmarks.
+	start := time.Now()
 	ev.checkScales(ct0.Scale, ct1.Scale)
 	rq := ev.params.RingQ()
 	lvl := min(ct0.Level(), ct1.Level())
 	out := &Ciphertext{C0: rq.NewPoly(lvl), C1: rq.NewPoly(lvl), Scale: ct0.Scale}
 	rq.Add(out.C0, ct0.C0.Truncated(lvl), ct1.C0.Truncated(lvl), lvl)
 	rq.Add(out.C1, ct0.C1.Truncated(lvl), ct1.C1.Truncated(lvl), lvl)
+	obsAdd.done(start)
 	return out
 }
 
@@ -247,6 +252,7 @@ func (ev *Evaluator) ModDown(uq, up *ring.Poly, lvl int) *ring.Poly {
 
 // keySwitch applies the full ModUp -> KeyMult/MAC -> ModDown pipeline to c.
 func (ev *Evaluator) keySwitch(c *ring.Poly, lvl int, swk *SwitchingKey) (d0, d1 *ring.Poly) {
+	defer obsKeySwitch.done(time.Now())
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	dec := ev.Decompose(c, lvl)
@@ -274,6 +280,7 @@ func (ev *Evaluator) SwitchKeys(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
 // MulRelin returns ct0 ⊙ ct1 with relinearization (HMULT): the Tensor
 // element-wise step followed by key switching of the degree-2 component.
 func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *SwitchingKey) *Ciphertext {
+	defer obsMul.done(time.Now())
 	if rlk == nil {
 		rlk = ev.keys.Rlk
 	}
@@ -306,6 +313,7 @@ func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
 // Rescale divides the ciphertext by its top prime and drops a level,
 // restoring the scale after a multiplication.
 func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+	defer obsRescale.done(time.Now())
 	rq := ev.params.RingQ()
 	lvl := ct.Level()
 	if lvl == 0 {
@@ -367,6 +375,7 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) (*Ciphertext, er
 
 // Rotate returns HROT(ct, k): the slot vector cyclically rotated by k.
 func (ev *Evaluator) Rotate(ct *Ciphertext, k int) (*Ciphertext, error) {
+	defer obsRotate.done(time.Now())
 	if k%ev.params.Slots() == 0 {
 		return ct.CopyNew(), nil
 	}
@@ -375,12 +384,14 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, k int) (*Ciphertext, error) {
 
 // Conjugate returns the slot-wise complex conjugate of ct.
 func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
+	defer obsConjugate.done(time.Now())
 	return ev.automorphism(ct, ev.params.RingQ().GaloisElementConjugate())
 }
 
 // RotateHoisted evaluates many rotations of one ciphertext sharing a single
 // ModUp (hoisting, §III-B): K rotations cost one decomposition instead of K.
 func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ciphertext, error) {
+	defer obsHoisted.done(time.Now())
 	rq, rp := ev.params.RingQ(), ev.params.RingP()
 	lvl := ct.Level()
 	dec := ev.Decompose(ct.C1, lvl)

@@ -1,0 +1,138 @@
+package ckks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sync"
+	"testing"
+)
+
+// fuzzParameters is a deliberately tiny (insecure) parameter set: the wire
+// format is shape-generic, and small seeds keep per-exec cost low so the
+// fuzz engine gets real throughput on slow CI runners.
+func fuzzParameters() ParametersLiteral {
+	return ParametersLiteral{
+		LogN:     5,
+		LogQ:     []int{55, 45},
+		LogP:     []int{58},
+		LogScale: 45,
+		HDense:   8,
+		HSparse:  4,
+	}
+}
+
+// fuzzSeedCiphertext builds one honestly-marshaled ciphertext to seed the
+// corpus, memoized because key generation is the expensive part and the
+// fuzz engine re-enters the seed path per worker.
+var fuzzSeedCiphertext = sync.OnceValue(func() []byte {
+	params, err := NewParameters(fuzzParameters())
+	if err != nil {
+		panic(err)
+	}
+	enc := NewEncoder(params)
+	kgen := NewKeyGenerator(params, 1)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	v := make([]complex128, params.Slots())
+	for i := range v {
+		v[i] = complex(float64(i%5)/4, -float64(i%3)/2)
+	}
+	pt, err := enc.Encode(v, params.MaxLevel(), params.DefaultScale())
+	if err != nil {
+		panic(err)
+	}
+	ct := NewEncryptor(params, 2).EncryptNew(&Plaintext{Value: pt, Scale: params.DefaultScale()}, pk)
+	raw, err := ct.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	return raw
+})
+
+// FuzzCiphertextUnmarshal feeds arbitrary bytes to the ciphertext wire
+// decoder. The contract under fuzz: malformed input errors out — it never
+// panics and never allocates unbounded memory (the ring layer caps poly
+// shape before allocating). Anything that decodes cleanly must re-marshal
+// to the identical bytes.
+func FuzzCiphertextUnmarshal(f *testing.F) {
+	valid := fuzzSeedCiphertext()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-poly
+	f.Add(valid[:11])           // truncated inside the first chunk header
+	f.Add([]byte{})
+	f.Add([]byte("not a ciphertext"))
+
+	// Structurally valid framing with a hostile scale.
+	evil := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint64(evil[:8], math.Float64bits(math.NaN()))
+	f.Add(evil)
+
+	// Huge claimed poly shape: must be rejected before allocation.
+	huge := append([]byte{}, valid[:8]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0x7f) // chunk length
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ct := &Ciphertext{}
+		if err := ct.UnmarshalBinary(data); err != nil {
+			return // rejected: that is the expected outcome for junk
+		}
+		// Accepted inputs must be internally consistent and round-trip.
+		if ct.C0 == nil || ct.C1 == nil {
+			t.Fatal("accepted ciphertext with nil component")
+		}
+		if !(ct.Scale > 0) || math.IsInf(ct.Scale, 0) {
+			t.Fatalf("accepted non-finite/non-positive scale %v", ct.Scale)
+		}
+		if len(ct.C0.Coeffs) != len(ct.C1.Coeffs) {
+			t.Fatalf("accepted mismatched limb counts %d vs %d", len(ct.C0.Coeffs), len(ct.C1.Coeffs))
+		}
+		out, err := ct.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted ciphertext fails to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round-trip mismatch: %d bytes in, %d bytes out", len(data), len(out))
+		}
+	})
+}
+
+// FuzzEvaluationKeySetUnmarshal covers the other untrusted decode surface
+// of the HTTP session path: client-uploaded evaluation keys.
+func FuzzEvaluationKeySetUnmarshal(f *testing.F) {
+	params, err := NewParameters(fuzzParameters())
+	if err != nil {
+		f.Fatal(err)
+	}
+	kgen := NewKeyGenerator(params, 1)
+	sk := kgen.GenSecretKey()
+	keys := NewEvaluationKeySet()
+	keys.Rlk = kgen.GenRelinearizationKey(sk)
+	valid, err := keys.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	f.Add([]byte{})
+	f.Add([]byte{1}) // claims a relin key, then nothing
+
+	// Claims 2^32-1 Galois keys: must fail on truncation, not allocate.
+	greedy := []byte{0, 0xff, 0xff, 0xff, 0xff}
+	f.Add(greedy)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := &EvaluationKeySet{}
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted key set fails to re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round-trip mismatch: %d bytes in, %d bytes out", len(data), len(out))
+		}
+	})
+}

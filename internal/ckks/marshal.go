@@ -3,6 +3,7 @@ package ckks
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/anaheim-sim/anaheim/internal/ring"
@@ -60,11 +61,18 @@ func (ct *Ciphertext) MarshalBinary() ([]byte, error) {
 	return appendPoly(buf, ct.C1)
 }
 
-// UnmarshalBinary decodes a ciphertext.
+// UnmarshalBinary decodes a ciphertext. Beyond framing, it rejects inputs
+// that decode but could never have come from MarshalBinary — mismatched
+// component shapes or a non-finite/non-positive scale — so untrusted wire
+// bytes cannot smuggle a structurally broken ciphertext past the decoder
+// and panic an evaluator op later.
 func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 	scale, rest, err := ring.ReadFloat64(data)
 	if err != nil {
 		return err
+	}
+	if !(scale > 0) || math.IsInf(scale, 0) { // !(>0) also catches NaN
+		return fmt.Errorf("ckks: ciphertext scale %v is not a positive finite number", scale)
 	}
 	c0, rest, err := readPoly(rest)
 	if err != nil {
@@ -76,6 +84,14 @@ func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("ckks: %d trailing bytes after ciphertext", len(rest))
+	}
+	if len(c0.Coeffs) != len(c1.Coeffs) {
+		return fmt.Errorf("ckks: ciphertext components disagree on level (%d vs %d limbs)",
+			len(c0.Coeffs), len(c1.Coeffs))
+	}
+	if len(c0.Coeffs) > 0 && len(c0.Coeffs[0]) != len(c1.Coeffs[0]) {
+		return fmt.Errorf("ckks: ciphertext components disagree on ring degree (%d vs %d)",
+			len(c0.Coeffs[0]), len(c1.Coeffs[0]))
 	}
 	ct.Scale, ct.C0, ct.C1 = scale, c0, c1
 	return nil
@@ -195,6 +211,9 @@ func (s *EvaluationKeySet) MarshalBinary() ([]byte, error) {
 func (s *EvaluationKeySet) UnmarshalBinary(data []byte) error {
 	if len(data) < 1 {
 		return fmt.Errorf("ckks: key set truncated")
+	}
+	if data[0] > 1 {
+		return fmt.Errorf("ckks: bad key set flag byte %#x", data[0])
 	}
 	hasRlk := data[0] == 1
 	rest := data[1:]

@@ -1,0 +1,41 @@
+package ckks
+
+import (
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
+)
+
+// opObs pairs the count and duration metrics of one evaluator operation.
+// The hot paths record through package-level instances so the per-op cost
+// is two atomic updates plus one time.Now pair — negligible next to the
+// NTT/BConv work they wrap.
+type opObs struct {
+	count *obs.Counter
+	dur   *obs.Histogram
+}
+
+func newOpObs(op string) opObs {
+	return opObs{
+		count: obs.Default.Counter(`ckks_ops_total{op="` + op + `"}`),
+		dur:   obs.Default.Histogram(`ckks_op_seconds{op="` + op + `"}`),
+	}
+}
+
+// done records one completed operation started at `start`:
+// `defer obsMul.done(time.Now())`.
+func (o opObs) done(start time.Time) {
+	o.count.Inc()
+	o.dur.Observe(time.Since(start).Seconds())
+}
+
+var (
+	obsAdd       = newOpObs("add")
+	obsMul       = newOpObs("mul")
+	obsKeySwitch = newOpObs("keyswitch") // relinearization + every automorphism
+	obsRescale   = newOpObs("rescale")
+	obsRotate    = newOpObs("rotate")
+	obsConjugate = newOpObs("conjugate")
+	obsHoisted   = newOpObs("rotate-hoisted")
+	obsBootstrap = newOpObs("bootstrap")
+)

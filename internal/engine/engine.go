@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
 )
 
 // Config sizes the runtime.
@@ -41,6 +43,15 @@ type Config struct {
 	// DefaultDeadline applies to jobs that do not set one. Defaults to 2
 	// minutes.
 	DefaultDeadline time.Duration
+	// MaxBodyBytes caps HTTP request bodies accepted by NewHTTPHandler;
+	// oversized POSTs get 413 instead of OOMing the server. Defaults to
+	// 64 MiB (evaluation-key uploads are the largest legitimate payloads).
+	MaxBodyBytes int64
+	// Obs receives the engine's metrics (counters, gauges, latency
+	// histograms). Defaults to obs.Default.
+	Obs *obs.Registry
+	// Tracer records per-job/per-op spans. Defaults to obs.DefaultTracer.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +66,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Default
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer
 	}
 	return c
 }
@@ -80,6 +100,9 @@ type Engine struct {
 	active atomic.Int64 // admitted (queued or running) jobs
 	seq    atomic.Uint64
 
+	metrics *engineMetrics
+	tracer  *obs.Tracer
+
 	events chan event
 	ready  chan *opTask
 	wg     sync.WaitGroup
@@ -102,8 +125,9 @@ type event struct {
 }
 
 type opTask struct {
-	job *Job
-	op  *OpSpec
+	job     *Job
+	op      *OpSpec
+	readyAt time.Time // when the op's dependencies were met (queue-wait origin)
 }
 
 // New starts the worker pool and scheduler.
@@ -116,9 +140,15 @@ func New(cfg Config) *Engine {
 		cancel:   cancel,
 		sessions: make(map[string]*Session),
 		jobs:     make(map[string]*Job),
+		metrics:  newEngineMetrics(cfg.Obs),
+		tracer:   cfg.Tracer,
 		events:   make(chan event),
 		ready:    make(chan *opTask, cfg.QueueSize),
 	}
+	// Sampled-at-scrape gauges; when several engines share a registry the
+	// most recently started one wins, which is what a serving process wants.
+	cfg.Obs.GaugeFunc("engine_active_jobs", func() float64 { return float64(e.active.Load()) })
+	cfg.Obs.GaugeFunc("engine_ready_queue_depth", func() float64 { return float64(len(e.ready)) })
 	e.wg.Add(1)
 	go e.dispatch()
 	for i := 0; i < cfg.Workers; i++ {
@@ -158,7 +188,20 @@ func (e *Engine) worker() {
 		case <-e.ctx.Done():
 			return
 		case t := <-e.ready:
+			m := e.metrics.op(t.op.Op)
+			m.queueWait.Observe(time.Since(t.readyAt).Seconds())
+			e.metrics.workersBusy.Add(1)
+			sp := e.tracer.Start("op:"+t.op.Op, t.job.spanID())
+			sp.Annotate("id=" + t.op.ID + " job=" + t.job.ID)
+			start := time.Now()
 			res, err := e.executeTask(t)
+			sp.End()
+			e.metrics.workersBusy.Add(-1)
+			m.exec.Observe(time.Since(start).Seconds())
+			m.total.Inc()
+			if err != nil {
+				m.failures.Inc()
+			}
 			select {
 			case e.events <- event{kind: evOpDone, job: t.job, task: t, result: res, err: err}:
 			case <-e.ctx.Done():
@@ -199,7 +242,7 @@ func (e *Engine) dispatch() {
 	var pending []*opTask
 
 	enqueueReady := func(j *Job, st *jobState, opID string) {
-		pending = append(pending, &opTask{job: j, op: st.byID[opID]})
+		pending = append(pending, &opTask{job: j, op: st.byID[opID], readyAt: time.Now()})
 	}
 
 	handle := func(ev event) {
@@ -260,6 +303,7 @@ func (e *Engine) dispatch() {
 				j.setStatus(StatusFailed, context.Canceled)
 				j.cancel()
 				e.active.Add(-1)
+				e.metrics.jobsCancelled.Inc()
 			}
 			return
 		case ev := <-e.events:
@@ -281,6 +325,9 @@ func (e *Engine) finishJob(j *Job, states map[*Job]*jobState, err error) {
 	}
 	j.cancel()
 	e.active.Add(-1)
+	e.metrics.finished(err,
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled))
 }
 
 // newJobState builds the dependency graph (validated at Submit).
@@ -338,6 +385,7 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 	for {
 		n := e.active.Load()
 		if n >= int64(e.cfg.MaxActiveJobs) {
+			e.metrics.jobsRejected.Inc()
 			return nil, ErrBusy
 		}
 		if e.active.CompareAndSwap(n, n+1) {
@@ -360,6 +408,8 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 		results: make(map[string]*result, len(spec.Ops)),
 		done:    make(chan struct{}),
 	}
+	j.span = e.tracer.Start("job", 0)
+	j.span.Annotate("id=" + j.ID + " sess=" + spec.SessionID)
 	e.mu.Lock()
 	e.jobs[j.ID] = j
 	e.mu.Unlock()
@@ -382,6 +432,7 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 		cancel()
 		return nil, ErrClosed
 	}
+	e.metrics.jobsAdmitted.Inc()
 	return j, nil
 }
 

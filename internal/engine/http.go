@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -72,6 +74,54 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// decodeJSON decodes a request body into v under the engine's body-size
+// cap. Oversized bodies get 413, malformed ones 400; either way the
+// response has been written and the caller should return.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+// decodeSubmitJob parses a submit-job request body into a JobSpec,
+// decoding the base64 ciphertext inputs. It performs no I/O and never
+// panics on malformed input (fuzzed by FuzzJobSpecDecode); full DAG
+// validation happens at Submit.
+func decodeSubmitJob(sid string, body []byte) (JobSpec, error) {
+	var req submitJobRequest
+	if err := json.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+		return JobSpec{}, fmt.Errorf("bad request body: %w", err)
+	}
+	inputs := make(map[string]*ckks.Ciphertext, len(req.Inputs))
+	for name, b64 := range req.Inputs {
+		raw, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return JobSpec{}, fmt.Errorf("input %q: %w", name, err)
+		}
+		ct := &ckks.Ciphertext{}
+		if err := ct.UnmarshalBinary(raw); err != nil {
+			return JobSpec{}, fmt.Errorf("input %q: %w", name, err)
+		}
+		inputs[name] = ct
+	}
+	return JobSpec{
+		SessionID: sid,
+		Inputs:    inputs,
+		Ops:       req.Ops,
+		Outputs:   req.Outputs,
+		Deadline:  time.Duration(req.DeadlineMs) * time.Millisecond,
+	}, nil
+}
+
 // PresetParameters resolves a named parameter preset.
 func PresetParameters(name string) (ckks.ParametersLiteral, error) {
 	switch name {
@@ -98,8 +148,7 @@ func NewHTTPHandler(e *Engine) http.Handler {
 
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		var req createSessionRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		if !decodeJSON(w, r, e.cfg.MaxBodyBytes, &req) {
 			return
 		}
 		lit := ckks.ParametersLiteral{}
@@ -141,8 +190,7 @@ func NewHTTPHandler(e *Engine) http.Handler {
 			return
 		}
 		var req registerTransformRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		if !decodeJSON(w, r, e.cfg.MaxBodyBytes, &req) {
 			return
 		}
 		if req.Name == "" || len(req.Diags) == 0 {
@@ -172,31 +220,22 @@ func NewHTTPHandler(e *Engine) http.Handler {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
 			return
 		}
-		var req submitJobRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		r.Body = http.MaxBytesReader(w, r.Body, e.cfg.MaxBodyBytes)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			} else {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			}
 			return
 		}
-		inputs := make(map[string]*ckks.Ciphertext, len(req.Inputs))
-		for name, b64 := range req.Inputs {
-			raw, err := base64.StdEncoding.DecodeString(b64)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("input %q: %w", name, err))
-				return
-			}
-			ct := &ckks.Ciphertext{}
-			if err := ct.UnmarshalBinary(raw); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("input %q: %w", name, err))
-				return
-			}
-			inputs[name] = ct
-		}
-		spec := JobSpec{
-			SessionID: sid,
-			Inputs:    inputs,
-			Ops:       req.Ops,
-			Outputs:   req.Outputs,
-			Deadline:  time.Duration(req.DeadlineMs) * time.Millisecond,
+		spec, err := decodeSubmitJob(sid, body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
 		job, err := e.Submit(spec)
 		switch {

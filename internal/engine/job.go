@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/ckks"
+	"github.com/anaheim-sim/anaheim/internal/obs"
 )
 
 // OpSpec is one node of a job's op DAG. Args name either job inputs or
@@ -80,6 +81,7 @@ type Job struct {
 	spec   JobSpec
 	ctx    context.Context
 	cancel context.CancelFunc
+	span   *obs.Span // root span; op spans are its children
 
 	mu      sync.Mutex
 	status  Status
@@ -104,9 +106,14 @@ func (j *Job) setStatus(s Status, err error) {
 	j.status = s
 	j.err = err
 	if s == StatusDone || s == StatusFailed {
+		j.span.Annotate("id=" + j.ID + " status=" + string(s))
+		j.span.End()
 		close(j.done)
 	}
 }
+
+// spanID returns the job's root span ID for parenting op spans.
+func (j *Job) spanID() uint64 { return j.span.ID() }
 
 func (j *Job) terminal() bool {
 	j.mu.Lock()

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"sync"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
+)
+
+// engineMetrics is the scheduler's view into the observability registry:
+// job lifecycle counters, worker-pool occupancy, and per-op-kind queue-wait
+// and execution histograms.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	jobsAdmitted  *obs.Counter
+	jobsRejected  *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsExpired   *obs.Counter
+	jobsCancelled *obs.Counter
+	workersBusy   *obs.Gauge
+
+	mu    sync.Mutex
+	perOp map[string]*opMetrics
+}
+
+// opMetrics is one op kind's instrument set.
+type opMetrics struct {
+	total     *obs.Counter
+	failures  *obs.Counter
+	queueWait *obs.Histogram
+	exec      *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		reg:           reg,
+		jobsAdmitted:  reg.Counter("engine_jobs_admitted_total"),
+		jobsRejected:  reg.Counter("engine_jobs_rejected_total"),
+		jobsDone:      reg.Counter("engine_jobs_done_total"),
+		jobsFailed:    reg.Counter("engine_jobs_failed_total"),
+		jobsExpired:   reg.Counter("engine_jobs_expired_total"),
+		jobsCancelled: reg.Counter("engine_jobs_cancelled_total"),
+		workersBusy:   reg.Gauge("engine_workers_busy"),
+		perOp:         make(map[string]*opMetrics),
+	}
+}
+
+// op returns (creating on first use) the instrument set for one op kind.
+func (m *engineMetrics) op(kind string) *opMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	om, ok := m.perOp[kind]
+	if !ok {
+		label := `{op="` + kind + `"}`
+		om = &opMetrics{
+			total:     m.reg.Counter("engine_ops_total" + label),
+			failures:  m.reg.Counter("engine_op_failures_total" + label),
+			queueWait: m.reg.Histogram("engine_op_queue_wait_seconds" + label),
+			exec:      m.reg.Histogram("engine_op_exec_seconds" + label),
+		}
+		m.perOp[kind] = om
+	}
+	return om
+}
+
+// finished classifies one terminal job into exactly one lifecycle counter.
+func (m *engineMetrics) finished(err error, expired, cancelled bool) {
+	switch {
+	case err == nil:
+		m.jobsDone.Inc()
+	case expired:
+		m.jobsExpired.Inc()
+	case cancelled:
+		m.jobsCancelled.Inc()
+	default:
+		m.jobsFailed.Inc()
+	}
+}

@@ -103,9 +103,21 @@ func (s *Session) transform(name string) (*ckks.LinearTransform, bool) {
 
 // apply executes one op of a job against this session's evaluator.
 func (s *Session) apply(j *Job, op *OpSpec) (*result, error) {
+	out, err := s.evalOp(op, j.arg)
+	if err != nil {
+		return nil, err
+	}
+	return &result{ct: out}, nil
+}
+
+// evalOp executes one op spec against the session's evaluator, resolving
+// argument names through arg. It is the single place the op vocabulary is
+// given semantics — the scheduler path (apply) and the direct path the
+// differential tests drive both go through it, so they cannot drift.
+func (s *Session) evalOp(op *OpSpec, arg func(string) (*ckks.Ciphertext, error)) (*ckks.Ciphertext, error) {
 	args := make([]*ckks.Ciphertext, len(op.Args))
 	for i, a := range op.Args {
-		ct, err := j.arg(a)
+		ct, err := arg(a)
 		if err != nil {
 			return nil, err
 		}
@@ -159,5 +171,5 @@ func (s *Session) apply(j *Job, op *OpSpec) (*result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &result{ct: out}, nil
+	return out, nil
 }

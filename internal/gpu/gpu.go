@@ -12,6 +12,17 @@ package gpu
 
 import (
 	"github.com/anaheim-sim/anaheim/internal/dram"
+	"github.com/anaheim-sim/anaheim/internal/obs"
+)
+
+// Aggregate counters over every priced kernel, regardless of which
+// experiment or scheduler asked: simulated time and DRAM traffic are the
+// §VII measurement quantities; the kernel count normalizes them.
+var (
+	simKernels = obs.Default.Counter("gpu_sim_kernels_total")
+	simTimeNs  = obs.Default.Counter("gpu_sim_time_ns_total")
+	simBytes   = obs.Default.Counter("gpu_sim_bytes_total")
+	simEnergy  = obs.Default.Counter("gpu_sim_energy_nj_total")
 )
 
 // Config describes one GPU (Table III).
@@ -113,5 +124,9 @@ func (c Config) KernelCost(weightedOps, bytes, classEff float64) Cost {
 	energy := t*c.StaticW + // ns * W = nJ
 		weightedOps*c.ComputePJOp/1e3 +
 		bytes*8*(c.DRAM.GPUAccessPJb()+c.CorePJb)/1e3
+	simKernels.Inc()
+	simTimeNs.Add(t)
+	simBytes.Add(bytes)
+	simEnergy.Add(energy)
 	return Cost{TimeNs: t, EnergyNJ: energy, Bytes: bytes}
 }

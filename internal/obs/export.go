@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// splitName separates a metric name into its family and inline label set:
+// `h{op="mul"}` -> ("h", `op="mul"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// promLine renders one sample, merging extra labels (e.g. le) into the
+// metric's inline label set.
+func promLine(w io.Writer, family, labels, suffix, extra string, value any) {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all != "" {
+		all = "{" + all + "}"
+	}
+	switch v := value.(type) {
+	case float64:
+		fmt.Fprintf(w, "%s%s%s %g\n", family, suffix, all, v)
+	case int64:
+		fmt.Fprintf(w, "%s%s%s %d\n", family, suffix, all, v)
+	}
+}
+
+// sortedKeys drains a sync.Map's string keys in sorted order.
+func sortedKeys(m *sync.Map) []string {
+	var keys []string
+	m.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), one `# TYPE` header per family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	typed := map[string]bool{}
+	header := func(family, kind string) {
+		if !typed[family] {
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+			typed[family] = true
+		}
+	}
+
+	for _, name := range sortedKeys(&r.counters) {
+		v, _ := r.counters.Load(name)
+		family, labels := splitName(name)
+		header(family, "counter")
+		promLine(w, family, labels, "", "", v.(*Counter).Value())
+	}
+	for _, name := range sortedKeys(&r.gauges) {
+		v, _ := r.gauges.Load(name)
+		family, labels := splitName(name)
+		header(family, "gauge")
+		promLine(w, family, labels, "", "", float64(v.(*Gauge).Value()))
+	}
+	for _, name := range sortedKeys(&r.gaugeFns) {
+		v, _ := r.gaugeFns.Load(name)
+		family, labels := splitName(name)
+		header(family, "gauge")
+		promLine(w, family, labels, "", "", v.(func() float64)())
+	}
+	for _, name := range sortedKeys(&r.hists) {
+		v, _ := r.hists.Load(name)
+		h := v.(*Histogram)
+		family, labels := splitName(name)
+		header(family, "histogram")
+		counts := h.BucketCounts()
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = fmt.Sprintf("%g", h.bounds[i])
+			}
+			promLine(w, family, labels, "_bucket", `le="`+le+`"`, cum)
+		}
+		promLine(w, family, labels, "_sum", "", h.Sum())
+		promLine(w, family, labels, "_count", "", h.Count())
+	}
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time JSON-serializable view of a registry.
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = float64(v.(*Gauge).Value())
+		return true
+	})
+	r.gaugeFns.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(func() float64)()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		s.Histograms[k.(string)] = HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+		return true
+	})
+	return s
+}

@@ -3,6 +3,8 @@ package pim
 import (
 	"fmt"
 	"math"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
 )
 
 // Cost is the outcome of executing one PIM instruction (or kernel) instance.
@@ -96,6 +98,10 @@ func (u UnitConfig) InstrCost(op Opcode, k, limbs, n, bufferSize int, columnPart
 	energy := float64(bytes*8)*u.DRAM.PIMAccessPJb(u.LogicDie)/1e3 + // pJ/b -> nJ
 		totalRows*float64(activeBanks)*u.ActEnergyNJ +
 		mmacOps*u.MMACEnergyPJ/1e3
+	label := `{op="` + op.String() + `"}`
+	obs.Default.Counter("pim_sim_instr_total" + label).Inc()
+	obs.Default.Counter("pim_sim_time_ns_total" + label).Add(timeNs)
+	obs.Default.Counter("pim_sim_bytes_total" + label).Add(float64(bytes))
 	return Cost{TimeNs: timeNs, EnergyNJ: energy, Bytes: bytes}, nil
 }
 

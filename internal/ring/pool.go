@@ -1,6 +1,18 @@
 package ring
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
+)
+
+// Pool traffic counters: the hit rate is the direct measure of how much GC
+// pressure the buffer pool is absorbing on the evaluator hot paths.
+var (
+	poolHits   = obs.Default.Counter(`ring_pool_gets_total{result="hit"}`)
+	poolMisses = obs.Default.Counter(`ring_pool_gets_total{result="miss"}`)
+	poolPuts   = obs.Default.Counter("ring_pool_puts_total")
+)
 
 // polyPool recycles Poly scratch buffers, one sync.Pool per limb count.
 // Evaluator hot paths (Rescale, ModDown, Decompose) allocate and discard a
@@ -31,11 +43,13 @@ func (pp *polyPool) pool(limbs int) *sync.Pool {
 func (r *Ring) GetPoly(level int) *Poly {
 	limbs := level + 1
 	if v := r.pool.pool(limbs).Get(); v != nil {
+		poolHits.Inc()
 		p := v.(*Poly)
 		p.Zero()
 		p.IsNTT = false
 		return p
 	}
+	poolMisses.Inc()
 	return r.NewPoly(level)
 }
 
@@ -45,5 +59,6 @@ func (r *Ring) PutPoly(p *Poly) {
 	if p == nil || len(p.Coeffs) == 0 || len(p.Coeffs[0]) != r.N {
 		return
 	}
+	poolPuts.Inc()
 	r.pool.pool(len(p.Coeffs)).Put(p)
 }

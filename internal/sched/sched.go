@@ -7,10 +7,45 @@
 package sched
 
 import (
+	"time"
+
 	"github.com/anaheim-sim/anaheim/internal/gpu"
+	"github.com/anaheim-sim/anaheim/internal/obs"
 	"github.com/anaheim-sim/anaheim/internal/pim"
 	"github.com/anaheim-sim/anaheim/internal/trace"
 )
+
+// classObs accumulates, per kernel class and execution platform, the
+// simulated time/bytes the model predicts alongside the wall-clock time the
+// model itself took to evaluate — the "simulated vs wall-clock" pair the
+// §VII methodology asks to keep visible.
+type classObs struct {
+	kernels *obs.Counter
+	simNs   *obs.Counter
+	bytes   *obs.Counter
+	wall    *obs.Counter
+}
+
+func newClassObs(class trace.Class, pim bool) classObs {
+	platform := "gpu"
+	if pim {
+		platform = "pim"
+	}
+	label := `{class="` + class.String() + `",platform="` + platform + `"}`
+	return classObs{
+		kernels: obs.Default.Counter("sched_sim_kernels_total" + label),
+		simNs:   obs.Default.Counter("sched_sim_time_ns_total" + label),
+		bytes:   obs.Default.Counter("sched_sim_bytes_total" + label),
+		wall:    obs.Default.Counter("sched_model_wall_seconds_total" + label),
+	}
+}
+
+func (o classObs) record(timeNs, bytes float64, wallStart time.Time) {
+	o.kernels.Inc()
+	o.simNs.Add(timeNs)
+	o.bytes.Add(bytes)
+	o.wall.Add(time.Since(wallStart).Seconds())
+}
 
 // writeBackFraction is the share of PIM-bound producer output that would
 // otherwise have remained in the L2 cache and therefore counts as extra
@@ -92,10 +127,23 @@ func Run(t *trace.Trace, cfg Config) Result {
 	cursor := 0.0
 	transitionNs := cfg.GPU.TransitionUs * 1e3
 
+	// Metric handles resolved once per (class, platform) pair per run.
+	classMetrics := map[[2]any]classObs{}
+	metric := func(c trace.Class, pim bool) classObs {
+		key := [2]any{c, pim}
+		m, ok := classMetrics[key]
+		if !ok {
+			m = newClassObs(c, pim)
+			classMetrics[key] = m
+		}
+		return m
+	}
+
 	for _, k := range t.Kernels {
 		onPIM := k.Offload && cfg.PIM != nil && k.Class == trace.ClassEW
 		var timeNs, energyNJ float64
 		var bytes float64
+		wallStart := time.Now()
 
 		if onPIM {
 			cost := pimKernelCost(*cfg.PIM, k, t.P.N, bufferSize, !cfg.NaiveLayout)
@@ -126,6 +174,7 @@ func Run(t *trace.Trace, cfg Config) Result {
 			res.GPUBytes += bytes
 			res.OneTimeBytes += k.OneTime
 		}
+		metric(k.Class, onPIM).record(timeNs, bytes, wallStart)
 
 		if onPIM != prevPIM {
 			res.Transitions++

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
+	"github.com/anaheim-sim/anaheim/internal/report"
+)
+
+// SpanTable renders a tracer snapshot through the same report path the
+// kernel traces use: rooted trees (a serving job and its ops), children
+// indented under their parents, times relative to the earliest span. This
+// is the runtime counterpart of the Gantt view — what actually executed,
+// rather than what the model priced.
+func SpanTable(spans []obs.SpanRecord) *report.Table {
+	t := &report.Table{
+		Title:   "Span trace (oldest first)",
+		Headers: []string{"span", "parent", "name", "start", "dur", "attrs"},
+	}
+	if len(spans) == 0 {
+		return t
+	}
+
+	byParent := make(map[uint64][]obs.SpanRecord, len(spans))
+	ids := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		ids[s.ID] = true
+	}
+	t0 := spans[0].StartUnixNs
+	for _, s := range spans {
+		if s.StartUnixNs < t0 {
+			t0 = s.StartUnixNs
+		}
+		parent := s.Parent
+		if !ids[parent] {
+			parent = 0 // orphaned child (parent rotated out of the ring): promote to root
+		}
+		byParent[parent] = append(byParent[parent], s)
+	}
+	for _, group := range byParent {
+		sort.Slice(group, func(i, j int) bool {
+			return group[i].StartUnixNs < group[j].StartUnixNs
+		})
+	}
+
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, s := range byParent[parent] {
+			indent := ""
+			for i := 0; i < depth; i++ {
+				indent += "  "
+			}
+			parentCell := "-"
+			if s.Parent != 0 {
+				parentCell = fmt.Sprintf("%d", s.Parent)
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", s.ID),
+				parentCell,
+				indent+s.Name,
+				fmt.Sprintf("+%.3fms", float64(s.StartUnixNs-t0)/1e6),
+				fmt.Sprintf("%.3fms", float64(s.DurNs)/1e6),
+				s.Attrs,
+			)
+			if s.ID != parent { // self-parented spans must not recurse
+				walk(s.ID, depth+1)
+			}
+		}
+	}
+	walk(0, 0)
+	t.AddNote("%d spans", len(spans))
+	return t
+}

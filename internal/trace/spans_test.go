@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
+)
+
+func TestSpanTableTree(t *testing.T) {
+	spans := []obs.SpanRecord{
+		{ID: 1, Name: "job", StartUnixNs: 1000, DurNs: 500, Attrs: "id=job-1"},
+		{ID: 2, Parent: 1, Name: "op:mul", StartUnixNs: 1100, DurNs: 200},
+		{ID: 3, Parent: 1, Name: "op:add", StartUnixNs: 1350, DurNs: 100},
+	}
+	out := SpanTable(spans).String()
+	for _, want := range []string{"job", "  op:mul", "  op:add", "3 spans", "id=job-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Children render after their parent.
+	if strings.Index(out, "job") > strings.Index(out, "op:mul") {
+		t.Errorf("parent must precede child:\n%s", out)
+	}
+}
+
+func TestSpanTableOrphans(t *testing.T) {
+	// Parent 99 fell out of the ring buffer: the child must still render,
+	// promoted to a root, without recursing forever.
+	spans := []obs.SpanRecord{
+		{ID: 5, Parent: 99, Name: "op:orphan", StartUnixNs: 0, DurNs: 1},
+	}
+	out := SpanTable(spans).String()
+	if !strings.Contains(out, "op:orphan") {
+		t.Errorf("orphan span missing:\n%s", out)
+	}
+}
+
+func TestSpanTableEmpty(t *testing.T) {
+	if out := SpanTable(nil).String(); out == "" {
+		t.Error("empty table must still render headers")
+	}
+}
