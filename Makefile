@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench micro fuzz bench-compare serve clean
+.PHONY: all build vet lint test race bench micro fuzz bench-compare serve clean
 
 all: vet build test
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static quality gate: formatting, vet, and staticcheck (when installed).
+# CI installs staticcheck on the runner; locally it is optional.
+lint:
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed, skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -20,9 +29,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# FHE op microbenchmarks -> BENCH_PR1.json (the perf trajectory file).
+# FHE op microbenchmarks -> BENCH_BASELINE.json (the perf trajectory file,
+# fused and unfused entries for the lintrans/bootstrap pairs).
 micro:
-	$(GO) run ./cmd/anaheim-bench -micro -o BENCH_PR1.json
+	$(GO) run ./cmd/anaheim-bench -micro -fusion both -o BENCH_BASELINE.json
 
 # Fuzz smoke: 10s per untrusted-input decoder (CI runs the same).
 FUZZTIME ?= 10s
@@ -34,7 +44,7 @@ fuzz:
 # Rerun the microbenchmarks and diff against the committed baseline.
 bench-compare:
 	$(GO) run ./cmd/anaheim-bench -micro -metrics -o /tmp/bench-new.json
-	$(GO) run ./cmd/anaheim-bench -compare BENCH_PR1.json -against /tmp/bench-new.json
+	$(GO) run ./cmd/anaheim-bench -compare BENCH_BASELINE.json -against /tmp/bench-new.json
 
 serve:
 	$(GO) run ./cmd/anaheim-serve -addr :8080

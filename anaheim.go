@@ -76,6 +76,16 @@ func NewLinearTransform(slots int, diags map[int][]complex128) *LinearTransform 
 	return ckks.NewLinearTransform(slots, diags)
 }
 
+// SetFusion toggles the process-wide fused ring-kernel paths (single-pass
+// multiply-accumulate with lazy reduction in key switching, hoisted linear
+// transforms, and the variadic addn/lincomb evaluator ops). On by default;
+// turning it off selects the textbook one-op-per-pass kernels, which is what
+// the fused-vs-unfused benchmarks and differential tests compare against.
+func SetFusion(on bool) { ckks.SetFusion(on) }
+
+// FusionEnabled reports whether the fused ring-kernel paths are active.
+func FusionEnabled() bool { return ckks.FusionEnabled() }
+
 // TestParameters returns a small, fast, insecure parameter set.
 func TestParameters() ParametersLiteral { return ckks.TestParameters() }
 
@@ -414,7 +424,7 @@ func Simulate(workload string, platform SimPlatform) (SimResult, error) {
 func ExperimentIDs() []string {
 	return []string{"fig1-table", "fig2a", "fig2b", "fig2c", "fig3", "fig4a",
 		"fig4b", "fig8", "fig9", "fig10", "table3", "table4", "table5",
-		"ext-gp-pim", "ext-pipelining", "ext-memories"}
+		"ext-gp-pim", "ext-pipelining", "ext-memories", "ext-fusion"}
 }
 
 // RunExperiment regenerates one paper table/figure and returns its formatted
@@ -471,6 +481,8 @@ func experimentTable(id string) (*report.Table, error) {
 		_, tbl = experiments.ExtPipelining()
 	case "ext-memories":
 		_, tbl = experiments.ExtMemoryTechnologies()
+	case "ext-fusion":
+		_, tbl = experiments.ExtFusionPasses()
 	default:
 		return nil, fmt.Errorf("anaheim: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}

@@ -206,8 +206,8 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := RunExperiment("fig99"); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
-	if len(ExperimentIDs()) != 16 {
-		t.Fatalf("want 16 experiment ids, got %d", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 17 {
+		t.Fatalf("want 17 experiment ids, got %d", len(ExperimentIDs()))
 	}
 	if len(Workloads()) != 6 {
 		t.Fatalf("want 6 workloads, got %d", len(Workloads()))

@@ -30,6 +30,7 @@ func runCompare(out io.Writer, basePath, newPath string, tolerance float64) (reg
 		baseBy[r.Op] = r
 	}
 
+	shared := 0
 	fmt.Fprintf(out, "%-20s %14s %14s %9s\n", "op", "base ns/op", "new ns/op", "delta")
 	for _, n := range cand.Results {
 		b, ok := baseBy[n.Op]
@@ -37,6 +38,7 @@ func runCompare(out io.Writer, basePath, newPath string, tolerance float64) (reg
 			fmt.Fprintf(out, "%-20s %14s %14.0f %9s\n", n.Op, "-", n.NsPerOp, "new")
 			continue
 		}
+		shared++
 		delta := 0.0
 		if b.NsPerOp > 0 {
 			delta = (n.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
@@ -48,6 +50,13 @@ func runCompare(out io.Writer, basePath, newPath string, tolerance float64) (reg
 		}
 		fmt.Fprintf(out, "%-20s %14.0f %14.0f %+8.1f%%%s\n", n.Op, b.NsPerOp, n.NsPerOp, delta, mark)
 	}
+	if shared == 0 {
+		// Disjoint key sets mean the two files do not describe the same
+		// benchmark suite (wrong artifact, renamed ops): every row would be
+		// "new" and a silent exit-0 here would pass a meaningless diff.
+		return false, fmt.Errorf("anaheim-bench: %s and %s share no benchmark ops — comparing different suites?",
+			basePath, newPath)
+	}
 	if regressed {
 		fmt.Fprintf(out, "\nWARNING: ops slowed down by more than %.0f%% vs %s\n", tolerance, basePath)
 	}
@@ -58,11 +67,14 @@ func readReport(path string) (microReport, error) {
 	var rep microReport
 	f, err := os.Open(path)
 	if err != nil {
-		return rep, err
+		return rep, fmt.Errorf("anaheim-bench: cannot read report: %w", err)
 	}
 	defer f.Close()
 	if err := json.NewDecoder(f).Decode(&rep); err != nil {
-		return rep, fmt.Errorf("%s: %w", path, err)
+		return rep, fmt.Errorf("anaheim-bench: %s is not a -micro JSON report: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("anaheim-bench: %s has no benchmark results", path)
 	}
 	return rep, nil
 }

@@ -6,9 +6,10 @@
 //	anaheim-bench -exp fig8        # one experiment
 //	anaheim-bench -all             # everything
 //	anaheim-bench -list            # available experiment ids
-//	anaheim-bench -micro -o BENCH_PR1.json   # FHE op microbenchmarks as JSON
-//	anaheim-bench -micro -metrics            # ...with obs registry snapshot attached
-//	anaheim-bench -compare BENCH_PR1.json -against new.json   # perf regression gate
+//	anaheim-bench -micro -o BENCH_BASELINE.json   # FHE op microbenchmarks as JSON
+//	anaheim-bench -micro -fusion both             # fused+unfused lintrans/bootstrap entries
+//	anaheim-bench -micro -metrics                 # ...with obs registry snapshot attached
+//	anaheim-bench -compare BENCH_BASELINE.json -against new.json   # perf regression gate
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	micro := flag.Bool("micro", false, "run FHE op microbenchmarks, emit JSON")
+	fusion := flag.String("fusion", "both", "fused-kernel modes for -micro lintrans/bootstrap: both|on|off")
 	metrics := flag.Bool("metrics", false, "attach obs registry snapshot to -micro JSON")
 	outPath := flag.String("o", "", "write -micro JSON here instead of stdout")
 	compareBase := flag.String("compare", "", "baseline -micro JSON to compare against")
@@ -61,7 +63,7 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		if err := runMicro(out, *metrics); err != nil {
+		if err := runMicro(out, *metrics, *fusion); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

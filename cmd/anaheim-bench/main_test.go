@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 		t.Skip("microbenchmarks are slow")
 	}
 	var sb strings.Builder
-	if err := runMicro(&sb, true); err != nil {
+	if err := runMicro(&sb, true, "both"); err != nil {
 		t.Fatal(err)
 	}
 	var rep microReport
@@ -21,6 +22,24 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 	}
 	if len(rep.Results) < 5 {
 		t.Fatalf("want >=5 benchmarked ops, got %d", len(rep.Results))
+	}
+	byOp := make(map[string]microResult, len(rep.Results))
+	for _, r := range rep.Results {
+		byOp[r.Op] = r
+	}
+	for _, pair := range [][2]string{
+		{"lintrans-fused", "lintrans-unfused"},
+		{"bootstrap-fused", "bootstrap-unfused"},
+	} {
+		f, fok := byOp[pair[0]]
+		u, uok := byOp[pair[1]]
+		if !fok || !uok {
+			t.Fatalf("-fusion both must emit %v, have %v", pair, rep.Results)
+		}
+		if f.NsPerOp >= u.NsPerOp {
+			t.Errorf("%s (%.0f ns/op) not faster than %s (%.0f ns/op)",
+				pair[0], f.NsPerOp, pair[1], u.NsPerOp)
+		}
 	}
 	for _, r := range rep.Results {
 		if r.Op == "" || r.NsPerOp <= 0 {
@@ -85,5 +104,26 @@ func TestRunCompare(t *testing.T) {
 	}
 	if _, err := runCompare(&sb, dir+"/nosuch.json", cand, 25); err == nil {
 		t.Fatal("want error for missing baseline file")
+	}
+	empty := write("empty.json", microReport{})
+	if _, err := runCompare(&sb, empty, cand, 25); err == nil {
+		t.Fatal("want error for a report with no results")
+	}
+	disjoint := write("disjoint.json", microReport{Results: []microResult{
+		{Op: "encode", NsPerOp: 10},
+	}})
+	if _, err := runCompare(&sb, base, disjoint, 25); err == nil {
+		t.Fatal("want error when the reports share no benchmark ops")
+	}
+}
+
+func TestFusionModeFlag(t *testing.T) {
+	if err := runMicro(io.Discard, false, "sometimes"); err == nil {
+		t.Fatal("want error for unknown -fusion mode")
+	}
+	for _, mode := range []string{"both", "on", "off"} {
+		if _, err := fusionModes(mode); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
 	}
 }

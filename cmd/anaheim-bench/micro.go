@@ -15,7 +15,7 @@ import (
 )
 
 // microResult is one operation's measured cost, the unit future PRs diff
-// their perf trajectory against (see BENCH_PR1.json at the repo root).
+// their perf trajectory against (see BENCH_BASELINE.json at the repo root).
 type microResult struct {
 	Op       string  `json:"op"`
 	NsPerOp  float64 `json:"nsPerOp"`
@@ -37,11 +37,32 @@ type microReport struct {
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
+// fusionModes maps the -fusion flag to the kernel modes the fused-path
+// benchmarks (lintrans, bootstrap) run in. "both" emits a -fused and an
+// -unfused entry per op in one report, which is what the CI bench stage and
+// the speedup gate diff.
+func fusionModes(mode string) ([]bool, error) {
+	switch mode {
+	case "both":
+		return []bool{true, false}, nil
+	case "on":
+		return []bool{true}, nil
+	case "off":
+		return []bool{false}, nil
+	}
+	return nil, fmt.Errorf("anaheim-bench: -fusion must be both, on, or off (got %q)", mode)
+}
+
 // runMicro benchmarks the FHE hot ops at the test-scale parameter set and
 // writes machine-readable JSON. testing.Benchmark picks the iteration count,
 // so wall-clock stays in seconds even on slow hosts. withMetrics attaches
-// the observability registry snapshot to the report.
-func runMicro(out io.Writer, withMetrics bool) error {
+// the observability registry snapshot to the report. fusionMode selects the
+// kernel modes for the fused-path benchmarks (see fusionModes).
+func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
+	modes, err := fusionModes(fusionMode)
+	if err != nil {
+		return err
+	}
 	ctx, err := anaheim.NewContext(anaheim.TestParameters(), 1)
 	if err != nil {
 		return err
@@ -99,6 +120,77 @@ func runMicro(out io.Writer, withMetrics bool) error {
 				}
 			}
 		},
+	}
+
+	// Fused-path functional benchmarks: the hoisted linear transform and a
+	// full bootstrap, each in the requested fusion modes. These are the two
+	// workloads the §V rewrites target, so their fused/unfused ratio is the
+	// headline number of the report.
+	slots := ctx.Params.Slots()
+	diags := make(map[int][]complex128)
+	for _, d := range []int{0, 1, 2, 3, 5, 8, 13, 21} {
+		row := make([]complex128, slots)
+		for i := range row {
+			row[i] = complex(float64((i+d)%5)/5, float64(d%3)/4)
+		}
+		diags[d%slots] = row
+	}
+	lt := anaheim.NewLinearTransform(slots, diags)
+	ctx.GenRotationKeys(lt.Rotations()...)
+
+	bootCtx, err := anaheim.NewContext(anaheim.BootParameters(), 2)
+	if err != nil {
+		return err
+	}
+	if err := bootCtx.SetupBootstrapping(anaheim.DefaultBootstrapConfig()); err != nil {
+		return err
+	}
+	vb := make([]complex128, bootCtx.Params.Slots())
+	for i := range vb {
+		vb[i] = complex(float64(i%5)/8, 0)
+	}
+	ctBoot, err := bootCtx.Encrypt(vb)
+	if err != nil {
+		return err
+	}
+	ctBoot = bootCtx.DropToLevel(ctBoot, 0)
+
+	withFusion := func(fused bool, body func(b *testing.B)) func(b *testing.B) {
+		return func(b *testing.B) {
+			prev := anaheim.FusionEnabled()
+			anaheim.SetFusion(fused)
+			defer anaheim.SetFusion(prev)
+			body(b)
+		}
+	}
+	for _, fused := range modes {
+		suffix := "fused"
+		if !fused {
+			suffix = "unfused"
+		}
+		benches["lintrans-"+suffix] = withFusion(fused, func(b *testing.B) {
+			// Warm the diagonal-encoding cache so both modes measure kernels.
+			if _, err := ctx.EvaluateLinearTransform(ctU, lt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ctx.EvaluateLinearTransform(ctU, lt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		benches["bootstrap-"+suffix] = withFusion(fused, func(b *testing.B) {
+			if _, err := bootCtx.Bootstrap(ctBoot); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bootCtx.Bootstrap(ctBoot); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 
 	rep := microReport{

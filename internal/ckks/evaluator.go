@@ -219,6 +219,16 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 	u0q, u1q = rq.GetPoly(lvl), rq.GetPoly(lvl)
 	u0p, u1p = rp.GetPoly(lvlP), rp.GetPoly(lvlP)
 	u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
+	if FusionEnabled() {
+		// Fused KeyMult (PAccum over the digits): lazy Barrett MACs into the
+		// four accumulators, one exact reduction each at the end of the chain.
+		ev.gadgetProductLazyInto(dec, swk, u0q, u1q, u0p, u1p)
+		rq.ReduceLazy(u0q, lvl)
+		rq.ReduceLazy(u1q, lvl)
+		rp.ReduceLazy(u0p, lvlP)
+		rp.ReduceLazy(u1p, lvlP)
+		return
+	}
 	for d := range dec.q {
 		rq.MulCoeffsAdd(u0q, dec.q[d], swk.BQ[d].Truncated(lvl), lvl)
 		rq.MulCoeffsAdd(u1q, dec.q[d], swk.AQ[d].Truncated(lvl), lvl)
@@ -226,6 +236,24 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 		rp.MulCoeffsAdd(u1p, dec.p[d], swk.AP[d], lvlP)
 	}
 	return
+}
+
+// gadgetProductLazyInto accumulates the gadget product into the four zeroed
+// accumulators, leaving them in the lazy [0, 2q) domain. Consumers that
+// continue accumulating lazily (the hoisted linear transform's AutAccum
+// chain tolerates lazy multiplicands — the Barrett bound holds for operands
+// < 2q) skip the intermediate reduction entirely.
+func (ev *Evaluator) gadgetProductLazyInto(dec *decomposed, swk *SwitchingKey, u0q, u1q, u0p, u1p *ring.Poly) {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvl := dec.level
+	lvlP := rp.MaxLevel()
+	for d := range dec.q {
+		rq.MulCoeffsAddLazy(u0q, dec.q[d], swk.BQ[d].Truncated(lvl), lvl)
+		rq.MulCoeffsAddLazy(u1q, dec.q[d], swk.AQ[d].Truncated(lvl), lvl)
+		rp.MulCoeffsAddLazy(u0p, dec.p[d], swk.BP[d], lvlP)
+		rp.MulCoeffsAddLazy(u1p, dec.p[d], swk.AP[d], lvlP)
+	}
 }
 
 // ModDown divides a Q∪P value by P with rounding, returning a Q-basis
@@ -242,8 +270,14 @@ func (ev *Evaluator) ModDown(uq, up *ring.Poly, lvl int) *ring.Poly {
 	ev.pToQConverter(lvl).Convert(conv.Coeffs, work.Coeffs)
 	rq.NTT(conv, lvl)
 	out := rq.NewPoly(lvl)
-	rq.Sub(out, uq, conv, lvl)
-	rq.MulByLimbScalars(out, out, ev.pInvModQ[:lvl+1], lvl)
+	if FusionEnabled() {
+		// Fused ModDownEp epilogue: subtract and scale by P^{-1} in one
+		// pass instead of a Sub pass plus a scalar-multiply pass.
+		rq.SubMulByLimbScalars(out, uq, conv, ev.pInvModQ[:lvl+1], lvl)
+	} else {
+		rq.Sub(out, uq, conv, lvl)
+		rq.MulByLimbScalars(out, out, ev.pInvModQ[:lvl+1], lvl)
+	}
 	out.IsNTT = true
 	rp.PutPoly(work)
 	rq.PutPoly(conv)

@@ -1,0 +1,33 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Fused-vs-unfused microbenchmarks for the hoisted linear transform; the
+// anaheim-bench -micro harness wraps the same shapes via testing.Benchmark.
+
+func benchLT(b *testing.B, fused bool) {
+	prev := FusionEnabled()
+	SetFusion(fused)
+	defer SetFusion(prev)
+	tc := benchContext(b)
+	r := rand.New(rand.NewSource(6))
+	lt := randomSparseLT(r, tc.params.Slots(), []int{0, 1, 2, 3, 5, 8, 13, 21})
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, lt.Rotations())
+	ct := tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 1))
+	// Warm the diagonal-encoding cache so both modes measure kernels only.
+	if _, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinearTransformFused(b *testing.B)   { benchLT(b, true) }
+func BenchmarkLinearTransformUnfused(b *testing.B) { benchLT(b, false) }

@@ -1,0 +1,153 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// withFusion runs f under the requested fusion mode and restores the
+// process-wide default afterwards.
+func withFusion(t *testing.T, on bool, f func()) {
+	t.Helper()
+	prev := FusionEnabled()
+	SetFusion(on)
+	defer SetFusion(prev)
+	f()
+}
+
+// Fusion changes kernel shape, not arithmetic: every mod-q operation in the
+// fused path is exact, so fused and unfused evaluation of the same
+// ciphertext must produce bit-identical polynomials.
+
+func TestLinearTransformFusedMatchesUnfusedExactly(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(40))
+	lt := randomSparseLT(r, tc.params.Slots(), []int{0, 1, 2, 3, 5, 8})
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, lt.Rotations())
+
+	u := randomComplex(r, tc.params.Slots(), 1)
+	ct := tc.encryptVec(t, u)
+
+	var fusedOut, plainOut *Ciphertext
+	withFusion(t, true, func() {
+		out, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fusedOut = out
+	})
+	withFusion(t, false, func() {
+		out, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainOut = out
+	})
+
+	if !fusedOut.C0.Equal(plainOut.C0) || !fusedOut.C1.Equal(plainOut.C1) {
+		t.Fatal("fused and unfused hoisted LT differ bit-for-bit")
+	}
+	if fusedOut.Scale != plainOut.Scale {
+		t.Fatalf("scale mismatch: %g vs %g", fusedOut.Scale, plainOut.Scale)
+	}
+
+	// And both must still be correct.
+	got := tc.decryptVec(tc.eval.Rescale(fusedOut))
+	if e := maxErr(got, lt.Apply(u)); e > 1e-4 {
+		t.Fatalf("fused hoisted LT error %g", e)
+	}
+}
+
+func TestRotateFusedMatchesUnfusedExactly(t *testing.T) {
+	// Rotate exercises the fused gadget product (KeyMult PAccum) through
+	// keySwitch without the linear-transform machinery on top.
+	tc := newTestContext(t, TestParameters())
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, []int{3})
+	r := rand.New(rand.NewSource(41))
+	u := randomComplex(r, tc.params.Slots(), 1)
+	ct := tc.encryptVec(t, u)
+
+	var fusedOut, plainOut *Ciphertext
+	withFusion(t, true, func() {
+		out, err := tc.eval.Rotate(ct, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fusedOut = out
+	})
+	withFusion(t, false, func() {
+		out, err := tc.eval.Rotate(ct, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainOut = out
+	})
+	if !fusedOut.C0.Equal(plainOut.C0) || !fusedOut.C1.Equal(plainOut.C1) {
+		t.Fatal("fused and unfused Rotate differ bit-for-bit")
+	}
+}
+
+func TestAddManyMatchesAddChain(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(42))
+	slots := tc.params.Slots()
+
+	var cts []*Ciphertext
+	var want []complex128
+	for k := 0; k < 5; k++ {
+		u := randomComplex(r, slots, 1)
+		cts = append(cts, tc.encryptVec(t, u))
+		if want == nil {
+			want = make([]complex128, slots)
+		}
+		for j := range want {
+			want[j] += u[j]
+		}
+	}
+
+	var fusedOut, plainOut *Ciphertext
+	withFusion(t, true, func() { fusedOut = tc.eval.AddMany(cts) })
+	withFusion(t, false, func() { plainOut = tc.eval.AddMany(cts) })
+
+	if !fusedOut.C0.Equal(plainOut.C0) || !fusedOut.C1.Equal(plainOut.C1) {
+		t.Fatal("fused AddMany differs from chained Add")
+	}
+	if e := maxErr(tc.decryptVec(fusedOut), want); e > 1e-4 {
+		t.Fatalf("AddMany error %g", e)
+	}
+}
+
+func TestMulConstAccumMatchesUnfusedWithinPrecision(t *testing.T) {
+	// The fused path rescales the accumulated sum once while the unfused
+	// path rescales nothing here (both return the pre-rescale value at
+	// scale*constScale); the only rounding difference is per-term constant
+	// encoding, identical in both. So outputs agree exactly.
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(43))
+	slots := tc.params.Slots()
+
+	var cts []*Ciphertext
+	consts := []float64{0.5, -1.25, 0.75}
+	want := make([]complex128, slots)
+	for range consts {
+		u := randomComplex(r, slots, 1)
+		cts = append(cts, tc.encryptVec(t, u))
+		for j := range want {
+			want[j] += u[j] * complex(consts[len(cts)-1], 0)
+		}
+	}
+	lvl := cts[0].Level()
+	constScale := float64(tc.params.RingQ().Moduli[lvl].Q)
+
+	var fusedOut, plainOut *Ciphertext
+	withFusion(t, true, func() { fusedOut = tc.eval.MulConstAccum(cts, consts, constScale) })
+	withFusion(t, false, func() { plainOut = tc.eval.MulConstAccum(cts, consts, constScale) })
+
+	if !fusedOut.C0.Equal(plainOut.C0) || !fusedOut.C1.Equal(plainOut.C1) {
+		t.Fatal("fused MulConstAccum differs from MultConst+Add composition")
+	}
+	got := tc.decryptVec(tc.eval.Rescale(fusedOut))
+	if e := maxErr(got, want); e > 1e-3 {
+		t.Fatalf("MulConstAccum error %g", e)
+	}
+}

@@ -3,6 +3,8 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/ring"
 )
@@ -17,17 +19,60 @@ import (
 type LinearTransform struct {
 	Slots int
 	Diags map[int][]complex128
+
+	// encMu guards encCache: level -> rotation -> diagonal encoded in the Q
+	// and P bases. Encoding a diagonal costs an IFFT plus two NTTs; it
+	// depends only on (diagonal, level), so it is the paper's "offline"
+	// plaintext preprocessing (§V-B pre-rotates these same plaintexts) and
+	// is cached across evaluations. The cache serves the fused and unfused
+	// paths alike, keeping their comparison about kernel shape only.
+	encMu    sync.Mutex
+	encCache map[int]map[int]encodedDiag
+}
+
+// encodedDiag is one diagonal lifted to the extended basis: NTT-form
+// plaintexts over Q (at some level) and over P.
+type encodedDiag struct {
+	q, p *ring.Poly
 }
 
 // NewLinearTransform copies the provided diagonals.
 func NewLinearTransform(slots int, diags map[int][]complex128) *LinearTransform {
-	lt := &LinearTransform{Slots: slots, Diags: make(map[int][]complex128, len(diags))}
+	lt := &LinearTransform{
+		Slots:    slots,
+		Diags:    make(map[int][]complex128, len(diags)),
+		encCache: make(map[int]map[int]encodedDiag),
+	}
 	for r, d := range diags {
 		v := make([]complex128, slots)
 		copy(v, d)
 		lt.Diags[((r%slots)+slots)%slots] = v
 	}
 	return lt
+}
+
+// encodedAt returns the transform's diagonals encoded for a ciphertext at
+// level lvl (scale = the level's top prime), building and caching them on
+// first use.
+func (lt *LinearTransform) encodedAt(enc *Encoder, lvl int, scale float64) (map[int]encodedDiag, error) {
+	lt.encMu.Lock()
+	defer lt.encMu.Unlock()
+	if lt.encCache == nil {
+		lt.encCache = make(map[int]map[int]encodedDiag)
+	}
+	if m, ok := lt.encCache[lvl]; ok {
+		return m, nil
+	}
+	m := make(map[int]encodedDiag, len(lt.Diags))
+	for r, diag := range lt.Diags {
+		pq, pp, err := enc.encodeDiagQP(diag, lvl, scale)
+		if err != nil {
+			return nil, err
+		}
+		m[r] = encodedDiag{q: pq, p: pp}
+	}
+	lt.encCache[lvl] = m
+	return m, nil
 }
 
 // Rotations returns the rotation indices needed to evaluate the transform.
@@ -85,11 +130,22 @@ func (e *Encoder) encodeDiagQP(values []complex128, lvl int, scale float64) (*ri
 // diagonals are encoded at the scale of the ciphertext's top prime so that
 // the caller's Rescale restores the input scale exactly.
 func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTransform, enc *Encoder) (*Ciphertext, error) {
+	fused := FusionEnabled()
+	if fused {
+		defer obsLinTransFused.done(time.Now())
+	} else {
+		defer obsLinTransUnfused.done(time.Now())
+	}
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	lvl := ct.Level()
 	lvlP := rp.MaxLevel()
 	ptScale := float64(rq.Moduli[lvl].Q)
+
+	diags, err := lt.encodedAt(enc, lvl, ptScale)
+	if err != nil {
+		return nil, err
+	}
 
 	dec := ev.Decompose(ct.C1, lvl)
 	defer dec.release(p)
@@ -103,14 +159,16 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 	accE0q.IsNTT, accE1q.IsNTT, accE0p.IsNTT, accE1p.IsNTT = true, true, true, true
 	anyExt := false
 
-	for r, diag := range lt.Diags {
-		ptQ, ptP, err := enc.encodeDiagQP(diag, lvl, ptScale)
-		if err != nil {
-			return nil, err
-		}
+	for r, ed := range diags {
+		ptQ, ptP := ed.q, ed.p
 		if r == 0 {
-			rq.MulCoeffsAdd(accQ0, ct.C0, ptQ, lvl)
-			rq.MulCoeffsAdd(accQ1, ct.C1, ptQ, lvl)
+			if fused {
+				rq.MulCoeffsAddLazy(accQ0, ct.C0, ptQ, lvl)
+				rq.MulCoeffsAddLazy(accQ1, ct.C1, ptQ, lvl)
+			} else {
+				rq.MulCoeffsAdd(accQ0, ct.C0, ptQ, lvl)
+				rq.MulCoeffsAdd(accQ1, ct.C1, ptQ, lvl)
+			}
 			continue
 		}
 		anyExt = true
@@ -119,9 +177,33 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 		if err != nil {
 			return nil, err
 		}
+		if fused {
+			// Fused KeyMult: the gadget-product accumulators stay lazy —
+			// the AutAccum MACs below tolerate multiplicands in [0, 2q),
+			// so the four per-rotation reductions are skipped entirely.
+			u0q, u1q := rq.GetPoly(lvl), rq.GetPoly(lvl)
+			u0p, u1p := rp.GetPoly(lvlP), rp.GetPoly(lvlP)
+			u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
+			ev.gadgetProductLazyInto(dec, swk, u0q, u1q, u0p, u1p)
+			// AutAccum (§V-B Fig 6): the automorphism permutation, the
+			// PMULT by the diagonal, and the accumulation run as one pass
+			// per component — no rotated temporaries, one deferred
+			// reduction per accumulator.
+			rq.AutMulCoeffsAddLazy(accE0q, u0q, ptQ, g, lvl)
+			rq.AutMulCoeffsAddLazy(accE1q, u1q, ptQ, g, lvl)
+			rp.AutMulCoeffsAddLazy(accE0p, u0p, ptP, g, lvlP)
+			rp.AutMulCoeffsAddLazy(accE1p, u1p, ptP, g, lvlP)
+			rq.PutPoly(u0q)
+			rq.PutPoly(u1q)
+			rp.PutPoly(u0p)
+			rp.PutPoly(u1p)
+			// The σ(c0) contribution stays in the Q basis.
+			rq.AutMulCoeffsAddLazy(accQ0, ct.C0, ptQ, g, lvl)
+			continue
+		}
+		// Unfused: automorphism of the extended-basis partial results into
+		// temporaries, then separate PMULT+accumulate passes.
 		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
-		// Automorphism of the extended-basis partial results, then PMULT
-		// and accumulation in PQ (AutAccum precedes the single ModDown).
 		rot0q, rot1q := rq.GetPoly(lvl), rq.GetPoly(lvl)
 		rot0p, rot1p := rp.GetPoly(lvlP), rp.GetPoly(lvlP)
 		rq.AutomorphismNTT(rot0q, u0q, g, lvl)
@@ -145,6 +227,17 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 		rq.AutomorphismNTT(rotC0, ct.C0, g, lvl)
 		rq.MulCoeffsAdd(accQ0, rotC0, ptQ, lvl)
 		rq.PutPoly(rotC0)
+	}
+
+	if fused {
+		rq.ReduceLazy(accQ0, lvl)
+		rq.ReduceLazy(accQ1, lvl)
+		if anyExt {
+			rq.ReduceLazy(accE0q, lvl)
+			rq.ReduceLazy(accE1q, lvl)
+			rp.ReduceLazy(accE0p, lvlP)
+			rp.ReduceLazy(accE1p, lvlP)
+		}
 	}
 
 	out := &Ciphertext{Scale: ct.Scale * ptScale}
@@ -177,6 +270,12 @@ func (ev *Evaluator) EvaluateLinearTransformMinKS(ct *Ciphertext, lt *LinearTran
 		}
 	}
 
+	diags, err := lt.encodedAt(enc, lvl, ptScale)
+	if err != nil {
+		return nil, err
+	}
+
+	fused := FusionEnabled()
 	acc0, acc1 := rq.NewPoly(lvl), rq.NewPoly(lvl)
 	acc0.IsNTT, acc1.IsNTT = true, true
 	cur := ct
@@ -188,16 +287,21 @@ func (ev *Evaluator) EvaluateLinearTransformMinKS(ct *Ciphertext, lt *LinearTran
 				return nil, err
 			}
 		}
-		diag, ok := lt.Diags[k]
+		ed, ok := diags[k]
 		if !ok {
 			continue
 		}
-		ptQ, _, err := enc.encodeDiagQP(diag, lvl, ptScale)
-		if err != nil {
-			return nil, err
+		if fused {
+			rq.MulCoeffsAddLazy(acc0, cur.C0, ed.q, lvl)
+			rq.MulCoeffsAddLazy(acc1, cur.C1, ed.q, lvl)
+		} else {
+			rq.MulCoeffsAdd(acc0, cur.C0, ed.q, lvl)
+			rq.MulCoeffsAdd(acc1, cur.C1, ed.q, lvl)
 		}
-		rq.MulCoeffsAdd(acc0, cur.C0, ptQ, lvl)
-		rq.MulCoeffsAdd(acc1, cur.C1, ptQ, lvl)
+	}
+	if fused {
+		rq.ReduceLazy(acc0, lvl)
+		rq.ReduceLazy(acc1, lvl)
 	}
 	return &Ciphertext{C0: acc0, C1: acc1, Scale: ct.Scale * ptScale}, nil
 }

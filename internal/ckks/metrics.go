@@ -38,4 +38,11 @@ var (
 	obsConjugate = newOpObs("conjugate")
 	obsHoisted   = newOpObs("rotate-hoisted")
 	obsBootstrap = newOpObs("bootstrap")
+
+	// Fused-kernel ops (§V): recorded only when the fused path executes, so
+	// the fused/unfused split is visible in /metrics.
+	obsAddMany         = newOpObs("addmany")
+	obsMulConstAccum   = newOpObs("mulconst-accum")
+	obsLinTransFused   = newOpObs("lintrans-hoisted-fused")
+	obsLinTransUnfused = newOpObs("lintrans-hoisted")
 )

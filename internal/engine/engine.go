@@ -47,6 +47,10 @@ type Config struct {
 	// oversized POSTs get 413 instead of OOMing the server. Defaults to
 	// 64 MiB (evaluation-key uploads are the largest legitimate payloads).
 	MaxBodyBytes int64
+	// DisableFusion turns off the admission-time op-DAG rewrite (add-ladder
+	// and linear-combination folding); jobs then execute exactly the ops
+	// they were submitted with.
+	DisableFusion bool
 	// Obs receives the engine's metrics (counters, gauges, latency
 	// histograms). Defaults to obs.Default.
 	Obs *obs.Registry
@@ -380,6 +384,9 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 	}
 	if err := validate(&spec); err != nil {
 		return nil, err
+	}
+	if !e.cfg.DisableFusion {
+		e.applyFusion(&spec)
 	}
 	// Admission control (backpressure).
 	for {

@@ -14,21 +14,24 @@ import (
 // other ops; an op becomes runnable when every op it references has
 // produced its result.
 type OpSpec struct {
-	ID   string   `json:"id"`
-	Op   string   `json:"op"`             // add|sub|mul|square|rotate|conjugate|addconst|mulconst|rescale|droplevel|lintrans|bootstrap
-	Args []string `json:"args"`           // input names or op ids
-	K    int      `json:"k,omitempty"`    // rotation amount / target level
-	Val  float64  `json:"val,omitempty"`  // constant for addconst/mulconst
-	Name string   `json:"name,omitempty"` // registered linear-transform name
+	ID   string    `json:"id"`
+	Op   string    `json:"op"`             // add|sub|mul|square|rotate|conjugate|addconst|mulconst|rescale|droplevel|lintrans|bootstrap|addn|lincomb
+	Args []string  `json:"args"`           // input names or op ids
+	K    int       `json:"k,omitempty"`    // rotation amount / target level
+	Val  float64   `json:"val,omitempty"`  // constant for addconst/mulconst
+	Vals []float64 `json:"vals,omitempty"` // per-arg constants for lincomb
+	Name string    `json:"name,omitempty"` // registered linear-transform name
 }
 
-// arity of each op kind (number of ciphertext arguments).
+// arity of each op kind (number of ciphertext arguments); variadic ops
+// (addn, lincomb) use -1 and accept two or more.
 var opArity = map[string]int{
 	"add": 2, "sub": 2, "mul": 2,
 	"square": 1, "rotate": 1, "conjugate": 1,
 	"addconst": 1, "mulconst": 1,
 	"rescale": 1, "droplevel": 1,
 	"lintrans": 1, "bootstrap": 1,
+	"addn": -1, "lincomb": -1,
 }
 
 func checkOp(op *OpSpec) error {
@@ -36,8 +39,16 @@ func checkOp(op *OpSpec) error {
 	if !ok {
 		return fmt.Errorf("engine: op %q: unknown kind %q", op.ID, op.Op)
 	}
-	if len(op.Args) != want {
+	if want < 0 {
+		if len(op.Args) < 2 {
+			return fmt.Errorf("engine: op %q (%s): want at least 2 args, got %d", op.ID, op.Op, len(op.Args))
+		}
+	} else if len(op.Args) != want {
 		return fmt.Errorf("engine: op %q (%s): want %d args, got %d", op.ID, op.Op, want, len(op.Args))
+	}
+	if op.Op == "lincomb" && len(op.Vals) != len(op.Args) {
+		return fmt.Errorf("engine: op %q: lincomb wants one constant per arg, got %d for %d args",
+			op.ID, len(op.Vals), len(op.Args))
 	}
 	if op.Op == "lintrans" && op.Name == "" {
 		return fmt.Errorf("engine: op %q: lintrans needs a transform name", op.ID)

@@ -12,13 +12,15 @@ import (
 type engineMetrics struct {
 	reg *obs.Registry
 
-	jobsAdmitted  *obs.Counter
-	jobsRejected  *obs.Counter
-	jobsDone      *obs.Counter
-	jobsFailed    *obs.Counter
-	jobsExpired   *obs.Counter
-	jobsCancelled *obs.Counter
-	workersBusy   *obs.Gauge
+	jobsAdmitted    *obs.Counter
+	jobsRejected    *obs.Counter
+	jobsDone        *obs.Counter
+	jobsFailed      *obs.Counter
+	jobsExpired     *obs.Counter
+	jobsCancelled   *obs.Counter
+	fusionOpsFused  *obs.Counter
+	fusionFallbacks *obs.Counter
+	workersBusy     *obs.Gauge
 
 	mu    sync.Mutex
 	perOp map[string]*opMetrics
@@ -34,15 +36,17 @@ type opMetrics struct {
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	return &engineMetrics{
-		reg:           reg,
-		jobsAdmitted:  reg.Counter("engine_jobs_admitted_total"),
-		jobsRejected:  reg.Counter("engine_jobs_rejected_total"),
-		jobsDone:      reg.Counter("engine_jobs_done_total"),
-		jobsFailed:    reg.Counter("engine_jobs_failed_total"),
-		jobsExpired:   reg.Counter("engine_jobs_expired_total"),
-		jobsCancelled: reg.Counter("engine_jobs_cancelled_total"),
-		workersBusy:   reg.Gauge("engine_workers_busy"),
-		perOp:         make(map[string]*opMetrics),
+		reg:             reg,
+		jobsAdmitted:    reg.Counter("engine_jobs_admitted_total"),
+		jobsRejected:    reg.Counter("engine_jobs_rejected_total"),
+		jobsDone:        reg.Counter("engine_jobs_done_total"),
+		jobsFailed:      reg.Counter("engine_jobs_failed_total"),
+		jobsExpired:     reg.Counter("engine_jobs_expired_total"),
+		jobsCancelled:   reg.Counter("engine_jobs_cancelled_total"),
+		fusionOpsFused:  reg.Counter("engine_fusion_ops_eliminated_total"),
+		fusionFallbacks: reg.Counter("engine_fusion_fallbacks_total"),
+		workersBusy:     reg.Gauge("engine_workers_busy"),
+		perOp:           make(map[string]*opMetrics),
 	}
 }
 

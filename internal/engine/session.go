@@ -144,6 +144,17 @@ func (s *Session) evalOp(op *OpSpec, arg func(string) (*ckks.Ciphertext, error))
 	case "mulconst":
 		qd := float64(s.Params.RingQ().Moduli[args[0].Level()].Q)
 		out = ev.Rescale(ev.MultConst(args[0], op.Val, qd))
+	case "addn":
+		out = ev.AddMany(args)
+	case "lincomb":
+		lvl := args[0].Level()
+		for _, ct := range args[1:] {
+			if ct.Level() < lvl {
+				lvl = ct.Level()
+			}
+		}
+		qd := float64(s.Params.RingQ().Moduli[lvl].Q)
+		out = ev.Rescale(ev.MulConstAccum(args, op.Vals, qd))
 	case "rescale":
 		out = ev.Rescale(args[0])
 	case "droplevel":

@@ -1,0 +1,278 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/anaheim-sim/anaheim/internal/gpu"
+	"github.com/anaheim-sim/anaheim/internal/pim"
+	"github.com/anaheim-sim/anaheim/internal/sched"
+	"github.com/anaheim-sim/anaheim/internal/trace"
+)
+
+// buildMixed emits a representative op mix: ciphertext multiply, rotation,
+// hoisted linear transform, Chebyshev leaf accumulation, affine map.
+func buildMixed(opt trace.Options) *trace.Trace { return buildMixedAt(opt, 20) }
+
+func buildMixedAt(opt trace.Options, level int) *trace.Trace {
+	b := trace.NewBuilder(trace.PaperParams(), opt, "mixed")
+	b.HMULT(level)
+	b.HROT(level)
+	b.LinearTransform(level, 16)
+	b.CAccum("cheb.leaf", level/2, 8)
+	b.EW2("evalmod.affine", level/2)
+	return b.T
+}
+
+func anaheimFused() trace.Options {
+	return trace.Options{Hoist: true, BasicFuse: true, AutFuse: true, PIM: true}
+}
+
+// kernelKey serializes every cost-bearing field of a kernel for multiset
+// comparison (fuse tags excluded: the fused builder never sets them and the
+// passes clear them on merged kernels).
+func kernelKey(k trace.Kernel) string {
+	return fmt.Sprintf("%s|%s|%s|k=%d|limbs=%d|inst=%d|ops=%.6g|bytes=%.6g|one=%.6g|wb=%.6g|off=%t",
+		k.Name, k.Class, k.Op, k.OpK, k.Limbs, k.Instances,
+		k.WeightedOps, k.Bytes, k.OneTime, k.WriteBack, k.Offload)
+}
+
+// TestPassesReconstructFusedBuilder is the end-to-end equivalence property:
+// the naive SplitKernels trace, rewritten by all four passes, must contain
+// exactly the kernel multiset the natively fused builder emits.
+func TestPassesReconstructFusedBuilder(t *testing.T) {
+	// Level 20 has multi-digit key switching (Digits=2); level 10 exercises
+	// the singleton-group path (Digits=1, PAccum⟨1⟩).
+	for _, level := range []int{10, 20} {
+		t.Run(fmt.Sprintf("level=%d", level), func(t *testing.T) {
+			fused := buildMixedAt(anaheimFused(), level)
+			naive := buildMixedAt(trace.SplitNaive(), level)
+
+			if len(naive.Kernels) <= len(fused.Kernels) {
+				t.Fatalf("split builder should emit more kernels than fused: %d vs %d",
+					len(naive.Kernels), len(fused.Kernels))
+			}
+			stats := Apply(naive, AllPasses()...)
+			for _, s := range stats {
+				t.Logf("%-16s kernels %3d -> %3d, fused %2d, swaps %2d, bytes saved %.1f MB",
+					s.Pass, s.KernelsBefore, s.KernelsAfter, s.Fused, s.Swaps, s.BytesSaved/1e6)
+			}
+
+			if len(naive.Kernels) != len(fused.Kernels) {
+				t.Fatalf("kernel count after fusion: got %d, want %d", len(naive.Kernels), len(fused.Kernels))
+			}
+			got := make([]string, len(naive.Kernels))
+			want := make([]string, len(fused.Kernels))
+			for i, k := range naive.Kernels {
+				got[i] = kernelKey(k)
+			}
+			for i, k := range fused.Kernels {
+				want[i] = kernelKey(k)
+			}
+			sort.Strings(got)
+			sort.Strings(want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("kernel multiset mismatch at %d:\n  got  %s\n  want %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPassesAreToggleable verifies each pass only rewrites its own pattern.
+func TestPassesAreToggleable(t *testing.T) {
+	// Only grouped members count: a standalone CMAC (EvalMod's affine map)
+	// is not a compound and must survive every pass.
+	countOp := func(tr *trace.Trace, op pim.Opcode) int {
+		n := 0
+		for _, k := range tr.Kernels {
+			if k.Class == trace.ClassEW && k.Op == op && k.FuseGroup != "" {
+				n++
+			}
+		}
+		return n
+	}
+	countRole := func(tr *trace.Trace, role string) int {
+		n := 0
+		for _, k := range tr.Kernels {
+			if k.FuseRole == role {
+				n++
+			}
+		}
+		return n
+	}
+
+	t.Run("paccum-only", func(t *testing.T) {
+		tr := buildMixed(trace.SplitNaive())
+		pmacs := countOp(tr, pim.PMAC)
+		Apply(tr, Passes(Config{PAccum: true})...)
+		if got := countOp(tr, pim.PMAC); got != 0 {
+			t.Fatalf("PAccum pass left %d of %d PMACs unmerged", got, pmacs)
+		}
+		if countOp(tr, pim.CMAC) == 0 {
+			t.Fatal("PAccum pass must not touch CMAC chains")
+		}
+		if countRole(tr, trace.RoleAut) == 0 {
+			t.Fatal("PAccum pass must not touch split automorphisms")
+		}
+	})
+
+	t.Run("caccum-only", func(t *testing.T) {
+		tr := buildMixed(trace.SplitNaive())
+		Apply(tr, Passes(Config{CAccum: true})...)
+		if got := countOp(tr, pim.CMAC); got != 0 {
+			t.Fatalf("CAccum pass left %d CMACs unmerged", got)
+		}
+		if countOp(tr, pim.PMAC) == 0 {
+			t.Fatal("CAccum pass must not touch PMAC chains")
+		}
+	})
+
+	t.Run("autaccum-needs-swap", func(t *testing.T) {
+		// Without the reorder, baby automorphisms stay separated from their
+		// accumulations by the diagonal multiplies; only the adjacent
+		// giant-rotation pairs fuse.
+		tr := buildMixed(trace.SplitNaive())
+		before := countRole(tr, trace.RoleAut)
+		st := Apply(tr, Passes(Config{AutAccum: true})...)
+		if after := countRole(tr, trace.RoleAut); after == 0 {
+			t.Fatal("expected some automorphisms to stay unfused without the swap pass")
+		} else if st[0].Fused == 0 {
+			t.Fatal("adjacent aut/accum pairs should fuse even without the swap pass")
+		} else if after >= before {
+			t.Fatalf("no automorphism fused: %d -> %d", before, after)
+		}
+
+		// With the swap first, every pair fuses.
+		tr2 := buildMixed(trace.SplitNaive())
+		Apply(tr2, Passes(Config{Swap: true, AutAccum: true})...)
+		if got := countRole(tr2, trace.RoleAut); got != 0 {
+			t.Fatalf("%d automorphisms left unfused after swap+autaccum", got)
+		}
+	})
+}
+
+// TestSwapPreservesCost: the reorder moves kernels but must not change any
+// aggregate cost of the trace.
+func TestSwapPreservesCost(t *testing.T) {
+	tr := buildMixed(trace.SplitNaive())
+	wantBytes, wantOps, wantN := tr.TotalBytes(), totalOps(tr), len(tr.Kernels)
+	st := Apply(tr, SwapAutPMult())
+	if st[0].Swaps == 0 {
+		t.Fatal("swap pass found nothing to reorder in the naive hoisted transform")
+	}
+	if tr.TotalBytes() != wantBytes || totalOps(tr) != wantOps || len(tr.Kernels) != wantN {
+		t.Fatal("swap pass changed trace cost")
+	}
+}
+
+func totalOps(tr *trace.Trace) float64 {
+	s := 0.0
+	for _, k := range tr.Kernels {
+		s += k.WeightedOps
+	}
+	return s
+}
+
+// TestPassesIdempotent: re-applying the full pipeline to an already fused
+// trace changes nothing.
+func TestPassesIdempotent(t *testing.T) {
+	tr := buildMixed(trace.SplitNaive())
+	Apply(tr, AllPasses()...)
+	n, bytes := len(tr.Kernels), tr.TotalBytes()
+	stats := Apply(tr, AllPasses()...)
+	for _, s := range stats {
+		if s.Fused != 0 || s.Swaps != 0 || s.BytesSaved != 0 {
+			t.Fatalf("second application of %s still rewrote: %+v", s.Pass, s)
+		}
+	}
+	if len(tr.Kernels) != n || tr.TotalBytes() != bytes {
+		t.Fatal("second application changed the trace")
+	}
+}
+
+// TestReportStages: cumulative per-pass simulation must show monotonically
+// non-increasing traffic and a strictly faster final stage.
+func TestReportStages(t *testing.T) {
+	tr := buildMixed(trace.SplitNaive())
+	cfg := sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar()}
+	stages := Report(tr, cfg, AllPasses()...)
+	if len(stages) != 5 {
+		t.Fatalf("want 5 stages (naive + 4 passes), got %d", len(stages))
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i].Bytes > stages[i-1].Bytes+1 {
+			t.Fatalf("stage %s increased traffic: %.0f -> %.0f",
+				stages[i].Name, stages[i-1].Bytes, stages[i].Bytes)
+		}
+	}
+	first, last := stages[0], stages[len(stages)-1]
+	if last.SimTimeNs >= first.SimTimeNs {
+		t.Fatalf("fusion did not speed up the GPU simulation: %.3fms -> %.3fms",
+			first.SimTimeNs/1e6, last.SimTimeNs/1e6)
+	}
+	t.Logf("GPU sim: naive %.3f ms -> fused %.3f ms (%.2fx)",
+		first.SimTimeNs/1e6, last.SimTimeNs/1e6, last.SpeedupVsBase(first))
+
+	// And on the PIM co-execution model.
+	pimCfg := sched.Config{GPU: gpu.A100(), Lib: gpu.Cheddar(), PIM: ptr(pim.A100NearBank())}
+	tr2 := buildMixed(trace.SplitNaive())
+	pimStages := Report(tr2, pimCfg, AllPasses()...)
+	pf, pl := pimStages[0], pimStages[len(pimStages)-1]
+	if pl.SimTimeNs >= pf.SimTimeNs {
+		t.Fatalf("fusion did not speed up the PIM co-execution: %.3fms -> %.3fms",
+			pf.SimTimeNs/1e6, pl.SimTimeNs/1e6)
+	}
+	t.Logf("PIM sim: naive %.3f ms -> fused %.3f ms (%.2fx)",
+		pf.SimTimeNs/1e6, pl.SimTimeNs/1e6, pl.SpeedupVsBase(pf))
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// TestAccumMergeRespectsShape: members with mismatched limb counts must not
+// merge (they belong to different polynomials).
+func TestAccumMergeRespectsShape(t *testing.T) {
+	p := trace.PaperParams()
+	tr := &trace.Trace{Name: "bad", P: p}
+	mk := func(limbs int) trace.Kernel {
+		return trace.Kernel{
+			Name: "x", Class: trace.ClassEW, Op: pim.PMAC,
+			Bytes: 7 * p.PolyBytes(limbs), Limbs: limbs, Instances: 1,
+			FuseGroup: "g#1", FuseRole: trace.RoleMAC,
+		}
+	}
+	tr.Append(mk(10), mk(11))
+	st := Apply(tr, PAccum())
+	if st[0].Fused != 0 || len(tr.Kernels) != 2 {
+		t.Fatal("merged PMACs with mismatched limb counts")
+	}
+}
+
+func approxEq(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestAggregateParity: per-class aggregate costs of the rewritten naive
+// trace match the fused builder (the number the experiments report).
+func TestAggregateParity(t *testing.T) {
+	fused := buildMixed(anaheimFused())
+	naive := buildMixed(trace.SplitNaive())
+	Apply(naive, AllPasses()...)
+	for _, c := range []trace.Class{trace.ClassNTT, trace.ClassINTT, trace.ClassBConv, trace.ClassEW, trace.ClassAut} {
+		fb := fused.CountClass(c, func(k trace.Kernel) float64 { return k.Bytes })
+		nb := naive.CountClass(c, func(k trace.Kernel) float64 { return k.Bytes })
+		if !approxEq(fb, nb, 1e-9) {
+			t.Errorf("class %s bytes: fused %.1f, rewritten %.1f", c, fb, nb)
+		}
+	}
+	if !approxEq(fused.OneTimeBytes(), naive.OneTimeBytes(), 1e-9) {
+		t.Errorf("one-time bytes: fused %.1f, rewritten %.1f", fused.OneTimeBytes(), naive.OneTimeBytes())
+	}
+}

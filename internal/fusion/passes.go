@@ -1,0 +1,192 @@
+package fusion
+
+import (
+	"strings"
+
+	"github.com/anaheim-sim/anaheim/internal/pim"
+	"github.com/anaheim-sim/anaheim/internal/trace"
+)
+
+// displayName strips the "#seq" uniquifier off a fuse-group identity,
+// recovering the compound's display name.
+func displayName(gid string) string {
+	if i := strings.IndexByte(gid, '#'); i >= 0 {
+		return gid[:i]
+	}
+	return gid
+}
+
+// --- SwapAutPMult (§V-B) ----------------------------------------------------
+
+type swapAutPMult struct{}
+
+// SwapAutPMult returns the automorphism↔PMULT reorder pass: a diagonal
+// plaintext multiply that consumes an automorphism's output commutes with it
+// once the plaintext is pre-rotated offline (σ(a)·p = σ(a·σ⁻¹(p))), so the
+// pass moves tagged diagonal multiplies in front of the automorphism. The
+// trace's cost is unchanged — the payoff is that the automorphism lands
+// adjacent to its accumulation, where AutAccum can fuse them (Fig 6).
+func SwapAutPMult() TracePass { return swapAutPMult{} }
+
+func (swapAutPMult) Name() string { return "swap-aut-pmult" }
+
+func (swapAutPMult) Apply(t *trace.Trace) Stats {
+	ks := t.Kernels
+	st := Stats{Pass: "swap-aut-pmult", KernelsBefore: len(ks), KernelsAfter: len(ks)}
+	for i := 0; i < len(ks); i++ {
+		if ks[i].Class != trace.ClassAut || ks[i].FuseRole != trace.RoleAut {
+			continue
+		}
+		// Bubble the automorphism past every immediately-following
+		// swappable multiply (equivalently: move those multiplies before
+		// the automorphism, preserving their relative order).
+		j := i
+		for j+1 < len(ks) && ks[j+1].Class == trace.ClassEW && ks[j+1].FuseRole == trace.RoleSwapPMult {
+			ks[j], ks[j+1] = ks[j+1], ks[j]
+			j++
+			st.Swaps++
+		}
+		i = j
+	}
+	return st
+}
+
+// --- AutAccum (Fig 6) -------------------------------------------------------
+
+type autAccum struct{}
+
+// AutAccum returns the automorphism-accumulation fusion pass: an adjacent
+// [bare automorphism (2 accesses), separate accumulation (3 accesses)] pair
+// of one fuse group merges into a single fused automorphism kernel at 3
+// accesses — the permutation is applied on the fly while accumulating,
+// eliminating the rotated temporary's DRAM round trip (5 → 3 accesses).
+func AutAccum() TracePass { return autAccum{} }
+
+func (autAccum) Name() string { return "autaccum" }
+
+func (autAccum) Apply(t *trace.Trace) Stats {
+	in := t.Kernels
+	st := Stats{Pass: "autaccum", KernelsBefore: len(in)}
+	out := make([]trace.Kernel, 0, len(in))
+	for i := 0; i < len(in); i++ {
+		k := in[i]
+		if k.Class == trace.ClassAut && k.FuseRole == trace.RoleAut &&
+			i+1 < len(in) && in[i+1].FuseRole == trace.RoleAccum && in[i+1].FuseGroup == k.FuseGroup {
+			acc := in[i+1]
+			merged := k
+			merged.Bytes = acc.Bytes // fused: read src + read acc + write acc
+			merged.WeightedOps += acc.WeightedOps
+			merged.WriteBack += acc.WriteBack
+			merged.FuseGroup, merged.FuseRole = "", ""
+			out = append(out, merged)
+			st.Fused++
+			st.BytesSaved += k.Bytes + acc.Bytes - merged.Bytes
+			i++
+			continue
+		}
+		out = append(out, k)
+	}
+	t.Kernels = out
+	st.KernelsAfter = len(out)
+	return st
+}
+
+// --- PAccum / CAccum (Table II) --------------------------------------------
+
+type accumMerge struct {
+	pass    string
+	member  pim.Opcode // the naive per-term instruction
+	fused   pim.Opcode // the compound instruction
+	perTerm int        // members per compound fan-in unit (1 for PAccum, 2 for CAccum)
+}
+
+// PAccum returns the plaintext-accumulation merge pass: K tagged PMAC
+// kernels of one fuse group (7 accesses each, re-touching their
+// accumulators) merge into a single PAccum⟨K⟩ compound at 3K+2 accesses.
+func PAccum() TracePass {
+	return accumMerge{pass: "paccum", member: pim.PMAC, fused: pim.PAccum, perTerm: 1}
+}
+
+// CAccum returns the constant-accumulation merge pass: 2K tagged CMAC
+// kernels of one fuse group (3 accesses each) merge into a single CAccum⟨K⟩
+// compound at 2K+2 accesses.
+func CAccum() TracePass {
+	return accumMerge{pass: "caccum", member: pim.CMAC, fused: pim.CAccum, perTerm: 2}
+}
+
+func (m accumMerge) Name() string { return m.pass }
+
+func (m accumMerge) Apply(t *trace.Trace) Stats {
+	in := t.Kernels
+	st := Stats{Pass: m.pass, KernelsBefore: len(in)}
+
+	// Gather group members. Members need not be adjacent: all of a group's
+	// kernels feed the same pair of accumulators, so the merged compound is
+	// placed at the last member's position, where every contribution is
+	// available.
+	members := map[string][]int{}
+	for i, k := range in {
+		if k.Class == trace.ClassEW && k.Op == m.member && k.FuseGroup != "" && k.FuseRole != trace.RoleAccum {
+			members[k.FuseGroup] = append(members[k.FuseGroup], i)
+		}
+	}
+
+	drop := make(map[int]bool)
+	replace := make(map[int]trace.Kernel)
+	for gid, idxs := range members {
+		n := len(idxs)
+		// Singleton groups still convert: PAccum⟨1⟩ touches its accumulator
+		// pair once (5 accesses) where a bare PMAC re-reads it (7).
+		if n < m.perTerm || n%m.perTerm != 0 {
+			continue
+		}
+		first := in[idxs[0]]
+		ok := true
+		var ops, bytes, oneTime, writeBack float64
+		for _, i := range idxs {
+			k := in[i]
+			if k.Limbs != first.Limbs || k.Instances != first.Instances || k.Offload != first.Offload {
+				ok = false
+				break
+			}
+			ops += k.WeightedOps
+			bytes += k.Bytes
+			oneTime += k.OneTime
+			writeBack += k.WriteBack
+		}
+		if !ok {
+			continue
+		}
+		fanIn := n / m.perTerm
+		spec := pim.Spec(m.fused, fanIn)
+		merged := trace.Kernel{
+			Name: displayName(gid), Class: trace.ClassEW,
+			WeightedOps: ops,
+			Bytes:       float64(spec.PIMAccesses()) * t.P.PolyBytes(first.Limbs) * float64(first.Instances),
+			OneTime:     oneTime,
+			Op:          m.fused, OpK: fanIn, Limbs: first.Limbs, Instances: first.Instances,
+			Offload: first.Offload, WriteBack: writeBack,
+		}
+		last := idxs[n-1]
+		replace[last] = merged
+		for _, i := range idxs[:n-1] {
+			drop[i] = true
+		}
+		st.Fused += n - 1
+		st.BytesSaved += bytes - merged.Bytes
+	}
+
+	out := make([]trace.Kernel, 0, len(in)-len(drop))
+	for i, k := range in {
+		if drop[i] {
+			continue
+		}
+		if r, ok := replace[i]; ok {
+			k = r
+		}
+		out = append(out, k)
+	}
+	t.Kernels = out
+	st.KernelsAfter = len(out)
+	return st
+}

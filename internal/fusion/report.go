@@ -1,0 +1,46 @@
+package fusion
+
+import (
+	"github.com/anaheim-sim/anaheim/internal/sched"
+	"github.com/anaheim-sim/anaheim/internal/trace"
+)
+
+// Stage is one row of a fusion report: the trace state after the named
+// rewrite stage, with its simulated execution time under the report's
+// scheduler configuration.
+type Stage struct {
+	Name      string
+	Kernels   int
+	Bytes     float64 // total DRAM traffic of the trace at this stage
+	SimTimeNs float64
+	Stats     Stats // zero-valued for the baseline row
+}
+
+// SpeedupVsBase returns this stage's simulated speedup over a baseline row.
+func (s Stage) SpeedupVsBase(base Stage) float64 {
+	if s.SimTimeNs == 0 {
+		return 0
+	}
+	return base.SimTimeNs / s.SimTimeNs
+}
+
+// Report applies the passes cumulatively to t (mutating it), running the
+// scheduler after each pass. Row 0 is the un-rewritten baseline; row i+1 is
+// the state after passes[i]. This is the before/after-per-pass view the
+// ext-fusion experiment and the CI bench summary print.
+func Report(t *trace.Trace, cfg sched.Config, passes ...TracePass) []Stage {
+	stages := make([]Stage, 0, len(passes)+1)
+	base := sched.Run(t, cfg)
+	stages = append(stages, Stage{
+		Name: "naive", Kernels: len(t.Kernels), Bytes: t.TotalBytes(), SimTimeNs: base.TimeNs,
+	})
+	for _, p := range passes {
+		s := p.Apply(t)
+		record(s)
+		r := sched.Run(t, cfg)
+		stages = append(stages, Stage{
+			Name: p.Name(), Kernels: len(t.Kernels), Bytes: t.TotalBytes(), SimTimeNs: r.TimeNs, Stats: s,
+		})
+	}
+	return stages
+}

@@ -26,6 +26,14 @@ type Modulus struct {
 	// RSq = 2^128 mod Q (to enter Montgomery form with one MRed).
 	QInvNeg uint64
 	RSq     uint64
+
+	// Barrett constants: BRedHi:BRedLo = floor(2^128 / Q), the two words of
+	// the reciprocal used by MulBarrett/MulBarrettLazy to replace the
+	// hardware division in variable-operand products. TwoQ = 2*Q caches the
+	// lazy-reduction bound.
+	BRedHi uint64
+	BRedLo uint64
+	TwoQ   uint64
 }
 
 // NewModulus precomputes reduction constants for an odd modulus q.
@@ -53,6 +61,13 @@ func NewModulus(q uint64) (Modulus, error) {
 	r %= q
 	hi, lo := bits.Mul64(r, r)
 	_, m.RSq = bits.Div64(hi%q, lo, q)
+	// floor(2^128/q) by schoolbook long division over base-2^64 digits
+	// [1,0,0]: the leading digit divides to 0 remainder 1, then each
+	// bits.Div64 has its high word < q by construction.
+	var rem uint64
+	m.BRedHi, rem = bits.Div64(1, 0, q)
+	m.BRedLo, _ = bits.Div64(rem, 0, q)
+	m.TwoQ = 2 * q
 	return m, nil
 }
 
@@ -106,6 +121,60 @@ func (m Modulus) Mul(a, b uint64) uint64 {
 // MulAdd returns a*b + c mod q for a,b,c < q.
 func (m Modulus) MulAdd(a, b, c uint64) uint64 { return m.Add(m.Mul(a, b), c) }
 
+// MulBarrettLazy returns a*b mod q up to one multiple of q: the result is in
+// [0, 2q) and congruent to a*b. Requires a,b < q. This is the core of the
+// fused multiply-accumulate kernels: the quotient t ≈ floor(a*b/q) comes from
+// the precomputed 128-bit reciprocal instead of a hardware division, and the
+// final exact reduction is deferred to ReduceTwoQ after the whole
+// accumulation chain.
+func (m Modulus) MulBarrettLazy(a, b uint64) uint64 {
+	xhi, xlo := bits.Mul64(a, b)
+	// t = floor(x * floor(2^128/q) / 2^128) approximated by summing the
+	// high words of the three contributing partial products and dropping
+	// their low-word carries. Each dropped piece underestimates t by < 1
+	// (three in total, plus one from flooring the reciprocal), so the raw
+	// remainder is in [0, 4q) — one conditional 2q subtraction lands in
+	// [0, 2q). Requires 4q < 2^64, guaranteed by MaxModulusBits = 61.
+	t := xhi * m.BRedHi
+	hhi, _ := bits.Mul64(xlo, m.BRedHi)
+	t += hhi
+	hhi, _ = bits.Mul64(xhi, m.BRedLo)
+	t += hhi
+	r := xlo - t*m.Q
+	if r >= m.TwoQ {
+		r -= m.TwoQ
+	}
+	return r
+}
+
+// MulBarrett returns a*b mod q exactly for a,b < q, using the Barrett
+// reciprocal instead of hardware division.
+func (m Modulus) MulBarrett(a, b uint64) uint64 {
+	r := m.MulBarrettLazy(a, b)
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// AddLazy returns a+b reduced to [0, 2q), for a,b < 2q. The sum is < 4q <
+// 2^63, so no overflow. Used to keep accumulators in the lazy domain.
+func (m Modulus) AddLazy(a, b uint64) uint64 {
+	s := a + b
+	if s >= m.TwoQ {
+		s -= m.TwoQ
+	}
+	return s
+}
+
+// ReduceTwoQ maps a lazy value in [0, 2q) to its exact residue in [0, q).
+func (m Modulus) ReduceTwoQ(a uint64) uint64 {
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
 // ShoupPrecomp returns floor(w * 2^64 / q), the Shoup companion constant for
 // multiplying by the fixed operand w < q.
 func (m Modulus) ShoupPrecomp(w uint64) uint64 {
@@ -125,6 +194,13 @@ func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 		r -= m.Q
 	}
 	return r
+}
+
+// MulShoupLazy is MulShoup without the final correction: the result is in
+// [0, 2q) and congruent to a*w. Feeds lazy accumulation chains.
+func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
+	hi, _ := bits.Mul64(a, wShoup)
+	return a*w - hi*m.Q
 }
 
 // MRed performs Montgomery reduction: returns a*b/2^64 mod q. If b is in

@@ -265,3 +265,89 @@ func BenchmarkMulShoup(b *testing.B) {
 	}
 	_ = x
 }
+
+func TestMulBarrettAgainstMul(t *testing.T) {
+	for _, q := range append([]uint64{3, 5, 17, 257}, testModuli...) {
+		m := MustModulus(q)
+		r := rand.New(rand.NewSource(7))
+		check := func(a, b uint64) {
+			t.Helper()
+			want := m.Mul(a, b)
+			if got := m.MulBarrett(a, b); got != want {
+				t.Fatalf("MulBarrett(%d,%d) mod %d = %d, want %d", a, b, q, got, want)
+			}
+			lazy := m.MulBarrettLazy(a, b)
+			if lazy >= m.TwoQ {
+				t.Fatalf("MulBarrettLazy(%d,%d) mod %d = %d >= 2q", a, b, q, lazy)
+			}
+			if m.ReduceTwoQ(lazy) != want {
+				t.Fatalf("MulBarrettLazy(%d,%d) mod %d = %d not congruent to %d", a, b, q, lazy, want)
+			}
+		}
+		// Boundary operands where quotient-estimate error is most likely.
+		edges := []uint64{0, 1, 2, q / 2, q - 2, q - 1}
+		for _, a := range edges {
+			for _, b := range edges {
+				check(a, b)
+			}
+		}
+		for i := 0; i < 5000; i++ {
+			check(r.Uint64()%q, r.Uint64()%q)
+		}
+	}
+}
+
+func TestAddLazyReduceTwoQ(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		r := rand.New(rand.NewSource(8))
+		for i := 0; i < 2000; i++ {
+			a := r.Uint64() % m.TwoQ
+			b := r.Uint64() % m.TwoQ
+			s := m.AddLazy(a, b)
+			if s >= m.TwoQ {
+				t.Fatalf("AddLazy(%d,%d) = %d >= 2q (q=%d)", a, b, s, q)
+			}
+			if got, want := m.ReduceTwoQ(s), (a%q+b%q)%q; got != want {
+				t.Fatalf("AddLazy(%d,%d) mod %d = %d, want %d", a, b, q, got, want)
+			}
+		}
+	}
+}
+
+// TestLazyAccumulationChain exercises the intended usage pattern of the fused
+// kernels: a long multiply-accumulate chain kept in [0,2q) and reduced once.
+func TestLazyAccumulationChain(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		r := rand.New(rand.NewSource(9))
+		var acc, want uint64
+		for i := 0; i < 256; i++ {
+			a := r.Uint64() % q
+			b := r.Uint64() % q
+			acc = m.AddLazy(acc, m.MulBarrettLazy(a, b))
+			want = m.Add(want, m.Mul(a, b))
+		}
+		if got := m.ReduceTwoQ(acc); got != want {
+			t.Fatalf("lazy MAC chain mod %d = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func BenchmarkMulBarrett(b *testing.B) {
+	m := MustModulus(0x1fffffffffe00001)
+	x, y := uint64(123456789123), uint64(987654321987)
+	for i := 0; i < b.N; i++ {
+		x = m.MulBarrett(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkMulBarrettLazy(b *testing.B) {
+	m := MustModulus(0x1fffffffffe00001)
+	x, y := uint64(123456789123), uint64(987654321987)
+	for i := 0; i < b.N; i++ {
+		x = m.ReduceTwoQ(m.MulBarrettLazy(x, y))
+	}
+	_ = x
+}

@@ -1,0 +1,107 @@
+package modarith
+
+import "math/bits"
+
+// Vectorized kernels for the fused multiply-accumulate paths. The per-limb
+// ring loops call these once per limb instead of one exported method per
+// coefficient, so the Barrett constants live in registers for the whole row
+// and the loop body is free of call overhead regardless of inliner budgets.
+//
+// All "Lazy" kernels keep out in [0, 2q) (see MulBarrettLazy for the bound
+// derivation); chains end with VecReduceTwoQ.
+
+// VecMulAddLazy computes out[j] += a[j]*b[j] lazily for full rows.
+func (m Modulus) VecMulAddLazy(out, a, b []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		xhi, xlo := bits.Mul64(a[j], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		s := out[j] + r
+		if s >= twoQ {
+			s -= twoQ
+		}
+		out[j] = s
+	}
+}
+
+// VecMulAddLazyIdx computes out[j] += a[idx[j]]*b[j] lazily — the fused
+// NTT-domain automorphism gather + multiply-accumulate (AutAccum).
+func (m Modulus) VecMulAddLazyIdx(out, a, b []uint64, idx []int) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(idx)-1]
+	_ = b[len(idx)-1]
+	for j, k := range idx {
+		xhi, xlo := bits.Mul64(a[k], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		s := out[j] + r
+		if s >= twoQ {
+			s -= twoQ
+		}
+		out[j] = s
+	}
+}
+
+// VecMulShoupAddLazy computes out[j] += a[j]*w lazily for a fixed operand w
+// with Shoup companion wShoup (the constant-multiply-accumulate of a fused
+// CMULT+ADD ladder).
+func (m Modulus) VecMulShoupAddLazy(out, a []uint64, w, wShoup uint64) {
+	q, twoQ := m.Q, m.TwoQ
+	_ = out[len(a)-1]
+	for j := range a {
+		hi, _ := bits.Mul64(a[j], wShoup)
+		s := out[j] + (a[j]*w - hi*q)
+		if s >= twoQ {
+			s -= twoQ
+		}
+		out[j] = s
+	}
+}
+
+// VecSubMulShoup computes out[j] = (a[j] - b[j]) * w mod q exactly, for
+// a,b < q and fixed operand w with Shoup companion wShoup (the fused
+// subtract-and-scale epilogue of ModDown).
+func (m Modulus) VecSubMulShoup(out, a, b []uint64, w, wShoup uint64) {
+	q := m.Q
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		d := a[j] - b[j]
+		if d > a[j] {
+			d += q
+		}
+		hi, _ := bits.Mul64(d, wShoup)
+		r := d*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
+// VecReduceTwoQ maps every lazy value in [0, 2q) to its exact residue.
+func (m Modulus) VecReduceTwoQ(p []uint64) {
+	q := m.Q
+	for j := range p {
+		if p[j] >= q {
+			p[j] -= q
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package ring
+
+// Fused multiply-accumulate kernels with lazy (2q) reduction. These execute
+// the collapsed element-wise blocks produced by the fusion passes (paper §V):
+// a PAccum/CAccum chain becomes repeated *AddLazy calls into one accumulator
+// held in [0, 2q), and AutAccum becomes AutMulCoeffsAddLazy, which applies
+// the NTT-domain automorphism permutation and the multiply-accumulate in a
+// single pass instead of materializing the rotated polynomial.
+//
+// Protocol: accumulator limbs hold lazy values in [0, 2q) between calls;
+// the chain must end with ReduceLazy before the polynomial is handed to any
+// exact kernel (Add, NTT, serialization, ...). Inputs other than the
+// accumulator must be exact residues (< q).
+
+// MulCoeffsAddLazy sets out += a ⊙ b, keeping out in the lazy [0, 2q)
+// domain. Single pass over each limb: one Barrett product and one lazy add
+// per coefficient, no hardware division, no temporary polynomial.
+func (r *Ring) MulCoeffsAddLazy(out, a, b *Poly, level int) {
+	forEachLimb(level, func(i int) {
+		r.Moduli[i].VecMulAddLazy(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
+	})
+}
+
+// AutMulCoeffsAddLazy sets out += σ_g(a) ⊙ b lazily, fusing the NTT-domain
+// automorphism into the accumulation (AutAccum): out[j] += a[idx[j]] * b[j].
+// Eliminates the rotated temporary and its extra read/write pass. a must be
+// in the NTT domain and must not alias out.
+func (r *Ring) AutMulCoeffsAddLazy(out, a, b *Poly, g uint64, level int) {
+	if !a.IsNTT {
+		panic("ring: AutMulCoeffsAddLazy requires NTT domain")
+	}
+	if out == a {
+		panic("ring: AutMulCoeffsAddLazy cannot accumulate in place over its input")
+	}
+	idx := r.nttAutoIndex(g)
+	forEachLimb(level, func(i int) {
+		r.Moduli[i].VecMulAddLazyIdx(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i], idx)
+	})
+}
+
+// MulByLimbScalarsAddLazy sets out += a * s[i] per limb (s already reduced),
+// keeping out lazy. This is the constant-multiply-accumulate step of a fused
+// CMULT+ADD (CAccum) ladder; the scalar product uses the Shoup trick with
+// the correction deferred to ReduceLazy.
+func (r *Ring) MulByLimbScalarsAddLazy(out, a *Poly, s []uint64, level int) {
+	forEachLimb(level, func(i int) {
+		mod := r.Moduli[i]
+		mod.VecMulShoupAddLazy(out.Coeffs[i], a.Coeffs[i], s[i], mod.ShoupPrecomp(s[i]))
+	})
+}
+
+// SubMulByLimbScalars sets out = (a - b) * s[i] per limb in a single exact
+// pass (the fused ModDownEp epilogue of Table II: the subtraction and the
+// P^{-1} scaling share one traversal).
+func (r *Ring) SubMulByLimbScalars(out, a, b *Poly, s []uint64, level int) {
+	forEachLimb(level, func(i int) {
+		mod := r.Moduli[i]
+		mod.VecSubMulShoup(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i], s[i], mod.ShoupPrecomp(s[i]))
+	})
+	out.IsNTT = a.IsNTT
+}
+
+// ReduceLazy normalizes a lazy accumulator from [0, 2q) back to exact
+// residues in [0, q). Every MulCoeffsAddLazy/AutMulCoeffsAddLazy/
+// MulByLimbScalarsAddLazy chain must end here.
+func (r *Ring) ReduceLazy(p *Poly, level int) {
+	forEachLimb(level, func(i int) {
+		r.Moduli[i].VecReduceTwoQ(p.Coeffs[i])
+	})
+}
+
+// AddMany sets out = ins[0] + ins[1] + ... in a single pass per limb (the
+// fused form of an ADD ladder): intermediate sums stay lazy and are reduced
+// once at the end, instead of len(ins)-1 separate read-modify-write passes.
+// out may alias ins[0]. All inputs must share the domain of ins[0].
+func (r *Ring) AddMany(out *Poly, ins []*Poly, level int) {
+	if len(ins) == 0 {
+		panic("ring: AddMany needs at least one input")
+	}
+	forEachLimb(level, func(i int) {
+		mod := r.Moduli[i]
+		oo := out.Coeffs[i]
+		first := ins[0].Coeffs[i]
+		for j := range oo {
+			acc := first[j]
+			for _, in := range ins[1:] {
+				acc = mod.AddLazy(acc, in.Coeffs[i][j])
+			}
+			oo[j] = mod.ReduceTwoQ(acc)
+		}
+	})
+	out.IsNTT = ins[0].IsNTT
+}

@@ -3,12 +3,17 @@ package ring
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Sampler draws the random polynomials used by RLWE key generation and
 // encryption. It is deterministic given its seed, which the test suite and
-// examples rely on; production use would seed from crypto/rand.
+// examples rely on; production use would seed from crypto/rand. The mutex
+// serializes draws so encryptors can be shared across goroutines (the
+// sequence of outputs then depends on caller interleaving, but each draw
+// stays a valid sample).
 type Sampler struct {
+	mu  sync.Mutex
 	rng *rand.Rand
 }
 
@@ -22,6 +27,8 @@ func NewSampler(seed int64) *Sampler {
 // uniform polynomial is uniform), so the domain flag is set by the caller's
 // needs via asNTT.
 func (s *Sampler) UniformPoly(r *Ring, level int, asNTT bool) *Poly {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p := r.NewPoly(level)
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
@@ -50,6 +57,8 @@ func SmallVectorToPoly(r *Ring, level int, v []int64) *Poly {
 
 // TernaryVector samples a length-n vector with exactly h entries in {-1,+1}.
 func (s *Sampler) TernaryVector(n, h int) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := make([]int64, n)
 	perm := s.rng.Perm(n)
 	for k := 0; k < h && k < n; k++ {
@@ -65,6 +74,8 @@ func (s *Sampler) TernaryVector(n, h int) []int64 {
 // GaussianVector samples a length-n rounded-Gaussian vector with standard
 // deviation sigma, truncated at 6 sigma.
 func (s *Sampler) GaussianVector(n int, sigma float64) []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := make([]int64, n)
 	bound := int64(math.Ceil(6 * sigma))
 	for j := range v {

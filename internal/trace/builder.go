@@ -14,6 +14,20 @@ type Options struct {
 	AutFuse   bool // automorphism fused with accumulation (+AutFuse)
 	ExtraFuse bool // GPU-only extra fusions, e.g. ModDown fusion [38]
 	PIM       bool // mark element-wise kernels for PIM offloading
+
+	// SplitKernels emits every compound instruction as its naive kernel
+	// sequence — K tagged PMAC/CMAC kernels instead of one PAccum/CAccum,
+	// a bare automorphism plus a separate accumulation instead of the fused
+	// form — so the internal/fusion passes can rediscover the compounds.
+	// Combine with BasicFuse/AutFuse off; the passes restore those fusions.
+	SplitKernels bool
+}
+
+// SplitNaive is the pre-fusion configuration the rewrite passes start from:
+// hoisted linear transforms, but every compound emitted as separate tagged
+// kernels in the naive §V-B order.
+func SplitNaive() Options {
+	return Options{Hoist: true, SplitKernels: true, PIM: true}
 }
 
 // AnaheimDefault is the full Anaheim configuration.
@@ -31,6 +45,17 @@ type Builder struct {
 	P   Params
 	Opt Options
 	T   *Trace
+
+	fuseSeq int // distinguishes same-named fuse groups across emissions
+}
+
+// newFuseGroup mints a trace-unique fuse-group identity for a compound named
+// name. Repeated emissions (two linear transforms in one bootstrap trace)
+// produce distinct groups, so the fusion passes never merge members of
+// different compounds that happen to share a display name.
+func (b *Builder) newFuseGroup(name string) string {
+	b.fuseSeq++
+	return fmt.Sprintf("%s#%d", name, b.fuseSeq)
 }
 
 // NewBuilder starts a trace.
@@ -77,6 +102,19 @@ func (b *Builder) bconv(name string, kin, kout int) {
 // polynomials of `limbs` limbs. oneTime is the streaming portion of its
 // traffic (whole kernel).
 func (b *Builder) ew(name string, op pim.Opcode, k, limbs, instances int, oneTime float64) {
+	// SplitKernels: emit the naive chain as k (resp. 2k) *separate* kernels
+	// tagged with a shared FuseGroup so the PAccum/CAccum passes can merge
+	// them back into the compound instruction.
+	if b.Opt.SplitKernels {
+		switch op {
+		case pim.PAccum:
+			b.ewSplit(name, pim.PMAC, k, limbs, instances, oneTime)
+			return
+		case pim.CAccum:
+			b.ewSplit(name, pim.CMAC, 2*k, limbs, instances, oneTime)
+			return
+		}
+	}
 	// Without compound fusion (+BasicFuse off), accumulations execute as
 	// unfused PMAC/CMAC chains re-touching their accumulators — on the GPU
 	// and on PIM alike (§VII-D).
@@ -100,11 +138,58 @@ func (b *Builder) ew(name string, op pim.Opcode, k, limbs, instances int, oneTim
 	})
 }
 
+// ewSplit emits n naive single-instruction kernels sharing one fuse group,
+// splitting the compound's one-time streaming bytes evenly across them.
+func (b *Builder) ewSplit(name string, op pim.Opcode, n, limbs, instances int, oneTime float64) {
+	spec := pim.Spec(op, 0)
+	gid := b.newFuseGroup(name)
+	for i := 0; i < n; i++ {
+		b.T.Append(Kernel{
+			Name: fmt.Sprintf("%s.%s[%d]", name, op, i), Class: ClassEW,
+			WeightedOps: float64(spec.ModMuls) * float64(limbs) * float64(b.P.N) * modMulW * float64(instances),
+			Bytes:       float64(spec.PIMAccesses()) * b.P.PolyBytes(limbs) * float64(instances),
+			OneTime:     oneTime / float64(n),
+			Op:          op, Limbs: limbs, Instances: instances,
+			Offload:   b.Opt.PIM,
+			FuseGroup: gid, FuseRole: RoleMAC,
+		})
+	}
+}
+
+// autSplit emits the naive unfused automorphism half-pair: the bare
+// permutation (2 accesses), tagged for the AutAccum pass.
+func (b *Builder) autSplit(name, gid string, limbs, instances int) {
+	b.T.Append(Kernel{
+		Name: name, Class: ClassAut,
+		Bytes: 2 * b.P.PolyBytes(limbs) * float64(instances),
+		Limbs: limbs, Instances: instances,
+		FuseGroup: gid, FuseRole: RoleAut,
+	})
+}
+
+// autSplitAccum emits the separate accumulation kernel an unfused
+// automorphism round-trips through (3 accesses). It is welded to the
+// GPU-only automorphism and never offloads on its own.
+func (b *Builder) autSplitAccum(name, gid string, limbs, instances int) {
+	b.T.Append(Kernel{
+		Name: name + ".accum", Class: ClassEW,
+		Bytes: 3 * b.P.PolyBytes(limbs) * float64(instances),
+		Op:    pim.Add, Limbs: limbs, Instances: instances,
+		FuseGroup: gid, FuseRole: RoleAccum,
+	})
+}
+
 // aut emits automorphism kernels (GPU-only: complex data movement is
 // unsuited to PIM, §V-A). With AutFuse the permutation is fused with the
 // accumulation (read src + read acc + write acc); without it the
 // permutation round-trips DRAM before a separate accumulation kernel.
 func (b *Builder) aut(name string, limbs, instances int, withAccum bool) {
+	if withAccum && b.Opt.SplitKernels {
+		gid := b.newFuseGroup(name)
+		b.autSplit(name, gid, limbs, instances)
+		b.autSplitAccum(name, gid, limbs, instances)
+		return
+	}
 	accesses := 2.0
 	if withAccum {
 		if b.Opt.AutFuse {

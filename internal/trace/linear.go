@@ -33,6 +33,10 @@ func (b *Builder) LinearTransform(level, k int) {
 }
 
 func (b *Builder) linearHoisted(level, k int) {
+	if b.Opt.SplitKernels {
+		b.linearHoistedNaive(level, k)
+		return
+	}
 	p := b.P
 	bs := ceilSqrt(k)
 	gs := (k + bs - 1) / bs
@@ -63,6 +67,65 @@ func (b *Builder) linearHoisted(level, k int) {
 	}
 	b.ew("LT.accum", pim.Add, 0, 2*ext, gs-1, 0)
 	b.ModDown(level, 2)
+}
+
+// linearHoistedNaive emits the hoisted transform in the naive pre-fusion
+// order (§V-B "before"): every compound as separate tagged kernels, and the
+// diagonal plaintext multiplies placed *after* each baby automorphism — they
+// consume the rotated value, so the automorphism cannot reach its
+// accumulation until the SwapAutPMult pass pre-rotates the plaintexts and
+// reorders them. After all internal/fusion passes the kernel multiset
+// matches what the fused builder (AnaheimDefault) emits directly.
+func (b *Builder) linearHoistedNaive(level, k int) {
+	p := b.P
+	bs := ceilSqrt(k)
+	gs := (k + bs - 1) / bs
+	ext := level + 1 + p.Alpha
+
+	b.ModUp(level)
+	// One fuse group per giant sum; its members (one diagonal PMAC per baby
+	// step) are scattered across the baby blocks below.
+	giantGid := make([]string, gs)
+	for j := 0; j < gs; j++ {
+		giantGid[j] = b.newFuseGroup(fmt.Sprintf("LT.giant[%d].PAccum", j))
+	}
+	// The unrotated (r=0) contribution to every giant sum.
+	for j := 0; j < gs; j++ {
+		b.diagMAC(giantGid[j], j, 0, ext, RoleMAC)
+	}
+	for r := 1; r < bs; r++ {
+		b.KeyMult(fmt.Sprintf("LT.baby[%d].KeyMult", r), level)
+		autName := fmt.Sprintf("LT.baby[%d].Aut", r)
+		autGid := b.newFuseGroup(autName)
+		b.autSplit(autName, autGid, 2*ext, 1)
+		for j := 0; j < gs; j++ {
+			b.diagMAC(giantGid[j], j, r, ext, RoleSwapPMult)
+		}
+		b.autSplitAccum(autName, autGid, 2*ext, 1)
+	}
+	for j := 1; j < gs; j++ {
+		b.ModUpNoINTT(level)
+		b.KeyMult(fmt.Sprintf("LT.giantRot[%d].KeyMult", j), level)
+		b.aut(fmt.Sprintf("LT.giantRot[%d].Aut", j), 2*ext, 1, true)
+	}
+	b.ew("LT.accum", pim.Add, 0, 2*ext, gs-1, 0)
+	b.ModDown(level, 2)
+}
+
+// diagMAC emits one naive diagonal multiply-accumulate of giant sum j: a
+// PMAC streaming its (extended) plaintext as one-time data, tagged as a
+// member of that giant's PAccum group.
+func (b *Builder) diagMAC(gid string, j, r, ext int, role string) {
+	spec := pim.Spec(pim.PMAC, 0)
+	b.T.Append(Kernel{
+		Name: fmt.Sprintf("LT.giant[%d].diag[%d]", j, r), Class: ClassEW,
+		WeightedOps: float64(spec.ModMuls) * float64(ext) * float64(b.P.N) * modMulW,
+		Bytes:       float64(spec.PIMAccesses()) * b.P.PolyBytes(ext),
+		OneTime:     b.P.PolyBytes(ext),
+		Op:          pim.PMAC, Limbs: ext, Instances: 1,
+		Offload:   b.Opt.PIM,
+		FuseGroup: gid, FuseRole: role,
+	})
 }
 
 func (b *Builder) linearMinKS(level, k int) {

@@ -102,7 +102,34 @@ type Kernel struct {
 	// WriteBack is the extra GPU-side DRAM write traffic required before a
 	// following PIM kernel may read this kernel's products (§V-C coherence).
 	WriteBack float64
+
+	// FuseGroup/FuseRole tag kernels emitted by the naive (SplitKernels)
+	// builder for the internal/fusion rewrite passes: kernels sharing a
+	// FuseGroup form one fusable compound (the members of a PAccum/CAccum
+	// chain, or an automorphism and its accumulation). Untagged kernels are
+	// never touched by the passes.
+	FuseGroup string
+	FuseRole  string
 }
+
+// Fuse roles recognized by the internal/fusion passes.
+const (
+	// RoleMAC tags one naive multiply-accumulate instruction of a compound
+	// PAccum/CAccum chain (Table II).
+	RoleMAC = "mac"
+	// RoleAut tags a bare automorphism whose accumulation was split off
+	// (the Fig 6 "before" shape: permute to a temporary, 2 accesses).
+	RoleAut = "aut"
+	// RoleAccum tags the separate accumulation kernel an unfused
+	// automorphism round-trips through (3 accesses).
+	RoleAccum = "accum"
+	// RoleSwapPMult tags a diagonal plaintext multiply emitted *after* its
+	// automorphism in the naive hoisted linear transform; the §V-B reorder
+	// pass moves it before the automorphism (pre-rotating the plaintext
+	// offline), which is what frees the automorphism to fuse with the
+	// accumulation.
+	RoleSwapPMult = "pmult-diag"
+)
 
 // Trace is an ordered kernel sequence with workload metadata.
 type Trace struct {
