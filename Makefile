@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench micro fuzz bench-compare serve clean
+.PHONY: all build vet lint test race bench micro fuzz bench-compare profile serve clean
 
 all: vet build test
 
@@ -40,6 +40,15 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCiphertextUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
 	$(GO) test -run=^$$ -fuzz=FuzzEvaluationKeySetUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
 	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -run=^$$ -fuzz=FuzzNTTRoundTrip -fuzztime=$(FUZZTIME) ./internal/ntt
+
+# CPU profiles for the NTT transform kernels: runs the package micro-
+# benchmarks under pprof and leaves ntt_cpu.prof plus the test binary for
+# `go tool pprof ntt_bench.test ntt_cpu.prof`.
+profile:
+	$(GO) test -run=^$$ -bench='Forward|Inverse' -benchtime=2s \
+		-cpuprofile=ntt_cpu.prof -o ntt_bench.test ./internal/ntt
+	@echo "wrote ntt_cpu.prof; inspect with: go tool pprof ntt_bench.test ntt_cpu.prof"
 
 # Rerun the microbenchmarks and diff against the committed baseline.
 bench-compare:

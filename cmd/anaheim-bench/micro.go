@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"github.com/anaheim-sim/anaheim"
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+	"github.com/anaheim-sim/anaheim/internal/ntt"
 	"github.com/anaheim-sim/anaheim/internal/obs"
 	"github.com/anaheim-sim/anaheim/internal/par"
 )
@@ -51,6 +53,130 @@ func fusionModes(mode string) ([]bool, error) {
 		return []bool{false}, nil
 	}
 	return nil, fmt.Errorf("anaheim-bench: -fusion must be both, on, or off (got %q)", mode)
+}
+
+// nttBenchSetup builds per-limb tables and uniform coefficient rows for one
+// (logN, limbs) grid cell. Called inside each benchmark body (before
+// b.ResetTimer) so only one cell's tables are live at a time; the largest
+// cell (logN=15, 32 limbs) holds ~40 MB of twiddles plus data.
+func nttBenchSetup(logN, limbs int) ([]*ntt.Tables, [][]uint64, [][]uint64, error) {
+	primes, err := modarith.GenerateNTTPrimes(55, logN, limbs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n := 1 << logN
+	tables := make([]*ntt.Tables, limbs)
+	rows := make([][]uint64, limbs)
+	rows2 := make([][]uint64, limbs)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i, p := range primes {
+		tables[i], err = ntt.NewTables(modarith.MustModulus(p), logN)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rows[i] = make([]uint64, n)
+		rows2[i] = make([]uint64, n)
+		for j := range rows[i] {
+			// splitmix64: deterministic, dependency-free uniform filler.
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			rows[i][j] = z % p
+			rows2[i][j] = (z*6364136223846793005 + 1442695040888963407) % p
+		}
+	}
+	return tables, rows, rows2, nil
+}
+
+// nttGrid is the transform benchmark grid. A package variable so the JSON
+// shape test can shrink it to one cell; the full grid takes minutes.
+var nttGrid = struct {
+	logNs, limbs []int
+}{
+	logNs: []int{12, 13, 14, 15},
+	limbs: []int{1, 4, 16, 32},
+}
+
+// addNTTBenches registers the NTT transform grid: forward, inverse, and
+// element-wise product at logN in {12..15} x limbs in {1,4,16,32}, plus the
+// pre-rewrite reference kernels at a single limb as the before/after pair
+// the speedup gate diffs (ntt_fwd-n14-l1 vs ntt_fwd_ref-n14-l1).
+func addNTTBenches(benches map[string]func(b *testing.B)) {
+	for _, logN := range nttGrid.logNs {
+		for _, limbs := range nttGrid.limbs {
+			cell := fmt.Sprintf("n%d-l%d", logN, limbs)
+			benches["ntt_fwd-"+cell] = func(b *testing.B) {
+				tables, rows, _, err := nttBenchSetup(logN, limbs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ntt.ForwardMany(tables, rows)
+				}
+			}
+			benches["ntt_inv-"+cell] = func(b *testing.B) {
+				tables, rows, _, err := nttBenchSetup(logN, limbs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ntt.InverseMany(tables, rows)
+				}
+			}
+			benches["mulcoeffs-"+cell] = func(b *testing.B) {
+				tables, rows, rows2, err := nttBenchSetup(logN, limbs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := make([][]uint64, limbs)
+				for i := range out {
+					out[i] = make([]uint64, 1<<logN)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for l := range tables {
+						tables[l].MulCoeffs(out[l], rows[l], rows2[l])
+					}
+				}
+			}
+		}
+		cell := fmt.Sprintf("n%d-l1", logN)
+		benches["ntt_fwd_ref-"+cell] = func(b *testing.B) {
+			tables, rows, _, err := nttBenchSetup(logN, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tables[0].ForwardRef(rows[0])
+			}
+		}
+		benches["ntt_inv_ref-"+cell] = func(b *testing.B) {
+			tables, rows, _, err := nttBenchSetup(logN, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tables[0].InverseRef(rows[0])
+			}
+		}
+		benches["mulcoeffs_ref-"+cell] = func(b *testing.B) {
+			tables, rows, rows2, err := nttBenchSetup(logN, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]uint64, 1<<logN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tables[0].MulCoeffsRef(out, rows[0], rows2[0])
+			}
+		}
+	}
 }
 
 // runMicro benchmarks the FHE hot ops at the test-scale parameter set and
@@ -121,6 +247,8 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
 			}
 		},
 	}
+
+	addNTTBenches(benches)
 
 	// Fused-path functional benchmarks: the hoisted linear transform and a
 	// full bootstrap, each in the requested fusion modes. These are the two

@@ -160,6 +160,12 @@ type decomposed struct {
 	level int
 	q     []*ring.Poly // digit -> poly at level
 	p     []*ring.Poly // digit -> poly over RingP
+	// lazy records that the digit coefficients are in [0, 2q) rather than
+	// [0, q): the fused gadget-product MACs tolerate lazy multiplicands
+	// (MulBarrettLazy's bound holds for operands < 2q), so Decompose skips
+	// the NTT exit reduction when fusion is on. Exact consumers must reduce
+	// first (gadgetProduct does when it takes the unfused path).
+	lazy bool
 }
 
 // Decompose performs ModUp on c (NTT, level lvl): for each digit d it
@@ -178,6 +184,7 @@ func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
 	rq.INTT(coeff, lvl)
 
 	dec := &decomposed{level: lvl, q: make([]*ring.Poly, digits), p: make([]*ring.Poly, digits)}
+	dec.lazy = FusionEnabled()
 	nTargetsQ := lvl + 1
 	for d := 0; d < digits; d++ {
 		lo, hi := d*alpha, min((d+1)*alpha, lvl+1)
@@ -189,8 +196,15 @@ func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
 		copy(outRows[:nTargetsQ], pq.Coeffs)
 		copy(outRows[nTargetsQ:], pp.Coeffs)
 		bc.Convert(outRows, in)
-		rq.NTT(pq, lvl)
-		rp.NTT(pp, rp.MaxLevel())
+		if dec.lazy {
+			// The digits only feed the lazy gadget-product MACs, which
+			// tolerate [0, 2q) multiplicands — skip the NTT exit reduction.
+			rq.NTTLazy(pq, lvl)
+			rp.NTTLazy(pp, rp.MaxLevel())
+		} else {
+			rq.NTT(pq, lvl)
+			rp.NTT(pp, rp.MaxLevel())
+		}
 		dec.q[d], dec.p[d] = pq, pp
 	}
 	rq.PutPoly(coeff)
@@ -228,6 +242,15 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 		rp.ReduceLazy(u0p, lvlP)
 		rp.ReduceLazy(u1p, lvlP)
 		return
+	}
+	if dec.lazy {
+		// Decomposed under fusion but consumed exactly (the flag flipped in
+		// between): normalize the digits before the exact MACs below.
+		for d := range dec.q {
+			rq.ReduceLazy(dec.q[d], lvl)
+			rp.ReduceLazy(dec.p[d], lvlP)
+		}
+		dec.lazy = false
 	}
 	for d := range dec.q {
 		rq.MulCoeffsAdd(u0q, dec.q[d], swk.BQ[d].Truncated(lvl), lvl)

@@ -3,8 +3,22 @@
 // fixed operands (NTT twiddle factors), modular exponentiation and inversion,
 // and primitive-root search for number-theoretic transforms.
 //
-// All moduli are odd primes q < 2^61 so that lazy sums such as 2q fit in a
+// All moduli are odd primes q < 2^61 so that lazy values up to 4q (and the
+// transient sums up to 8q that appear inside Harvey butterflies) fit in a
 // uint64 without overflow.
+//
+// # Lazy-reduction domains
+//
+// The hot kernels defer exact reduction and instead track which interval a
+// value lives in (DESIGN.md §3.8 has the full discipline):
+//
+//   - exact:     [0, q)  — what every public non-Lazy function accepts/returns
+//   - lazy:      [0, 2q) — *Lazy kernel outputs; normalized by ReduceTwoQ
+//   - butterfly: [0, 4q) — internal to the Harvey NTT stages (internal/ntt)
+//
+// MulShoupLazy and MulBarrettLazy both land in [0, 2q) and tolerate lazy
+// (and, for MulShoupLazy, arbitrary uint64) variable operands, which is what
+// lets whole NTT + MAC chains run with one exact reduction at the end.
 package modarith
 
 import (
@@ -122,11 +136,12 @@ func (m Modulus) Mul(a, b uint64) uint64 {
 func (m Modulus) MulAdd(a, b, c uint64) uint64 { return m.Add(m.Mul(a, b), c) }
 
 // MulBarrettLazy returns a*b mod q up to one multiple of q: the result is in
-// [0, 2q) and congruent to a*b. Requires a,b < q. This is the core of the
-// fused multiply-accumulate kernels: the quotient t ≈ floor(a*b/q) comes from
-// the precomputed 128-bit reciprocal instead of a hardware division, and the
-// final exact reduction is deferred to ReduceTwoQ after the whole
-// accumulation chain.
+// [0, 2q) and congruent to a*b. Operands may themselves be lazy (a,b < 2q):
+// the derivation below only needs a*b < 2^128, and 4q^2 < 2^124. This is the
+// core of the fused multiply-accumulate kernels: the quotient t ≈
+// floor(a*b/q) comes from the precomputed 128-bit reciprocal instead of a
+// hardware division, and the final exact reduction is deferred to ReduceTwoQ
+// after the whole accumulation chain.
 func (m Modulus) MulBarrettLazy(a, b uint64) uint64 {
 	xhi, xlo := bits.Mul64(a, b)
 	// t = floor(x * floor(2^128/q) / 2^128) approximated by summing the
@@ -175,6 +190,35 @@ func (m Modulus) ReduceTwoQ(a uint64) uint64 {
 	return a
 }
 
+// SubLazy returns a value congruent to a-b in [0, 4q) for a,b < 2q, without
+// any conditional: a - b + 2q. This is the subtraction half of the Harvey
+// butterfly; the caller's domain bookkeeping must absorb the 4q bound (a
+// multiply via MulShoupLazy does so for free).
+func (m Modulus) SubLazy(a, b uint64) uint64 {
+	return a - b + m.TwoQ
+}
+
+// ReduceFourQ maps a butterfly-domain value in [0, 4q) to its exact residue
+// in [0, q): two conditional subtractions.
+func (m Modulus) ReduceFourQ(a uint64) uint64 {
+	if a >= m.TwoQ {
+		a -= m.TwoQ
+	}
+	if a >= m.Q {
+		a -= m.Q
+	}
+	return a
+}
+
+// ReduceFourQLazy maps a butterfly-domain value in [0, 4q) to the lazy
+// domain [0, 2q): one conditional subtraction.
+func (m Modulus) ReduceFourQLazy(a uint64) uint64 {
+	if a >= m.TwoQ {
+		a -= m.TwoQ
+	}
+	return a
+}
+
 // ShoupPrecomp returns floor(w * 2^64 / q), the Shoup companion constant for
 // multiplying by the fixed operand w < q.
 func (m Modulus) ShoupPrecomp(w uint64) uint64 {
@@ -197,7 +241,11 @@ func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 }
 
 // MulShoupLazy is MulShoup without the final correction: the result is in
-// [0, 2q) and congruent to a*w. Feeds lazy accumulation chains.
+// [0, 2q) and congruent to a*w — for ANY a, not just a < q. With
+// w' = floor(w·2^64/q) and c = a·w' mod 2^64, the returned value equals
+// (a·(w·2^64 - w'·q) + c·q)/2^64 < q·(a/2^64 + 1) < 2q. This is what lets
+// the Harvey NTT butterflies feed [0, 4q) values straight into the twiddle
+// multiply without reducing first.
 func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
 	hi, _ := bits.Mul64(a, wShoup)
 	return a*w - hi*m.Q

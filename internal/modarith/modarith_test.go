@@ -334,6 +334,114 @@ func TestLazyAccumulationChain(t *testing.T) {
 	}
 }
 
+// TestMulBarrettLazyLazyOperands: the Barrett bound holds for lazy-domain
+// operands (< 2q), which is what lets NTTLazy outputs feed the gadget MACs.
+func TestMulBarrettLazyLazyOperands(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		r := rand.New(rand.NewSource(11))
+		check := func(a, b uint64) {
+			t.Helper()
+			lazy := m.MulBarrettLazy(a, b)
+			if lazy >= m.TwoQ {
+				t.Fatalf("MulBarrettLazy(%d,%d) mod %d = %d >= 2q", a, b, q, lazy)
+			}
+			if got, want := m.ReduceTwoQ(lazy), m.Mul(a%q, b%q); got != want {
+				t.Fatalf("MulBarrettLazy(%d,%d) mod %d ≡ %d, want %d", a, b, q, got, want)
+			}
+		}
+		edges := []uint64{0, 1, q - 1, q, q + 1, 2*q - 2, 2*q - 1}
+		for _, a := range edges {
+			for _, b := range edges {
+				check(a, b)
+			}
+		}
+		for i := 0; i < 5000; i++ {
+			check(r.Uint64()%m.TwoQ, r.Uint64()%m.TwoQ)
+		}
+	}
+}
+
+func TestSubLazyReduceFourQ(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		r := rand.New(rand.NewSource(12))
+		for i := 0; i < 2000; i++ {
+			a := r.Uint64() % m.TwoQ
+			b := r.Uint64() % m.TwoQ
+			d := m.SubLazy(a, b)
+			if d >= 4*q {
+				t.Fatalf("SubLazy(%d,%d) = %d >= 4q (q=%d)", a, b, d, q)
+			}
+			want := m.Sub(a%q, b%q)
+			if got := m.ReduceFourQ(d); got != want {
+				t.Fatalf("ReduceFourQ(SubLazy(%d,%d)) mod %d = %d, want %d", a, b, q, got, want)
+			}
+			lz := m.ReduceFourQLazy(d)
+			if lz >= m.TwoQ {
+				t.Fatalf("ReduceFourQLazy(%d) = %d >= 2q (q=%d)", d, lz, q)
+			}
+			if got := m.ReduceTwoQ(lz); got != want {
+				t.Fatalf("ReduceFourQLazy(%d) mod %d ≡ %d, want %d", d, q, got, want)
+			}
+		}
+	}
+}
+
+// TestVecMulBarrettKernels checks the exact row kernels against the scalar
+// reference on full rows including boundary values.
+func TestVecMulBarrettKernels(t *testing.T) {
+	for _, q := range testModuli {
+		m := MustModulus(q)
+		r := rand.New(rand.NewSource(13))
+		const n = 257
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		acc := make([]uint64, n)
+		for i := range a {
+			a[i] = r.Uint64() % q
+			b[i] = r.Uint64() % q
+			acc[i] = r.Uint64() % q
+		}
+		a[0], b[0] = q-1, q-1
+		a[1], b[1] = 0, q-1
+
+		out := make([]uint64, n)
+		m.VecMulBarrett(out, a, b)
+		for i := range out {
+			if want := m.Mul(a[i], b[i]); out[i] != want {
+				t.Fatalf("VecMulBarrett[%d] mod %d = %d, want %d", i, q, out[i], want)
+			}
+		}
+		// Lazy inputs (< 2q) must still give the exact product.
+		la := make([]uint64, n)
+		for i := range la {
+			la[i] = r.Uint64() % m.TwoQ
+		}
+		m.VecMulBarrett(out, la, b)
+		for i := range out {
+			if want := m.Mul(la[i]%q, b[i]); out[i] != want {
+				t.Fatalf("VecMulBarrett lazy[%d] mod %d = %d, want %d", i, q, out[i], want)
+			}
+		}
+
+		addOut := append([]uint64(nil), acc...)
+		m.VecMulAddBarrett(addOut, a, b)
+		for i := range addOut {
+			if want := m.Add(acc[i], m.Mul(a[i], b[i])); addOut[i] != want {
+				t.Fatalf("VecMulAddBarrett[%d] mod %d = %d, want %d", i, q, addOut[i], want)
+			}
+		}
+		subOut := append([]uint64(nil), acc...)
+		m.VecMulSubBarrett(subOut, a, b)
+		for i := range subOut {
+			if want := m.Sub(acc[i], m.Mul(a[i], b[i])); subOut[i] != want {
+				t.Fatalf("VecMulSubBarrett[%d] mod %d = %d, want %d", i, q, subOut[i], want)
+			}
+		}
+	}
+}
+
 func BenchmarkMulBarrett(b *testing.B) {
 	m := MustModulus(0x1fffffffffe00001)
 	x, y := uint64(123456789123), uint64(987654321987)

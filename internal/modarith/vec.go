@@ -10,7 +10,9 @@ import "math/bits"
 // All "Lazy" kernels keep out in [0, 2q) (see MulBarrettLazy for the bound
 // derivation); chains end with VecReduceTwoQ.
 
-// VecMulAddLazy computes out[j] += a[j]*b[j] lazily for full rows.
+// VecMulAddLazy computes out[j] += a[j]*b[j] lazily for full rows. The
+// multiplicands may themselves be lazy (a,b < 2q — see MulBarrettLazy),
+// which lets the gadget product consume NTTLazy digits directly.
 func (m Modulus) VecMulAddLazy(out, a, b []uint64) {
 	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
 	_ = out[len(a)-1]
@@ -93,6 +95,87 @@ func (m Modulus) VecSubMulShoup(out, a, b []uint64, w, wShoup uint64) {
 			r -= q
 		}
 		out[j] = r
+	}
+}
+
+// VecMulBarrett computes out[j] = a[j]*b[j] mod q exactly via the Barrett
+// reciprocal — no hardware division in the loop, unlike the scalar Mul. This
+// is the element-wise (NTT-domain) polynomial product kernel.
+func (m Modulus) VecMulBarrett(out, a, b []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		xhi, xlo := bits.Mul64(a[j], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
+// VecMulAddBarrett computes out[j] = out[j] + a[j]*b[j] mod q exactly
+// (out, a, b < q), keeping the Barrett constants in registers for the row.
+func (m Modulus) VecMulAddBarrett(out, a, b []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		xhi, xlo := bits.Mul64(a[j], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		if r >= q {
+			r -= q
+		}
+		s := out[j] + r
+		if s >= q {
+			s -= q
+		}
+		out[j] = s
+	}
+}
+
+// VecMulSubBarrett computes out[j] = out[j] - a[j]*b[j] mod q exactly
+// (out, a, b < q).
+func (m Modulus) VecMulSubBarrett(out, a, b []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		xhi, xlo := bits.Mul64(a[j], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		if r >= q {
+			r -= q
+		}
+		d := out[j] - r
+		if d > out[j] {
+			d += q
+		}
+		out[j] = d
 	}
 }
 

@@ -5,7 +5,30 @@
 // evaluations at the primitive 2N-th roots of unity ψ^(2·brv(i)+1), i.e. the
 // output is in "bit-reversed evaluation order", the conventional layout that
 // makes both butterflies access contiguous memory (Longa–Naehrig). The
-// inverse transform undoes it exactly, including the 1/N scaling.
+// inverse transform undoes it exactly, including the 1/N scaling, which is
+// premultiplied into the last inverse stage's twiddles instead of running as
+// a separate pass.
+//
+// # Lazy reduction (Harvey butterflies)
+//
+// The butterflies keep coefficients in the lazy domain rather than reducing
+// to [0, q) at every step (Harvey, "Faster arithmetic for number-theoretic
+// transforms"; the same trick Cheddar uses on GPU and Lattigo in Go):
+//
+//   - forward (CT): inputs < 4q; x is conditionally reduced to [0, 2q), the
+//     twiddle product w·y lands in [0, 2q) via MulShoupLazy for any y, and
+//     x±w·y re-enter the [0, 4q) invariant. One conditional subtraction per
+//     butterfly instead of three exact reductions.
+//   - inverse (GS): values stay in [0, 2q): x+y is conditionally reduced,
+//     and (x-y+2q)·w lands back in [0, 2q) via MulShoupLazy.
+//
+// Both require only q < 2^62; modarith guarantees q < 2^61. Exact reduction
+// happens once, folded into the final stage. The Lazy entry points skip even
+// that, producing [0, 2q) outputs for fused MAC chains (ring/fused.go, the
+// CKKS gadget product) that tolerate lazy operands.
+//
+// Domains: Forward/Inverse accept [0, 2q) and produce [0, q);
+// ForwardLazy/InverseLazy accept [0, 2q) and produce [0, 2q).
 package ntt
 
 import (
@@ -13,7 +36,6 @@ import (
 	"math/bits"
 
 	"github.com/anaheim-sim/anaheim/internal/modarith"
-	"github.com/anaheim-sim/anaheim/internal/par"
 )
 
 // Tables holds per-(q, N) precomputed twiddle factors.
@@ -33,6 +55,12 @@ type Tables struct {
 
 	nInv      uint64 // N^{-1} mod q
 	nInvShoup uint64
+
+	// Last-inverse-stage twiddle with the 1/N scaling premultiplied:
+	// psiInvRev[1]·N^{-1}. Together with nInv it folds the scaling pass
+	// into the final Gentleman–Sande stage.
+	wLastNInv      uint64
+	wLastNInvShoup uint64
 }
 
 // NewTables builds twiddle tables for N = 2^logN and modulus q.
@@ -70,6 +98,8 @@ func NewTables(mod modarith.Modulus, logN int) (*Tables, error) {
 	}
 	t.nInv = mod.MustInv(uint64(n))
 	t.nInvShoup = mod.ShoupPrecomp(t.nInv)
+	t.wLastNInv = mod.Mul(t.psiInvRev[1], t.nInv)
+	t.wLastNInvShoup = mod.ShoupPrecomp(t.wLastNInv)
 	return t, nil
 }
 
@@ -77,98 +107,302 @@ func reverseBits(x uint64, n int) uint64 {
 	return bits.Reverse64(x) >> uint(64-n)
 }
 
-// Forward transforms a (length N, coefficients < q, natural order) in place
-// into bit-reversed NTT form.
-func (t *Tables) Forward(a []uint64) {
+func (t *Tables) checkLen(a []uint64, op string) {
 	if len(a) != t.N {
-		panic(fmt.Sprintf("ntt: Forward on slice of length %d, want %d", len(a), t.N))
+		panic(fmt.Sprintf("ntt: %s on slice of length %d, want %d", op, len(a), t.N))
 	}
-	mod := t.Mod
+}
+
+// Forward transforms a (length N, coefficients < 2q, natural order) in place
+// into bit-reversed NTT form with exact [0, q) outputs.
+func (t *Tables) Forward(a []uint64) {
+	t.checkLen(a, "Forward")
+	t.forward(a, false)
+}
+
+// ForwardLazy is Forward with lazy outputs in [0, 2q); the exit reduction is
+// skipped so fused MAC chains can consume the result directly.
+func (t *Tables) ForwardLazy(a []uint64) {
+	t.checkLen(a, "ForwardLazy")
+	t.forward(a, true)
+}
+
+// Inverse transforms a (bit-reversed NTT form, coefficients < 2q) in place
+// back to natural-order coefficients in [0, q), including the 1/N scaling
+// (fused into the last stage).
+func (t *Tables) Inverse(a []uint64) {
+	t.checkLen(a, "Inverse")
+	t.inverse(a, false)
+}
+
+// InverseLazy is Inverse with lazy outputs in [0, 2q).
+func (t *Tables) InverseLazy(a []uint64) {
+	t.checkLen(a, "InverseLazy")
+	t.inverse(a, true)
+}
+
+func (t *Tables) forward(a []uint64, lazy bool) {
 	span := t.N
 	for m := 1; m < t.N; m <<= 1 {
 		span >>= 1
-		for i := 0; i < m; i++ {
-			w := t.psiRev[m+i]
-			ws := t.psiRevShoup[m+i]
-			j1 := 2 * i * span
-			for j := j1; j < j1+span; j++ {
-				u := a[j]
-				v := mod.MulShoup(a[j+span], w, ws)
-				a[j] = mod.Add(u, v)
-				a[j+span] = mod.Sub(u, v)
-			}
-		}
+		t.fwdStage(a, m, span, 0, m, lazy)
 	}
 }
 
-// Inverse transforms a (bit-reversed NTT form) in place back to natural-order
-// coefficients, including the 1/N scaling.
-func (t *Tables) Inverse(a []uint64) {
-	if len(a) != t.N {
-		panic(fmt.Sprintf("ntt: Inverse on slice of length %d, want %d", len(a), t.N))
-	}
-	mod := t.Mod
+func (t *Tables) inverse(a []uint64, lazy bool) {
 	span := 1
-	for m := t.N >> 1; m >= 1; m >>= 1 {
-		for i := 0; i < m; i++ {
-			w := t.psiInvRev[m+i]
-			ws := t.psiInvShoup[m+i]
-			j1 := 2 * i * span
-			for j := j1; j < j1+span; j++ {
-				u := a[j]
-				v := a[j+span]
-				a[j] = mod.Add(u, v)
-				a[j+span] = mod.MulShoup(mod.Sub(u, v), w, ws)
-			}
-		}
+	for m := t.N >> 1; m > 1; m >>= 1 {
+		t.invStage(a, m, span, 0, m)
 		span <<= 1
 	}
-	for j := range a {
-		a[j] = mod.MulShoup(a[j], t.nInv, t.nInvShoup)
+	t.invStageFinal(a, 0, t.N>>1, lazy)
+}
+
+// fwdButterflies applies the Harvey Cooley–Tukey butterfly pairwise over the
+// re-sliced halves x and y of one block:
+//
+//	x' = x̃ + w·y,  y' = x̃ - w·y + 2q,  x̃ = x - 2q·[x ≥ 2q]
+//
+// Inputs and outputs live in [0, 4q); w·y ∈ [0, 2q) by the MulShoupLazy
+// bound for any y. len(x) == len(y) must be a positive multiple of 4 (the
+// loop is 4x unrolled for ILP; spans 1 and 2 have dedicated kernels).
+func fwdButterflies(x, y []uint64, w, ws, q, twoQ uint64) {
+	y = y[:len(x)]
+	for j := 0; j < len(x); j += 4 {
+		xx := x[j : j+4 : j+4]
+		yy := y[j : j+4 : j+4]
+		u0, u1, u2, u3 := xx[0], xx[1], xx[2], xx[3]
+		v0, v1, v2, v3 := yy[0], yy[1], yy[2], yy[3]
+		if u0 >= twoQ {
+			u0 -= twoQ
+		}
+		if u1 >= twoQ {
+			u1 -= twoQ
+		}
+		if u2 >= twoQ {
+			u2 -= twoQ
+		}
+		if u3 >= twoQ {
+			u3 -= twoQ
+		}
+		h0, _ := bits.Mul64(v0, ws)
+		h1, _ := bits.Mul64(v1, ws)
+		h2, _ := bits.Mul64(v2, ws)
+		h3, _ := bits.Mul64(v3, ws)
+		v0 = v0*w - h0*q
+		v1 = v1*w - h1*q
+		v2 = v2*w - h2*q
+		v3 = v3*w - h3*q
+		xx[0], yy[0] = u0+v0, u0-v0+twoQ
+		xx[1], yy[1] = u1+v1, u1-v1+twoQ
+		xx[2], yy[2] = u2+v2, u2-v2+twoQ
+		xx[3], yy[3] = u3+v3, u3-v3+twoQ
 	}
 }
 
-// parallelLimbThreshold is the limb count above which batch transforms are
-// spread over the shared worker pool. Below it the per-chunk synchronization
-// costs more than the transforms.
-const parallelLimbThreshold = 8
-
-// ForwardMany runs tables[i].Forward(rows[i]) for every limb, in parallel on
-// the shared worker pool when the batch is large enough. Limbs are
-// independent RNS residues, so this is always safe.
-func ForwardMany(tables []*Tables, rows [][]uint64) {
-	if len(tables) != len(rows) {
-		panic(fmt.Sprintf("ntt: ForwardMany on %d tables, %d rows", len(tables), len(rows)))
-	}
-	if len(rows) < parallelLimbThreshold {
-		for i := range rows {
-			tables[i].Forward(rows[i])
+// fwdStage applies forward stage m (span = N/(2m)) to twiddle blocks
+// [i0, i1). The span=1 final stage folds the exit reduction in, emitting
+// [0, q) (exact) or [0, 2q) (lazy); all other stages keep the [0, 4q)
+// butterfly invariant.
+func (t *Tables) fwdStage(a []uint64, m, span, i0, i1 int, lazy bool) {
+	q, twoQ := t.Mod.Q, t.Mod.TwoQ
+	switch {
+	case span >= 4:
+		for i := i0; i < i1; i++ {
+			j1 := 2 * i * span
+			fwdButterflies(a[j1:j1+span], a[j1+span:j1+2*span],
+				t.psiRev[m+i], t.psiRevShoup[m+i], q, twoQ)
 		}
-		return
+	case span == 2:
+		for i := i0; i < i1; i++ {
+			w, ws := t.psiRev[m+i], t.psiRevShoup[m+i]
+			j1 := 4 * i
+			xy := a[j1 : j1+4 : j1+4]
+			u0, u1 := xy[0], xy[1]
+			v0, v1 := xy[2], xy[3]
+			if u0 >= twoQ {
+				u0 -= twoQ
+			}
+			if u1 >= twoQ {
+				u1 -= twoQ
+			}
+			h0, _ := bits.Mul64(v0, ws)
+			h1, _ := bits.Mul64(v1, ws)
+			v0 = v0*w - h0*q
+			v1 = v1*w - h1*q
+			xy[0], xy[2] = u0+v0, u0-v0+twoQ
+			xy[1], xy[3] = u1+v1, u1-v1+twoQ
+		}
+	default: // span == 1: final stage, reduce on the way out
+		for i := i0; i < i1; i++ {
+			w, ws := t.psiRev[m+i], t.psiRevShoup[m+i]
+			j1 := 2 * i
+			xy := a[j1 : j1+2 : j1+2]
+			u, v := xy[0], xy[1]
+			if u >= twoQ {
+				u -= twoQ
+			}
+			h, _ := bits.Mul64(v, ws)
+			v = v*w - h*q
+			s0, s1 := u+v, u-v+twoQ
+			if s0 >= twoQ {
+				s0 -= twoQ
+			}
+			if s1 >= twoQ {
+				s1 -= twoQ
+			}
+			if !lazy {
+				if s0 >= q {
+					s0 -= q
+				}
+				if s1 >= q {
+					s1 -= q
+				}
+			}
+			xy[0], xy[1] = s0, s1
+		}
 	}
-	par.ForEach(len(rows), func(i int) { tables[i].Forward(rows[i]) })
 }
 
-// InverseMany runs tables[i].Inverse(rows[i]) for every limb, in parallel on
-// the shared worker pool when the batch is large enough.
-func InverseMany(tables []*Tables, rows [][]uint64) {
-	if len(tables) != len(rows) {
-		panic(fmt.Sprintf("ntt: InverseMany on %d tables, %d rows", len(tables), len(rows)))
-	}
-	if len(rows) < parallelLimbThreshold {
-		for i := range rows {
-			tables[i].Inverse(rows[i])
+// invButterflies applies the Harvey Gentleman–Sande butterfly pairwise over
+// the re-sliced halves x and y of one block:
+//
+//	x' = (x + y) - 2q·[x+y ≥ 2q],  y' = (x - y + 2q)·w  (MulShoupLazy)
+//
+// Inputs and outputs live in [0, 2q). len(x) == len(y) must be a positive
+// multiple of 4.
+func invButterflies(x, y []uint64, w, ws, q, twoQ uint64) {
+	y = y[:len(x)]
+	for j := 0; j < len(x); j += 4 {
+		xx := x[j : j+4 : j+4]
+		yy := y[j : j+4 : j+4]
+		u0, u1, u2, u3 := xx[0], xx[1], xx[2], xx[3]
+		v0, v1, v2, v3 := yy[0], yy[1], yy[2], yy[3]
+		s0, s1, s2, s3 := u0+v0, u1+v1, u2+v2, u3+v3
+		if s0 >= twoQ {
+			s0 -= twoQ
 		}
-		return
+		if s1 >= twoQ {
+			s1 -= twoQ
+		}
+		if s2 >= twoQ {
+			s2 -= twoQ
+		}
+		if s3 >= twoQ {
+			s3 -= twoQ
+		}
+		d0, d1, d2, d3 := u0-v0+twoQ, u1-v1+twoQ, u2-v2+twoQ, u3-v3+twoQ
+		h0, _ := bits.Mul64(d0, ws)
+		h1, _ := bits.Mul64(d1, ws)
+		h2, _ := bits.Mul64(d2, ws)
+		h3, _ := bits.Mul64(d3, ws)
+		xx[0], yy[0] = s0, d0*w-h0*q
+		xx[1], yy[1] = s1, d1*w-h1*q
+		xx[2], yy[2] = s2, d2*w-h2*q
+		xx[3], yy[3] = s3, d3*w-h3*q
 	}
-	par.ForEach(len(rows), func(i int) { tables[i].Inverse(rows[i]) })
+}
+
+// invStage applies inverse stage m (span = N/(2m), m ≥ 2) to twiddle blocks
+// [i0, i1), maintaining the [0, 2q) invariant.
+func (t *Tables) invStage(a []uint64, m, span, i0, i1 int) {
+	q, twoQ := t.Mod.Q, t.Mod.TwoQ
+	switch {
+	case span >= 4:
+		for i := i0; i < i1; i++ {
+			j1 := 2 * i * span
+			invButterflies(a[j1:j1+span], a[j1+span:j1+2*span],
+				t.psiInvRev[m+i], t.psiInvShoup[m+i], q, twoQ)
+		}
+	case span == 2:
+		for i := i0; i < i1; i++ {
+			w, ws := t.psiInvRev[m+i], t.psiInvShoup[m+i]
+			j1 := 4 * i
+			xy := a[j1 : j1+4 : j1+4]
+			u0, u1 := xy[0], xy[1]
+			v0, v1 := xy[2], xy[3]
+			s0, s1 := u0+v0, u1+v1
+			if s0 >= twoQ {
+				s0 -= twoQ
+			}
+			if s1 >= twoQ {
+				s1 -= twoQ
+			}
+			d0, d1 := u0-v0+twoQ, u1-v1+twoQ
+			h0, _ := bits.Mul64(d0, ws)
+			h1, _ := bits.Mul64(d1, ws)
+			xy[0], xy[2] = s0, d0*w-h0*q
+			xy[1], xy[3] = s1, d1*w-h1*q
+		}
+	default: // span == 1: adjacent pairs
+		for i := i0; i < i1; i++ {
+			w, ws := t.psiInvRev[m+i], t.psiInvShoup[m+i]
+			j1 := 2 * i
+			xy := a[j1 : j1+2 : j1+2]
+			u, v := xy[0], xy[1]
+			s := u + v
+			if s >= twoQ {
+				s -= twoQ
+			}
+			d := u - v + twoQ
+			h, _ := bits.Mul64(d, ws)
+			xy[0], xy[1] = s, d*w-h*q
+		}
+	}
+}
+
+// invStageFinal runs the last inverse stage (m = 1, span = N/2) over the
+// butterfly index range [jLo, jHi) ⊆ [0, N/2), with the 1/N scaling fused
+// into both butterfly outputs: x' = (x+y)·N^{-1}, y' = (x-y+2q)·(w·N^{-1}).
+// Both Shoup products tolerate the unreduced [0, 4q) operands, so no
+// pre-reduction is needed; exact mode adds one conditional subtraction per
+// output.
+func (t *Tables) invStageFinal(a []uint64, jLo, jHi int, lazy bool) {
+	q, twoQ := t.Mod.Q, t.Mod.TwoQ
+	nInv, nInvS := t.nInv, t.nInvShoup
+	w, ws := t.wLastNInv, t.wLastNInvShoup
+	span := t.N >> 1
+	x := a[jLo:jHi]
+	y := a[span+jLo : span+jHi]
+	y = y[:len(x)]
+	for j := range x {
+		u, v := x[j], y[j]
+		s := u + v // [0, 4q): MulShoupLazy absorbs it
+		h, _ := bits.Mul64(s, nInvS)
+		r0 := s*nInv - h*q
+		d := u - v + twoQ
+		h, _ = bits.Mul64(d, ws)
+		r1 := d*w - h*q
+		if !lazy {
+			if r0 >= q {
+				r0 -= q
+			}
+			if r1 >= q {
+				r1 -= q
+			}
+		}
+		x[j], y[j] = r0, r1
+	}
 }
 
 // MulCoeffs computes the element-wise product c = a ⊙ b of two NTT-form
-// vectors, i.e. the negacyclic convolution of the underlying polynomials.
+// vectors (the negacyclic convolution of the underlying polynomials) with
+// exact [0, q) outputs, using the Barrett reciprocal instead of the
+// division-based scalar Mul. Inputs may be lazy (< 2q).
 func (t *Tables) MulCoeffs(c, a, b []uint64) {
+	t.checkLen(c, "MulCoeffs (out)")
+	t.checkLen(a, "MulCoeffs (a)")
+	t.checkLen(b, "MulCoeffs (b)")
+	t.Mod.VecMulBarrett(c, a, b)
+}
+
+// MulCoeffsLazy is MulCoeffs with lazy [0, 2q) outputs for fused chains.
+func (t *Tables) MulCoeffsLazy(c, a, b []uint64) {
+	t.checkLen(c, "MulCoeffsLazy (out)")
+	t.checkLen(a, "MulCoeffsLazy (a)")
+	t.checkLen(b, "MulCoeffsLazy (b)")
 	mod := t.Mod
 	for i := range c {
-		c[i] = mod.Mul(a[i], b[i])
+		c[i] = mod.MulBarrettLazy(a[i], b[i])
 	}
 }

@@ -1,11 +1,14 @@
 package ntt
 
 import (
+	"math/big"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"github.com/anaheim-sim/anaheim/internal/modarith"
+	"github.com/anaheim-sim/anaheim/internal/par"
 )
 
 func newTestTables(t testing.TB, logN int) *Tables {
@@ -165,6 +168,306 @@ func TestRejectsWrongLength(t *testing.T) {
 		}
 	}()
 	tbl.Forward(make([]uint64, 3))
+}
+
+// randLazy returns a vector with coefficients in the lazy domain [0, 2q).
+func randLazy(r *rand.Rand, n int, q uint64) []uint64 {
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = r.Uint64() % (2 * q)
+	}
+	return a
+}
+
+// bigIntNegacyclic is an independently-derived reference: the negacyclic
+// convolution accumulated in big.Int with a single reduction per output
+// coefficient, so none of the package's modular arithmetic is trusted.
+func bigIntNegacyclic(a, b []uint64, q uint64) []uint64 {
+	n := len(a)
+	bq := new(big.Int).SetUint64(q)
+	acc := make([]*big.Int, n)
+	for i := range acc {
+		acc[i] = new(big.Int)
+	}
+	t := new(big.Int)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		ai := new(big.Int).SetUint64(a[i])
+		for j := 0; j < n; j++ {
+			t.SetUint64(b[j]).Mul(t, ai)
+			if i+j < n {
+				acc[i+j].Add(acc[i+j], t)
+			} else {
+				acc[i+j-n].Sub(acc[i+j-n], t)
+			}
+		}
+	}
+	c := make([]uint64, n)
+	for i := range c {
+		acc[i].Mod(acc[i], bq)
+		c[i] = acc[i].Uint64()
+	}
+	return c
+}
+
+// TestConvolutionMatchesBigInt checks the full lazy pipeline — ForwardLazy,
+// lazy MulCoeffs inputs, Inverse — against the big.Int schoolbook reference.
+func TestConvolutionMatchesBigInt(t *testing.T) {
+	for _, logN := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		tbl := newTestTables(t, logN)
+		r := rand.New(rand.NewSource(int64(100 + logN)))
+		a := randPoly(r, tbl.N, tbl.Mod.Q)
+		b := randPoly(r, tbl.N, tbl.Mod.Q)
+		want := bigIntNegacyclic(a, b, tbl.Mod.Q)
+
+		fa := append([]uint64(nil), a...)
+		fb := append([]uint64(nil), b...)
+		tbl.ForwardLazy(fa)
+		tbl.ForwardLazy(fb)
+		c := make([]uint64, tbl.N)
+		tbl.MulCoeffs(c, fa, fb) // lazy inputs, exact output
+		tbl.Inverse(c)
+		for i := range c {
+			if c[i] != want[i] {
+				t.Fatalf("logN=%d: lazy convolution differs at %d: got %d want %d", logN, i, c[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRoundTripEveryLogN exercises exact and lazy round trips at every
+// supported transform size, including the [0, q) / [0, 2q) output bounds.
+func TestRoundTripEveryLogN(t *testing.T) {
+	for logN := 1; logN <= 17; logN++ {
+		tbl := newTestTables(t, logN)
+		q := tbl.Mod.Q
+		r := rand.New(rand.NewSource(int64(logN)))
+		orig := randPoly(r, tbl.N, q)
+
+		exact := append([]uint64(nil), orig...)
+		tbl.Forward(exact)
+		for i, v := range exact {
+			if v >= q {
+				t.Fatalf("logN=%d: Forward output %d at %d not < q", logN, v, i)
+			}
+		}
+		tbl.Inverse(exact)
+		lazy := append([]uint64(nil), orig...)
+		tbl.ForwardLazy(lazy)
+		for i, v := range lazy {
+			if v >= 2*q {
+				t.Fatalf("logN=%d: ForwardLazy output %d at %d not < 2q", logN, v, i)
+			}
+		}
+		tbl.InverseLazy(lazy)
+		for i := range orig {
+			if exact[i] != orig[i] {
+				t.Fatalf("logN=%d: exact round trip differs at %d: %d != %d", logN, i, exact[i], orig[i])
+			}
+			if tbl.Mod.ReduceTwoQ(lazy[i]) != orig[i] {
+				t.Fatalf("logN=%d: lazy round trip differs at %d: %d !≡ %d", logN, i, lazy[i], orig[i])
+			}
+		}
+	}
+}
+
+// TestLazyMatchesExact: the lazy variants agree with the exact ones modulo q
+// for both exact and lazy-domain inputs.
+func TestLazyMatchesExact(t *testing.T) {
+	for _, logN := range []int{1, 2, 5, 9, 12, 14} {
+		tbl := newTestTables(t, logN)
+		mod := tbl.Mod
+		r := rand.New(rand.NewSource(int64(7 * logN)))
+		for trial := 0; trial < 4; trial++ {
+			in := randLazy(r, tbl.N, mod.Q) // Forward/Inverse accept [0, 2q)
+			fe := append([]uint64(nil), in...)
+			fl := append([]uint64(nil), in...)
+			tbl.Forward(fe)
+			tbl.ForwardLazy(fl)
+			for i := range fe {
+				if fe[i] != mod.ReduceTwoQ(fl[i]) {
+					t.Fatalf("logN=%d: ForwardLazy[%d]=%d !≡ Forward=%d", logN, i, fl[i], fe[i])
+				}
+			}
+			ie := append([]uint64(nil), in...)
+			il := append([]uint64(nil), in...)
+			tbl.Inverse(ie)
+			tbl.InverseLazy(il)
+			for i := range ie {
+				if ie[i] != mod.ReduceTwoQ(il[i]) {
+					t.Fatalf("logN=%d: InverseLazy[%d]=%d !≡ Inverse=%d", logN, i, il[i], ie[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMatchesReference: the Harvey rewrite agrees everywhere with the
+// retained pre-rewrite kernels.
+func TestMatchesReference(t *testing.T) {
+	for _, logN := range []int{1, 2, 3, 4, 6, 8, 10, 13} {
+		tbl := newTestTables(t, logN)
+		r := rand.New(rand.NewSource(int64(31 * logN)))
+		a := randPoly(r, tbl.N, tbl.Mod.Q)
+
+		fNew := append([]uint64(nil), a...)
+		fRef := append([]uint64(nil), a...)
+		tbl.Forward(fNew)
+		tbl.ForwardRef(fRef)
+		for i := range fNew {
+			if fNew[i] != fRef[i] {
+				t.Fatalf("logN=%d: Forward differs from ForwardRef at %d: %d != %d", logN, i, fNew[i], fRef[i])
+			}
+		}
+		iNew := append([]uint64(nil), a...)
+		iRef := append([]uint64(nil), a...)
+		tbl.Inverse(iNew)
+		tbl.InverseRef(iRef)
+		for i := range iNew {
+			if iNew[i] != iRef[i] {
+				t.Fatalf("logN=%d: Inverse differs from InverseRef at %d: %d != %d", logN, i, iNew[i], iRef[i])
+			}
+		}
+		b := randPoly(r, tbl.N, tbl.Mod.Q)
+		cNew := make([]uint64, tbl.N)
+		cRef := make([]uint64, tbl.N)
+		tbl.MulCoeffs(cNew, a, b)
+		tbl.MulCoeffsRef(cRef, a, b)
+		for i := range cNew {
+			if cNew[i] != cRef[i] {
+				t.Fatalf("logN=%d: MulCoeffs differs from MulCoeffsRef at %d: %d != %d", logN, i, cNew[i], cRef[i])
+			}
+		}
+	}
+}
+
+// TestSplitMatchesSerial checks the intra-polynomial parallel path against
+// the serial transform for every split width, exact and lazy. Runs on a
+// widened pool so the split actually fans out (and so `go test -race` sees
+// the concurrent stage writes).
+func TestSplitMatchesSerial(t *testing.T) {
+	prev := par.SetWorkers(8)
+	defer par.SetWorkers(prev)
+	for _, logN := range []int{13, 14} {
+		tbl := newTestTables(t, logN)
+		r := rand.New(rand.NewSource(int64(13 * logN)))
+		a := randPoly(r, tbl.N, tbl.Mod.Q)
+		for _, s := range []int{2, 4, 8, 16} {
+			for _, lazy := range []bool{false, true} {
+				want := append([]uint64(nil), a...)
+				tbl.forward(want, lazy)
+				got := append([]uint64(nil), a...)
+				tbl.forwardSplit(got, s, lazy)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("logN=%d s=%d lazy=%v: forwardSplit differs at %d: %d != %d", logN, s, lazy, i, got[i], want[i])
+					}
+				}
+				want = append([]uint64(nil), a...)
+				tbl.inverse(want, lazy)
+				got = append([]uint64(nil), a...)
+				tbl.inverseSplit(got, s, lazy)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("logN=%d s=%d lazy=%v: inverseSplit differs at %d: %d != %d", logN, s, lazy, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestManyMatchesSerial drives ForwardMany/InverseMany through every plan
+// branch (serial, limb-parallel, intra-poly split) and checks against the
+// per-limb serial transforms.
+func TestManyMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := par.SetWorkers(workers)
+		for _, logN := range []int{6, 13} {
+			for _, limbs := range []int{1, 2, 3, 8, 12} {
+				primes, err := modarith.GenerateNTTPrimes(55, logN, limbs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tables := make([]*Tables, limbs)
+				for i, q := range primes {
+					tbl, err := NewTables(modarith.MustModulus(q), logN)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tables[i] = tbl
+				}
+				r := rand.New(rand.NewSource(int64(workers*1000 + logN*10 + limbs)))
+				rows := make([][]uint64, limbs)
+				want := make([][]uint64, limbs)
+				for i := range rows {
+					rows[i] = randPoly(r, tables[i].N, tables[i].Mod.Q)
+					want[i] = append([]uint64(nil), rows[i]...)
+				}
+				ForwardMany(tables, rows)
+				for i := range rows {
+					tables[i].ForwardRef(want[i])
+					for j := range rows[i] {
+						if rows[i][j] != want[i][j] {
+							t.Fatalf("w=%d logN=%d limbs=%d: ForwardMany limb %d differs at %d", workers, logN, limbs, i, j)
+						}
+					}
+				}
+				InverseMany(tables, rows)
+				for i := range rows {
+					tables[i].InverseRef(want[i])
+					for j := range rows[i] {
+						if rows[i][j] != want[i][j] {
+							t.Fatalf("w=%d logN=%d limbs=%d: InverseMany limb %d differs at %d", workers, logN, limbs, i, j)
+						}
+					}
+				}
+			}
+		}
+		par.SetWorkers(prev)
+	}
+}
+
+// TestParallelTransformsConcurrent runs split-plan transforms from several
+// goroutines at once so the race detector can watch the pool-shared stage
+// writes under contention (the engine's serving pattern).
+func TestParallelTransformsConcurrent(t *testing.T) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	tbl := newTestTables(t, 13)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			a := randPoly(r, tbl.N, tbl.Mod.Q)
+			orig := append([]uint64(nil), a...)
+			for iter := 0; iter < 3; iter++ {
+				ForwardMany([]*Tables{tbl}, [][]uint64{a})
+				InverseMany([]*Tables{tbl}, [][]uint64{a})
+			}
+			for i := range a {
+				if a[i] != orig[i] {
+					t.Errorf("seed %d: concurrent round trip differs at %d", seed, i)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestMulCoeffsRejectsWrongLength(t *testing.T) {
+	tbl := newTestTables(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulCoeffs on wrong-length slice should panic")
+		}
+	}()
+	tbl.MulCoeffs(make([]uint64, tbl.N), make([]uint64, 3), make([]uint64, tbl.N))
 }
 
 func BenchmarkForwardN4096(b *testing.B) {

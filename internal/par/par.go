@@ -73,9 +73,52 @@ func ensure() (chan func(), int) {
 	return tasks, size
 }
 
+// ForEachChunk partitions [0, n) into at most pool-width contiguous ranges
+// and runs f(lo, hi) for each on the shared pool, returning after every
+// range completed. Contiguous ranges keep each worker's memory accesses
+// sequential — the right split for limb loops over a polynomial's single
+// backing array, where ForEach's strided assignment is cache-hostile. With a
+// pool width of 1 it is exactly f(0, n).
+func ForEachChunk(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	ch, width := ensure()
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(width)
+	chunk, rem := n/width, n%width
+	lo := 0
+	for w := 0; w < width; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		lo0, hi0 := lo, hi
+		task := func() {
+			defer wg.Done()
+			f(lo0, hi0)
+		}
+		select {
+		case ch <- task:
+		default:
+			task() // no idle worker: run inline (nesting-safe)
+		}
+		lo = hi
+	}
+	wg.Wait()
+}
+
 // ForEach runs f(i) for every i in [0, n), spreading the iterations over the
 // shared pool in strided chunks. It returns only after every call completed.
 // With a pool width of 1 (or n == 1) it is exactly a for loop.
+// For index ranges that walk contiguous memory, prefer ForEachChunk.
 func ForEach(n int, f func(i int)) {
 	if n <= 0 {
 		return

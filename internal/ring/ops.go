@@ -48,14 +48,11 @@ func (r *Ring) Neg(out, a *Poly, level int) {
 }
 
 // MulCoeffs sets out = a ⊙ b (element-wise product). In the NTT domain this
-// is the ring product.
+// is the ring product. Runs on the Barrett-reciprocal row kernel — no
+// hardware division per coefficient.
 func (r *Ring) MulCoeffs(out, a, b *Poly, level int) {
 	forEachLimb(level, func(i int) {
-		mod := r.Moduli[i]
-		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oo {
-			oo[j] = mod.Mul(oa[j], ob[j])
-		}
+		r.Moduli[i].VecMulBarrett(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 	out.IsNTT = a.IsNTT
 }
@@ -63,22 +60,14 @@ func (r *Ring) MulCoeffs(out, a, b *Poly, level int) {
 // MulCoeffsAdd sets out += a ⊙ b.
 func (r *Ring) MulCoeffsAdd(out, a, b *Poly, level int) {
 	forEachLimb(level, func(i int) {
-		mod := r.Moduli[i]
-		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oo {
-			oo[j] = mod.Add(oo[j], mod.Mul(oa[j], ob[j]))
-		}
+		r.Moduli[i].VecMulAddBarrett(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 }
 
 // MulCoeffsSub sets out -= a ⊙ b.
 func (r *Ring) MulCoeffsSub(out, a, b *Poly, level int) {
 	forEachLimb(level, func(i int) {
-		mod := r.Moduli[i]
-		oa, ob, oo := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oo {
-			oo[j] = mod.Sub(oo[j], mod.Mul(oa[j], ob[j]))
-		}
+		r.Moduli[i].VecMulSubBarrett(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 }
 

@@ -167,7 +167,9 @@ func (p *Poly) Equal(q *Poly) bool {
 const parallelLimbThreshold = 8
 
 // forEachLimb runs f over limbs 0..level, on the shared worker pool when
-// worthwhile.
+// worthwhile. Workers get contiguous limb ranges (par.ForEachChunk): the
+// limb rows of a Poly share one backing array, so a contiguous split keeps
+// each worker streaming sequential memory instead of striding across it.
 func forEachLimb(level int, f func(i int)) {
 	limbs := level + 1
 	if limbs < parallelLimbThreshold || par.Workers() < 2 {
@@ -176,7 +178,11 @@ func forEachLimb(level int, f func(i int)) {
 		}
 		return
 	}
-	par.ForEach(limbs, f)
+	par.ForEachChunk(limbs, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
 }
 
 // NTT transforms p in place to the NTT domain (all limbs up to level).
@@ -195,6 +201,30 @@ func (r *Ring) INTT(p *Poly, level int) {
 		panic("ring: INTT on a polynomial already in coefficient form")
 	}
 	ntt.InverseMany(r.Tables[:level+1], p.Coeffs[:level+1])
+	r.inttLimbs.Add(int64(level + 1))
+	p.IsNTT = false
+}
+
+// NTTLazy is NTT with lazy outputs: coefficients land in [0, 2q) instead of
+// [0, q), skipping the transform's exit reduction. Use it when the result
+// feeds a lazy-tolerant chain (the fused gadget-product MACs); end the chain
+// with ReduceLazy before any exact kernel sees the polynomial. Counts toward
+// the same limb-transform counters as NTT.
+func (r *Ring) NTTLazy(p *Poly, level int) {
+	if p.IsNTT {
+		panic("ring: NTTLazy on a polynomial already in NTT form")
+	}
+	ntt.ForwardManyLazy(r.Tables[:level+1], p.Coeffs[:level+1])
+	r.nttLimbs.Add(int64(level + 1))
+	p.IsNTT = true
+}
+
+// INTTLazy is INTT with lazy [0, 2q) outputs (inputs may also be lazy).
+func (r *Ring) INTTLazy(p *Poly, level int) {
+	if !p.IsNTT {
+		panic("ring: INTTLazy on a polynomial already in coefficient form")
+	}
+	ntt.InverseManyLazy(r.Tables[:level+1], p.Coeffs[:level+1])
 	r.inttLimbs.Add(int64(level + 1))
 	p.IsNTT = false
 }

@@ -96,6 +96,42 @@ func TestNTTRoundTripPoly(t *testing.T) {
 	}
 }
 
+// TestNTTLazyMatchesExact: lazy transforms agree with exact ones modulo each
+// limb's prime, stay below 2q, and round-trip through ReduceLazy.
+func TestNTTLazyMatchesExact(t *testing.T) {
+	r := newTestRing(t, 7, 3)
+	s := NewSampler(5)
+	level := r.MaxLevel()
+	a := s.UniformPoly(r, level, false)
+	exact := a.CopyNew()
+	lazy := a.CopyNew()
+
+	r.NTT(exact, level)
+	r.NTTLazy(lazy, level)
+	if !lazy.IsNTT {
+		t.Fatal("NTTLazy did not set domain flag")
+	}
+	for i := 0; i <= level; i++ {
+		mod := r.Moduli[i]
+		for j := range lazy.Coeffs[i] {
+			v := lazy.Coeffs[i][j]
+			if v >= mod.TwoQ {
+				t.Fatalf("NTTLazy limb %d coeff %d = %d >= 2q", i, j, v)
+			}
+			if mod.ReduceTwoQ(v) != exact.Coeffs[i][j] {
+				t.Fatalf("NTTLazy limb %d coeff %d !≡ NTT", i, j)
+			}
+		}
+	}
+
+	r.INTTLazy(lazy, level)
+	r.ReduceLazy(lazy, level)
+	lazy.IsNTT = a.IsNTT
+	if !lazy.Equal(a) {
+		t.Fatal("NTTLazy/INTTLazy/ReduceLazy round trip failed")
+	}
+}
+
 func TestMulScalar(t *testing.T) {
 	r := newTestRing(t, 4, 2)
 	s := NewSampler(11)
