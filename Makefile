@@ -41,14 +41,19 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzEvaluationKeySetUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
 	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run=^$$ -fuzz=FuzzNTTRoundTrip -fuzztime=$(FUZZTIME) ./internal/ntt
+	$(GO) test -run=^$$ -fuzz=FuzzBConv -fuzztime=$(FUZZTIME) ./internal/rns
 
-# CPU profiles for the NTT transform kernels: runs the package micro-
-# benchmarks under pprof and leaves ntt_cpu.prof plus the test binary for
-# `go tool pprof ntt_bench.test ntt_cpu.prof`.
+# CPU profiles for the two hot paths: the NTT transform kernels and the full
+# key-switch pipeline (ModUp -> KeyMult -> ModDown, which exercises the
+# wide-accumulation BConv kernel). Each leg leaves a .prof plus its test
+# binary for `go tool pprof <binary> <profile>`.
 profile:
 	$(GO) test -run=^$$ -bench='Forward|Inverse' -benchtime=2s \
 		-cpuprofile=ntt_cpu.prof -o ntt_bench.test ./internal/ntt
+	$(GO) test -run=^$$ -bench=KeySwitch -benchtime=2s \
+		-cpuprofile=keyswitch_cpu.prof -o ckks_bench.test ./internal/ckks
 	@echo "wrote ntt_cpu.prof; inspect with: go tool pprof ntt_bench.test ntt_cpu.prof"
+	@echo "wrote keyswitch_cpu.prof; inspect with: go tool pprof ckks_bench.test keyswitch_cpu.prof"
 
 # Rerun the microbenchmarks and diff against the committed baseline.
 bench-compare:

@@ -17,6 +17,9 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 	prevGrid := nttGrid
 	nttGrid.logNs, nttGrid.limbs = []int{12}, []int{1}
 	defer func() { nttGrid = prevGrid }()
+	prevBConv := bconvGrid
+	bconvGrid.logNs, bconvGrid.limbs = []int{12}, []int{4}
+	defer func() { bconvGrid = prevBConv }()
 	var sb strings.Builder
 	if err := runMicro(&sb, true, "both"); err != nil {
 		t.Fatal(err)

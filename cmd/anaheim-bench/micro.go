@@ -10,10 +10,13 @@ import (
 	"testing"
 
 	"github.com/anaheim-sim/anaheim"
+	"github.com/anaheim-sim/anaheim/internal/ckks"
 	"github.com/anaheim-sim/anaheim/internal/modarith"
 	"github.com/anaheim-sim/anaheim/internal/ntt"
 	"github.com/anaheim-sim/anaheim/internal/obs"
 	"github.com/anaheim-sim/anaheim/internal/par"
+	"github.com/anaheim-sim/anaheim/internal/ring"
+	"github.com/anaheim-sim/anaheim/internal/rns"
 )
 
 // microResult is one operation's measured cost, the unit future PRs diff
@@ -179,6 +182,187 @@ func addNTTBenches(benches map[string]func(b *testing.B)) {
 	}
 }
 
+// bconvGrid is the key-switch kernel grid (BConv, rescale, end-to-end
+// keyswitch). A package variable so the JSON shape test can shrink it.
+var bconvGrid = struct {
+	logNs, limbs []int
+}{
+	logNs: []int{12, 13, 14, 15},
+	limbs: []int{4, 16, 32},
+}
+
+// splitmixFill fills row with deterministic uniform values below bound.
+func splitmixFill(row []uint64, bound uint64, state *uint64) {
+	for j := range row {
+		*state += 0x9e3779b97f4a7c15
+		z := *state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		row[j] = z % bound
+	}
+}
+
+func mustModuli(bits, logN, count int) ([]modarith.Modulus, error) {
+	primes, err := modarith.GenerateNTTPrimes(bits, logN, count)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]modarith.Modulus, count)
+	for i, q := range primes {
+		out[i] = modarith.MustModulus(q)
+	}
+	return out, nil
+}
+
+// bconvBenchSetup builds a limbs -> limbs basis conversion (the shape of a
+// full-width ModUp digit: 45-bit source primes into 50-bit targets) with
+// uniform input rows for one (logN, limbs) grid cell.
+func bconvBenchSetup(logN, limbs int) (*rns.BasisConverter, [][]uint64, [][]uint64, error) {
+	from, err := mustModuli(45, logN, limbs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	to, err := mustModuli(50, logN, limbs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bc, err := rns.NewBasisConverter(from, to)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n := 1 << logN
+	state := uint64(0x6c62272e07bb0142)
+	in := make([][]uint64, limbs)
+	out := make([][]uint64, limbs)
+	for i := 0; i < limbs; i++ {
+		in[i] = make([]uint64, n)
+		out[i] = make([]uint64, n)
+		splitmixFill(in[i], from[i].Q, &state)
+	}
+	return bc, in, out, nil
+}
+
+// rescaleBenchSetup builds a limbs-deep 45-bit chain with uniform residue
+// rows. The rescale kernels mutate rows in place, but rescaled rows are
+// themselves valid residues, so re-running on the output is well-defined and
+// measures the same work.
+func rescaleBenchSetup(logN, limbs int) ([]modarith.Modulus, [][]uint64, error) {
+	ms, err := mustModuli(45, logN, limbs)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := 1 << logN
+	state := uint64(0x51afd7ed558ccd6d)
+	rows := make([][]uint64, limbs)
+	for i := range rows {
+		rows[i] = make([]uint64, n)
+		splitmixFill(rows[i], ms[i].Q, &state)
+	}
+	return ms, rows, nil
+}
+
+// ksBenchSetup builds a full parameter set (limbs Q primes, α = 4 special
+// primes), a relinearization key, and a uniform ciphertext for one
+// end-to-end keyswitch grid cell.
+func ksBenchSetup(logN, limbs int) (*ckks.Evaluator, *ckks.Ciphertext, *ckks.SwitchingKey, error) {
+	logQ := make([]int, limbs)
+	logQ[0] = 55
+	for i := 1; i < limbs; i++ {
+		logQ[i] = 45
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     logN,
+		LogQ:     logQ,
+		LogP:     []int{50, 50, 50, 50},
+		LogScale: 45,
+		HDense:   64,
+		HSparse:  16,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kgen := ckks.NewKeyGenerator(params, 3)
+	sk := kgen.GenSecretKey()
+	keys := ckks.NewEvaluationKeySet()
+	keys.Rlk = kgen.GenRelinearizationKey(sk)
+	ev := ckks.NewEvaluator(params, keys)
+	rq := params.RingQ()
+	s := ring.NewSampler(4)
+	lvl := params.MaxLevel()
+	ct := &ckks.Ciphertext{
+		C0:    s.UniformPoly(rq, lvl, true),
+		C1:    s.UniformPoly(rq, lvl, true),
+		Scale: params.DefaultScale(),
+	}
+	return ev, ct, keys.Rlk, nil
+}
+
+// addBConvBenches registers the key-switch kernel grid: the wide-accumulation
+// BConv against its retired scalar oracle, the vectorized rescale against
+// its oracle, and the end-to-end SwitchKeys pipeline, at
+// logN in {12..15} x limbs in {4,16,32}. The bconv/bconv_ref pair at
+// n14-l16 is the headline before/after number of the wide-accumulation
+// rewrite.
+func addBConvBenches(benches map[string]func(b *testing.B)) {
+	for _, logN := range bconvGrid.logNs {
+		for _, limbs := range bconvGrid.limbs {
+			cell := fmt.Sprintf("n%d-l%d", logN, limbs)
+			benches["bconv-"+cell] = func(b *testing.B) {
+				bc, in, out, err := bconvBenchSetup(logN, limbs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bc.Convert(out, in)
+				}
+			}
+			benches["bconv_ref-"+cell] = func(b *testing.B) {
+				bc, in, out, err := bconvBenchSetup(logN, limbs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bc.ConvertRef(out, in)
+				}
+			}
+			benches["rescale-"+cell] = func(b *testing.B) {
+				ms, rows, err := rescaleBenchSetup(logN, limbs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rs := rns.NewRescaler(ms)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rs.DivRoundByLastModulus(rows)
+				}
+			}
+			benches["rescale_ref-"+cell] = func(b *testing.B) {
+				ms, rows, err := rescaleBenchSetup(logN, limbs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rns.DivRoundByLastModulusRef(ms, rows)
+				}
+			}
+			benches["keyswitch-"+cell] = func(b *testing.B) {
+				ev, ct, rlk, err := ksBenchSetup(logN, limbs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev.SwitchKeys(ct, rlk)
+				}
+			}
+		}
+	}
+}
+
 // runMicro benchmarks the FHE hot ops at the test-scale parameter set and
 // writes machine-readable JSON. testing.Benchmark picks the iteration count,
 // so wall-clock stays in seconds even on slow hosts. withMetrics attaches
@@ -249,6 +433,7 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
 	}
 
 	addNTTBenches(benches)
+	addBConvBenches(benches)
 
 	// Fused-path functional benchmarks: the hoisted linear transform and a
 	// full bootstrap, each in the requested fusion modes. These are the two

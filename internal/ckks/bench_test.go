@@ -71,6 +71,23 @@ func BenchmarkHROTFunc(b *testing.B) {
 	}
 }
 
+// BenchmarkKeySwitch times the bare ModUp -> KeyMult -> ModDown pipeline
+// (relinearization key, top level). `make profile` uses it to emit the
+// key-switch CPU profile.
+func BenchmarkKeySwitch(b *testing.B) {
+	tc := benchContext(b)
+	r := rand.New(rand.NewSource(8))
+	ct := tc.encryptVec(b, randomComplex(r, tc.params.Slots(), 1))
+	lvl := ct.Level()
+	rq := tc.params.RingQ()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d0, d1 := tc.eval.keySwitch(ct.C1, lvl, tc.keys.Rlk)
+		rq.PutPoly(d0)
+		rq.PutPoly(d1)
+	}
+}
+
 func BenchmarkLinearTransformHoistedFunc(b *testing.B) {
 	tc := benchContext(b)
 	r := rand.New(rand.NewSource(6))

@@ -22,8 +22,11 @@ type Evaluator struct {
 	mu         sync.Mutex
 	digitConv  map[int]*rns.BasisConverter // (level<<8 | digit) -> Q_d -> Q+P
 	pToQConv   map[int]*rns.BasisConverter // level -> P -> Q_level
+	rescalers  map[int]*rns.Rescaler       // level -> cached rescale constants
 	pInvModQ   []uint64                    // P^{-1} mod q_i (full chain)
 	monomialNT map[int]*ring.Poly          // level -> NTT(X^{N/2})
+
+	rowsPool sync.Pool // *[][]uint64: Decompose's per-digit BConv target headers
 }
 
 // NewEvaluator binds a key set (which may be extended later; the map is
@@ -34,6 +37,7 @@ func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
 		keys:       keys,
 		digitConv:  make(map[int]*rns.BasisConverter),
 		pToQConv:   make(map[int]*rns.BasisConverter),
+		rescalers:  make(map[int]*rns.Rescaler),
 		monomialNT: make(map[int]*ring.Poly),
 	}
 	ev.pInvModQ = rns.ProductInvMod(params.RingP().Moduli, params.RingQ().Moduli)
@@ -153,6 +157,41 @@ func (ev *Evaluator) pToQConverter(level int) *rns.BasisConverter {
 	return bc
 }
 
+// rescaler returns the cached rescale constants for dropping q_lvl.
+func (ev *Evaluator) rescaler(lvl int) *rns.Rescaler {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if rs, ok := ev.rescalers[lvl]; ok {
+		return rs
+	}
+	rs := rns.NewRescaler(ev.params.RingQ().Moduli[:lvl+1])
+	ev.rescalers[lvl] = rs
+	return rs
+}
+
+// getRows / putRows pool the [][]uint64 slice headers Decompose hands to
+// BConv as target rows (the rows themselves belong to pooled polynomials).
+// The pool traffics in pointers so the round trip itself is allocation-free.
+func (ev *Evaluator) getRows(n int) *[][]uint64 {
+	if v := ev.rowsPool.Get(); v != nil {
+		p := v.(*[][]uint64)
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
+	}
+	rows := make([][]uint64, n)
+	return &rows
+}
+
+func (ev *Evaluator) putRows(p *[][]uint64) {
+	rows := *p
+	for i := range rows {
+		rows[i] = nil
+	}
+	ev.rowsPool.Put(p)
+}
+
 // decomposed holds the ModUp digits of a polynomial in the extended basis
 // Q_level ∪ P (NTT form). Computing it once and reusing it across rotations
 // is exactly the hoisting optimization of §III-B.
@@ -174,6 +213,7 @@ type decomposed struct {
 // The digit polynomials are borrowed from the ring buffer pools; callers
 // that are done with the decomposition should release it via dec.release.
 func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
+	defer obsKSBConv.done(time.Now())
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	alpha := p.Alpha()
@@ -186,27 +226,33 @@ func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
 	dec := &decomposed{level: lvl, q: make([]*ring.Poly, digits), p: make([]*ring.Poly, digits)}
 	dec.lazy = FusionEnabled()
 	nTargetsQ := lvl + 1
+	rowsPtr := ev.getRows(nTargetsQ + rp.MaxLevel() + 1)
+	outRows := *rowsPtr
 	for d := 0; d < digits; d++ {
 		lo, hi := d*alpha, min((d+1)*alpha, lvl+1)
 		bc := ev.digitConverter(lvl, d)
 		in := coeff.Coeffs[lo:hi]
-		outRows := make([][]uint64, nTargetsQ+rp.MaxLevel()+1)
 		pq := rq.GetPoly(lvl)
 		pp := rp.GetPoly(rp.MaxLevel())
 		copy(outRows[:nTargetsQ], pq.Coeffs)
 		copy(outRows[nTargetsQ:], pp.Coeffs)
-		bc.Convert(outRows, in)
 		if dec.lazy {
 			// The digits only feed the lazy gadget-product MACs, which
-			// tolerate [0, 2q) multiplicands — skip the NTT exit reduction.
+			// tolerate [0, 2q) multiplicands — keep the whole BConv -> NTT
+			// chain in the lazy domain: ConvertLazy's [0, 2q) rows feed
+			// NTTLazy directly (the forward transform accepts < 2q inputs)
+			// and the exit reduction is skipped too.
+			bc.ConvertLazy(outRows, in)
 			rq.NTTLazy(pq, lvl)
 			rp.NTTLazy(pp, rp.MaxLevel())
 		} else {
+			bc.Convert(outRows, in)
 			rq.NTT(pq, lvl)
 			rp.NTT(pp, rp.MaxLevel())
 		}
 		dec.q[d], dec.p[d] = pq, pp
 	}
+	ev.putRows(rowsPtr)
 	rq.PutPoly(coeff)
 	return dec
 }
@@ -226,6 +272,7 @@ func (dec *decomposed) release(p *Parameters) {
 // key (KeyMult + MAC): (u0, u1) over Q_level ∪ P such that
 // u0 + u1·under = P·c·w + e.
 func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p, u1q, u1p *ring.Poly) {
+	defer obsKSKeyMult.done(time.Now())
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	lvl := dec.level
@@ -284,20 +331,25 @@ func (ev *Evaluator) gadgetProductLazyInto(dec *decomposed, swk *SwitchingKey, u
 // (the ModDownEp compound instruction of Table II). Scratch buffers come
 // from the ring buffer pools.
 func (ev *Evaluator) ModDown(uq, up *ring.Poly, lvl int) *ring.Poly {
+	defer obsKSModDown.done(time.Now())
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	work := rp.GetPoly(rp.MaxLevel())
 	work.Copy(up)
 	rp.INTT(work, rp.MaxLevel())
 	conv := rq.GetPoly(lvl)
-	ev.pToQConverter(lvl).Convert(conv.Coeffs, work.Coeffs)
-	rq.NTT(conv, lvl)
 	out := rq.NewPoly(lvl)
 	if FusionEnabled() {
-		// Fused ModDownEp epilogue: subtract and scale by P^{-1} in one
-		// pass instead of a Sub pass plus a scalar-multiply pass.
-		rq.SubMulByLimbScalars(out, uq, conv, ev.pInvModQ[:lvl+1], lvl)
+		// Fused ModDownEp: the BConv -> NTT chain stays lazy ([0, 2q) rows
+		// into NTTLazy) and the epilogue subtracts the lazy subtrahend while
+		// scaling by P^{-1} in a single exact pass — no reduction pass, no
+		// separate Sub + scalar-multiply traversals.
+		ev.pToQConverter(lvl).ConvertLazy(conv.Coeffs, work.Coeffs)
+		rq.NTTLazy(conv, lvl)
+		rq.SubMulByLimbScalarsLazy(out, uq, conv, ev.pInvModQ[:lvl+1], lvl)
 	} else {
+		ev.pToQConverter(lvl).Convert(conv.Coeffs, work.Coeffs)
+		rq.NTT(conv, lvl)
 		rq.Sub(out, uq, conv, lvl)
 		rq.MulByLimbScalars(out, out, ev.pInvModQ[:lvl+1], lvl)
 	}
@@ -381,7 +433,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 		w := rq.GetPoly(lvl)
 		w.Copy(src)
 		rq.INTT(w, lvl)
-		rns.DivRoundByLastModulus(rq.Moduli[:lvl+1], w.Coeffs)
+		ev.rescaler(lvl).DivRoundByLastModulus(w.Coeffs)
 		t := rq.NewPoly(lvl - 1)
 		for l := 0; l < lvl; l++ {
 			copy(t.Coeffs[l], w.Coeffs[l])

@@ -33,6 +33,14 @@ var (
 	obsAdd       = newOpObs("add")
 	obsMul       = newOpObs("mul")
 	obsKeySwitch = newOpObs("keyswitch") // relinearization + every automorphism
+
+	// Key-switch pipeline stages, recorded under the obsKeySwitch span so
+	// /metrics breaks ModUp -> KeyMult -> ModDown down. The hoisted path
+	// records them too (one ks-bconv amortized over many ks-keymult/ks-moddown
+	// pairs — the hoisting win is visible as the count skew).
+	obsKSBConv   = newOpObs("ks-bconv")   // Decompose: INTT + BConv + NTT per digit
+	obsKSKeyMult = newOpObs("ks-keymult") // gadgetProduct: digit × key MACs
+	obsKSModDown = newOpObs("ks-moddown") // ModDown: INTT + BConv + NTT + epilogue
 	obsRescale   = newOpObs("rescale")
 	obsRotate    = newOpObs("rotate")
 	obsConjugate = newOpObs("conjugate")

@@ -1,0 +1,7 @@
+//go:build race
+
+package ckks
+
+// raceEnabled reports whether the race detector is active; its runtime
+// instrumentation adds allocations, so AllocsPerRun assertions skip under it.
+const raceEnabled = true

@@ -179,6 +179,83 @@ func (m Modulus) VecMulSubBarrett(out, a, b []uint64) {
 	}
 }
 
+// VecMulShoup computes out[j] = a[j]*w mod q exactly for a < q and fixed
+// operand w with Shoup companion wShoup — the row form of MulShoup, used for
+// the BConv premultiply tmp_i = [x · qHatInv_i]_{q_i}.
+func (m Modulus) VecMulShoup(out, a []uint64, w, wShoup uint64) {
+	q := m.Q
+	_ = out[len(a)-1]
+	for j := range a {
+		hi, _ := bits.Mul64(a[j], wShoup)
+		r := a[j]*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
+// VecSubMulShoupLazy is VecSubMulShoup for a lazy subtrahend: a < q exact,
+// b < 2q lazy (e.g. straight out of NTTLazy), out exact in [0, q). The
+// difference a + 2q − b lies in (0, 3q) < 2^63, where MulShoupLazy's bound
+// r < q·(d/2^64 + 1) < 2q still holds, so one conditional subtraction
+// finishes the job.
+func (m Modulus) VecSubMulShoupLazy(out, a, b []uint64, w, wShoup uint64) {
+	q, twoQ := m.Q, m.TwoQ
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		d := a[j] + twoQ - b[j]
+		hi, _ := bits.Mul64(d, wShoup)
+		r := d*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
+// VecAddScalar computes out[j] = a[j] + c mod q exactly, for a, c < q.
+func (m Modulus) VecAddScalar(out, a []uint64, c uint64) {
+	q := m.Q
+	_ = out[len(a)-1]
+	for j := range a {
+		s := a[j] + c
+		if s >= q {
+			s -= q
+		}
+		out[j] = s
+	}
+}
+
+// VecRescaleStep performs the per-limb rescale update in place:
+//
+//	row[j] = (row[j] + halfModQ − t[j]) · w  mod q ,
+//
+// where row < q is the limb's residues, t holds arbitrary uint64 values
+// (the [x + q_L/2]_{q_L} row, reduced mod q lazily here with a single
+// Barrett partial product: for t[j] < 2^64 the raw remainder is < 4q), and
+// w = q_L^{-1} mod q with Shoup companion wShoup. The inner difference
+// row[j] + halfModQ + 4q − tm sits in (0, 6q) < 2^64, inside MulShoupLazy's
+// any-operand domain, so a single conditional subtraction returns the exact
+// residue.
+func (m Modulus) VecRescaleStep(row, t []uint64, halfModQ, w, wShoup uint64) {
+	q, u0 := m.Q, m.BRedHi
+	fourQ := 4 * q
+	_ = t[len(row)-1]
+	for j := range row {
+		th, _ := bits.Mul64(t[j], u0)
+		tm := t[j] - th*q // ≡ t[j] (mod q), in [0, 4q)
+		v := row[j] + halfModQ + fourQ - tm
+		hi, _ := bits.Mul64(v, wShoup)
+		r := v*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		row[j] = r
+	}
+}
+
 // VecReduceTwoQ maps every lazy value in [0, 2q) to its exact residue.
 func (m Modulus) VecReduceTwoQ(p []uint64) {
 	q := m.Q

@@ -1,0 +1,140 @@
+package modarith
+
+import "math/bits"
+
+// Wide-accumulation primitives for the BConv matrix product (internal/rns).
+// BConv computes, per output coefficient, an inner product of k terms
+// tmp_i · qHat_i with both factors < 2^61. Instead of k modular multiplies
+// and k modular additions, the terms are accumulated exactly as a 128-bit
+// (hi, lo) pair and reduced once per output with the 128-bit Barrett
+// reciprocal BRedHi:BRedLo = floor(2^128/q) that Modulus already carries.
+//
+// # Domain contracts
+//
+//   - Mul64AddWide / VecMulWide / VecMulAccWide take arbitrary uint64
+//     factors and perform NO reduction: the caller must bound the number of
+//     accumulated products so the 128-bit pair cannot overflow (with b1-bit
+//     and b2-bit factors, 2^(128-b1-b2) products always fit; see
+//     rns.BasisConverter.foldEvery for the guard).
+//   - ReduceWide128 / VecReduceWide128 accept ANY 128-bit value and return
+//     the exact residue in [0, q).
+//   - ReduceWide128Lazy / VecReduceWide128Lazy / VecFoldWide128Lazy return
+//     the lazy domain [0, 2q) (one fewer conditional subtraction), matching
+//     the [0, 2q) discipline of DESIGN.md §3.8.
+
+// Mul64AddWide returns (hi, lo) + a·b as a 128-bit pair. The caller is
+// responsible for the no-overflow bound on the accumulation chain.
+func Mul64AddWide(a, b, hi, lo uint64) (uint64, uint64) {
+	phi, plo := bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, plo, 0)
+	hi, _ = bits.Add64(hi, phi, carry)
+	return hi, lo
+}
+
+// ReduceWide128Lazy reduces a 128-bit value hi:lo to [0, 2q). The quotient
+// approximation is the same three-partial-product sum as MulBarrettLazy and
+// its bound derivation holds for any x < 2^128: the raw remainder is in
+// [0, 4q), and one conditional 2q-subtraction lands in [0, 2q).
+func (m Modulus) ReduceWide128Lazy(hi, lo uint64) uint64 {
+	t := hi * m.BRedHi
+	hhi, _ := bits.Mul64(lo, m.BRedHi)
+	t += hhi
+	hhi, _ = bits.Mul64(hi, m.BRedLo)
+	t += hhi
+	r := lo - t*m.Q
+	if r >= m.TwoQ {
+		r -= m.TwoQ
+	}
+	return r
+}
+
+// ReduceWide128 reduces a 128-bit value hi:lo to its exact residue in [0, q).
+func (m Modulus) ReduceWide128(hi, lo uint64) uint64 {
+	r := m.ReduceWide128Lazy(hi, lo)
+	if r >= m.Q {
+		r -= m.Q
+	}
+	return r
+}
+
+// VecMulWide starts an accumulation chain: (accHi[j], accLo[j]) = row[j]·w.
+// No reduction; factors are arbitrary uint64.
+func VecMulWide(accHi, accLo, row []uint64, w uint64) {
+	_ = accHi[len(row)-1]
+	_ = accLo[len(row)-1]
+	for j, a := range row {
+		accHi[j], accLo[j] = bits.Mul64(a, w)
+	}
+}
+
+// VecMulAccWide continues an accumulation chain:
+// (accHi[j], accLo[j]) += row[j]·w. No reduction; the caller bounds the
+// chain length (see the package comment).
+func VecMulAccWide(accHi, accLo, row []uint64, w uint64) {
+	_ = accHi[len(row)-1]
+	_ = accLo[len(row)-1]
+	for j, a := range row {
+		phi, plo := bits.Mul64(a, w)
+		lo, carry := bits.Add64(accLo[j], plo, 0)
+		accLo[j] = lo
+		accHi[j] += phi + carry
+	}
+}
+
+// VecFoldWide128Lazy folds each accumulator pair back into a single word:
+// accLo[j] becomes the lazy residue in [0, 2q) and accHi[j] is cleared. This
+// is the mid-chain overflow guard for accumulations longer than the 128-bit
+// capacity; the folded value re-enters the chain as one (tiny) term.
+func (m Modulus) VecFoldWide128Lazy(accHi, accLo []uint64) {
+	_ = accHi[len(accLo)-1]
+	for j := range accLo {
+		accLo[j] = m.ReduceWide128Lazy(accHi[j], accLo[j])
+		accHi[j] = 0
+	}
+}
+
+// VecReduceWide128 reduces each accumulator pair to its exact residue:
+// dst[j] = (accHi[j]:accLo[j]) mod q ∈ [0, q).
+func (m Modulus) VecReduceWide128(dst, accHi, accLo []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = accHi[len(dst)-1]
+	_ = accLo[len(dst)-1]
+	for j := range dst {
+		hi, lo := accHi[j], accLo[j]
+		t := hi * u0
+		hhi, _ := bits.Mul64(lo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(hi, u1)
+		t += hhi
+		r := lo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		if r >= q {
+			r -= q
+		}
+		dst[j] = r
+	}
+}
+
+// VecReduceWide128Lazy reduces each accumulator pair to the lazy domain:
+// dst[j] = (accHi[j]:accLo[j]) mod q up to one multiple of q, in [0, 2q).
+func (m Modulus) VecReduceWide128Lazy(dst, accHi, accLo []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = accHi[len(dst)-1]
+	_ = accLo[len(dst)-1]
+	for j := range dst {
+		hi, lo := accHi[j], accLo[j]
+		t := hi * u0
+		hhi, _ := bits.Mul64(lo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(hi, u1)
+		t += hhi
+		r := lo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		dst[j] = r
+	}
+}

@@ -60,6 +60,18 @@ func (r *Ring) SubMulByLimbScalars(out, a, b *Poly, s []uint64, level int) {
 	out.IsNTT = a.IsNTT
 }
 
+// SubMulByLimbScalarsLazy is SubMulByLimbScalars for a lazy subtrahend: b
+// may hold [0, 2q) values (e.g. straight out of NTTLazy on a ConvertLazy
+// row), a must be exact, out is exact. This lets the fused ModDown epilogue
+// consume the lazy BConv-NTT chain without an intermediate reduction pass.
+func (r *Ring) SubMulByLimbScalarsLazy(out, a, b *Poly, s []uint64, level int) {
+	forEachLimb(level, func(i int) {
+		mod := r.Moduli[i]
+		mod.VecSubMulShoupLazy(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i], s[i], mod.ShoupPrecomp(s[i]))
+	})
+	out.IsNTT = a.IsNTT
+}
+
 // ReduceLazy normalizes a lazy accumulator from [0, 2q) back to exact
 // residues in [0, q). Every MulCoeffsAddLazy/AutMulCoeffsAddLazy/
 // MulByLimbScalarsAddLazy chain must end here.

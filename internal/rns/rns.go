@@ -6,9 +6,19 @@ package rns
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/anaheim-sim/anaheim/internal/modarith"
+	"github.com/anaheim-sim/anaheim/internal/par"
 )
+
+// convTile is the coefficient-tile width of the blocked Convert kernel. A
+// tile keeps k premultiplied tmp rows plus two accumulator rows resident in
+// L1 while every target limb consumes them: at 256 coefficients a k=32 digit
+// needs 32·256·8 = 64 KiB of tmp plus 4 KiB of accumulators, the L1d
+// footprint the kernel is sized for (per-core L1d is 32–64 KiB; the hot
+// working set at any instant is one tmp row + the accumulators).
+const convTile = 256
 
 // BasisConverter performs the fast base conversion of a value represented in
 // basis "from" (moduli q_0..q_{k-1}, product Q) into basis "to": for each
@@ -19,7 +29,18 @@ import (
 // which equals x + e·Q for some 0 ≤ e < k (the standard approximate BConv;
 // the small multiple of Q is absorbed by the noise in CKKS). Computing BConv
 // is "mostly equivalent to a matrix-matrix mult between a predefined α×L
-// BConv matrix and the L×N input" (§II-B), which is exactly the loop below.
+// BConv matrix and the L×N input" (§II-B).
+//
+// The kernel blocks the coefficient dimension into convTile-wide tiles
+// (dispatched over the par worker pool), Shoup-premultiplies the k tmp rows
+// once per tile, and accumulates the k products tmp_i·qHat_i of each target
+// limb as exact 128-bit (hi, lo) pairs, reducing ONCE per output coefficient
+// with the 128-bit Barrett reciprocal — no per-term reduction and no
+// hardware division anywhere (see modarith/wide.go for the domain
+// contracts, and ref.go for the retired scalar kernel kept as an oracle).
+//
+// A BasisConverter must not be copied after creation (it embeds a
+// sync.Pool); use the *BasisConverter returned by NewBasisConverter.
 type BasisConverter struct {
 	From []modarith.Modulus
 	To   []modarith.Modulus
@@ -27,6 +48,23 @@ type BasisConverter struct {
 	qHatInv      []uint64   // [ (Q/q_i)^{-1} ]_{q_i}
 	qHatInvShoup []uint64   // Shoup companions for the per-limb premultiply
 	qHatModTo    [][]uint64 // qHatModTo[j][i] = (Q/q_i) mod p_j
+
+	// foldEvery bounds the number of b1×b2-bit products a 128-bit
+	// accumulator absorbs before VecFoldWide128Lazy must compress it:
+	// 2^(128-b1-b2) products of b1-bit by b2-bit factors always fit. At the
+	// 61-bit modulus ceiling that is 64 terms; for the 45–55-bit primes of
+	// real parameter sets it is ≥ 2^33, so the fold never fires in practice.
+	foldEvery int
+
+	scratch sync.Pool // *convScratch
+}
+
+// convScratch is the per-worker tile scratch: k premultiplied tmp rows plus
+// one (hi, lo) accumulator pair, all convTile wide.
+type convScratch struct {
+	tmp     [][]uint64
+	backing []uint64
+	hi, lo  []uint64
 }
 
 // NewBasisConverter precomputes the conversion constants.
@@ -70,42 +108,155 @@ func NewBasisConverter(from, to []modarith.Modulus) (*BasisConverter, error) {
 		}
 		bc.qHatModTo[j] = row
 	}
+	maxBits := func(ms []modarith.Modulus) int {
+		b := 0
+		for _, m := range ms {
+			if m.Bits > b {
+				b = m.Bits
+			}
+		}
+		return b
+	}
+	if shift := 128 - maxBits(from) - maxBits(to); shift >= 31 {
+		bc.foldEvery = 1 << 31 // effectively unbounded: k ≤ limb count ≪ 2^31
+	} else {
+		bc.foldEvery = 1 << shift
+	}
 	return bc, nil
 }
 
-// Convert converts coefficient-domain residue rows in (len(From) rows of
-// equal length) into out (len(To) rows). out must not alias in.
-func (bc *BasisConverter) Convert(out, in [][]uint64) {
+func (bc *BasisConverter) getScratch() *convScratch {
+	if v := bc.scratch.Get(); v != nil {
+		return v.(*convScratch)
+	}
+	k := len(bc.From)
+	s := &convScratch{
+		tmp:     make([][]uint64, k),
+		backing: make([]uint64, k*convTile),
+		hi:      make([]uint64, convTile),
+		lo:      make([]uint64, convTile),
+	}
+	for i := range s.tmp {
+		s.tmp[i] = s.backing[i*convTile : (i+1)*convTile]
+	}
+	return s
+}
+
+// checkShape validates in/out against the converter bases: all rows of in
+// (len(From) of them) and out (len(To)) must have equal length. Mirrors the
+// panic-on-mismatch contract of ntt.MulCoeffs.
+func (bc *BasisConverter) checkShape(out, in [][]uint64) int {
 	if len(in) != len(bc.From) || len(out) != len(bc.To) {
 		panic(fmt.Sprintf("rns: Convert shape mismatch: in %d/%d, out %d/%d",
 			len(in), len(bc.From), len(out), len(bc.To)))
 	}
 	n := len(in[0])
+	for i, row := range in {
+		if len(row) != n {
+			panic(fmt.Sprintf("rns: Convert input row %d has length %d, want %d", i, len(row), n))
+		}
+	}
+	for j, row := range out {
+		if len(row) != n {
+			panic(fmt.Sprintf("rns: Convert output row %d has length %d, want %d", j, len(row), n))
+		}
+	}
+	return n
+}
+
+// Convert converts coefficient-domain residue rows in (len(From) rows of
+// equal length) into out (len(To) rows), producing exact residues in
+// [0, p_j). out must not alias in.
+func (bc *BasisConverter) Convert(out, in [][]uint64) {
+	bc.convert(out, in, false)
+}
+
+// ConvertLazy is Convert with lazy outputs: each target row stays in the
+// [0, 2p_j) domain (one conditional subtraction fewer per coefficient),
+// which ring.NTTLazy / ring.NTT accept directly — Decompose feeds these rows
+// straight into the forward transform without an intermediate reduction.
+func (bc *BasisConverter) ConvertLazy(out, in [][]uint64) {
+	bc.convert(out, in, true)
+}
+
+func (bc *BasisConverter) convert(out, in [][]uint64, lazy bool) {
+	n := bc.checkShape(out, in)
 	k := len(bc.From)
-	// tmp_i = [x · qHatInv_i]_{q_i}
-	tmp := make([][]uint64, k)
-	for i := 0; i < k; i++ {
-		qi := bc.From[i]
-		row := make([]uint64, n)
-		src := in[i]
-		w, ws := bc.qHatInv[i], bc.qHatInvShoup[i]
-		for c := 0; c < n; c++ {
-			row[c] = qi.MulShoup(src[c], w, ws)
-		}
-		tmp[i] = row
-	}
-	for j := range bc.To {
-		pj := bc.To[j]
-		dst := out[j]
-		hat := bc.qHatModTo[j]
-		for c := 0; c < n; c++ {
-			acc := uint64(0)
-			for i := 0; i < k; i++ {
-				acc = pj.Add(acc, pj.Mul(tmp[i][c]%pj.Q, hat[i]))
+	nTiles := (n + convTile - 1) / convTile
+	par.ForEachChunk(nTiles, func(tileLo, tileHi int) {
+		s := bc.getScratch()
+		for t := tileLo; t < tileHi; t++ {
+			c0 := t * convTile
+			c1 := c0 + convTile
+			if c1 > n {
+				c1 = n
 			}
-			dst[c] = acc
+			w := c1 - c0
+			// tmp_i = [x · qHatInv_i]_{q_i}, premultiplied once per tile and
+			// reused by every target limb below.
+			for i := 0; i < k; i++ {
+				bc.From[i].VecMulShoup(s.tmp[i][:w], in[i][c0:c1], bc.qHatInv[i], bc.qHatInvShoup[i])
+			}
+			for j := range bc.To {
+				pj := bc.To[j]
+				hat := bc.qHatModTo[j]
+				modarith.VecMulWide(s.hi[:w], s.lo[:w], s.tmp[0][:w], hat[0])
+				terms := 1
+				for i := 1; i < k; i++ {
+					if terms == bc.foldEvery {
+						pj.VecFoldWide128Lazy(s.hi[:w], s.lo[:w])
+						terms = 1 // folded residue < 2q re-enters as one term
+					}
+					modarith.VecMulAccWide(s.hi[:w], s.lo[:w], s.tmp[i][:w], hat[i])
+					terms++
+				}
+				if lazy {
+					pj.VecReduceWide128Lazy(out[j][c0:c1], s.hi[:w], s.lo[:w])
+				} else {
+					pj.VecReduceWide128(out[j][c0:c1], s.hi[:w], s.lo[:w])
+				}
+			}
 		}
+		bc.scratch.Put(s)
+	})
+}
+
+// Rescaler precomputes the per-limb constants of DivRoundByLastModulus for a
+// fixed modulus chain, so the hot rescale path runs the vectorized row
+// kernel with no per-call inversions or allocations. It is bound to the
+// chain moduli[0..L] and drops moduli[L].
+type Rescaler struct {
+	moduli  []modarith.Modulus
+	half    uint64   // q_L / 2
+	inv     []uint64 // q_L^{-1} mod q_i, i < L
+	invS    []uint64 // Shoup companions
+	halfMod []uint64 // (q_L/2) mod q_i
+
+	tPool sync.Pool // *[]uint64 scratch for the [x + q_L/2]_{q_L} row
+}
+
+// NewRescaler precomputes rescale constants for dropping the last modulus of
+// the chain. The chain needs at least two limbs and distinct primes.
+func NewRescaler(moduli []modarith.Modulus) *Rescaler {
+	l := len(moduli) - 1
+	if l < 1 {
+		panic("rns: cannot rescale a single-limb value")
 	}
+	qL := moduli[l]
+	rs := &Rescaler{
+		moduli:  moduli,
+		half:    qL.QHalf,
+		inv:     make([]uint64, l),
+		invS:    make([]uint64, l),
+		halfMod: make([]uint64, l),
+	}
+	for i := 0; i < l; i++ {
+		qi := moduli[i]
+		rs.inv[i] = qi.MustInv(qL.Q % qi.Q)
+		rs.invS[i] = qi.ShoupPrecomp(rs.inv[i])
+		rs.halfMod[i] = rs.half % qi.Q
+	}
+	return rs
 }
 
 // DivRoundByLastModulus computes the rounding division of a coefficient-
@@ -113,34 +264,44 @@ func (bc *BasisConverter) Convert(out, in [][]uint64) {
 //
 //	out_i = [ (x + q_L/2 − [x + q_L/2]_{q_L}) / q_L ]_{q_i} ,  i < L,
 //
-// i.e. out = round(x / q_L) exactly, limb-wise. rows carries level+1 limbs
-// of equal length; the first level rows are updated in place and the last
-// row becomes dead.
-func DivRoundByLastModulus(moduli []modarith.Modulus, rows [][]uint64) {
+// i.e. out = round(x / q_L) exactly, limb-wise. rows carries the same number
+// of limbs as the Rescaler's chain, all of equal length; the first L rows
+// are updated in place and the last row becomes dead.
+func (rs *Rescaler) DivRoundByLastModulus(rows [][]uint64) {
 	l := len(rows) - 1
-	if l < 1 {
-		panic("rns: cannot rescale a single-limb value")
+	if l != len(rs.moduli)-1 {
+		panic(fmt.Sprintf("rns: DivRoundByLastModulus limb mismatch: rows %d, chain %d",
+			len(rows), len(rs.moduli)))
 	}
-	qL := moduli[l]
-	half := qL.QHalf
-	n := len(rows[0])
-	// t = [x + q_L/2]_{q_L}
-	t := make([]uint64, n)
-	for c := 0; c < n; c++ {
-		t[c] = qL.Add(rows[l][c], half)
-	}
-	for i := 0; i < l; i++ {
-		qi := moduli[i]
-		inv := qi.MustInv(qL.Q % qi.Q)
-		invS := qi.ShoupPrecomp(inv)
-		halfModQi := half % qi.Q
-		row := rows[i]
-		for c := 0; c < n; c++ {
-			// (x + half) mod q_i  −  t mod q_i, then exact division.
-			v := qi.Sub(qi.Add(row[c], halfModQi), t[c]%qi.Q)
-			row[c] = qi.MulShoup(v, inv, invS)
+	n := len(rows[l])
+	for i, row := range rows {
+		if len(row) != n {
+			panic(fmt.Sprintf("rns: DivRoundByLastModulus row %d has length %d, want %d", i, len(row), n))
 		}
 	}
+	var t []uint64
+	if v := rs.tPool.Get(); v != nil {
+		t = (*(v.(*[]uint64)))[:0]
+	}
+	if cap(t) < n {
+		t = make([]uint64, n)
+	}
+	t = t[:n]
+	// t = [x + q_L/2]_{q_L}
+	rs.moduli[l].VecAddScalar(t, rows[l], rs.half)
+	par.ForEachChunk(l, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rs.moduli[i].VecRescaleStep(rows[i], t, rs.halfMod[i], rs.inv[i], rs.invS[i])
+		}
+	})
+	rs.tPool.Put(&t)
+}
+
+// DivRoundByLastModulus is the one-shot form of Rescaler: it derives the
+// constants for moduli (len(rows) limbs) and rescales rows in place. Hot
+// paths should cache a Rescaler per level instead.
+func DivRoundByLastModulus(moduli []modarith.Modulus, rows [][]uint64) {
+	NewRescaler(moduli[:len(rows)]).DivRoundByLastModulus(rows)
 }
 
 // ProductMod returns (∏ primes) mod each modulus of target.
