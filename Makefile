@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench micro fuzz bench-compare profile serve clean
+.PHONY: all build vet lint test race bench micro load fuzz bench-compare profile serve clean
 
 all: vet build test
 
@@ -30,9 +30,18 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
 # FHE op microbenchmarks -> BENCH_BASELINE.json (the perf trajectory file,
-# fused and unfused entries for the lintrans/bootstrap pairs).
+# fused and unfused entries for the lintrans/bootstrap pairs), then the
+# many-tenant serving load driver merged in as the .serving field.
 micro:
 	$(GO) run ./cmd/anaheim-bench -micro -fusion both -o BENCH_BASELINE.json
+	$(GO) run ./cmd/anaheim-bench -tenants 8 -mix logreg,lintrans -duration 3s \
+		-batch both -merge BENCH_BASELINE.json -o /dev/null
+
+# Many-tenant serving load driver with the batching gate: batching-on must
+# beat batching-off throughput without regressing latency-tier p99 >10%.
+load:
+	$(GO) run ./cmd/anaheim-bench -tenants 8 -mix logreg,lintrans -duration 5s \
+		-batch both -gate
 
 # Fuzz smoke: 10s per untrusted-input decoder (CI runs the same).
 FUZZTIME ?= 10s

@@ -10,6 +10,14 @@
 //	anaheim-bench -micro -fusion both             # fused+unfused lintrans/bootstrap entries
 //	anaheim-bench -micro -metrics                 # ...with obs registry snapshot attached
 //	anaheim-bench -compare BENCH_BASELINE.json -against new.json   # perf regression gate
+//	anaheim-bench -tenants 8 -mix logreg,lintrans -duration 5s -batch both
+//	                                              # many-tenant serving load driver:
+//	                                              # per-tier p50/p99, batch occupancy,
+//	                                              # batching-on vs batching-off
+//	anaheim-bench -tenants 8 -batch both -gate -merge BENCH_BASELINE.json
+//	                                              # ...enforce the batching win and
+//	                                              # record it as the baseline's
+//	                                              # .serving field
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/anaheim-sim/anaheim"
 )
@@ -33,6 +42,13 @@ func main() {
 	compareBase := flag.String("compare", "", "baseline -micro JSON to compare against")
 	compareNew := flag.String("against", "", "candidate -micro JSON for -compare")
 	tolerance := flag.Float64("tolerance", 25, "percent ns/op slowdown tolerated by -compare")
+	tenants := flag.Int("tenants", 0, "run the many-tenant serving load driver with N tenant sessions")
+	mix := flag.String("mix", "logreg,lintrans", "comma-separated workload mix for -tenants: logreg,lintrans,bootstrap")
+	duration := flag.Duration("duration", 5*time.Second, "per-configuration wall clock for -tenants")
+	batchWindow := flag.Duration("batchwindow", time.Millisecond, "staging window for the batching-on -tenants runs")
+	batchMode := flag.String("batch", "both", "engine configurations for -tenants: off|on|both")
+	gate := flag.Bool("gate", false, "with -tenants -batch both: fail (exit 3) unless batching-on beats batching-off without latency-tier p99 regression")
+	mergeInto := flag.String("merge", "", "with -tenants: also attach the load report as the .serving field of an existing -micro JSON file")
 	flag.Parse()
 
 	run := func(id string) (string, error) {
@@ -43,6 +59,32 @@ func main() {
 	}
 
 	switch {
+	case *tenants > 0:
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		rep, gateErr, err := runLoad(out, *tenants, *mix, *duration, *batchWindow, *batchMode, *gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *mergeInto != "" {
+			if err := mergeServing(*mergeInto, rep); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if gateErr != nil {
+			fmt.Fprintln(os.Stderr, gateErr)
+			os.Exit(3) // soft failure, same convention as -compare
+		}
 	case *compareBase != "":
 		regressed, err := runCompare(os.Stdout, *compareBase, *compareNew, *tolerance)
 		if err != nil {

@@ -40,6 +40,10 @@ type microReport struct {
 	// latency quantiles), attached when -metrics is set so the same JSON
 	// artifact carries both ns/op numbers and instrumentation counts.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Serving is the many-tenant load-driver report (see load.go), merged
+	// into the baseline artifact so serving-layer numbers ride next to the
+	// kernel ns/op ones. -compare ignores it.
+	Serving *loadReport `json:"serving,omitempty"`
 }
 
 // fusionModes maps the -fusion flag to the kernel modes the fused-path

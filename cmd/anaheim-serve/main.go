@@ -9,14 +9,16 @@
 //
 // Endpoints:
 //
-//	GET  /healthz
-//	GET  /metrics                       Prometheus text-format metrics
-//	GET  /debug/spans                   recent job/op span trace (text table)
-//	POST /v1/sessions                   create a session from evaluation keys
-//	POST /v1/sessions/{sid}/transforms  register a named linear transform
-//	POST /v1/sessions/{sid}/jobs        submit a job (429 when saturated)
-//	GET  /v1/jobs/{id}                  poll job status
-//	GET  /v1/jobs/{id}/result           fetch output ciphertexts
+//	GET    /healthz
+//	GET    /metrics                       Prometheus text-format metrics
+//	GET    /debug/spans                   recent job/op span trace (text table)
+//	POST   /v1/sessions                   create a session from evaluation keys
+//	DELETE /v1/sessions/{sid}             detach a session, freeing its keys
+//	POST   /v1/sessions/{sid}/transforms  register a named linear transform
+//	POST   /v1/sessions/{sid}/jobs        submit a job (tier: latency|standard|batch;
+//	                                      429 + Retry-After when saturated)
+//	GET    /v1/jobs/{id}                  poll job status
+//	GET    /v1/jobs/{id}/result           fetch output ciphertexts
 //
 // With -pprof ADDR, net/http/pprof is served on a side listener so
 // profiling traffic never competes with (or exposes itself to) the public
@@ -42,13 +44,17 @@ import (
 )
 
 type serveConfig struct {
-	addr      string
-	pprofAddr string
-	workers   int
-	queue     int
-	maxJobs   int
-	maxBody   int64
-	deadline  time.Duration
+	addr        string
+	pprofAddr   string
+	workers     int
+	queue       int
+	maxJobs     int
+	maxBody     int64
+	deadline    time.Duration
+	batchWindow time.Duration
+	maxBatch    int
+	cacheBytes  int64
+	tenantJobs  int
 }
 
 func parseFlags(args []string) (serveConfig, error) {
@@ -61,6 +67,10 @@ func parseFlags(args []string) (serveConfig, error) {
 	fs.IntVar(&cfg.maxJobs, "maxjobs", 0, "max in-flight jobs before 429 (0 = default)")
 	fs.Int64Var(&cfg.maxBody, "maxbody", 0, "max request body bytes before 413 (0 = 64MiB)")
 	fs.DurationVar(&cfg.deadline, "deadline", 0, "default per-job deadline (0 = engine default)")
+	fs.DurationVar(&cfg.batchWindow, "batchwindow", 0, "cross-session batch staging window (0 = batching off)")
+	fs.IntVar(&cfg.maxBatch, "maxbatch", 0, "max ops per fused dispatch group (0 = default 8)")
+	fs.Int64Var(&cfg.cacheBytes, "cachebytes", 0, "eval-key cache byte budget; LRU sessions evicted beyond it (0 = 1GiB)")
+	fs.IntVar(&cfg.tenantJobs, "tenantjobs", 0, "max in-flight jobs per session before 429 (0 = default 16)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -98,11 +108,15 @@ func pprofMux() *http.ServeMux {
 // then drains both. Split from main so tests can drive it.
 func run(ctx context.Context, cfg serveConfig, ready chan<- string) error {
 	e := engine.New(engine.Config{
-		Workers:         cfg.workers,
-		QueueSize:       cfg.queue,
-		MaxActiveJobs:   cfg.maxJobs,
-		MaxBodyBytes:    cfg.maxBody,
-		DefaultDeadline: cfg.deadline,
+		Workers:           cfg.workers,
+		QueueSize:         cfg.queue,
+		MaxActiveJobs:     cfg.maxJobs,
+		MaxBodyBytes:      cfg.maxBody,
+		DefaultDeadline:   cfg.deadline,
+		BatchWindow:       cfg.batchWindow,
+		MaxBatch:          cfg.maxBatch,
+		SessionCacheBytes: cfg.cacheBytes,
+		MaxJobsPerTenant:  cfg.tenantJobs,
 	})
 	defer e.Close()
 

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -306,4 +307,208 @@ func TestParseFlags(t *testing.T) {
 	if _, err := parseFlags([]string{"-bogus"}); err == nil {
 		t.Fatal("want error for unknown flag")
 	}
+}
+
+// TestServeSessionLifecycle covers DELETE /v1/sessions/{sid}: a detached
+// session stops accepting jobs and a second delete is 404.
+func TestServeSessionLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	go run(ctx, serveConfig{addr: "127.0.0.1:0", workers: 1}, ready)
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr
+
+	client, err := anaheim.NewContext(anaheim.TestParameters(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysRaw, err := client.EvaluationKeys().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		SessionID string `json:"sessionId"`
+	}
+	postJSON(t, base+"/v1/sessions", map[string]string{
+		"preset":   "test",
+		"evalKeys": base64.StdEncoding.EncodeToString(keysRaw),
+	}, &sess)
+	if sess.SessionID == "" {
+		t.Fatal("no session id")
+	}
+
+	del := func() *http.Response {
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+sess.SessionID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r
+	}
+	if r := del(); r.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d, want 200", r.StatusCode)
+	}
+	if r := del(); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("second delete: status %d, want 404", r.StatusCode)
+	}
+	if r := postJSON(t, base+"/v1/sessions/"+sess.SessionID+"/jobs", map[string]any{}, nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("job on detached session: status %d, want 404", r.StatusCode)
+	}
+}
+
+// TestServeOverload verifies a saturated engine answers 429 with a
+// Retry-After header and a machine-readable rejection reason, and that the
+// capacity gauges are exported.
+func TestServeOverload(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	// One worker, one admission slot, one job per tenant: trivially saturated.
+	go run(ctx, serveConfig{addr: "127.0.0.1:0", workers: 1, maxJobs: 3, tenantJobs: 1}, ready)
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not start")
+	}
+	base := "http://" + addr
+
+	client, err := anaheim.NewContext(anaheim.TestParameters(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.GenRotationKeys(1)
+	keysRaw, err := client.EvaluationKeys().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		SessionID string `json:"sessionId"`
+	}
+	postJSON(t, base+"/v1/sessions", map[string]string{
+		"preset":   "test",
+		"evalKeys": base64.StdEncoding.EncodeToString(keysRaw),
+	}, &sess)
+
+	cu, err := client.Encrypt([]complex128{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuRaw, err := cu.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long rotate chain: each hop key-switches but consumes no level, so
+	// the single worker stays busy for tens of milliseconds — orders of
+	// magnitude longer than the HTTP submit round trip that follows.
+	ops := []map[string]any{{"id": "r0", "op": "rotate", "args": []string{"x"}, "k": 1}}
+	for i := 1; i < 40; i++ {
+		ops = append(ops, map[string]any{
+			"id": fmt.Sprintf("r%d", i), "op": "rotate",
+			"args": []string{fmt.Sprintf("r%d", i-1)}, "k": 1,
+		})
+	}
+	job := map[string]any{
+		"inputs":     map[string]string{"x": base64.StdEncoding.EncodeToString(cuRaw)},
+		"ops":        ops,
+		"outputs":    []string{fmt.Sprintf("r%d", len(ops)-1)},
+		"deadlineMs": 60000,
+	}
+	// Keep submitting until the per-tenant cap rejects one; the first job's
+	// rotate chain keeps the single worker busy long enough.
+	// Fire a burst of pre-marshaled submits concurrently: the admission
+	// calls land within the request-decode spread (milliseconds) while any
+	// admitted job's rotate chain runs for tens of milliseconds, so the
+	// per-tenant cap must reject at least one — no sequential timing
+	// assumptions.
+	raw := mustJSON(t, job)
+	type submitResult struct {
+		status     int
+		retryAfter string
+		body       []byte
+	}
+	const burst = 8
+	results := make([]submitResult, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := http.Post(base+"/v1/sessions/"+sess.SessionID+"/jobs", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			defer r.Body.Close()
+			b, _ := io.ReadAll(r.Body)
+			results[i] = submitResult{status: r.StatusCode, retryAfter: r.Header.Get("Retry-After"), body: b}
+		}(i)
+	}
+	wg.Wait()
+	var rejected *submitResult
+	var admitted int
+	for i := range results {
+		switch results[i].status {
+		case http.StatusOK:
+			admitted++
+		case http.StatusTooManyRequests:
+			rejected = &results[i]
+		default:
+			t.Fatalf("submit %d: status %d: %s", i, results[i].status, results[i].body)
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("no submit was admitted")
+	}
+	if rejected == nil {
+		t.Fatalf("never saw a 429 despite tenantJobs=1 (%d admitted)", admitted)
+	}
+	if rejected.retryAfter == "" {
+		t.Error("429 without Retry-After header")
+	}
+	var body struct {
+		Reason            string `json:"reason"`
+		Tier              string `json:"tier"`
+		RetryAfterSeconds int    `json:"retryAfterSeconds"`
+	}
+	if err := json.Unmarshal(rejected.body, &body); err != nil {
+		t.Fatalf("429 body is not JSON: %v: %s", err, rejected.body)
+	}
+	if body.Reason == "" || body.Tier == "" || body.RetryAfterSeconds < 1 {
+		t.Errorf("429 body missing fields: %+v", body)
+	}
+
+	// Serving-capacity gauge family is exported.
+	metrics := getText(t, base+"/metrics")
+	for _, want := range []string{
+		"engine_sessions_live",
+		"engine_evalkey_resident_bytes",
+		`engine_tier_queue_depth{tier="latency"}`,
+		`engine_tier_queue_depth{tier="standard"}`,
+		`engine_tier_queue_depth{tier="batch"}`,
+		`keycache_resident_bytes{cache="sessions"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }

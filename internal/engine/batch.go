@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Cross-session batch dispatch and priority tiers.
+//
+// The paper's Alg 1 / PolyGroups batches many polynomial operands into one
+// PIM dispatch so fixed costs (twiddle loads, gadget constants, command
+// issue) are paid once per group instead of once per operand. The serving
+// runtime applies the same amortization one level up: ready ops from
+// *different tenants* that hit the same kernel class (same op family, ring
+// degree, special-prime count, and level — i.e. the same twiddle tables and
+// gadget plan shape) are staged briefly and dispatched to the worker pool as
+// one group. A group costs one scheduler round-trip and one span, and its
+// members fan out over the shared par pool together, so the pool sees one
+// wide dispatch instead of many narrow ones.
+//
+// Priority tiers make the batching safe to run next to latency-sensitive
+// traffic: every job belongs to a tier (latency | standard | batch), the
+// ready queue is weighted per tier, and the latency tier bypasses staging
+// entirely — its ops are dispatched the moment they become ready.
+
+// Job priority tiers.
+const (
+	TierLatency  = "latency"
+	TierStandard = "standard"
+	TierBatch    = "batch"
+)
+
+// tierOrder lists tiers from highest to lowest dequeue priority.
+var tierOrder = []string{TierLatency, TierStandard, TierBatch}
+
+// normalizeTier maps the JobSpec tier (empty = standard) onto a known tier.
+func normalizeTier(t string) (string, error) {
+	switch t {
+	case "":
+		return TierStandard, nil
+	case TierLatency, TierStandard, TierBatch:
+		return t, nil
+	}
+	return "", fmt.Errorf("engine: unknown tier %q (want latency, standard, or batch)", t)
+}
+
+// OverloadError is the typed load-shed rejection returned by Submit when
+// admission control refuses a job. It unwraps to ErrBusy so existing
+// errors.Is(err, ErrBusy) checks keep working, and carries the reason plus a
+// queue-depth-derived retry hint that the HTTP layer surfaces as a 429 with
+// a Retry-After header.
+type OverloadError struct {
+	// Tier the rejected job targeted.
+	Tier string
+	// Reason is one of "engine_full" (global admission limit),
+	// "tier_full" (the tier's capacity share is exhausted), or
+	// "tenant_limit" (the tenant's in-flight job cap).
+	Reason string
+	// RetryAfter estimates when capacity frees up: one second per queued
+	// job ahead per worker, capped at 30s. A heuristic, not a promise.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("engine: overloaded (%s, tier=%s), retry after %s", e.Reason, e.Tier, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrBusy) true for every overload rejection.
+func (e *OverloadError) Unwrap() error { return ErrBusy }
+
+// kernelClassOf maps op kinds onto kernel classes: ops in the same class at
+// the same (logN, alpha, level) execute the same kernel sequence (the same
+// NTT plans, BConv shapes, and gadget dimensions), which is what makes
+// cross-session grouping an amortization rather than a random bundle.
+// Bootstrap is deliberately absent: a multi-second op would hold a whole
+// group hostage.
+var kernelClassOf = map[string]string{
+	"mul": "ks-relin", "square": "ks-relin",
+	"rotate": "ks-rot", "conjugate": "ks-rot",
+	"lintrans": "lintrans",
+	"add":      "eltwise", "sub": "eltwise", "addn": "eltwise", "lincomb": "eltwise",
+	"addconst": "eltwise", "mulconst": "eltwise",
+	"rescale": "eltwise", "droplevel": "eltwise",
+}
+
+// batchClass returns the staging key for an op, or ok=false when the op
+// must not be batched (unknown kind, bootstrap, or a latency-tier job).
+// The key pins the kernel shape: class, ring degree, special-prime count,
+// and the minimum argument level (which sizes the NTT/BConv work), plus the
+// tier so queue accounting stays per-tier.
+func (e *Engine) batchClass(j *Job, op *OpSpec) (string, bool) {
+	if j.tier == TierLatency {
+		return "", false
+	}
+	cls, ok := kernelClassOf[op.Op]
+	if !ok {
+		return "", false
+	}
+	lvl := -1
+	for _, a := range op.Args {
+		ct, err := j.arg(a)
+		if err != nil {
+			return "", false // not materialized: should not happen for a ready op
+		}
+		if l := ct.Level(); lvl < 0 || l < lvl {
+			lvl = l
+		}
+	}
+	p := j.sess.Params
+	return fmt.Sprintf("%s|n%d|a%d|l%d|%s", cls, p.LogN(), p.Alpha(), lvl, j.tier), true
+}
+
+// dispatchGroup is the unit handed to workers: one or more ready ops of the
+// same kernel class. Singleton groups are the unbatched fast path.
+type dispatchGroup struct {
+	tasks []*opTask
+	class string // non-empty for staged (batched) groups
+	tier  string
+}
+
+// ---------------------------------------------------------------------------
+// Staging: per-class holding queues with a batching window.
+
+// stagedBatch accumulates same-class ops until the batch fills or its
+// window expires.
+type stagedBatch struct {
+	class string
+	tier  string
+	tasks []*opTask
+	due   time.Time
+}
+
+// staging holds the per-class queues. Dispatcher-private: no locking.
+type staging struct {
+	window   time.Duration
+	maxBatch int
+	batches  map[string]*stagedBatch
+}
+
+func newStaging(window time.Duration, maxBatch int) *staging {
+	return &staging{window: window, maxBatch: maxBatch, batches: make(map[string]*stagedBatch)}
+}
+
+// add stages a task under its class key. If the batch reaches maxBatch it is
+// removed and returned for immediate dispatch; otherwise nil.
+func (s *staging) add(class, tier string, t *opTask, now time.Time) *dispatchGroup {
+	b := s.batches[class]
+	if b == nil {
+		b = &stagedBatch{class: class, tier: tier, due: now.Add(s.window)}
+		s.batches[class] = b
+	}
+	b.tasks = append(b.tasks, t)
+	if len(b.tasks) >= s.maxBatch {
+		delete(s.batches, class)
+		return &dispatchGroup{tasks: b.tasks, class: b.class, tier: b.tier}
+	}
+	return nil
+}
+
+// earliest returns the soonest batch deadline, if any batch is staged.
+func (s *staging) earliest() (time.Time, bool) {
+	var min time.Time
+	ok := false
+	for _, b := range s.batches {
+		if !ok || b.due.Before(min) {
+			min = b.due
+			ok = true
+		}
+	}
+	return min, ok
+}
+
+// due removes and returns every batch whose window has expired.
+func (s *staging) due(now time.Time) []*dispatchGroup {
+	var out []*dispatchGroup
+	for key, b := range s.batches {
+		if !b.due.After(now) {
+			delete(s.batches, key)
+			out = append(out, &dispatchGroup{tasks: b.tasks, class: b.class, tier: b.tier})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Tier queues: weighted round-robin over per-tier ready queues.
+
+// tierQueues holds ready dispatch groups per tier and picks the next group
+// by weighted round-robin: each refill grants every tier its weight in
+// credits, and tiers are drained in priority order while they have credit.
+// A saturated batch tier therefore gets at most weight_batch of every
+// sum(weights) dispatches once higher tiers have work. Dispatcher-private
+// except for the depth gauges, which the metrics exporter samples.
+type tierQueues struct {
+	queues  map[string][]*dispatchGroup
+	weights map[string]int
+	credit  map[string]int
+	depth   map[string]*atomic.Int64 // ops (not groups) queued or staged, per tier
+}
+
+func newTierQueues(weights map[string]int, depth map[string]*atomic.Int64) *tierQueues {
+	q := &tierQueues{
+		queues:  make(map[string][]*dispatchGroup),
+		weights: weights,
+		credit:  make(map[string]int),
+		depth:   depth,
+	}
+	for _, t := range tierOrder {
+		q.credit[t] = weights[t]
+	}
+	return q
+}
+
+// push appends a ready group to its tier queue. Depth accounting for the
+// member ops happened when they became ready (enqueueReady), not here, so
+// staged ops count as queued while they wait out the batching window.
+func (q *tierQueues) push(g *dispatchGroup) {
+	q.queues[g.tier] = append(q.queues[g.tier], g)
+}
+
+// head returns the tier whose queue should be served next and its head
+// group, pruning ops of terminal (failed/expired) jobs as it goes. Returns
+// ok=false when every queue is empty.
+func (q *tierQueues) head() (string, *dispatchGroup, bool) {
+	for pass := 0; pass < 2; pass++ {
+		for _, t := range tierOrder {
+			if q.credit[t] <= 0 && pass == 0 {
+				continue
+			}
+			if g := q.prunedHead(t); g != nil {
+				return t, g, true
+			}
+		}
+		// Either no tier with credit has work, or no tier has work at all.
+		// Refill credits and take strict priority order on the second pass.
+		for _, t := range tierOrder {
+			q.credit[t] = q.weights[t]
+		}
+	}
+	return "", nil, false
+}
+
+// prunedHead drops dead groups/ops from the front of one tier queue and
+// returns its live head, if any.
+func (q *tierQueues) prunedHead(t string) *dispatchGroup {
+	queue := q.queues[t]
+	for len(queue) > 0 {
+		g := queue[0]
+		live := g.tasks[:0]
+		for _, task := range g.tasks {
+			if task.job.terminal() {
+				q.depth[t].Add(-1)
+			} else {
+				live = append(live, task)
+			}
+		}
+		g.tasks = live
+		if len(g.tasks) > 0 {
+			q.queues[t] = queue
+			return g
+		}
+		queue = queue[1:]
+	}
+	q.queues[t] = queue
+	return nil
+}
+
+// pop removes the head of tier t after it was handed to a worker and
+// spends one credit.
+func (q *tierQueues) pop(t string, g *dispatchGroup) {
+	q.queues[t] = q.queues[t][1:]
+	if q.credit[t] > 0 {
+		q.credit[t]--
+	}
+	q.depth[t].Add(int64(-len(g.tasks)))
+}

@@ -1,16 +1,27 @@
 // Package engine is the concurrent FHE serving runtime that sits between
-// the public facade and the ckks evaluator. It owns three things:
+// the public facade and the ckks evaluator. It owns four things:
 //
-//   - a session manager: per-client CKKS contexts (compiled parameters +
-//     uploaded evaluation keys + evaluator) with concurrency-safe access;
+//   - a session cache: per-tenant CKKS contexts (compiled parameters +
+//     uploaded evaluation keys + evaluator) held in a sharded, size-bounded
+//     LRU (internal/keycache) with byte accounting, singleflight
+//     rematerialization, and pinning for in-flight jobs — evaluation-key
+//     sets are by far the largest per-tenant object, so the session store
+//     behaves like a cache, not a map;
 //
 //   - a job scheduler: clients submit encrypted-compute jobs — DAGs of
 //     homomorphic ops over named ciphertext handles — and the scheduler
 //     tracks dependencies, dispatching each op as soon as its inputs exist;
 //
-//   - a bounded worker pool: ready ops flow through a bounded queue to a
-//     fixed set of workers, with backpressure at job admission, context
-//     cancellation, and per-job deadlines.
+//   - cross-session batch dispatch: ready ops from different tenants that
+//     share a kernel class (op family × ring degree × level) are staged for
+//     a short window and dispatched to the worker pool as one group — the
+//     Go-worker-pool analog of the paper's Alg 1 / PolyGroups amortization
+//     (see batch.go);
+//
+//   - admission control: weighted priority tiers (latency | standard |
+//     batch) with per-tier capacity shares and per-tenant in-flight limits,
+//     shedding load with typed OverloadErrors that the HTTP layer maps to
+//     429 + Retry-After.
 //
 // The layering mirrors how the Cheddar GPU library (the substrate of the
 // Anaheim paper) gets its throughput: streams and kernel queues above the
@@ -26,7 +37,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/anaheim-sim/anaheim/internal/keycache"
 	"github.com/anaheim-sim/anaheim/internal/obs"
+	"github.com/anaheim-sim/anaheim/internal/par"
 )
 
 // Config sizes the runtime.
@@ -38,8 +51,33 @@ type Config struct {
 	// Defaults to 4×Workers.
 	QueueSize int
 	// MaxActiveJobs bounds admitted (queued or running) jobs; Submit fails
-	// fast with ErrBusy beyond it. Defaults to 64.
+	// fast with an OverloadError beyond it. Defaults to 64.
 	MaxActiveJobs int
+	// MaxJobsPerTenant bounds one tenant's admitted jobs so a single
+	// session cannot consume the whole admission budget. Defaults to 16.
+	MaxJobsPerTenant int
+	// TierWeights sets each tier's share of admission capacity and of the
+	// ready-queue dispatch bandwidth. Defaults to latency 8, standard 4,
+	// batch 2. Unknown tiers in the map are ignored.
+	TierWeights map[string]int
+	// BatchWindow enables cross-session batch dispatch: ready ops of the
+	// same kernel class are staged up to this long (or until MaxBatch) and
+	// dispatched as one group. 0 disables batching. Latency-tier ops are
+	// never staged.
+	BatchWindow time.Duration
+	// MaxBatch caps the ops in one batched dispatch group. Defaults to 8.
+	MaxBatch int
+	// SessionCacheBytes bounds the resident evaluation-key bytes across all
+	// sessions; least-recently-used sessions are evicted beyond it (pinned
+	// sessions of in-flight jobs are never evicted). Defaults to 1 GiB.
+	SessionCacheBytes int64
+	// SessionCacheShards is the session cache's shard count. Defaults to 8.
+	SessionCacheShards int
+	// SessionLoader rematerializes an evicted session from durable storage
+	// (or regenerates it). Concurrent requests for the same evicted session
+	// coalesce onto one load. Nil means evicted sessions are gone and
+	// Submit returns an unknown-session error.
+	SessionLoader func(id string) (*Session, error)
 	// DefaultDeadline applies to jobs that do not set one. Defaults to 2
 	// minutes.
 	DefaultDeadline time.Duration
@@ -68,6 +106,26 @@ func (c Config) withDefaults() Config {
 	if c.MaxActiveJobs <= 0 {
 		c.MaxActiveJobs = 64
 	}
+	if c.MaxJobsPerTenant <= 0 {
+		c.MaxJobsPerTenant = 16
+	}
+	if c.TierWeights == nil {
+		c.TierWeights = map[string]int{TierLatency: 8, TierStandard: 4, TierBatch: 2}
+	}
+	for _, t := range tierOrder {
+		if c.TierWeights[t] <= 0 {
+			c.TierWeights[t] = 1
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.SessionCacheBytes <= 0 {
+		c.SessionCacheBytes = 1 << 30
+	}
+	if c.SessionCacheShards <= 0 {
+		c.SessionCacheShards = 8
+	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 2 * time.Minute
 	}
@@ -83,7 +141,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ErrBusy is returned by Submit when the engine is at its admission limit.
+// ErrBusy is the base backpressure error: Submit rejections wrap it (see
+// OverloadError for the typed form carrying reason and retry hint).
 // Clients should retry with backoff; the HTTP layer maps it to 429.
 var ErrBusy = errors.New("engine: job queue full")
 
@@ -96,10 +155,16 @@ type Engine struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	closed   bool
-	sessions map[string]*Session
-	jobs     map[string]*Job
+	sessions *keycache.Cache[*Session]
+
+	mu           sync.Mutex
+	closed       bool
+	jobs         map[string]*Job
+	tierActive   map[string]int // admitted jobs per tier
+	tenantActive map[string]int // admitted jobs per tenant (session ID)
+
+	tierCaps  map[string]int // per-tier admission capacity (weight shares)
+	tierDepth map[string]*atomic.Int64
 
 	active atomic.Int64 // admitted (queued or running) jobs
 	seq    atomic.Uint64
@@ -108,7 +173,7 @@ type Engine struct {
 	tracer  *obs.Tracer
 
 	events chan event
-	ready  chan *opTask
+	ready  chan *dispatchGroup
 	wg     sync.WaitGroup
 }
 
@@ -134,25 +199,68 @@ type opTask struct {
 	readyAt time.Time // when the op's dependencies were met (queue-wait origin)
 }
 
+// tierCapacities partitions the admission budget by tier weight. Every tier
+// gets at least one slot; a saturating batch tier therefore can never
+// occupy the capacity reserved for the latency tier.
+func tierCapacities(maxActive int, weights map[string]int) map[string]int {
+	sum := 0
+	for _, t := range tierOrder {
+		sum += weights[t]
+	}
+	caps := make(map[string]int, len(tierOrder))
+	for _, t := range tierOrder {
+		c := maxActive * weights[t] / sum
+		if c < 1 {
+			c = 1
+		}
+		caps[t] = c
+	}
+	return caps
+}
+
 // New starts the worker pool and scheduler.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		cfg:      cfg,
-		ctx:      ctx,
-		cancel:   cancel,
-		sessions: make(map[string]*Session),
-		jobs:     make(map[string]*Job),
-		metrics:  newEngineMetrics(cfg.Obs),
-		tracer:   cfg.Tracer,
-		events:   make(chan event),
-		ready:    make(chan *opTask, cfg.QueueSize),
+		cfg:          cfg,
+		ctx:          ctx,
+		cancel:       cancel,
+		jobs:         make(map[string]*Job),
+		tierActive:   make(map[string]int),
+		tenantActive: make(map[string]int),
+		tierCaps:     tierCapacities(cfg.MaxActiveJobs, cfg.TierWeights),
+		tierDepth:    make(map[string]*atomic.Int64),
+		metrics:      newEngineMetrics(cfg.Obs),
+		tracer:       cfg.Tracer,
+		events:       make(chan event),
+		ready:        make(chan *dispatchGroup, cfg.QueueSize),
 	}
+	e.sessions = keycache.New[*Session](keycache.Config{
+		Shards:      cfg.SessionCacheShards,
+		BudgetBytes: cfg.SessionCacheBytes,
+		Name:        "sessions",
+		Obs:         cfg.Obs,
+	}, func(_ string, s *Session) { e.metrics.sessionsEvicted.Inc() })
 	// Sampled-at-scrape gauges; when several engines share a registry the
 	// most recently started one wins, which is what a serving process wants.
 	cfg.Obs.GaugeFunc("engine_active_jobs", func() float64 { return float64(e.active.Load()) })
 	cfg.Obs.GaugeFunc("engine_ready_queue_depth", func() float64 { return float64(len(e.ready)) })
+	cfg.Obs.GaugeFunc("engine_sessions_live", func() float64 { return float64(e.sessions.Len()) })
+	cfg.Obs.GaugeFunc("engine_evalkey_resident_bytes", func() float64 { return float64(e.sessions.Bytes()) })
+	for _, t := range tierOrder {
+		t := t
+		d := &atomic.Int64{}
+		e.tierDepth[t] = d
+		cfg.Obs.GaugeFunc(fmt.Sprintf(`engine_tier_queue_depth{tier="%s"}`, t),
+			func() float64 { return float64(d.Load()) })
+		cfg.Obs.GaugeFunc(fmt.Sprintf(`engine_tier_active_jobs{tier="%s"}`, t),
+			func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				return float64(e.tierActive[t])
+			})
+	}
 	e.wg.Add(1)
 	go e.dispatch()
 	for i := 0; i < cfg.Workers; i++ {
@@ -165,7 +273,10 @@ func New(cfg Config) *Engine {
 // Config returns the effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Close stops the runtime. In-flight jobs fail with context.Canceled.
+// Close stops the runtime and releases per-session key material
+// deterministically: in-flight jobs fail with context.Canceled, and every
+// cached session is dropped and cleared so evaluation keys become
+// collectable without waiting for cache churn.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -176,6 +287,7 @@ func (e *Engine) Close() {
 	e.mu.Unlock()
 	e.cancel()
 	e.wg.Wait()
+	e.sessions.Clear(func(_ string, s *Session) { s.release() })
 }
 
 func (e *Engine) newID(prefix string) string {
@@ -191,27 +303,81 @@ func (e *Engine) worker() {
 		select {
 		case <-e.ctx.Done():
 			return
-		case t := <-e.ready:
-			m := e.metrics.op(t.op.Op)
-			m.queueWait.Observe(time.Since(t.readyAt).Seconds())
-			e.metrics.workersBusy.Add(1)
-			sp := e.tracer.Start("op:"+t.op.Op, t.job.spanID())
-			sp.Annotate("id=" + t.op.ID + " job=" + t.job.ID)
-			start := time.Now()
-			res, err := e.executeTask(t)
-			sp.End()
-			e.metrics.workersBusy.Add(-1)
-			m.exec.Observe(time.Since(start).Seconds())
-			m.total.Inc()
-			if err != nil {
-				m.failures.Inc()
-			}
-			select {
-			case e.events <- event{kind: evOpDone, job: t.job, task: t, result: res, err: err}:
-			case <-e.ctx.Done():
-				return
+		case g := <-e.ready:
+			if len(g.tasks) == 1 {
+				e.runSingle(g.tasks[0])
+			} else {
+				e.runBatch(g)
 			}
 		}
+	}
+}
+
+// runSingle executes an unbatched op and reports its completion.
+func (e *Engine) runSingle(t *opTask) {
+	e.metrics.workersBusy.Add(1)
+	res, err := e.runTask(t, t.job.spanID())
+	e.metrics.workersBusy.Add(-1)
+	e.postDone(t, res, err)
+}
+
+// runBatch executes a fused dispatch group: the members fan out over the
+// shared par pool together (one wide dispatch instead of len(tasks) narrow
+// ones), sharing the batch span and a single scheduler round-trip. Per-op
+// metrics still tick individually.
+func (e *Engine) runBatch(g *dispatchGroup) {
+	n := len(g.tasks)
+	e.metrics.batchesDispatched.Inc()
+	e.metrics.batchedOps.Add(float64(n))
+	e.metrics.batchOccupancy.Observe(float64(n))
+	sp := e.tracer.Start("batch:"+g.class, 0)
+	sp.Annotate(fmt.Sprintf("class=%s ops=%d", g.class, n))
+	e.metrics.workersBusy.Add(1)
+	results := make([]*result, n)
+	errs := make([]error, n)
+	par.ForEach(n, func(i int) {
+		results[i], errs[i] = e.runTask(g.tasks[i], sp.ID())
+	})
+	e.metrics.workersBusy.Add(-1)
+	sp.End()
+	for i, t := range g.tasks {
+		if !e.postDone(t, results[i], errs[i]) {
+			return
+		}
+	}
+}
+
+// runTask runs one op with its per-op instrumentation. Ops of jobs that
+// already expired or aborted are skipped without touching the evaluator
+// (counted under engine_ops_expired_total).
+func (e *Engine) runTask(t *opTask, parentSpan uint64) (*result, error) {
+	if err := t.job.ctx.Err(); err != nil {
+		e.metrics.opsExpired.Inc()
+		return nil, err
+	}
+	m := e.metrics.op(t.op.Op)
+	m.queueWait.Observe(time.Since(t.readyAt).Seconds())
+	sp := e.tracer.Start("op:"+t.op.Op, parentSpan)
+	sp.Annotate("id=" + t.op.ID + " job=" + t.job.ID)
+	start := time.Now()
+	res, err := e.executeTask(t)
+	sp.End()
+	m.exec.Observe(time.Since(start).Seconds())
+	m.total.Inc()
+	if err != nil {
+		m.failures.Inc()
+	}
+	return res, err
+}
+
+// postDone reports one op completion to the dispatcher; false means the
+// engine is shutting down.
+func (e *Engine) postDone(t *opTask, res *result, err error) bool {
+	select {
+	case e.events <- event{kind: evOpDone, job: t.job, task: t, result: res, err: err}:
+		return true
+	case <-e.ctx.Done():
+		return false
 	}
 }
 
@@ -243,10 +409,23 @@ type jobState struct {
 func (e *Engine) dispatch() {
 	defer e.wg.Done()
 	states := make(map[*Job]*jobState)
-	var pending []*opTask
+	queues := newTierQueues(e.cfg.TierWeights, e.tierDepth)
+	staged := newStaging(e.cfg.BatchWindow, e.cfg.MaxBatch)
+	flushTimer := time.NewTimer(time.Hour)
+	defer flushTimer.Stop()
 
 	enqueueReady := func(j *Job, st *jobState, opID string) {
-		pending = append(pending, &opTask{job: j, op: st.byID[opID], readyAt: time.Now()})
+		t := &opTask{job: j, op: st.byID[opID], readyAt: time.Now()}
+		e.tierDepth[j.tier].Add(1)
+		if e.cfg.BatchWindow > 0 {
+			if class, ok := e.batchClass(j, t.op); ok {
+				if g := staged.add(class, j.tier, t, t.readyAt); g != nil {
+					queues.push(g) // batch filled before its window expired
+				}
+				return
+			}
+		}
+		queues.push(&dispatchGroup{tasks: []*opTask{t}, tier: j.tier})
 	}
 
 	handle := func(ev event) {
@@ -289,37 +468,49 @@ func (e *Engine) dispatch() {
 	}
 
 	for {
-		var readyCh chan *opTask
-		var head *opTask
-		if len(pending) > 0 {
-			// Skip ops of jobs that already failed.
-			for len(pending) > 0 && pending[0].job.terminal() {
-				pending = pending[1:]
-			}
-			if len(pending) > 0 {
-				readyCh, head = e.ready, pending[0]
+		// Arm the flush timer to the earliest staged-batch deadline.
+		if !flushTimer.Stop() {
+			select {
+			case <-flushTimer.C:
+			default:
 			}
 		}
+		var timerCh <-chan time.Time
+		if due, ok := staged.earliest(); ok {
+			flushTimer.Reset(time.Until(due))
+			timerCh = flushTimer.C
+		}
+
+		var readyCh chan *dispatchGroup
+		tier, head, ok := queues.head()
+		if ok {
+			readyCh = e.ready
+		}
+
 		select {
 		case <-e.ctx.Done():
 			// Fail whatever is still tracked so waiters wake up.
 			for j := range states {
 				j.setStatus(StatusFailed, context.Canceled)
 				j.cancel()
-				e.active.Add(-1)
+				e.releaseJob(j)
 				e.metrics.jobsCancelled.Inc()
 			}
 			return
 		case ev := <-e.events:
 			handle(ev)
+		case <-timerCh:
+			for _, g := range staged.due(time.Now()) {
+				queues.push(g)
+			}
 		case readyCh <- head:
-			pending = pending[1:]
+			queues.pop(tier, head)
 		}
 	}
 }
 
 // finishJob transitions a job to its terminal state and releases its
-// admission slot.
+// admission slot, tier/tenant accounting, and session pin.
 func (e *Engine) finishJob(j *Job, states map[*Job]*jobState, err error) {
 	delete(states, j)
 	if err != nil {
@@ -328,10 +519,25 @@ func (e *Engine) finishJob(j *Job, states map[*Job]*jobState, err error) {
 		j.setStatus(StatusDone, nil)
 	}
 	j.cancel()
-	e.active.Add(-1)
+	e.releaseJob(j)
 	e.metrics.finished(err,
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled))
+}
+
+// releaseJob returns a terminal job's admission slot: global count, tier
+// and tenant accounting, and the session pin taken at Submit.
+func (e *Engine) releaseJob(j *Job) {
+	e.mu.Lock()
+	e.tierActive[j.tier]--
+	if e.tenantActive[j.tenant] <= 1 {
+		delete(e.tenantActive, j.tenant)
+	} else {
+		e.tenantActive[j.tenant]--
+	}
+	e.mu.Unlock()
+	e.sessions.Unpin(j.spec.SessionID)
+	e.active.Add(-1)
 }
 
 // newJobState builds the dependency graph (validated at Submit).
@@ -368,37 +574,65 @@ func opArg(spec *JobSpec, name string) (*OpSpec, bool) {
 // ---------------------------------------------------------------------------
 // Submission
 
-// Submit validates and admits a job. It fails fast with ErrBusy when the
-// engine is at MaxActiveJobs, giving HTTP clients an explicit backpressure
-// signal instead of unbounded queueing.
+// Submit validates and admits a job. Admission control is three-layered —
+// global MaxActiveJobs, the tier's capacity share, and the tenant's
+// in-flight cap — and rejections are typed OverloadErrors (wrapping ErrBusy)
+// carrying the reason and a Retry-After hint, giving HTTP clients an
+// explicit backpressure signal instead of unbounded queueing.
 func (e *Engine) Submit(spec JobSpec) (*Job, error) {
+	tier, err := normalizeTier(spec.Tier)
+	if err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, ErrClosed
 	}
-	sess := e.sessions[spec.SessionID]
 	e.mu.Unlock()
-	if sess == nil {
-		return nil, fmt.Errorf("engine: unknown session %q", spec.SessionID)
+	// Resolve and pin the session before admission so a concurrent eviction
+	// cannot drop its keys between validation and execution.
+	sess, err := e.acquireSession(spec.SessionID)
+	if err != nil {
+		return nil, err
 	}
+	unpin := func() { e.sessions.Unpin(spec.SessionID) }
 	if err := validate(&spec); err != nil {
+		unpin()
 		return nil, err
 	}
 	if !e.cfg.DisableFusion {
 		e.applyFusion(&spec)
 	}
-	// Admission control (backpressure).
-	for {
-		n := e.active.Load()
-		if n >= int64(e.cfg.MaxActiveJobs) {
-			e.metrics.jobsRejected.Inc()
-			return nil, ErrBusy
-		}
-		if e.active.CompareAndSwap(n, n+1) {
-			break
-		}
+
+	// Admission control (backpressure + tier shares + tenant caps).
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		unpin()
+		return nil, ErrClosed
 	}
+	reason := ""
+	switch {
+	case e.active.Load() >= int64(e.cfg.MaxActiveJobs):
+		reason = "engine_full"
+	case e.tierActive[tier] >= e.tierCaps[tier]:
+		reason = "tier_full"
+	case e.tenantActive[spec.SessionID] >= e.cfg.MaxJobsPerTenant:
+		reason = "tenant_limit"
+	}
+	if reason != "" {
+		depth := e.tierActive[tier]
+		e.mu.Unlock()
+		unpin()
+		e.metrics.jobsRejected.Inc()
+		e.metrics.tier(tier).rejected.Inc()
+		return nil, &OverloadError{Tier: tier, Reason: reason, RetryAfter: e.retryAfter(depth)}
+	}
+	e.tierActive[tier]++
+	e.tenantActive[spec.SessionID]++
+	e.active.Add(1)
+	e.mu.Unlock()
 
 	deadline := spec.Deadline
 	if deadline <= 0 {
@@ -409,6 +643,8 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 		ID:      e.newID("job"),
 		sess:    sess,
 		spec:    spec,
+		tier:    tier,
+		tenant:  spec.SessionID,
 		ctx:     ctx,
 		cancel:  cancel,
 		status:  StatusQueued,
@@ -416,7 +652,7 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 		done:    make(chan struct{}),
 	}
 	j.span = e.tracer.Start("job", 0)
-	j.span.Annotate("id=" + j.ID + " sess=" + spec.SessionID)
+	j.span.Annotate("id=" + j.ID + " sess=" + spec.SessionID + " tier=" + tier)
 	e.mu.Lock()
 	e.jobs[j.ID] = j
 	e.mu.Unlock()
@@ -435,12 +671,23 @@ func (e *Engine) Submit(spec JobSpec) (*Job, error) {
 	select {
 	case e.events <- event{kind: evSubmit, job: j}:
 	case <-e.ctx.Done():
-		e.active.Add(-1)
+		e.releaseJob(j)
 		cancel()
 		return nil, ErrClosed
 	}
 	e.metrics.jobsAdmitted.Inc()
+	e.metrics.tier(tier).admitted.Inc()
 	return j, nil
+}
+
+// retryAfter estimates when tier capacity frees up from its queue depth:
+// one second per queued job ahead per worker, capped at 30s.
+func (e *Engine) retryAfter(tierDepth int) time.Duration {
+	d := time.Duration(1+tierDepth/e.cfg.Workers) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // Job returns a submitted job by ID.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -178,7 +179,7 @@ func TestBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Saturate the admission budget artificially, then verify Submit sheds
-	// load with ErrBusy instead of queueing without bound.
+	// load with a typed overload error that still unwraps to ErrBusy.
 	e.active.Add(int64(e.cfg.MaxActiveJobs))
 	_, err = e.Submit(JobSpec{
 		SessionID: sess.ID,
@@ -186,8 +187,15 @@ func TestBackpressure(t *testing.T) {
 		Ops:       []OpSpec{{ID: "a", Op: "square", Args: []string{"x"}}},
 		Outputs:   []string{"a"},
 	})
-	if err != ErrBusy {
+	if !errors.Is(err, ErrBusy) {
 		t.Fatalf("got %v, want ErrBusy", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("got %T, want *OverloadError", err)
+	}
+	if oe.Reason != "engine_full" || oe.RetryAfter <= 0 {
+		t.Fatalf("overload error = %+v, want reason engine_full with positive RetryAfter", oe)
 	}
 	e.active.Add(-int64(e.cfg.MaxActiveJobs))
 }

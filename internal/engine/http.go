@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/ckks"
@@ -19,12 +20,17 @@ import (
 // base64 of the internal/ckks wire format. The protocol is deliberately
 // poll-based: submit a job, poll its status, fetch the result.
 //
-//	POST /v1/sessions                     {preset|params, evalKeys}  -> {sessionId}
-//	POST /v1/sessions/{sid}/transforms    {name, diags}              -> {name}
-//	POST /v1/sessions/{sid}/jobs          {inputs, ops, outputs}     -> {jobId}
-//	GET  /v1/jobs/{id}                                               -> {status, error?}
-//	GET  /v1/jobs/{id}/result                                        -> {outputs}
-//	GET  /healthz
+//	POST   /v1/sessions                     {preset|params, evalKeys}    -> {sessionId}
+//	DELETE /v1/sessions/{sid}                                            -> {detached}
+//	POST   /v1/sessions/{sid}/transforms    {name, diags}                -> {name}
+//	POST   /v1/sessions/{sid}/jobs          {inputs, ops, outputs, tier} -> {jobId}
+//	GET    /v1/jobs/{id}                                                 -> {status, error?}
+//	GET    /v1/jobs/{id}/result                                          -> {outputs}
+//	GET    /healthz
+//
+// Admission rejections are 429 with a Retry-After header (seconds, derived
+// from the rejected tier's queue depth) and a JSON body carrying the
+// machine-readable rejection reason.
 
 type createSessionRequest struct {
 	// Preset names a built-in parameter set ("test" or "boot"); Params
@@ -51,6 +57,7 @@ type submitJobRequest struct {
 	Ops        []OpSpec          `json:"ops"`
 	Outputs    []string          `json:"outputs"`
 	DeadlineMs int               `json:"deadlineMs,omitempty"`
+	Tier       string            `json:"tier,omitempty"` // latency|standard|batch (default standard)
 }
 
 type jobStatusResponse struct {
@@ -72,6 +79,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeOverload maps a load-shed rejection to 429 with a Retry-After header
+// and a machine-readable reason, so clients can back off instead of
+// hammering a saturated tier.
+func writeOverload(w http.ResponseWriter, err error) {
+	retry, reason, tier := 1, "overloaded", ""
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		if s := int(oe.RetryAfter.Seconds()); s > retry {
+			retry = s
+		}
+		reason, tier = oe.Reason, oe.Tier
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":             err.Error(),
+		"reason":            reason,
+		"tier":              tier,
+		"retryAfterSeconds": retry,
+	})
 }
 
 // decodeJSON decodes a request body into v under the engine's body-size
@@ -119,6 +147,7 @@ func decodeSubmitJob(sid string, body []byte) (JobSpec, error) {
 		Ops:       req.Ops,
 		Outputs:   req.Outputs,
 		Deadline:  time.Duration(req.DeadlineMs) * time.Millisecond,
+		Tier:      req.Tier,
 	}, nil
 }
 
@@ -183,6 +212,15 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		})
 	})
 
+	mux.HandleFunc("DELETE /v1/sessions/{sid}", func(w http.ResponseWriter, r *http.Request) {
+		sid := r.PathValue("sid")
+		if !e.DetachSession(sid) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"sessionId": sid, "status": "detached"})
+	})
+
 	mux.HandleFunc("POST /v1/sessions/{sid}/transforms", func(w http.ResponseWriter, r *http.Request) {
 		sess, ok := e.Session(r.PathValue("sid"))
 		if !ok {
@@ -215,11 +253,9 @@ func NewHTTPHandler(e *Engine) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sessions/{sid}/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// No session existence pre-check: Submit resolves the session itself
+		// and can rematerialize an evicted one through the session loader.
 		sid := r.PathValue("sid")
-		if _, ok := e.Session(sid); !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
-			return
-		}
 		r.Body = http.MaxBytesReader(w, r.Body, e.cfg.MaxBodyBytes)
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
@@ -240,7 +276,10 @@ func NewHTTPHandler(e *Engine) http.Handler {
 		job, err := e.Submit(spec)
 		switch {
 		case errors.Is(err, ErrBusy):
-			writeError(w, http.StatusTooManyRequests, err)
+			writeOverload(w, err)
+			return
+		case err != nil && strings.Contains(err.Error(), "unknown session"):
+			writeError(w, http.StatusNotFound, err)
 			return
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)

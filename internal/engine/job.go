@@ -66,6 +66,10 @@ type JobSpec struct {
 	// Deadline bounds the job's wall-clock time from admission; 0 uses the
 	// engine default.
 	Deadline time.Duration
+	// Tier is the priority tier ("latency", "standard", "batch"); empty
+	// means standard. Latency-tier ops bypass batch staging and dequeue
+	// first; the batch tier trades latency for amortized throughput.
+	Tier string
 }
 
 // Status is a job lifecycle state.
@@ -90,6 +94,8 @@ type Job struct {
 
 	sess   *Session
 	spec   JobSpec
+	tier   string // normalized priority tier
+	tenant string // session ID, for per-tenant admission accounting
 	ctx    context.Context
 	cancel context.CancelFunc
 	span   *obs.Span // root span; op spans are its children

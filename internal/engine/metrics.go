@@ -22,8 +22,21 @@ type engineMetrics struct {
 	fusionFallbacks *obs.Counter
 	workersBusy     *obs.Gauge
 
-	mu    sync.Mutex
-	perOp map[string]*opMetrics
+	opsExpired        *obs.Counter   // ops skipped because their job expired before dispatch
+	batchesDispatched *obs.Counter   // fused dispatch groups (>1 op)
+	batchedOps        *obs.Counter   // ops that rode in fused groups
+	batchOccupancy    *obs.Histogram // ops per fused group
+	sessionsEvicted   *obs.Counter   // sessions dropped by the key cache for space
+
+	mu      sync.Mutex
+	perOp   map[string]*opMetrics
+	perTier map[string]*tierMetrics
+}
+
+// tierMetrics is one priority tier's admission instrument set.
+type tierMetrics struct {
+	admitted *obs.Counter
+	rejected *obs.Counter
 }
 
 // opMetrics is one op kind's instrument set.
@@ -46,8 +59,33 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		fusionOpsFused:  reg.Counter("engine_fusion_ops_eliminated_total"),
 		fusionFallbacks: reg.Counter("engine_fusion_fallbacks_total"),
 		workersBusy:     reg.Gauge("engine_workers_busy"),
-		perOp:           make(map[string]*opMetrics),
+
+		opsExpired:        reg.Counter("engine_ops_expired_total"),
+		batchesDispatched: reg.Counter("engine_batches_dispatched_total"),
+		batchedOps:        reg.Counter("engine_batched_ops_total"),
+		batchOccupancy: reg.HistogramWith("engine_batch_occupancy",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+		sessionsEvicted: reg.Counter("engine_sessions_evicted_total"),
+
+		perOp:   make(map[string]*opMetrics),
+		perTier: make(map[string]*tierMetrics),
 	}
+}
+
+// tier returns (creating on first use) the instrument set for one tier.
+func (m *engineMetrics) tier(name string) *tierMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tm, ok := m.perTier[name]
+	if !ok {
+		label := `{tier="` + name + `"}`
+		tm = &tierMetrics{
+			admitted: m.reg.Counter("engine_tier_jobs_admitted_total" + label),
+			rejected: m.reg.Counter("engine_tier_jobs_rejected_total" + label),
+		}
+		m.perTier[name] = tm
+	}
+	return tm
 }
 
 // op returns (creating on first use) the instrument set for one op kind.

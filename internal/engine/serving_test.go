@@ -1,0 +1,501 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/ckks"
+	"github.com/anaheim-sim/anaheim/internal/obs"
+)
+
+// squareJob is a one-op job spec against sess.
+func squareJob(t *testing.T, client *testClient, sid, tier string) JobSpec {
+	t.Helper()
+	return JobSpec{
+		SessionID: sid,
+		Inputs:    map[string]*ckks.Ciphertext{"x": client.encrypt(t, []complex128{1, 0.5})},
+		Ops:       []OpSpec{{ID: "a", Op: "square", Args: []string{"x"}}},
+		Outputs:   []string{"a"},
+		Tier:      tier,
+	}
+}
+
+func TestTierValidation(t *testing.T) {
+	client := newTestClient(t)
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(squareJob(t, client, sess.ID, "extreme")); err == nil ||
+		!strings.Contains(err.Error(), "unknown tier") {
+		t.Fatalf("unknown tier: got %v", err)
+	}
+	// Empty tier normalizes to standard.
+	job, err := e.Submit(squareJob(t, client, sess.ID, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.tier != TierStandard {
+		t.Fatalf("empty tier normalized to %q", job.tier)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdmissionReasons drives each rejection layer and checks the typed
+// reason: tier capacity share, then per-tenant limit.
+func TestAdmissionReasons(t *testing.T) {
+	client := newTestClient(t)
+	e := New(Config{Workers: 1, MaxActiveJobs: 14})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	overloadReason := func(err error) string {
+		t.Helper()
+		var oe *OverloadError
+		if !errors.As(err, &oe) {
+			t.Fatalf("got %v (%T), want *OverloadError", err, err)
+		}
+		if !errors.Is(err, ErrBusy) {
+			t.Fatal("OverloadError must unwrap to ErrBusy")
+		}
+		return oe.Reason
+	}
+
+	// Tier share: weights 8/4/2 over 14 slots give the batch tier 2.
+	e.mu.Lock()
+	e.tierActive[TierBatch] = e.tierCaps[TierBatch]
+	e.mu.Unlock()
+	_, err = e.Submit(squareJob(t, client, sess.ID, TierBatch))
+	if got := overloadReason(err); got != "tier_full" {
+		t.Fatalf("reason = %q, want tier_full", got)
+	}
+	e.mu.Lock()
+	e.tierActive[TierBatch] = 0
+	e.mu.Unlock()
+
+	// Per-tenant cap.
+	e.mu.Lock()
+	e.tenantActive[sess.ID] = e.cfg.MaxJobsPerTenant
+	e.mu.Unlock()
+	_, err = e.Submit(squareJob(t, client, sess.ID, TierLatency))
+	if got := overloadReason(err); got != "tenant_limit" {
+		t.Fatalf("reason = %q, want tenant_limit", got)
+	}
+	e.mu.Lock()
+	delete(e.tenantActive, sess.ID)
+	e.mu.Unlock()
+
+	// Rejections must not leak session pins: the session stays evictable.
+	if got := e.sessions.Len(); got != 1 {
+		t.Fatalf("sessions resident = %d, want 1", got)
+	}
+}
+
+// TestBatchDispatchCorrectness runs the same multi-tenant workload through a
+// batching engine and checks both that fused groups actually formed and that
+// every job's math is right — batching must be a scheduling optimization,
+// never a semantic one.
+func TestBatchDispatchCorrectness(t *testing.T) {
+	client := newTestClient(t)
+	reg := obs.NewRegistry()
+	e := New(Config{Workers: 2, BatchWindow: 25 * time.Millisecond, MaxBatch: 4, Obs: reg})
+	defer e.Close()
+
+	const tenants = 6
+	u := []complex128{0.5, -1, 2}
+	jobs := make([]*Job, tenants)
+	for i := range jobs {
+		sess, err := e.AttachSession(client.params, client.keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := e.Submit(JobSpec{
+			SessionID: sess.ID,
+			Inputs:    map[string]*ckks.Ciphertext{"x": client.encrypt(t, u)},
+			Ops: []OpSpec{
+				{ID: "s", Op: "square", Args: []string{"x"}},
+				{ID: "o", Op: "add", Args: []string{"s", "s"}},
+			},
+			Outputs: []string{"o"},
+			Tier:    TierBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job
+	}
+	for i, job := range jobs {
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		outs, err := job.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := client.decrypt(outs["o"])
+		for s, want := range []complex128{0.5, 2, 8} { // 2*u^2
+			d := got[s] - want
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+				t.Fatalf("job %d slot %d: got %v, want %v", i, s, got[s], want)
+			}
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["engine_batches_dispatched_total"] == 0 {
+		t.Fatal("no fused groups dispatched despite 6 same-class tenants and a 25ms window")
+	}
+	if snap.Counters["engine_batched_ops_total"] < 2 {
+		t.Fatalf("batched ops = %v, want >= 2", snap.Counters["engine_batched_ops_total"])
+	}
+}
+
+// TestTierIsolation is the admission-control acceptance gate: a saturating
+// batch-tier tenant must not starve the latency tier. The assertion is
+// ordering-based (robust under -race slowdown): every latency job completes
+// while the batch backlog is still draining, and none is rejected for
+// capacity the batch tenant consumed.
+func TestTierIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier isolation test is slow")
+	}
+	client := newTestClient(t)
+	e := New(Config{Workers: 2, MaxActiveJobs: 32, MaxJobsPerTenant: 24,
+		BatchWindow: time.Millisecond, DefaultDeadline: time.Minute})
+	defer e.Close()
+	batchSess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latSess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood: deep sequential chains on the batch tier, filling its share.
+	ct := client.encrypt(t, []complex128{1, 0.5})
+	deepSpec := JobSpec{
+		SessionID: batchSess.ID,
+		Inputs:    map[string]*ckks.Ciphertext{"x": ct},
+		Tier:      TierBatch,
+	}
+	deepSpec.Ops = []OpSpec{{ID: "op0", Op: "square", Args: []string{"x"}}}
+	for i := 1; i < 12; i++ {
+		deepSpec.Ops = append(deepSpec.Ops, OpSpec{ID: fmt.Sprintf("op%d", i), Op: "add",
+			Args: []string{fmt.Sprintf("op%d", i-1), fmt.Sprintf("op%d", i-1)}})
+	}
+	deepSpec.Outputs = []string{"op11"}
+
+	var flood []*Job
+	for i := 0; i < 16; i++ {
+		job, err := e.Submit(deepSpec)
+		if errors.Is(err, ErrBusy) {
+			continue // the batch tier saturating its own share is the premise
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		flood = append(flood, job)
+	}
+	if len(flood) == 0 {
+		t.Fatal("no flood jobs admitted")
+	}
+
+	// Latency jobs submitted into the saturated engine: all must admit
+	// (their tier share is reserved) and complete ahead of the backlog.
+	for i := 0; i < 4; i++ {
+		job, err := e.Submit(squareJob(t, client, latSess.ID, TierLatency))
+		if err != nil {
+			t.Fatalf("latency job %d rejected under batch flood: %v", i, err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatalf("latency job %d: %v", i, err)
+		}
+	}
+	pending := 0
+	for _, job := range flood {
+		if !job.terminal() {
+			pending++
+		}
+	}
+	if pending == 0 {
+		t.Fatal("batch backlog fully drained before latency jobs finished: saturation premise failed")
+	}
+	for _, job := range flood {
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestExpiredNeverDispatched is the deadline/backpressure stress gate: jobs
+// that expire while queued behind a busy worker must terminate with the
+// deadline error, their ops must never reach the evaluator, and the engine
+// must shut down without leaking goroutines (the PR 2 leak gate).
+func TestExpiredNeverDispatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test is slow")
+	}
+	client := newTestClient(t, 1)
+
+	// Warm process-wide lazy pools through a throwaway engine so the
+	// goroutine baseline captures only this test's engine.
+	func() {
+		e := New(Config{Workers: 1})
+		defer e.Close()
+		sess, err := e.AttachSession(client.params, client.keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := e.Submit(squareJob(t, client, sess.ID, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	baseline := runtime.NumGoroutine()
+
+	// QueueSize 1 means at most one dispatch group sits pre-claimed beyond
+	// the busy worker; everything else waits in the tier queues, where
+	// terminal jobs are pruned before dispatch.
+	reg := obs.NewRegistry()
+	e := New(Config{Workers: 1, QueueSize: 1, MaxActiveJobs: 48, MaxJobsPerTenant: 32, Obs: reg})
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Blockers: latency-tier squares keep the single worker saturated. The
+	// latency tier's dequeue priority (credit weight 8) means the first
+	// standard-tier group cannot be offered before eight latency dispatches
+	// — several op-times, far beyond the victims' deadline.
+	ct := client.encrypt(t, []complex128{1})
+	var blockers []*Job
+	for i := 0; i < 12; i++ {
+		job, err := e.Submit(JobSpec{
+			SessionID: sess.ID,
+			Inputs:    map[string]*ckks.Ciphertext{"x": ct},
+			Ops:       []OpSpec{{ID: "s", Op: "square", Args: []string{"x"}}},
+			Outputs:   []string{"s"},
+			Tier:      TierLatency,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockers = append(blockers, job)
+	}
+
+	// Victims: rotate-only standard-tier jobs with deadlines far shorter
+	// than the latency backlog. "rotate" appears in no other job, so its
+	// per-op execution counter staying at zero proves no expired op touched
+	// the evaluator.
+	var victims []*Job
+	for i := 0; i < 8; i++ {
+		job, err := e.Submit(JobSpec{
+			SessionID: sess.ID,
+			Inputs:    map[string]*ckks.Ciphertext{"x": ct},
+			Ops:       []OpSpec{{ID: "r", Op: "rotate", Args: []string{"x"}, K: 1}},
+			Outputs:   []string{"r"},
+			Deadline:  500 * time.Microsecond,
+		})
+		if errors.Is(err, ErrBusy) {
+			continue // full backpressure shedding some victims is fine
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		victims = append(victims, job)
+	}
+	if len(victims) == 0 {
+		t.Fatal("no victim jobs admitted")
+	}
+	for _, job := range victims {
+		err := job.Wait(context.Background())
+		if err == nil || (!errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline")) {
+			t.Errorf("victim: want deadline error, got %v", err)
+		}
+	}
+	for _, job := range blockers {
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatalf("blocker: %v", err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`engine_ops_total{op="rotate"}`]; got != 0 {
+		t.Errorf("expired rotate ops executed %v times, want 0", got)
+	}
+
+	e.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			n := runtime.NumGoroutine()
+			var buf strings.Builder
+			pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			t.Fatalf("goroutine leak: %d after close, baseline %d\n%s", n, baseline, buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSessionDetachAndClose covers the session lifetime fixes: detach
+// removes key bytes from the cache, running jobs survive a detach, and
+// Close releases every session's key material deterministically.
+func TestSessionDetachAndClose(t *testing.T) {
+	client := newTestClient(t)
+	e := New(Config{Workers: 1})
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.KeyBytes() <= 0 {
+		t.Fatal("session key bytes not measured")
+	}
+	if got := e.sessions.Bytes(); got != sess.KeyBytes() {
+		t.Fatalf("cache bytes = %d, want %d", got, sess.KeyBytes())
+	}
+
+	job, err := e.Submit(squareJob(t, client, sess.ID, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.DetachSession(sess.ID) {
+		t.Fatal("DetachSession on live session reported not found")
+	}
+	if e.DetachSession(sess.ID) {
+		t.Fatal("second DetachSession reported found")
+	}
+	// The in-flight job keeps its reference and still completes.
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatalf("job after detach: %v", err)
+	}
+	if _, err := e.Submit(squareJob(t, client, sess.ID, "")); err == nil ||
+		!strings.Contains(err.Error(), "unknown session") {
+		t.Fatalf("submit on detached session: got %v", err)
+	}
+
+	sess2, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if sess2.Keys != nil || sess2.Eval != nil {
+		t.Fatal("Close did not release session key material")
+	}
+	if e.sessions.Len() != 0 {
+		t.Fatalf("sessions resident after close: %d", e.sessions.Len())
+	}
+	if _, err := e.Submit(squareJob(t, client, sess2.ID, "")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestSessionLoaderRematerializes wires the rematerialization hook: a
+// detached (evicted) session comes back through Config.SessionLoader, and
+// concurrent submits coalesce onto one load.
+func TestSessionLoaderRematerializes(t *testing.T) {
+	client := newTestClient(t)
+	var loads int
+	var mu sync.Mutex
+	var e *Engine
+	e = New(Config{Workers: 2, SessionLoader: func(id string) (*Session, error) {
+		mu.Lock()
+		loads++
+		mu.Unlock()
+		return NewSession(id, client.params, client.keys)
+	}})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DetachSession(sess.ID) // simulate eviction
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job, err := e.Submit(squareJob(t, client, sess.ID, ""))
+			if err != nil {
+				t.Errorf("submit after eviction: %v", err)
+				return
+			}
+			if err := job.Wait(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if loads < 1 {
+		t.Fatal("loader never ran")
+	}
+	// Coalescing: 8 concurrent submits on one evicted key should land far
+	// fewer than 8 loads; exactly-once is guaranteed only while the flight
+	// is open, so allow the (rare) sequential-miss case.
+	if loads > 3 {
+		t.Fatalf("loader ran %d times for 8 concurrent submits", loads)
+	}
+}
+
+// TestServingMetricsExported is the export-shape gate for the serving
+// capacity gauge family and the batching counters.
+func TestServingMetricsExported(t *testing.T) {
+	client := newTestClient(t)
+	reg := obs.NewRegistry()
+	e := New(Config{Workers: 1, Obs: reg})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := e.Submit(squareJob(t, client, sess.ID, TierLatency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"engine_sessions_live 1",
+		"engine_evalkey_resident_bytes",
+		`engine_tier_queue_depth{tier="latency"}`,
+		`engine_tier_queue_depth{tier="standard"}`,
+		`engine_tier_queue_depth{tier="batch"}`,
+		`engine_tier_active_jobs{tier="latency"}`,
+		`engine_tier_jobs_admitted_total{tier="latency"} 1`,
+		"engine_batches_dispatched_total",
+		"engine_ops_expired_total",
+		`keycache_resident_bytes{cache="sessions"}`,
+		`keycache_hits_total{cache="sessions"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus export missing %q", want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/ckks"
+	"github.com/anaheim-sim/anaheim/internal/ring"
 )
 
 // Session is one client's serving context: compiled parameters, the
@@ -16,6 +17,10 @@ import (
 // A Session is safe for concurrent use: the evaluator's lazy caches are
 // internally locked and every op allocates its outputs. The session mutex
 // only serializes the few stateful extras (bootstrapper, transform map).
+//
+// Sessions live in the engine's byte-bounded key cache, keyed by ID and
+// costed by their evaluation-key size; cold sessions are evicted under
+// memory pressure and come back through Config.SessionLoader.
 type Session struct {
 	ID      string
 	Params  *ckks.Parameters
@@ -24,9 +29,75 @@ type Session struct {
 	Enc     *ckks.Encoder
 	Created time.Time
 
+	keyBytes int64
+
 	mu         sync.Mutex
 	boot       *ckks.Bootstrapper
 	transforms map[string]*ckks.LinearTransform
+}
+
+// NewSession builds a session object without registering it anywhere — the
+// constructor Config.SessionLoader implementations use to rematerialize an
+// evicted tenant.
+func NewSession(id string, params *ckks.Parameters, keys *ckks.EvaluationKeySet) (*Session, error) {
+	if keys == nil {
+		return nil, fmt.Errorf("engine: session needs an evaluation key set")
+	}
+	return &Session{
+		ID:         id,
+		Params:     params,
+		Keys:       keys,
+		Eval:       ckks.NewEvaluator(params, keys),
+		Enc:        ckks.NewEncoder(params),
+		Created:    time.Now(),
+		keyBytes:   evalKeySetBytes(keys),
+		transforms: make(map[string]*ckks.LinearTransform),
+	}, nil
+}
+
+// KeyBytes is the measured size of the session's evaluation-key material —
+// the cost the key cache accounts this session at.
+func (s *Session) KeyBytes() int64 { return s.keyBytes }
+
+// release drops the session's references to its key material and evaluator
+// so the (large) evaluation keys become collectable deterministically
+// instead of waiting on cache churn. Only called once no job can still use
+// the session (engine Close after the worker pool drained).
+func (s *Session) release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Keys = nil
+	s.Eval = nil
+	s.Enc = nil
+	s.boot = nil
+	s.transforms = nil
+}
+
+// evalKeySetBytes measures a key set's coefficient payload: every switching
+// key is D digit polynomials over Q plus the P extension, 8 bytes per
+// coefficient. Struct overhead is noise next to the coefficient arrays.
+func evalKeySetBytes(keys *ckks.EvaluationKeySet) int64 {
+	var n int64
+	n += switchingKeyBytes(keys.Rlk)
+	for _, k := range keys.Gal {
+		n += switchingKeyBytes(k)
+	}
+	return n
+}
+
+func switchingKeyBytes(k *ckks.SwitchingKey) int64 {
+	if k == nil {
+		return 0
+	}
+	var n int64
+	for _, ps := range [][]*ring.Poly{k.BQ, k.AQ, k.BP, k.AP} {
+		for _, p := range ps {
+			if p != nil && len(p.Coeffs) > 0 {
+				n += int64(len(p.Coeffs)) * int64(len(p.Coeffs[0])) * 8
+			}
+		}
+	}
+	return n
 }
 
 // CreateSession compiles a parameter literal, binds the client's evaluation
@@ -40,42 +111,67 @@ func (e *Engine) CreateSession(lit ckks.ParametersLiteral, keys *ckks.Evaluation
 }
 
 // AttachSession registers a session over already-compiled parameters (the
-// embedded path, where the caller owns a full local context).
+// embedded path, where the caller owns a full local context). The session
+// enters the key cache costed at its measured evaluation-key size; under
+// memory pressure it can be evicted and — if a SessionLoader is configured —
+// rematerialized on next use.
 func (e *Engine) AttachSession(params *ckks.Parameters, keys *ckks.EvaluationKeySet) (*Session, error) {
-	if keys == nil {
-		return nil, fmt.Errorf("engine: session needs an evaluation key set")
-	}
-	s := &Session{
-		ID:         e.newID("sess"),
-		Params:     params,
-		Keys:       keys,
-		Eval:       ckks.NewEvaluator(params, keys),
-		Enc:        ckks.NewEncoder(params),
-		Created:    time.Now(),
-		transforms: make(map[string]*ckks.LinearTransform),
+	s, err := NewSession(e.newID("sess"), params, keys)
+	if err != nil {
+		return nil, err
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
 		return nil, ErrClosed
 	}
-	e.sessions[s.ID] = s
+	e.sessions.Put(s.ID, s, s.keyBytes)
 	return s, nil
 }
 
-// Session returns a registered session by ID.
+// Session returns a resident session by ID. It does not trigger
+// rematerialization; Submit does.
 func (e *Engine) Session(id string) (*Session, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.sessions[id]
-	return s, ok
+	return e.sessions.Get(id)
 }
 
-// DropSession removes a session; running jobs keep their reference.
-func (e *Engine) DropSession(id string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.sessions, id)
+// DetachSession removes a session and reports whether it was resident.
+// Running jobs keep their pinned reference and finish normally; the
+// session's key bytes just stop being accounted (and a detached session is
+// not rematerialized unless re-attached or re-loaded).
+func (e *Engine) DetachSession(id string) bool {
+	_, ok := e.sessions.Remove(id)
+	return ok
+}
+
+// DropSession is DetachSession without the report (kept for callers of the
+// original API).
+func (e *Engine) DropSession(id string) { e.sessions.Remove(id) }
+
+// acquireSession resolves and pins a session for a job, rematerializing an
+// evicted one through Config.SessionLoader (concurrent misses on the same
+// tenant coalesce onto a single load). The caller owns one Unpin.
+func (e *Engine) acquireSession(id string) (*Session, error) {
+	var load func() (*Session, int64, error)
+	if e.cfg.SessionLoader != nil {
+		loader := e.cfg.SessionLoader
+		load = func() (*Session, int64, error) {
+			s, err := loader(id)
+			if err != nil {
+				return nil, 0, err
+			}
+			if s == nil {
+				return nil, 0, fmt.Errorf("session loader returned nil")
+			}
+			return s, s.keyBytes, nil
+		}
+	}
+	s, err := e.sessions.Acquire(id, load)
+	if err != nil {
+		return nil, fmt.Errorf("engine: unknown session %q: %w", id, err)
+	}
+	return s, nil
 }
 
 // SetBootstrapper enables the "bootstrap" op for embedded sessions (the

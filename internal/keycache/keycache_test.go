@@ -1,0 +1,252 @@
+package keycache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
+)
+
+func newTestCache(t *testing.T, budget int64, shards int) (*Cache[string], *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	c := New[string](Config{
+		Shards:      shards,
+		BudgetBytes: budget,
+		Name:        "test",
+		Obs:         reg,
+	}, nil)
+	return c, reg
+}
+
+func TestPutGetTouch(t *testing.T) {
+	c, reg := newTestCache(t, 0, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", "va", 10)
+	c.Put("b", "vb", 20)
+	if v, ok := c.Get("a"); !ok || v != "va" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	if got := c.Bytes(); got != 30 {
+		t.Fatalf("Bytes() = %d, want 30", got)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	// Replacing re-accounts bytes.
+	c.Put("a", "va2", 15)
+	if got := c.Bytes(); got != 35 {
+		t.Fatalf("Bytes() after replace = %d, want 35", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[`keycache_hits_total{cache="test"}`] != 1 ||
+		snap.Counters[`keycache_misses_total{cache="test"}`] != 1 {
+		t.Fatalf("hit/miss counters wrong: %v", snap.Counters)
+	}
+}
+
+// TestLRUEvictionUnderBudget verifies least-recently-used entries are evicted
+// first when the byte budget is exceeded, and that eviction metrics and the
+// onEvict hook fire.
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	var evicted []string
+	c := New[string](Config{Shards: 1, BudgetBytes: 100, Name: "evict", Obs: reg},
+		func(key string, _ string) { evicted = append(evicted, key) })
+
+	c.Put("a", "va", 40)
+	c.Put("b", "vb", 40)
+	c.Get("a") // a is now more recent than b
+	c.Put("c", "vc", 40)
+
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b (LRU) should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) must survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c (just inserted) must survive")
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if c.Bytes() != 80 {
+		t.Fatalf("Bytes() = %d, want 80", c.Bytes())
+	}
+	if got := reg.Snapshot().Counters[`keycache_evictions_total{cache="evict"}`]; got != 1 {
+		t.Fatalf("evictions counter = %v, want 1", got)
+	}
+}
+
+// TestPinnedNeverEvicted verifies pinned entries survive even when the shard
+// is over budget, and become evictable again after Unpin.
+func TestPinnedNeverEvicted(t *testing.T) {
+	c, _ := newTestCache(t, 100, 1)
+	c.Put("a", "va", 60)
+	if !c.Pin("a") {
+		t.Fatal("Pin(a) on resident entry failed")
+	}
+	c.Put("b", "vb", 60) // over budget: a is LRU but pinned, so b fits by exceeding budget
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("pinned entry was evicted")
+	}
+	c.Unpin("a")
+	c.Put("c", "vc", 60) // now a (LRU, unpinned) goes
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("unpinned LRU entry should have been evicted")
+	}
+}
+
+// TestSingleflightExactlyOnce is the acceptance gate: after an eviction, 100
+// concurrent requesters for the same key must run the loader exactly once,
+// with every requester observing the loaded value.
+func TestSingleflightExactlyOnce(t *testing.T) {
+	c, reg := newTestCache(t, 1<<20, 4)
+	c.Put("tenant", "v0", 100)
+	c.Remove("tenant") // simulate eviction
+
+	var loads atomic.Int64
+	release := make(chan struct{})
+	load := func() (string, int64, error) {
+		loads.Add(1)
+		<-release // hold the flight open so every requester piles onto it
+		return "vloaded", 100, nil
+	}
+
+	const requesters = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, requesters)
+	started := make(chan struct{}, requesters)
+	for i := 0; i < requesters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			v, err := c.Acquire("tenant", load)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v != "vloaded" {
+				errs <- fmt.Errorf("got %q, want vloaded", v)
+				return
+			}
+			c.Unpin("tenant")
+		}()
+	}
+	for i := 0; i < requesters; i++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times, want exactly 1", n)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[`keycache_loads_total{cache="test"}`] != 1 {
+		t.Fatalf("loads counter = %v, want 1", snap.Counters)
+	}
+}
+
+func TestGetOrLoadError(t *testing.T) {
+	c, _ := newTestCache(t, 0, 2)
+	wantErr := fmt.Errorf("storage down")
+	if _, err := c.GetOrLoad("k", func() (string, int64, error) { return "", 0, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// A failed load leaves nothing resident and a later load can succeed.
+	if c.Len() != 0 {
+		t.Fatalf("failed load left %d entries resident", c.Len())
+	}
+	v, err := c.GetOrLoad("k", func() (string, int64, error) { return "ok", 5, nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after failed load: %q, %v", v, err)
+	}
+	// No loader and not resident is a typed miss.
+	if _, err := c.GetOrLoad("missing", nil); err == nil || !strings.Contains(err.Error(), "no loader") {
+		t.Fatalf("nil loader miss: %v", err)
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	c, _ := newTestCache(t, 0, 4)
+	for i := 0; i < 32; i++ {
+		c.Put(fmt.Sprintf("k%d", i), "v", 8)
+	}
+	if v, ok := c.Remove("k7"); !ok || v != "v" {
+		t.Fatalf("Remove(k7) = %q, %v", v, ok)
+	}
+	if _, ok := c.Get("k7"); ok {
+		t.Fatal("removed entry still resident")
+	}
+	// Remove while pinned is allowed: the caller keeps its reference, the
+	// cache just stops accounting the bytes.
+	c.Pin("k8")
+	if _, ok := c.Remove("k8"); !ok {
+		t.Fatal("Remove of pinned entry failed")
+	}
+	c.Unpin("k8") // no-op on non-resident key
+
+	var cleared []string
+	c.Clear(func(key string, _ string) { cleared = append(cleared, key) })
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("Clear left %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+	if len(cleared) != 30 {
+		t.Fatalf("Clear visited %d entries, want 30", len(cleared))
+	}
+}
+
+// TestConcurrentChurn hammers every operation from many goroutines; run
+// under -race this is the cache's concurrency-safety gate.
+func TestConcurrentChurn(t *testing.T) {
+	c, _ := newTestCache(t, 4096, 8)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%64)
+				switch i % 5 {
+				case 0:
+					c.Put(key, key, int64(64+i%128))
+				case 1:
+					c.Get(key)
+				case 2:
+					v, err := c.Acquire(key, func() (string, int64, error) { return key, 64, nil })
+					if err == nil && v != key {
+						t.Errorf("Acquire(%s) = %q", key, v)
+					}
+					if err == nil {
+						c.Unpin(key)
+					}
+				case 3:
+					c.Remove(key)
+				case 4:
+					c.Bytes()
+					c.Len()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.Range(func(key, val string) bool {
+		if key != val {
+			t.Errorf("entry %q holds %q", key, val)
+		}
+		return true
+	})
+}
