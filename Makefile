@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench micro load fuzz bench-compare profile serve clean
+.PHONY: all build vet lint test race bench micro load fuzz bench-compare cover profile serve clean
 
 all: vet build test
 
@@ -48,9 +48,27 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCiphertextUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
 	$(GO) test -run=^$$ -fuzz=FuzzEvaluationKeySetUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
+	$(GO) test -run=^$$ -fuzz=FuzzGadgetPlan -fuzztime=$(FUZZTIME) ./internal/ckks
 	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=$(FUZZTIME) ./internal/engine
 	$(GO) test -run=^$$ -fuzz=FuzzNTTRoundTrip -fuzztime=$(FUZZTIME) ./internal/ntt
 	$(GO) test -run=^$$ -fuzz=FuzzBConv -fuzztime=$(FUZZTIME) ./internal/rns
+
+# Coverage profile + per-package summary. The crypto core (internal/ckks,
+# internal/rns) carries the correctness burden — below 70% statement
+# coverage there the run warns loudly (but does not fail: coverage is a
+# visibility tool, the differential tests are the gate).
+COVER_FLOOR ?= 70
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./... | tee coverage.txt
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@for pkg in internal/ckks internal/rns; do \
+		pct="$$(grep "/$$pkg	" coverage.txt | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')"; \
+		if [ -z "$$pct" ]; then echo "WARNING: no coverage figure for $$pkg"; continue; fi; \
+		echo "$$pkg: $$pct%"; \
+		if [ "$$(printf '%.0f' "$$pct")" -lt "$(COVER_FLOOR)" ]; then \
+			echo "WARNING: $$pkg coverage $$pct% below $(COVER_FLOOR)% floor"; \
+		fi; \
+	done
 
 # CPU profiles for the two hot paths: the NTT transform kernels and the full
 # key-switch pipeline (ModUp -> KeyMult -> ModDown, which exercises the

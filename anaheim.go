@@ -86,6 +86,17 @@ func SetFusion(on bool) { ckks.SetFusion(on) }
 // FusionEnabled reports whether the fused ring-kernel paths are active.
 func FusionEnabled() bool { return ckks.FusionEnabled() }
 
+// SetLevelAware toggles the process-wide level-aware key-switch gadget
+// plans: low-level key switches use a smaller special-modulus prefix and
+// wider digits chosen from the level's noise headroom. On by default;
+// turning it off pins every key switch to the legacy level-oblivious shape,
+// which is what the level-aware differential tests and benchmarks compare
+// against.
+func SetLevelAware(on bool) { ckks.SetLevelAware(on) }
+
+// LevelAwareEnabled reports whether level-aware key switching is active.
+func LevelAwareEnabled() bool { return ckks.LevelAwareEnabled() }
+
 // TestParameters returns a small, fast, insecure parameter set.
 func TestParameters() ParametersLiteral { return ckks.TestParameters() }
 

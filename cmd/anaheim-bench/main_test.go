@@ -20,6 +20,10 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 	prevBConv := bconvGrid
 	bconvGrid.logNs, bconvGrid.limbs = []int{12}, []int{4}
 	defer func() { bconvGrid = prevBConv }()
+	prevKSLevel := ksLevelGrid
+	ksLevelGrid.logNs = []int{12}
+	ksLevelGrid.levels = ksLevelGrid.levels[:1] // low only; full grid is `make micro`
+	defer func() { ksLevelGrid = prevKSLevel }()
 	var sb strings.Builder
 	if err := runMicro(&sb, true, "both"); err != nil {
 		t.Fatal(err)

@@ -367,6 +367,58 @@ func addBConvBenches(benches map[string]func(b *testing.B)) {
 	}
 }
 
+// ksLevelGrid is the level-aware keyswitch grid: a 16-limb chain per logN,
+// measured at a low, mid, and top level with the level-aware plans on
+// (-levelaware rows) and off (-leveloblivious rows). The top-level pair
+// must tie — the top plan is pinned to the legacy shape — while the low
+// rows carry the payoff. A package variable so the JSON shape test can
+// shrink it.
+var ksLevelGrid = struct {
+	logNs  []int
+	limbs  int
+	levels []struct {
+		name string
+		lvl  int
+	}
+}{
+	logNs: []int{12, 13, 14, 15},
+	limbs: 16,
+	levels: []struct {
+		name string
+		lvl  int
+	}{{"low", 0}, {"mid", 7}, {"top", 15}},
+}
+
+// addLevelAwareBenches registers the keyswitch-levelaware grid rows.
+func addLevelAwareBenches(benches map[string]func(b *testing.B)) {
+	for _, logN := range ksLevelGrid.logNs {
+		for _, lv := range ksLevelGrid.levels {
+			for _, aware := range []bool{true, false} {
+				mode := "levelaware"
+				if !aware {
+					mode = "leveloblivious"
+				}
+				name := fmt.Sprintf("keyswitch-%s-n%d-%s", mode, logN, lv.name)
+				logN, lvl, aware := logN, lv.lvl, aware
+				benches[name] = func(b *testing.B) {
+					ev, ct, rlk, err := ksBenchSetup(logN, ksLevelGrid.limbs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ctL := ev.DropLevel(ct, lvl)
+					prev := ckks.LevelAwareEnabled()
+					ckks.SetLevelAware(aware)
+					defer ckks.SetLevelAware(prev)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						ev.SwitchKeys(ctL, rlk)
+					}
+				}
+			}
+		}
+	}
+}
+
 // runMicro benchmarks the FHE hot ops at the test-scale parameter set and
 // writes machine-readable JSON. testing.Benchmark picks the iteration count,
 // so wall-clock stays in seconds even on slow hosts. withMetrics attaches
@@ -438,6 +490,7 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
 
 	addNTTBenches(benches)
 	addBConvBenches(benches)
+	addLevelAwareBenches(benches)
 
 	// Fused-path functional benchmarks: the hoisted linear transform and a
 	// full bootstrap, each in the requested fusion modes. These are the two

@@ -20,13 +20,25 @@ type Evaluator struct {
 	keys   *EvaluationKeySet
 
 	mu         sync.Mutex
-	digitConv  map[int]*rns.BasisConverter // (level<<8 | digit) -> Q_d -> Q+P
-	pToQConv   map[int]*rns.BasisConverter // level -> P -> Q_level
-	rescalers  map[int]*rns.Rescaler       // level -> cached rescale constants
-	pInvModQ   []uint64                    // P^{-1} mod q_i (full chain)
-	monomialNT map[int]*ring.Poly          // level -> NTT(X^{N/2})
+	digitConv  map[digitConvKey]*rns.BasisConverter // digit group -> Q_level ∪ P_alpha
+	pToQConv   map[pToQKey]*rns.BasisConverter      // P_alpha -> Q_level
+	rescalers  map[int]*rns.Rescaler                // level -> cached rescale constants
+	pInvModQ   [][]uint64                           // alpha -> P_alpha^{-1} mod q_i (full chain)
+	monomialNT map[int]*ring.Poly                   // level -> NTT(X^{N/2})
 
 	rowsPool sync.Pool // *[][]uint64: Decompose's per-digit BConv target headers
+}
+
+// digitConvKey identifies one ModUp digit converter: the gadget shape
+// (alpha, width) changes both the source limb group and the P extension.
+type digitConvKey struct {
+	level, digit, alpha, width int
+}
+
+// pToQKey identifies a ModDown converter: the source basis is the P prefix
+// p_0···p_{alpha-1}.
+type pToQKey struct {
+	level, alpha int
 }
 
 // NewEvaluator binds a key set (which may be extended later; the map is
@@ -35,13 +47,46 @@ func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
 	ev := &Evaluator{
 		params:     params,
 		keys:       keys,
-		digitConv:  make(map[int]*rns.BasisConverter),
-		pToQConv:   make(map[int]*rns.BasisConverter),
+		digitConv:  make(map[digitConvKey]*rns.BasisConverter),
+		pToQConv:   make(map[pToQKey]*rns.BasisConverter),
 		rescalers:  make(map[int]*rns.Rescaler),
 		monomialNT: make(map[int]*ring.Poly),
 	}
-	ev.pInvModQ = rns.ProductInvMod(params.RingP().Moduli, params.RingQ().Moduli)
+	// P_alpha^{-1} mod q_i for every prefix length the plans may use,
+	// computed eagerly so the hot paths never take the lock for them.
+	aTop := params.Alpha()
+	ev.pInvModQ = make([][]uint64, aTop+1)
+	for a := 1; a <= aTop; a++ {
+		ev.pInvModQ[a] = rns.ProductInvMod(params.RingP().Moduli[:a], params.RingQ().Moduli)
+	}
 	return ev
+}
+
+// trunc returns p viewed at lvl, avoiding the 3-word Truncated header
+// allocation when p is already there (the top-level legacy hot path).
+func trunc(p *ring.Poly, lvl int) *ring.Poly {
+	if p.Level() == lvl {
+		return p
+	}
+	return p.Truncated(lvl)
+}
+
+// planFor picks the gadget plan for a key switch at lvl consumed by the
+// given keys: the level's plan when level-aware switching is on and every
+// key carries the matching band, else the legacy plan (notably for keys
+// unmarshalled from pre-band blobs).
+func (ev *Evaluator) planFor(lvl int, keys ...*SwitchingKey) GadgetPlan {
+	pl := ev.params.PlanAt(lvl)
+	if !LevelAwareEnabled() || ev.params.IsLegacyPlan(pl) {
+		return ev.params.LegacyPlanAt(lvl)
+	}
+	aTop := ev.params.Alpha()
+	for _, k := range keys {
+		if _, _, _, _, ok := k.gadget(pl, aTop); !ok {
+			return ev.params.LegacyPlanAt(lvl)
+		}
+	}
+	return pl
 }
 
 // Params returns the bound parameter set.
@@ -119,20 +164,20 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 // ---------------------------------------------------------------------------
 // Key switching: ModUp -> KeyMult/MAC -> ModDown (Fig 1)
 
-// digitConverter returns the cached BConv for digit d at the given level.
-func (ev *Evaluator) digitConverter(level, digit int) *rns.BasisConverter {
-	key := level<<8 | digit
+// digitConverter returns the cached BConv for one digit group of a gadget
+// shape: Q limbs [digit·width, …) -> Q_level ∪ P_alpha.
+func (ev *Evaluator) digitConverter(level, digit, alpha, width int) *rns.BasisConverter {
+	key := digitConvKey{level: level, digit: digit, alpha: alpha, width: width}
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
 	if c, ok := ev.digitConv[key]; ok {
 		return c
 	}
 	p := ev.params
-	alpha := p.Alpha()
-	lo, hi := digit*alpha, min((digit+1)*alpha, level+1)
+	lo, hi := digit*width, min((digit+1)*width, level+1)
 	from := p.RingQ().Moduli[lo:hi]
-	to := make([]modarith.Modulus, 0, level+1+p.Alpha())
-	to = append(append(to, p.RingQ().Moduli[:level+1]...), p.RingP().Moduli...)
+	to := make([]modarith.Modulus, 0, level+1+alpha)
+	to = append(append(to, p.RingQ().Moduli[:level+1]...), p.RingP().Moduli[:alpha]...)
 	bc, err := rns.NewBasisConverter(from, to)
 	if err != nil {
 		panic(err)
@@ -141,19 +186,20 @@ func (ev *Evaluator) digitConverter(level, digit int) *rns.BasisConverter {
 	return bc
 }
 
-// pToQConverter returns the cached BConv P -> Q_level.
-func (ev *Evaluator) pToQConverter(level int) *rns.BasisConverter {
+// pToQConverter returns the cached BConv P_alpha -> Q_level.
+func (ev *Evaluator) pToQConverter(level, alpha int) *rns.BasisConverter {
+	key := pToQKey{level: level, alpha: alpha}
 	ev.mu.Lock()
 	defer ev.mu.Unlock()
-	if c, ok := ev.pToQConv[level]; ok {
+	if c, ok := ev.pToQConv[key]; ok {
 		return c
 	}
 	p := ev.params
-	bc, err := rns.NewBasisConverter(p.RingP().Moduli, p.RingQ().Moduli[:level+1])
+	bc, err := rns.NewBasisConverter(p.RingP().Moduli[:alpha], p.RingQ().Moduli[:level+1])
 	if err != nil {
 		panic(err)
 	}
-	ev.pToQConv[level] = bc
+	ev.pToQConv[key] = bc
 	return bc
 }
 
@@ -197,8 +243,9 @@ func (ev *Evaluator) putRows(p *[][]uint64) {
 // is exactly the hoisting optimization of §III-B.
 type decomposed struct {
 	level int
+	plan  GadgetPlan   // gadget shape the digits were cut with
 	q     []*ring.Poly // digit -> poly at level
-	p     []*ring.Poly // digit -> poly over RingP
+	p     []*ring.Poly // digit -> poly over RingP at level plan.Alpha-1
 	// lazy records that the digit coefficients are in [0, 2q) rather than
 	// [0, q): the fused gadget-product MACs tolerate lazy multiplicands
 	// (MulBarrettLazy's bound holds for operands < 2q), so Decompose skips
@@ -207,35 +254,47 @@ type decomposed struct {
 	lazy bool
 }
 
-// Decompose performs ModUp on c (NTT, level lvl): for each digit d it
-// INTTs the digit's limbs, base-converts them to the full basis, and NTTs
-// the result (the INTT -> BConv -> NTT "ModSwitch" sequence of §II-B).
-// The digit polynomials are borrowed from the ring buffer pools; callers
-// that are done with the decomposition should release it via dec.release.
+// Decompose performs ModUp on c (NTT, level lvl) under the level's gadget
+// plan. Callers that consume the digits against specific switching keys
+// should prefer decomposePlan with planFor(lvl, keys...), which falls back
+// to the legacy shape when a key lacks the plan's band.
 func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
+	return ev.decomposePlan(c, lvl, ev.planFor(lvl))
+}
+
+// decomposePlan performs ModUp on c (NTT, level lvl): for each digit d of
+// the plan it INTTs the digit's limbs, base-converts them to the extended
+// basis Q_lvl ∪ P_alpha, and NTTs the result (the INTT -> BConv -> NTT
+// "ModSwitch" sequence of §II-B). The digit polynomials are borrowed from
+// the ring buffer pools; callers that are done with the decomposition
+// should release it via dec.release.
+func (ev *Evaluator) decomposePlan(c *ring.Poly, lvl int, pl GadgetPlan) *decomposed {
 	defer obsKSBConv.done(time.Now())
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
-	alpha := p.Alpha()
-	digits := p.Digits(lvl)
+	width := pl.Width
+	digits := pl.Digits
+	lvlP := pl.Alpha - 1
+	obsKSPlanAlpha.Observe(float64(pl.Alpha))
+	obsKSDigits.Observe(float64(digits))
 
 	coeff := rq.GetPoly(lvl)
-	coeff.Copy(c.Truncated(lvl))
+	coeff.Copy(trunc(c, lvl))
 	rq.INTT(coeff, lvl)
 
-	dec := &decomposed{level: lvl, q: make([]*ring.Poly, digits), p: make([]*ring.Poly, digits)}
+	dec := &decomposed{level: lvl, plan: pl, q: make([]*ring.Poly, digits), p: make([]*ring.Poly, digits)}
 	dec.lazy = FusionEnabled()
 	nTargetsQ := lvl + 1
-	rowsPtr := ev.getRows(nTargetsQ + rp.MaxLevel() + 1)
+	rowsPtr := ev.getRows(nTargetsQ + lvlP + 1)
 	outRows := *rowsPtr
 	for d := 0; d < digits; d++ {
-		lo, hi := d*alpha, min((d+1)*alpha, lvl+1)
-		bc := ev.digitConverter(lvl, d)
+		lo, hi := d*width, min((d+1)*width, lvl+1)
+		bc := ev.digitConverter(lvl, d, pl.Alpha, width)
 		in := coeff.Coeffs[lo:hi]
 		pq := rq.GetPoly(lvl)
-		pp := rp.GetPoly(rp.MaxLevel())
+		pp := rp.GetPoly(lvlP)
 		copy(outRows[:nTargetsQ], pq.Coeffs)
-		copy(outRows[nTargetsQ:], pp.Coeffs)
+		copy(outRows[nTargetsQ:], pp.Coeffs[:lvlP+1])
 		if dec.lazy {
 			// The digits only feed the lazy gadget-product MACs, which
 			// tolerate [0, 2q) multiplicands — keep the whole BConv -> NTT
@@ -244,11 +303,11 @@ func (ev *Evaluator) Decompose(c *ring.Poly, lvl int) *decomposed {
 			// and the exit reduction is skipped too.
 			bc.ConvertLazy(outRows, in)
 			rq.NTTLazy(pq, lvl)
-			rp.NTTLazy(pp, rp.MaxLevel())
+			rp.NTTLazy(pp, lvlP)
 		} else {
 			bc.Convert(outRows, in)
 			rq.NTT(pq, lvl)
-			rp.NTT(pp, rp.MaxLevel())
+			rp.NTT(pp, lvlP)
 		}
 		dec.q[d], dec.p[d] = pq, pp
 	}
@@ -276,7 +335,7 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	lvl := dec.level
-	lvlP := rp.MaxLevel()
+	lvlP := dec.plan.Alpha - 1
 	u0q, u1q = rq.GetPoly(lvl), rq.GetPoly(lvl)
 	u0p, u1p = rp.GetPoly(lvlP), rp.GetPoly(lvlP)
 	u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
@@ -299,11 +358,15 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 		}
 		dec.lazy = false
 	}
+	bQ, aQ, bP, aP, ok := swk.gadget(dec.plan, p.Alpha())
+	if !ok {
+		panic("ckks: switching key lacks the band for the decomposition's gadget plan")
+	}
 	for d := range dec.q {
-		rq.MulCoeffsAdd(u0q, dec.q[d], swk.BQ[d].Truncated(lvl), lvl)
-		rq.MulCoeffsAdd(u1q, dec.q[d], swk.AQ[d].Truncated(lvl), lvl)
-		rp.MulCoeffsAdd(u0p, dec.p[d], swk.BP[d], lvlP)
-		rp.MulCoeffsAdd(u1p, dec.p[d], swk.AP[d], lvlP)
+		rq.MulCoeffsAdd(u0q, dec.q[d], trunc(bQ[d], lvl), lvl)
+		rq.MulCoeffsAdd(u1q, dec.q[d], trunc(aQ[d], lvl), lvl)
+		rp.MulCoeffsAdd(u0p, dec.p[d], trunc(bP[d], lvlP), lvlP)
+		rp.MulCoeffsAdd(u1p, dec.p[d], trunc(aP[d], lvlP), lvlP)
 	}
 	return
 }
@@ -317,26 +380,34 @@ func (ev *Evaluator) gadgetProductLazyInto(dec *decomposed, swk *SwitchingKey, u
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	lvl := dec.level
-	lvlP := rp.MaxLevel()
+	lvlP := dec.plan.Alpha - 1
+	bQ, aQ, bP, aP, ok := swk.gadget(dec.plan, p.Alpha())
+	if !ok {
+		panic("ckks: switching key lacks the band for the decomposition's gadget plan")
+	}
 	for d := range dec.q {
-		rq.MulCoeffsAddLazy(u0q, dec.q[d], swk.BQ[d].Truncated(lvl), lvl)
-		rq.MulCoeffsAddLazy(u1q, dec.q[d], swk.AQ[d].Truncated(lvl), lvl)
-		rp.MulCoeffsAddLazy(u0p, dec.p[d], swk.BP[d], lvlP)
-		rp.MulCoeffsAddLazy(u1p, dec.p[d], swk.AP[d], lvlP)
+		rq.MulCoeffsAddLazy(u0q, dec.q[d], trunc(bQ[d], lvl), lvl)
+		rq.MulCoeffsAddLazy(u1q, dec.q[d], trunc(aQ[d], lvl), lvl)
+		rp.MulCoeffsAddLazy(u0p, dec.p[d], trunc(bP[d], lvlP), lvlP)
+		rp.MulCoeffsAddLazy(u1p, dec.p[d], trunc(aP[d], lvlP), lvlP)
 	}
 }
 
-// ModDown divides a Q∪P value by P with rounding, returning a Q-basis
-// polynomial at uq's level: out_i = (uq_i - BConv(up)_i)·[P^{-1}]_{q_i}
-// (the ModDownEp compound instruction of Table II). Scratch buffers come
-// from the ring buffer pools.
+// ModDown divides a Q∪P_alpha value by the P prefix with rounding,
+// returning a Q-basis polynomial at uq's level:
+// out_i = (uq_i - BConv(up)_i)·[P_alpha^{-1}]_{q_i} (the ModDownEp compound
+// instruction of Table II). The prefix length is read off up's level, so
+// the signature is shape-agnostic. Scratch buffers come from the ring
+// buffer pools.
 func (ev *Evaluator) ModDown(uq, up *ring.Poly, lvl int) *ring.Poly {
 	defer obsKSModDown.done(time.Now())
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
-	work := rp.GetPoly(rp.MaxLevel())
+	lvlP := up.Level()
+	alpha := lvlP + 1
+	work := rp.GetPoly(lvlP)
 	work.Copy(up)
-	rp.INTT(work, rp.MaxLevel())
+	rp.INTT(work, lvlP)
 	conv := rq.GetPoly(lvl)
 	out := rq.NewPoly(lvl)
 	if FusionEnabled() {
@@ -344,14 +415,14 @@ func (ev *Evaluator) ModDown(uq, up *ring.Poly, lvl int) *ring.Poly {
 		// into NTTLazy) and the epilogue subtracts the lazy subtrahend while
 		// scaling by P^{-1} in a single exact pass — no reduction pass, no
 		// separate Sub + scalar-multiply traversals.
-		ev.pToQConverter(lvl).ConvertLazy(conv.Coeffs, work.Coeffs)
+		ev.pToQConverter(lvl, alpha).ConvertLazy(conv.Coeffs, work.Coeffs[:alpha])
 		rq.NTTLazy(conv, lvl)
-		rq.SubMulByLimbScalarsLazy(out, uq, conv, ev.pInvModQ[:lvl+1], lvl)
+		rq.SubMulByLimbScalarsLazy(out, uq, conv, ev.pInvModQ[alpha][:lvl+1], lvl)
 	} else {
-		ev.pToQConverter(lvl).Convert(conv.Coeffs, work.Coeffs)
+		ev.pToQConverter(lvl, alpha).Convert(conv.Coeffs, work.Coeffs[:alpha])
 		rq.NTT(conv, lvl)
 		rq.Sub(out, uq, conv, lvl)
-		rq.MulByLimbScalars(out, out, ev.pInvModQ[:lvl+1], lvl)
+		rq.MulByLimbScalars(out, out, ev.pInvModQ[alpha][:lvl+1], lvl)
 	}
 	out.IsNTT = true
 	rp.PutPoly(work)
@@ -364,7 +435,7 @@ func (ev *Evaluator) keySwitch(c *ring.Poly, lvl int, swk *SwitchingKey) (d0, d1
 	defer obsKeySwitch.done(time.Now())
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
-	dec := ev.Decompose(c, lvl)
+	dec := ev.decomposePlan(c, lvl, ev.planFor(lvl, swk))
 	u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
 	dec.release(p)
 	d0 = ev.ModDown(u0q, u0p, lvl)
@@ -503,7 +574,23 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 	defer obsHoisted.done(time.Now())
 	rq, rp := ev.params.RingQ(), ev.params.RingP()
 	lvl := ct.Level()
-	dec := ev.Decompose(ct.C1, lvl)
+	// Resolve every Galois key before decomposing: the shared digits must be
+	// cut with a shape all consuming keys can serve, so the plan choice (and
+	// its per-key band check) has to see the full key list up front.
+	swks := make(map[int]*SwitchingKey, len(rotations))
+	planKeys := make([]*SwitchingKey, 0, len(rotations))
+	for _, k := range rotations {
+		if k%ev.params.Slots() == 0 {
+			continue
+		}
+		swk, err := ev.keys.GaloisKey(rq.GaloisElement(k))
+		if err != nil {
+			return nil, err
+		}
+		swks[k] = swk
+		planKeys = append(planKeys, swk)
+	}
+	dec := ev.decomposePlan(ct.C1, lvl, ev.planFor(lvl, planKeys...))
 	defer dec.release(ev.params)
 	out := make(map[int]*Ciphertext, len(rotations))
 	for _, k := range rotations {
@@ -512,10 +599,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 			continue
 		}
 		g := rq.GaloisElement(k)
-		swk, err := ev.keys.GaloisKey(g)
-		if err != nil {
-			return nil, err
-		}
+		swk := swks[k]
 		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
 		d0 := ev.ModDown(u0q, u0p, lvl)
 		d1 := ev.ModDown(u1q, u1p, lvl)

@@ -1,0 +1,18 @@
+package ckks
+
+import "sync/atomic"
+
+// levelAwareDisabled gates the level-aware key-switch plans, mirroring the
+// fusion toggle: zero value means enabled, so the level-aware path is the
+// default and the level-oblivious pipeline remains one Store away for
+// differential testing and emergency opt-out.
+var levelAwareDisabled atomic.Bool
+
+// SetLevelAware enables (true) or disables (false) level-aware key-switch
+// gadget plans. When disabled, every key switch uses the legacy
+// level-oblivious shape (full special modulus, digit stride α_top),
+// reproducing the pre-plan pipeline exactly.
+func SetLevelAware(on bool) { levelAwareDisabled.Store(!on) }
+
+// LevelAwareEnabled reports whether level-aware key switching is active.
+func LevelAwareEnabled() bool { return !levelAwareDisabled.Load() }

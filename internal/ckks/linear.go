@@ -139,7 +139,6 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	lvl := ct.Level()
-	lvlP := rp.MaxLevel()
 	ptScale := float64(rq.Moduli[lvl].Q)
 
 	diags, err := lt.encodedAt(enc, lvl, ptScale)
@@ -147,7 +146,26 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 		return nil, err
 	}
 
-	dec := ev.Decompose(ct.C1, lvl)
+	// Resolve every Galois key before decomposing: the hoisted digits are
+	// shared across all rotations, so the plan (and its per-key band check)
+	// must see the full key list up front.
+	swks := make(map[int]*SwitchingKey, len(diags))
+	planKeys := make([]*SwitchingKey, 0, len(diags))
+	for r := range diags {
+		if r == 0 {
+			continue
+		}
+		swk, err := ev.keys.GaloisKey(rq.GaloisElement(r))
+		if err != nil {
+			return nil, err
+		}
+		swks[r] = swk
+		planKeys = append(planKeys, swk)
+	}
+	plan := ev.planFor(lvl, planKeys...)
+	lvlP := plan.Alpha - 1
+
+	dec := ev.decomposePlan(ct.C1, lvl, plan)
 	defer dec.release(p)
 
 	// Q-basis accumulators for the rotation-0 term and the c0 parts;
@@ -173,10 +191,7 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 		}
 		anyExt = true
 		g := rq.GaloisElement(r)
-		swk, err := ev.keys.GaloisKey(g)
-		if err != nil {
-			return nil, err
-		}
+		swk := swks[r]
 		if fused {
 			// Fused KeyMult: the gadget-product accumulators stay lazy —
 			// the AutAccum MACs below tolerate multiplicands in [0, 2q),

@@ -89,6 +89,62 @@ func TestHoistedAndMinKSAgree(t *testing.T) {
 	}
 }
 
+// TestLinearTransformHoistedPostRescale runs the hoisted transform at every
+// level a rescale can reach, not just the freshly-encrypted top: deeper in a
+// circuit the ciphertext has fewer limbs and the evaluator picks smaller
+// gadget plans, both of which the hoisted shared-digit path must survive.
+func TestLinearTransformHoistedPostRescale(t *testing.T) {
+	tc := newTestContext(t, richLevelAwareParams())
+	r := rand.New(rand.NewSource(34))
+	offsets := []int{0, 1, 2}
+	lt := randomSparseLT(r, tc.params.Slots(), offsets)
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, lt.Rotations())
+
+	u := randomComplex(r, tc.params.Slots(), 1)
+	want := lt.Apply(u)
+	ctTop := tc.encryptVec(t, u)
+	for lvl := 1; lvl <= tc.params.MaxLevel(); lvl++ {
+		ct := tc.eval.DropLevel(ctTop, lvl)
+		out, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc)
+		if err != nil {
+			t.Fatalf("lvl %d: %v", lvl, err)
+		}
+		out = tc.eval.Rescale(out)
+		if out.Level() != lvl-1 {
+			t.Fatalf("lvl %d: output at level %d", lvl, out.Level())
+		}
+		if e := maxErr(tc.decryptVec(out), want); e > 1e-3 {
+			t.Fatalf("lvl %d: hoisted LT error %g", lvl, e)
+		}
+	}
+}
+
+// TestLinearTransformMinKSPostRescale is the same per-level sweep for the
+// minimum-key path, which reaches every diagonal through repeated
+// rotate-by-one key switches — the deepest key-switch chain in the repo.
+func TestLinearTransformMinKSPostRescale(t *testing.T) {
+	tc := newTestContext(t, richLevelAwareParams())
+	r := rand.New(rand.NewSource(35))
+	offsets := []int{0, 1, 3}
+	lt := randomSparseLT(r, tc.params.Slots(), offsets)
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, []int{1})
+
+	u := randomComplex(r, tc.params.Slots(), 1)
+	want := lt.Apply(u)
+	ctTop := tc.encryptVec(t, u)
+	for lvl := 1; lvl <= tc.params.MaxLevel(); lvl++ {
+		ct := tc.eval.DropLevel(ctTop, lvl)
+		out, err := tc.eval.EvaluateLinearTransformMinKS(ct, lt, tc.enc)
+		if err != nil {
+			t.Fatalf("lvl %d: %v", lvl, err)
+		}
+		out = tc.eval.Rescale(out)
+		if e := maxErr(tc.decryptVec(out), want); e > 1e-3 {
+			t.Fatalf("lvl %d: MinKS LT error %g", lvl, e)
+		}
+	}
+}
+
 func TestLinearTransformIdentity(t *testing.T) {
 	tc := newTestContext(t, TestParameters())
 	slots := tc.params.Slots()

@@ -53,4 +53,11 @@ var (
 	obsMulConstAccum   = newOpObs("mulconst-accum")
 	obsLinTransFused   = newOpObs("lintrans-hoisted-fused")
 	obsLinTransUnfused = newOpObs("lintrans-hoisted")
+
+	// Level-aware key-switch plan shape, observed once per Decompose: the
+	// distribution of P-prefix lengths and digit counts actually used shows
+	// how often the level-aware plans beat the legacy shape in production
+	// traffic (legacy-only traffic pins ks_plan_alpha at α_top).
+	obsKSPlanAlpha = obs.Default.Histogram("ckks_ks_plan_alpha")
+	obsKSDigits    = obs.Default.Histogram("ckks_ks_digits")
 )

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/anaheim-sim/anaheim/internal/ckks"
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// rawPolysBytes recomputes a poly slice's coefficient payload from first
+// principles — limbs × degree × 8 — independently of the CoeffBytes
+// arithmetic inside the ckks package.
+func rawPolysBytes(ps []*ring.Poly) int64 {
+	var n int64
+	for _, p := range ps {
+		if len(p.Coeffs) > 0 {
+			n += int64(len(p.Coeffs)) * int64(len(p.Coeffs[0])) * 8
+		}
+	}
+	return n
+}
+
+func rawSwitchingKeyBytes(k *ckks.SwitchingKey) int64 {
+	n := rawPolysBytes(k.BQ) + rawPolysBytes(k.AQ) + rawPolysBytes(k.BP) + rawPolysBytes(k.AP)
+	for _, b := range k.Bands {
+		n += rawPolysBytes(b.BQ) + rawPolysBytes(b.AQ) + rawPolysBytes(b.BP) + rawPolysBytes(b.AP)
+	}
+	return n
+}
+
+// TestSessionKeyBytesAccounting pins the cache-costing contract: the bytes a
+// session is accounted at must equal an independent walk over every
+// switching key's limb matrices — base digits AND level-aware band variants.
+// If keygen grows a new key component without teaching CoeffBytes about it,
+// this test catches the cache under-accounting.
+func TestSessionKeyBytesAccounting(t *testing.T) {
+	client := newTestClient(t, 1, 3)
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	sess, err := e.AttachSession(client.params, client.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want int64
+	bands := 0
+	want += rawSwitchingKeyBytes(client.keys.Rlk)
+	bands += len(client.keys.Rlk.Bands)
+	for _, k := range client.keys.Gal {
+		want += rawSwitchingKeyBytes(k)
+		bands += len(k.Bands)
+	}
+	if bands == 0 {
+		t.Fatal("test parameters produced no banded keys; accounting test is vacuous")
+	}
+	if got := sess.KeyBytes(); got != want {
+		t.Fatalf("session accounted at %d bytes, independent sum is %d", got, want)
+	}
+	if got := e.sessions.Bytes(); got != want {
+		t.Fatalf("key cache holds %d bytes, independent sum is %d", got, want)
+	}
+
+	// Bands must be a real fraction of the payload, and stripping them must
+	// shrink the measured size by exactly their raw bytes.
+	stripped := &ckks.SwitchingKey{
+		BQ: client.keys.Rlk.BQ, AQ: client.keys.Rlk.AQ,
+		BP: client.keys.Rlk.BP, AP: client.keys.Rlk.AP,
+	}
+	bandBytes := rawSwitchingKeyBytes(client.keys.Rlk) - rawSwitchingKeyBytes(stripped)
+	if bandBytes <= 0 {
+		t.Fatal("relinearization key bands carry no bytes")
+	}
+	if got := client.keys.Rlk.CoeffBytes() - stripped.CoeffBytes(); got != bandBytes {
+		t.Fatalf("CoeffBytes attributes %d bytes to bands, raw walk says %d", got, bandBytes)
+	}
+}

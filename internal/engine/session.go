@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/ckks"
-	"github.com/anaheim-sim/anaheim/internal/ring"
 )
 
 // Session is one client's serving context: compiled parameters, the
@@ -75,29 +74,11 @@ func (s *Session) release() {
 
 // evalKeySetBytes measures a key set's coefficient payload: every switching
 // key is D digit polynomials over Q plus the P extension, 8 bytes per
-// coefficient. Struct overhead is noise next to the coefficient arrays.
+// coefficient, plus any level-aware band variants the key carries. The
+// arithmetic lives with the key types so banded layouts can't silently
+// desynchronize the cache accounting.
 func evalKeySetBytes(keys *ckks.EvaluationKeySet) int64 {
-	var n int64
-	n += switchingKeyBytes(keys.Rlk)
-	for _, k := range keys.Gal {
-		n += switchingKeyBytes(k)
-	}
-	return n
-}
-
-func switchingKeyBytes(k *ckks.SwitchingKey) int64 {
-	if k == nil {
-		return 0
-	}
-	var n int64
-	for _, ps := range [][]*ring.Poly{k.BQ, k.AQ, k.BP, k.AP} {
-		for _, p := range ps {
-			if p != nil && len(p.Coeffs) > 0 {
-				n += int64(len(p.Coeffs)) * int64(len(p.Coeffs[0])) * 8
-			}
-		}
-	}
-	return n
+	return keys.CoeffBytes()
 }
 
 // CreateSession compiles a parameter literal, binds the client's evaluation
