@@ -1,33 +1,43 @@
 GO ?= go
 
+# Build tags threaded through every compile/test target. `make test TAGS=noasm`
+# runs the whole suite on the pure-Go kernels (the same leg CI runs), and the
+# fuzz/profile targets inherit it so a noasm profile or fuzz run needs no
+# target-specific flags.
+TAGS ?=
+TAGFLAGS = $(if $(TAGS),-tags $(TAGS))
+
 .PHONY: all build vet lint test race bench micro load fuzz bench-compare cover profile serve clean
 
 all: vet build test
 
 build:
-	$(GO) build ./...
+	$(GO) build $(TAGFLAGS) ./...
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet $(TAGFLAGS) ./...
 
-# Static quality gate: formatting, vet, and staticcheck (when installed).
-# CI installs staticcheck on the runner; locally it is optional.
+# Static quality gate: formatting, vet (plus an explicit asmdecl pass: the
+# assembly kernels' frame/argument layout must match their Go stub
+# declarations), and staticcheck (when installed). CI installs staticcheck on
+# the runner; locally it is optional.
 lint:
 	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
-	$(GO) vet ./...
-	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	$(GO) vet $(TAGFLAGS) ./...
+	$(GO) vet -asmdecl ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck $(TAGFLAGS) ./...; \
 		else echo "staticcheck not installed, skipping"; fi
 
 test:
-	$(GO) test ./...
+	$(GO) test $(TAGFLAGS) ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test $(TAGFLAGS) -race ./...
 
 # Paper-figure benchmarks (testing.B, one per artifact).
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test $(TAGFLAGS) -bench=. -benchmem -run=^$$ ./...
 
 # FHE op microbenchmarks -> BENCH_BASELINE.json (the perf trajectory file,
 # fused and unfused entries for the lintrans/bootstrap pairs), then the
@@ -43,25 +53,31 @@ load:
 	$(GO) run ./cmd/anaheim-bench -tenants 8 -mix logreg,lintrans -duration 5s \
 		-batch both -gate
 
-# Fuzz smoke: 10s per untrusted-input decoder (CI runs the same).
+# Fuzz smoke: 10s per untrusted-input decoder, plus the asm-vs-Go kernel
+# cross-check (CI runs the same). All legs honor TAGS, so `make fuzz
+# TAGS=noasm` fuzzes the pure-Go kernels (FuzzVecKernels then has no asm tier
+# to diff and exits immediately, which is the correct noasm behavior).
 FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run=^$$ -fuzz=FuzzCiphertextUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
-	$(GO) test -run=^$$ -fuzz=FuzzEvaluationKeySetUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
-	$(GO) test -run=^$$ -fuzz=FuzzGadgetPlan -fuzztime=$(FUZZTIME) ./internal/ckks
-	$(GO) test -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=$(FUZZTIME) ./internal/engine
-	$(GO) test -run=^$$ -fuzz=FuzzNTTRoundTrip -fuzztime=$(FUZZTIME) ./internal/ntt
-	$(GO) test -run=^$$ -fuzz=FuzzBConv -fuzztime=$(FUZZTIME) ./internal/rns
+	$(GO) test $(TAGFLAGS) -run=^$$ -fuzz=FuzzCiphertextUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
+	$(GO) test $(TAGFLAGS) -run=^$$ -fuzz=FuzzEvaluationKeySetUnmarshal -fuzztime=$(FUZZTIME) ./internal/ckks
+	$(GO) test $(TAGFLAGS) -run=^$$ -fuzz=FuzzGadgetPlan -fuzztime=$(FUZZTIME) ./internal/ckks
+	$(GO) test $(TAGFLAGS) -run=^$$ -fuzz=FuzzJobSpecDecode -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test $(TAGFLAGS) -run=^$$ -fuzz=FuzzNTTRoundTrip -fuzztime=$(FUZZTIME) ./internal/ntt
+	$(GO) test $(TAGFLAGS) -run=^$$ -fuzz=FuzzBConv -fuzztime=$(FUZZTIME) ./internal/rns
+	$(GO) test $(TAGFLAGS) -run=^$$ -fuzz=FuzzVecKernels -fuzztime=$(FUZZTIME) ./internal/modarith
 
 # Coverage profile + per-package summary. The crypto core (internal/ckks,
-# internal/rns) carries the correctness burden — below 70% statement
-# coverage there the run warns loudly (but does not fail: coverage is a
-# visibility tool, the differential tests are the gate).
+# internal/rns) and the dispatched row kernels (internal/modarith,
+# internal/ntt — where a coverage hole means an untested asm/Go pair) carry
+# the correctness burden — below 70% statement coverage there the run warns
+# loudly (but does not fail: coverage is a visibility tool, the differential
+# tests are the gate).
 COVER_FLOOR ?= 70
 cover:
-	$(GO) test -coverprofile=coverage.out -covermode=atomic ./... | tee coverage.txt
+	$(GO) test $(TAGFLAGS) -coverprofile=coverage.out -covermode=atomic ./... | tee coverage.txt
 	@$(GO) tool cover -func=coverage.out | tail -1
-	@for pkg in internal/ckks internal/rns; do \
+	@for pkg in internal/ckks internal/rns internal/modarith internal/ntt; do \
 		pct="$$(grep "/$$pkg	" coverage.txt | grep -o 'coverage: [0-9.]*' | grep -o '[0-9.]*')"; \
 		if [ -z "$$pct" ]; then echo "WARNING: no coverage figure for $$pkg"; continue; fi; \
 		echo "$$pkg: $$pct%"; \
@@ -75,9 +91,9 @@ cover:
 # wide-accumulation BConv kernel). Each leg leaves a .prof plus its test
 # binary for `go tool pprof <binary> <profile>`.
 profile:
-	$(GO) test -run=^$$ -bench='Forward|Inverse' -benchtime=2s \
+	$(GO) test $(TAGFLAGS) -run=^$$ -bench='Forward|Inverse' -benchtime=2s \
 		-cpuprofile=ntt_cpu.prof -o ntt_bench.test ./internal/ntt
-	$(GO) test -run=^$$ -bench=KeySwitch -benchtime=2s \
+	$(GO) test $(TAGFLAGS) -run=^$$ -bench=KeySwitch -benchtime=2s \
 		-cpuprofile=keyswitch_cpu.prof -o ckks_bench.test ./internal/ckks
 	@echo "wrote ntt_cpu.prof; inspect with: go tool pprof ntt_bench.test ntt_cpu.prof"
 	@echo "wrote keyswitch_cpu.prof; inspect with: go tool pprof ckks_bench.test keyswitch_cpu.prof"

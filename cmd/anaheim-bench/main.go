@@ -10,6 +10,7 @@
 //	anaheim-bench -micro -fusion both             # fused+unfused lintrans/bootstrap entries
 //	anaheim-bench -micro -metrics                 # ...with obs registry snapshot attached
 //	anaheim-bench -compare BENCH_BASELINE.json -against new.json   # perf regression gate
+//	anaheim-bench -tiertable new.json             # per-kernel-tier rows as markdown
 //	anaheim-bench -tenants 8 -mix logreg,lintrans -duration 5s -batch both
 //	                                              # many-tenant serving load driver:
 //	                                              # per-tier p50/p99, batch occupancy,
@@ -39,6 +40,7 @@ func main() {
 	fusion := flag.String("fusion", "both", "fused-kernel modes for -micro lintrans/bootstrap: both|on|off")
 	metrics := flag.Bool("metrics", false, "attach obs registry snapshot to -micro JSON")
 	outPath := flag.String("o", "", "write -micro JSON here instead of stdout")
+	tierTable := flag.String("tiertable", "", "emit the per-kernel-tier rows of a -micro JSON as a markdown table")
 	compareBase := flag.String("compare", "", "baseline -micro JSON to compare against")
 	compareNew := flag.String("against", "", "candidate -micro JSON for -compare")
 	tolerance := flag.Float64("tolerance", 25, "percent ns/op slowdown tolerated by -compare")
@@ -84,6 +86,11 @@ func main() {
 		if gateErr != nil {
 			fmt.Fprintln(os.Stderr, gateErr)
 			os.Exit(3) // soft failure, same convention as -compare
+		}
+	case *tierTable != "":
+		if err := runTierTable(os.Stdout, *tierTable); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	case *compareBase != "":
 		regressed, err := runCompare(os.Stdout, *compareBase, *compareNew, *tolerance)

@@ -24,6 +24,9 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 	ksLevelGrid.logNs = []int{12}
 	ksLevelGrid.levels = ksLevelGrid.levels[:1] // low only; full grid is `make micro`
 	defer func() { ksLevelGrid = prevKSLevel }()
+	prevTier := tierGrid
+	tierGrid.logN, tierGrid.bconvLimbs = 12, 4
+	defer func() { tierGrid = prevTier }()
 	var sb strings.Builder
 	if err := runMicro(&sb, true, "both"); err != nil {
 		t.Fatal(err)

@@ -29,13 +29,20 @@ type microResult struct {
 }
 
 type microReport struct {
-	GoVersion string        `json:"goVersion"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	NumCPU    int           `json:"numCpu"`
-	Workers   int           `json:"parWorkers"`
-	Params    string        `json:"params"`
-	Results   []microResult `json:"results"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"numCpu"`
+	Workers   int    `json:"parWorkers"`
+	Params    string `json:"params"`
+	// KernelTier / KernelTiers record the modarith SIMD dispatch state of the
+	// host that produced the report: the tier the non-tier-pinned rows ran on,
+	// and every tier the host could run. Comparing reports from hosts with
+	// different tiers is comparing different machines — these fields make
+	// that visible in the artifact.
+	KernelTier  string        `json:"kernelTier"`
+	KernelTiers []string      `json:"kernelTiers"`
+	Results     []microResult `json:"results"`
 	// Metrics is the obs registry snapshot after the run (counter totals,
 	// latency quantiles), attached when -metrics is set so the same JSON
 	// artifact carries both ns/op numbers and instrumentation counts.
@@ -491,6 +498,7 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
 	addNTTBenches(benches)
 	addBConvBenches(benches)
 	addLevelAwareBenches(benches)
+	addKernelTierBenches(benches)
 
 	// Fused-path functional benchmarks: the hoisted linear transform and a
 	// full bootstrap, each in the requested fusion modes. These are the two
@@ -564,12 +572,16 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
 	}
 
 	rep := microReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Workers:   par.Workers(),
-		Params:    fmt.Sprintf("logN=%d levels=%d (test preset)", ctx.Params.LogN(), ctx.Params.MaxLevel()+1),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Workers:    par.Workers(),
+		Params:     fmt.Sprintf("logN=%d levels=%d (test preset)", ctx.Params.LogN(), ctx.Params.MaxLevel()+1),
+		KernelTier: modarith.ActiveTier().String(),
+	}
+	for _, tier := range modarith.AvailableTiers() {
+		rep.KernelTiers = append(rep.KernelTiers, tier.String())
 	}
 	names := make([]string, 0, len(benches))
 	for name := range benches {

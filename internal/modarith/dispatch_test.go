@@ -1,0 +1,233 @@
+package modarith
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Dispatch-matrix tests: force every host-available tier through the PUBLIC
+// kernel API (the dispatched methods, not the raw table entries) and check
+// each against the pure-Go oracle, then hammer SetKernelTier concurrently
+// with in-flight rows to prove the atomic table swap is race-clean
+// (CI runs this under -race -count=2 -shuffle=on).
+
+func restoreTier(t *testing.T) {
+	t.Helper()
+	orig := ActiveTier()
+	t.Cleanup(func() {
+		if err := SetKernelTier(orig); err != nil {
+			t.Fatalf("restoring tier %v: %v", orig, err)
+		}
+	})
+}
+
+func TestKernelTierStrings(t *testing.T) {
+	for _, tier := range []KernelTier{TierGo, TierNEON, TierAVX2, TierAVX512} {
+		got, err := ParseKernelTier(tier.String())
+		if err != nil || got != tier {
+			t.Errorf("ParseKernelTier(%q) = %v, %v; want %v", tier.String(), got, err, tier)
+		}
+	}
+	if _, err := ParseKernelTier("sse9"); err == nil {
+		t.Error("ParseKernelTier(sse9) should fail")
+	}
+	if s := KernelTier(42).String(); s != "tier(42)" {
+		t.Errorf("KernelTier(42).String() = %q", s)
+	}
+}
+
+func TestSetKernelTierUnavailable(t *testing.T) {
+	avail := map[KernelTier]bool{}
+	for _, tier := range AvailableTiers() {
+		avail[tier] = true
+	}
+	if !avail[TierGo] {
+		t.Fatal("TierGo must always be available")
+	}
+	for _, tier := range []KernelTier{TierNEON, TierAVX2, TierAVX512, KernelTier(42)} {
+		if !avail[tier] {
+			if err := SetKernelTier(tier); err == nil {
+				t.Errorf("SetKernelTier(%v) should fail on this host", tier)
+			}
+		}
+	}
+}
+
+// TestPickDefaultTier pins the auto-selection rule: highest available tier
+// wins, except tiers marked opt-in (TierAVX2: measured net-slower end to
+// end) are skipped no matter how high they rank — they stay reachable only
+// through SetKernelTier / ANAHEIM_KERNEL_TIER.
+func TestPickDefaultTier(t *testing.T) {
+	mk := func(tier KernelTier, optIn bool) *kernelTable {
+		return &kernelTable{tier: tier, optIn: optIn}
+	}
+	cases := []struct {
+		name   string
+		tables map[KernelTier]*kernelTable
+		want   KernelTier
+	}{
+		{"go-only", map[KernelTier]*kernelTable{TierGo: mk(TierGo, false)}, TierGo},
+		{"avx512-wins", map[KernelTier]*kernelTable{
+			TierGo: mk(TierGo, false), TierAVX2: mk(TierAVX2, true), TierAVX512: mk(TierAVX512, false),
+		}, TierAVX512},
+		{"optin-avx2-skipped", map[KernelTier]*kernelTable{
+			TierGo: mk(TierGo, false), TierAVX2: mk(TierAVX2, true),
+		}, TierGo},
+		{"neon-wins", map[KernelTier]*kernelTable{
+			TierGo: mk(TierGo, false), TierNEON: mk(TierNEON, false),
+		}, TierNEON},
+	}
+	for _, tc := range cases {
+		if got := pickDefaultTier(tc.tables); got != tc.want {
+			t.Errorf("%s: pickDefaultTier = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// The live registration must agree: if this host has TierAVX2, it is
+	// marked opt-in and must not be what init auto-selected.
+	if tbl, ok := tierTables[TierAVX2]; ok {
+		if !tbl.optIn {
+			t.Error("TierAVX2 is registered without optIn — it measured net-slower and must not auto-select")
+		}
+		if pickDefaultTier(tierTables) == TierAVX2 {
+			t.Error("pickDefaultTier chose the opt-in AVX2 tier")
+		}
+	}
+}
+
+// TestDispatchTierMatrix runs the full public kernel surface on every
+// available tier and compares against results computed with the Go table
+// directly — the contract suite the ISSUE calls the dispatch matrix.
+func TestDispatchTierMatrix(t *testing.T) {
+	restoreTier(t)
+	moduli := tierTestModuli(t)
+	for _, tier := range AvailableTiers() {
+		tier := tier
+		t.Run(tier.String(), func(t *testing.T) {
+			if err := SetKernelTier(tier); err != nil {
+				t.Fatal(err)
+			}
+			if got := ActiveTier(); got != tier {
+				t.Fatalf("ActiveTier() = %v after SetKernelTier(%v)", got, tier)
+			}
+			rng := rand.New(rand.NewSource(0xd15b + int64(tier)))
+			for _, m := range moduli {
+				for _, n := range []int{1, 5, 8, 13, 64, 777} {
+					a := randRow(rng, n, m.TwoQ)
+					b := randRow(rng, n, m.TwoQ)
+					w := randBelow(rng, m.Q)
+					ws := m.ShoupPrecomp(w)
+
+					out := randRow(rng, n, m.TwoQ)
+					want := cloneRow(out)
+					m.VecMulAddLazy(out, a, b)
+					vecMulAddLazyGo(m, want, a, b)
+					rowsEqual(t, "VecMulAddLazy", tier, m, out, want)
+
+					out = randRow(rng, n, m.Q)
+					want = cloneRow(out)
+					m.VecMulAddBarrett(out, a, b)
+					vecMulAddBarrettGo(m, want, a, b)
+					rowsEqual(t, "VecMulAddBarrett", tier, m, out, want)
+
+					aq := randRow(rng, n, m.Q)
+					m.VecMulShoup(out, aq, w, ws)
+					vecMulShoupGo(m, want, aq, w, ws)
+					rowsEqual(t, "VecMulShoup", tier, m, out, want)
+
+					m.VecSubMulShoupLazy(out, a, b, w, ws)
+					vecSubMulShoupLazyGo(m, want, a, b, w, ws)
+					rowsEqual(t, "VecSubMulShoupLazy", tier, m, out, want)
+
+					hi, lo := make([]uint64, n), make([]uint64, n)
+					whi, wlo := make([]uint64, n), make([]uint64, n)
+					VecMulWide(hi, lo, a, w)
+					vecMulWideGo(whi, wlo, a, w)
+					rowsEqual(t, "VecMulWide.hi", tier, m, hi, whi)
+					rowsEqual(t, "VecMulWide.lo", tier, m, lo, wlo)
+					VecMulAccWide(hi, lo, b, w)
+					vecMulAccWideGo(whi, wlo, b, w)
+					rowsEqual(t, "VecMulAccWide.hi", tier, m, hi, whi)
+					rowsEqual(t, "VecMulAccWide.lo", tier, m, lo, wlo)
+					m.VecReduceWide128(out, hi, lo)
+					vecReduceWide128Go(m, want, whi, wlo)
+					rowsEqual(t, "VecReduceWide128", tier, m, out, want)
+
+					p := randRow(rng, n, m.TwoQ)
+					wp := cloneRow(p)
+					m.VecReduceTwoQ(p)
+					vecReduceTwoQGo(m, wp)
+					rowsEqual(t, "VecReduceTwoQ", tier, m, p, wp)
+				}
+				// Butterfly spans: lengths per the multiple-of-4 contract.
+				for _, n := range []int{4, 8, 20, 64} {
+					w := randBelow(rng, m.Q)
+					ws := m.ShoupPrecomp(w)
+					x := randRow(rng, n, 4*m.Q)
+					y := randRow(rng, n, 4*m.Q)
+					wx, wy := cloneRow(x), cloneRow(y)
+					m.VecFwdButterflyLazy(x, y, w, ws)
+					vecFwdButterflyGo(m, wx, wy, w, ws)
+					rowsEqual(t, "VecFwdButterflyLazy.x", tier, m, x, wx)
+					rowsEqual(t, "VecFwdButterflyLazy.y", tier, m, y, wy)
+
+					x = randRow(rng, n, m.TwoQ)
+					y = randRow(rng, n, m.TwoQ)
+					wx, wy = cloneRow(x), cloneRow(y)
+					m.VecInvButterflyLazy(x, y, w, ws)
+					vecInvButterflyGo(m, wx, wy, w, ws)
+					rowsEqual(t, "VecInvButterflyLazy.x", tier, m, x, wx)
+					rowsEqual(t, "VecInvButterflyLazy.y", tier, m, y, wy)
+				}
+			}
+		})
+	}
+}
+
+// TestSetKernelTierRace flips tiers while worker goroutines run rows through
+// the dispatched API. Any torn table read or missed synchronization shows up
+// under -race; results are also checked (every tier is bit-identical, so the
+// flips must be invisible in the outputs).
+func TestSetKernelTierRace(t *testing.T) {
+	restoreTier(t)
+	m := tierTestModuli(t)[2] // the 60-bit modulus
+	const n = 256
+	rng := rand.New(rand.NewSource(7))
+	a := randRow(rng, n, m.TwoQ)
+	b := randRow(rng, n, m.TwoQ)
+	want := make([]uint64, n)
+	vecMulBarrettGo(m, want, a, b)
+
+	tiers := AvailableTiers()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]uint64, n)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.VecMulBarrett(out, a, b)
+				for j := range out {
+					if out[j] != want[j] {
+						t.Errorf("row diverged at %d during tier flips", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if err := SetKernelTier(tiers[i%len(tiers)]); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,115 @@
+package modarith
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzModuli are fixed so the fuzzer spends its budget on operand patterns,
+// not prime generation: the bottom and top of the supported range plus a
+// mid-chain prime.
+var fuzzModuli = func() []Modulus {
+	var ms []Modulus
+	for _, bits := range []int{45, 55, 60} {
+		ps, err := GenerateNTTPrimes(bits, 12, 1)
+		if err != nil {
+			panic(err)
+		}
+		ms = append(ms, MustModulus(ps[0]))
+	}
+	return ms
+}()
+
+// FuzzVecKernels cross-checks every registered assembly tier against the
+// pure-Go oracle on fuzzer-chosen operands. The row length is derived from
+// the data so lane tails (n mod 4, n mod 8) are exercised; operands are
+// folded into the lazy domain the kernels are specified on. Any divergence —
+// a wrong Barrett carry, a missed conditional subtraction, a bad tail
+// split — is a crash here long before it corrupts a ciphertext.
+func FuzzVecKernels(f *testing.F) {
+	f.Add(uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(uint8(1), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(uint8(2), []byte{})
+	f.Fuzz(func(t *testing.T, sel uint8, data []byte) {
+		m := fuzzModuli[int(sel)%len(fuzzModuli)]
+		n := len(data)/16 + 1 // 1..65 for up to 1 KiB of data
+		if n > 65 {
+			n = 65
+		}
+		word := func(i int) uint64 {
+			var buf [8]byte
+			if (i+1)*8 <= len(data) {
+				copy(buf[:], data[i*8:])
+			} else {
+				buf[0] = byte(i)
+			}
+			return binary.LittleEndian.Uint64(buf[:])
+		}
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		acc := make([]uint64, n)
+		for i := range a {
+			a[i] = word(i) % m.TwoQ
+			b[i] = (word(i)*0x9e3779b97f4a7c15 + uint64(i)) % m.TwoQ
+			acc[i] = word(i) ^ 0xa5a5a5a5a5a5a5a5 // full-range accumulator words
+		}
+		w := word(0) % m.Q
+		ws := m.ShoupPrecomp(w)
+
+		for _, tier := range AvailableTiers() {
+			if tier == TierGo {
+				continue
+			}
+			tbl := tierTables[tier]
+
+			out := append([]uint64(nil), b...)
+			want := append([]uint64(nil), b...)
+			tbl.mulAddLazy(m, out, a, b)
+			vecMulAddLazyGo(m, want, a, b)
+			for j := range want {
+				if out[j] != want[j] {
+					t.Fatalf("%v mulAddLazy diverges at %d: %#x != %#x (q=%d n=%d)", tier, j, out[j], want[j], m.Q, n)
+				}
+			}
+
+			out = make([]uint64, n)
+			want = make([]uint64, n)
+			tbl.mulShoup(m, out, a, w, ws)
+			vecMulShoupGo(m, want, a, w, ws)
+			for j := range want {
+				if out[j] != want[j] {
+					t.Fatalf("%v mulShoup diverges at %d: %#x != %#x (q=%d n=%d)", tier, j, out[j], want[j], m.Q, n)
+				}
+			}
+
+			gotHi, gotLo := append([]uint64(nil), acc...), append([]uint64(nil), b...)
+			wantHi, wantLo := append([]uint64(nil), acc...), append([]uint64(nil), b...)
+			tbl.mulAccWide(gotHi, gotLo, a, w)
+			vecMulAccWideGo(wantHi, wantLo, a, w)
+			tbl.reduceWide128Lazy(m, out, gotHi, gotLo)
+			vecReduceWide128LazyGo(m, want, wantHi, wantLo)
+			for j := range want {
+				if gotHi[j] != wantHi[j] || gotLo[j] != wantLo[j] || out[j] != want[j] {
+					t.Fatalf("%v mulAccWide/reduceWide128Lazy diverges at %d (q=%d n=%d)", tier, j, m.Q, n)
+				}
+			}
+
+			// Butterflies need a multiple-of-4 span.
+			if n4 := n &^ 3; n4 > 0 {
+				x := append([]uint64(nil), a[:n4]...)
+				y := append([]uint64(nil), b[:n4]...)
+				wx := append([]uint64(nil), x...)
+				wy := append([]uint64(nil), y...)
+				tbl.fwdButterfly(m, x, y, w, ws)
+				vecFwdButterflyGo(m, wx, wy, w, ws)
+				tbl.invButterfly(m, x, y, w, ws)
+				vecInvButterflyGo(m, wx, wy, w, ws)
+				for j := range wx {
+					if x[j] != wx[j] || y[j] != wy[j] {
+						t.Fatalf("%v butterfly chain diverges at %d (q=%d n=%d)", tier, j, m.Q, n4)
+					}
+				}
+			}
+		}
+	})
+}

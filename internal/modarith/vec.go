@@ -4,8 +4,15 @@ import "math/bits"
 
 // Vectorized kernels for the fused multiply-accumulate paths. The per-limb
 // ring loops call these once per limb instead of one exported method per
-// coefficient, so the Barrett constants live in registers for the whole row
-// and the loop body is free of call overhead regardless of inliner budgets.
+// coefficient, so the reduction constants live in registers for the whole
+// row and the loop body is free of call overhead regardless of inliner
+// budgets.
+//
+// Every method below dispatches through the runtime kernel table
+// (dispatch.go): one atomic load selects the active implementation tier
+// (pure Go, NEON, AVX2, or AVX-512) for the whole row, so the inner loops
+// never branch on CPU features. The pure-Go bodies live in vec_ref.go and
+// remain the differential oracle for every assembly tier.
 //
 // All "Lazy" kernels keep out in [0, 2q) (see MulBarrettLazy for the bound
 // derivation); chains end with VecReduceTwoQ.
@@ -14,51 +21,13 @@ import "math/bits"
 // multiplicands may themselves be lazy (a,b < 2q — see MulBarrettLazy),
 // which lets the gadget product consume NTTLazy digits directly.
 func (m Modulus) VecMulAddLazy(out, a, b []uint64) {
-	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
-	_ = out[len(a)-1]
-	_ = b[len(a)-1]
-	for j := range a {
-		xhi, xlo := bits.Mul64(a[j], b[j])
-		t := xhi * u0
-		hhi, _ := bits.Mul64(xlo, u0)
-		t += hhi
-		hhi, _ = bits.Mul64(xhi, u1)
-		t += hhi
-		r := xlo - t*q
-		if r >= twoQ {
-			r -= twoQ
-		}
-		s := out[j] + r
-		if s >= twoQ {
-			s -= twoQ
-		}
-		out[j] = s
-	}
+	active.Load().mulAddLazy(m, out, a, b)
 }
 
 // VecMulAddLazyIdx computes out[j] += a[idx[j]]*b[j] lazily — the fused
 // NTT-domain automorphism gather + multiply-accumulate (AutAccum).
 func (m Modulus) VecMulAddLazyIdx(out, a, b []uint64, idx []int) {
-	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
-	_ = out[len(idx)-1]
-	_ = b[len(idx)-1]
-	for j, k := range idx {
-		xhi, xlo := bits.Mul64(a[k], b[j])
-		t := xhi * u0
-		hhi, _ := bits.Mul64(xlo, u0)
-		t += hhi
-		hhi, _ = bits.Mul64(xhi, u1)
-		t += hhi
-		r := xlo - t*q
-		if r >= twoQ {
-			r -= twoQ
-		}
-		s := out[j] + r
-		if s >= twoQ {
-			s -= twoQ
-		}
-		out[j] = s
-	}
+	active.Load().mulAddLazyIdx(m, out, a, b, idx)
 }
 
 // VecMulShoupAddLazy computes out[j] += a[j]*w lazily for a fixed operand w
@@ -102,97 +71,26 @@ func (m Modulus) VecSubMulShoup(out, a, b []uint64, w, wShoup uint64) {
 // reciprocal — no hardware division in the loop, unlike the scalar Mul. This
 // is the element-wise (NTT-domain) polynomial product kernel.
 func (m Modulus) VecMulBarrett(out, a, b []uint64) {
-	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
-	_ = out[len(a)-1]
-	_ = b[len(a)-1]
-	for j := range a {
-		xhi, xlo := bits.Mul64(a[j], b[j])
-		t := xhi * u0
-		hhi, _ := bits.Mul64(xlo, u0)
-		t += hhi
-		hhi, _ = bits.Mul64(xhi, u1)
-		t += hhi
-		r := xlo - t*q
-		if r >= twoQ {
-			r -= twoQ
-		}
-		if r >= q {
-			r -= q
-		}
-		out[j] = r
-	}
+	active.Load().mulBarrett(m, out, a, b)
 }
 
 // VecMulAddBarrett computes out[j] = out[j] + a[j]*b[j] mod q exactly
 // (out, a, b < q), keeping the Barrett constants in registers for the row.
 func (m Modulus) VecMulAddBarrett(out, a, b []uint64) {
-	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
-	_ = out[len(a)-1]
-	_ = b[len(a)-1]
-	for j := range a {
-		xhi, xlo := bits.Mul64(a[j], b[j])
-		t := xhi * u0
-		hhi, _ := bits.Mul64(xlo, u0)
-		t += hhi
-		hhi, _ = bits.Mul64(xhi, u1)
-		t += hhi
-		r := xlo - t*q
-		if r >= twoQ {
-			r -= twoQ
-		}
-		if r >= q {
-			r -= q
-		}
-		s := out[j] + r
-		if s >= q {
-			s -= q
-		}
-		out[j] = s
-	}
+	active.Load().mulAddBarrett(m, out, a, b)
 }
 
 // VecMulSubBarrett computes out[j] = out[j] - a[j]*b[j] mod q exactly
 // (out, a, b < q).
 func (m Modulus) VecMulSubBarrett(out, a, b []uint64) {
-	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
-	_ = out[len(a)-1]
-	_ = b[len(a)-1]
-	for j := range a {
-		xhi, xlo := bits.Mul64(a[j], b[j])
-		t := xhi * u0
-		hhi, _ := bits.Mul64(xlo, u0)
-		t += hhi
-		hhi, _ = bits.Mul64(xhi, u1)
-		t += hhi
-		r := xlo - t*q
-		if r >= twoQ {
-			r -= twoQ
-		}
-		if r >= q {
-			r -= q
-		}
-		d := out[j] - r
-		if d > out[j] {
-			d += q
-		}
-		out[j] = d
-	}
+	active.Load().mulSubBarrett(m, out, a, b)
 }
 
 // VecMulShoup computes out[j] = a[j]*w mod q exactly for a < q and fixed
 // operand w with Shoup companion wShoup — the row form of MulShoup, used for
 // the BConv premultiply tmp_i = [x · qHatInv_i]_{q_i}.
 func (m Modulus) VecMulShoup(out, a []uint64, w, wShoup uint64) {
-	q := m.Q
-	_ = out[len(a)-1]
-	for j := range a {
-		hi, _ := bits.Mul64(a[j], wShoup)
-		r := a[j]*w - hi*q
-		if r >= q {
-			r -= q
-		}
-		out[j] = r
-	}
+	active.Load().mulShoup(m, out, a, w, wShoup)
 }
 
 // VecSubMulShoupLazy is VecSubMulShoup for a lazy subtrahend: a < q exact,
@@ -201,18 +99,7 @@ func (m Modulus) VecMulShoup(out, a []uint64, w, wShoup uint64) {
 // r < q·(d/2^64 + 1) < 2q still holds, so one conditional subtraction
 // finishes the job.
 func (m Modulus) VecSubMulShoupLazy(out, a, b []uint64, w, wShoup uint64) {
-	q, twoQ := m.Q, m.TwoQ
-	_ = out[len(a)-1]
-	_ = b[len(a)-1]
-	for j := range a {
-		d := a[j] + twoQ - b[j]
-		hi, _ := bits.Mul64(d, wShoup)
-		r := d*w - hi*q
-		if r >= q {
-			r -= q
-		}
-		out[j] = r
-	}
+	active.Load().subMulShoupLazy(m, out, a, b, w, wShoup)
 }
 
 // VecAddScalar computes out[j] = a[j] + c mod q exactly, for a, c < q.
@@ -240,28 +127,35 @@ func (m Modulus) VecAddScalar(out, a []uint64, c uint64) {
 // any-operand domain, so a single conditional subtraction returns the exact
 // residue.
 func (m Modulus) VecRescaleStep(row, t []uint64, halfModQ, w, wShoup uint64) {
-	q, u0 := m.Q, m.BRedHi
-	fourQ := 4 * q
-	_ = t[len(row)-1]
-	for j := range row {
-		th, _ := bits.Mul64(t[j], u0)
-		tm := t[j] - th*q // ≡ t[j] (mod q), in [0, 4q)
-		v := row[j] + halfModQ + fourQ - tm
-		hi, _ := bits.Mul64(v, wShoup)
-		r := v*w - hi*q
-		if r >= q {
-			r -= q
-		}
-		row[j] = r
-	}
+	active.Load().rescaleStep(m, row, t, halfModQ, w, wShoup)
 }
 
 // VecReduceTwoQ maps every lazy value in [0, 2q) to its exact residue.
 func (m Modulus) VecReduceTwoQ(p []uint64) {
-	q := m.Q
-	for j := range p {
-		if p[j] >= q {
-			p[j] -= q
-		}
-	}
+	active.Load().reduceTwoQ(m, p)
+}
+
+// VecFwdButterflyLazy applies the Harvey Cooley–Tukey butterfly pairwise
+// over the two halves of one NTT block:
+//
+//	x' = x̃ + w·y,  y' = x̃ - w·y + 2q,  x̃ = x - 2q·[x ≥ 2q]
+//
+// Inputs and outputs live in [0, 4q); the twiddle product w·y lands in
+// [0, 2q) via the MulShoupLazy bound for any y. len(x) == len(y) must be a
+// positive multiple of 4. This is the span kernel of every forward NTT
+// stage with span ≥ 4 (internal/ntt).
+func (m Modulus) VecFwdButterflyLazy(x, y []uint64, w, wShoup uint64) {
+	active.Load().fwdButterfly(m, x, y, w, wShoup)
+}
+
+// VecInvButterflyLazy applies the Harvey Gentleman–Sande butterfly pairwise
+// over the two halves of one NTT block:
+//
+//	x' = (x + y) - 2q·[x+y ≥ 2q],  y' = (x - y + 2q)·w  (MulShoupLazy)
+//
+// Inputs and outputs live in [0, 2q). len(x) == len(y) must be a positive
+// multiple of 4. This is the span kernel of every inverse NTT stage with
+// span ≥ 4 (internal/ntt).
+func (m Modulus) VecInvButterflyLazy(x, y []uint64, w, wShoup uint64) {
+	active.Load().invButterfly(m, x, y, w, wShoup)
 }

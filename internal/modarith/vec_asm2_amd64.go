@@ -1,0 +1,140 @@
+//go:build amd64 && !noasm
+
+package modarith
+
+// AVX2 kernels (4 lanes). vec_avx2_amd64.s. The tier registers 10 kernels:
+// the Shoup-multiply family, butterflies, wide accumulation and the
+// reductions. The Barrett-multiply family, mulAddLazyIdx and rescaleStep are
+// left nil and fall back per-kernel to Go via fillDefaults — the Barrett
+// quotient needs three synthesized 128-bit multiplies per element (~30
+// VPMULUDQ-ladder instructions), which measures ~25% SLOWER than the scalar
+// MULX path.
+//
+// The whole tier is OPT-IN (optIn below): measured end to end, it loses to
+// the compiler's scalar code everywhere it matters on our hosts — a full
+// n=2^12 forward transform runs ~3.5x slower than the Go tier (the constant
+// broadcast preamble dominates the many short butterfly spans) and a 16->16
+// limb n=2^14 BConv ~1.3x slower, against AVX-512's 1.4x/2x wins on the
+// same cells. It is never auto-selected; ANAHEIM_KERNEL_TIER=avx2 or
+// SetKernelTier(TierAVX2) pin it for differential testing and benchmarking
+// (the per-tier micro rows keep the loss on the record). AVX-512 covers all
+// 16 kernels (VPMULLQ + native masks) and is the amd64 tier that ships.
+
+//go:noescape
+func vecMulShoupAVX2(out, a []uint64, w, wShoup, q uint64)
+
+//go:noescape
+func vecSubMulShoupLazyAVX2(out, a, b []uint64, w, wShoup, q, twoQ uint64)
+
+//go:noescape
+func vecMulWideAVX2(accHi, accLo, row []uint64, w uint64)
+
+//go:noescape
+func vecMulAccWideAVX2(accHi, accLo, row []uint64, w uint64)
+
+//go:noescape
+func vecFoldWide128LazyAVX2(accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecReduceWide128AVX2(dst, accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecReduceWide128LazyAVX2(dst, accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecReduceTwoQAVX2(p []uint64, q uint64)
+
+//go:noescape
+func vecFwdButterflyAVX2(x, y []uint64, w, wShoup, q, twoQ uint64)
+
+//go:noescape
+func vecInvButterflyAVX2(x, y []uint64, w, wShoup, q, twoQ uint64)
+
+func avx2Table() kernelTable {
+	return kernelTable{
+		tier:  TierAVX2,
+		optIn: true, // net loss vs scalar Go end to end; see file header
+		mulShoup: func(m Modulus, out, a []uint64, w, wShoup uint64) {
+			n := len(a) &^ 3
+			if n > 0 {
+				vecMulShoupAVX2(out[:n], a[:n], w, wShoup, m.Q)
+			}
+			if n < len(a) {
+				vecMulShoupGo(m, out[n:], a[n:], w, wShoup)
+			}
+		},
+		subMulShoupLazy: func(m Modulus, out, a, b []uint64, w, wShoup uint64) {
+			n := len(a) &^ 3
+			if n > 0 {
+				vecSubMulShoupLazyAVX2(out[:n], a[:n], b[:n], w, wShoup, m.Q, m.TwoQ)
+			}
+			if n < len(a) {
+				vecSubMulShoupLazyGo(m, out[n:], a[n:], b[n:], w, wShoup)
+			}
+		},
+		mulWide: func(accHi, accLo, row []uint64, w uint64) {
+			n := len(row) &^ 3
+			if n > 0 {
+				vecMulWideAVX2(accHi[:n], accLo[:n], row[:n], w)
+			}
+			if n < len(row) {
+				vecMulWideGo(accHi[n:], accLo[n:], row[n:], w)
+			}
+		},
+		mulAccWide: func(accHi, accLo, row []uint64, w uint64) {
+			n := len(row) &^ 3
+			if n > 0 {
+				vecMulAccWideAVX2(accHi[:n], accLo[:n], row[:n], w)
+			}
+			if n < len(row) {
+				vecMulAccWideGo(accHi[n:], accLo[n:], row[n:], w)
+			}
+		},
+		foldWide128Lazy: func(m Modulus, accHi, accLo []uint64) {
+			n := len(accLo) &^ 3
+			if n > 0 {
+				vecFoldWide128LazyAVX2(accHi[:n], accLo[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(accLo) {
+				vecFoldWide128LazyGo(m, accHi[n:], accLo[n:])
+			}
+		},
+		reduceWide128: func(m Modulus, dst, accHi, accLo []uint64) {
+			n := len(dst) &^ 3
+			if n > 0 {
+				vecReduceWide128AVX2(dst[:n], accHi[:n], accLo[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(dst) {
+				vecReduceWide128Go(m, dst[n:], accHi[n:], accLo[n:])
+			}
+		},
+		reduceWide128Lazy: func(m Modulus, dst, accHi, accLo []uint64) {
+			n := len(dst) &^ 3
+			if n > 0 {
+				vecReduceWide128LazyAVX2(dst[:n], accHi[:n], accLo[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(dst) {
+				vecReduceWide128LazyGo(m, dst[n:], accHi[n:], accLo[n:])
+			}
+		},
+		reduceTwoQ: func(m Modulus, p []uint64) {
+			n := len(p) &^ 3
+			if n > 0 {
+				vecReduceTwoQAVX2(p[:n], m.Q)
+			}
+			if n < len(p) {
+				vecReduceTwoQGo(m, p[n:])
+			}
+		},
+		fwdButterfly: func(m Modulus, x, y []uint64, w, wShoup uint64) {
+			if len(x) > 0 { // len is a multiple of 4 by the Vec*Butterfly contract
+				vecFwdButterflyAVX2(x, y[:len(x)], w, wShoup, m.Q, m.TwoQ)
+			}
+		},
+		invButterfly: func(m Modulus, x, y []uint64, w, wShoup uint64) {
+			if len(x) > 0 {
+				vecInvButterflyAVX2(x, y[:len(x)], w, wShoup, m.Q, m.TwoQ)
+			}
+		},
+	}
+}

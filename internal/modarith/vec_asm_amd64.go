@@ -1,0 +1,224 @@
+//go:build amd64 && !noasm
+
+package modarith
+
+// amd64 assembly tiers. Each raw asm kernel processes a multiple of its lane
+// count (8 for AVX-512, 4 for AVX2) and requires a non-empty input; the
+// wrappers below run the largest aligned prefix through assembly and hand the
+// remainder to the pure-Go kernel, which keeps the bit-identical contract
+// trivially (the Go kernel IS the spec). For the gather kernel the `a`
+// operand is never split — indices address it absolutely.
+
+// AVX-512 kernels (8 lanes, F+DQ). vec_avx512_amd64.s.
+//
+//go:noescape
+func vecMulAddLazyAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecMulAddLazyIdxAVX512(out, a, b []uint64, idx []int, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecMulBarrettAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecMulAddBarrettAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecMulSubBarrettAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecMulShoupAVX512(out, a []uint64, w, wShoup, q uint64)
+
+//go:noescape
+func vecSubMulShoupLazyAVX512(out, a, b []uint64, w, wShoup, q, twoQ uint64)
+
+//go:noescape
+func vecRescaleStepAVX512(row, t []uint64, hf4, w, wShoup, q, u0 uint64)
+
+//go:noescape
+func vecMulWideAVX512(accHi, accLo, row []uint64, w uint64)
+
+//go:noescape
+func vecMulAccWideAVX512(accHi, accLo, row []uint64, w uint64)
+
+//go:noescape
+func vecFoldWide128LazyAVX512(accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecReduceWide128AVX512(dst, accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecReduceWide128LazyAVX512(dst, accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+
+//go:noescape
+func vecReduceTwoQAVX512(p []uint64, q uint64)
+
+//go:noescape
+func vecFwdButterflyAVX512(x, y []uint64, w, wShoup, q, twoQ uint64)
+
+//go:noescape
+func vecInvButterflyAVX512(x, y []uint64, w, wShoup, q, twoQ uint64)
+
+func avx512Table() kernelTable {
+	return kernelTable{
+		tier: TierAVX512,
+		mulAddLazy: func(m Modulus, out, a, b []uint64) {
+			n := len(a) &^ 7
+			if n > 0 {
+				vecMulAddLazyAVX512(out[:n], a[:n], b[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(a) {
+				vecMulAddLazyGo(m, out[n:], a[n:], b[n:])
+			}
+		},
+		mulAddLazyIdx: func(m Modulus, out, a, b []uint64, idx []int) {
+			n := len(idx) &^ 7
+			if n > 0 {
+				vecMulAddLazyIdxAVX512(out[:n], a, b[:n], idx[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(idx) {
+				vecMulAddLazyIdxGo(m, out[n:], a, b[n:], idx[n:])
+			}
+		},
+		mulBarrett: func(m Modulus, out, a, b []uint64) {
+			n := len(a) &^ 7
+			if n > 0 {
+				vecMulBarrettAVX512(out[:n], a[:n], b[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(a) {
+				vecMulBarrettGo(m, out[n:], a[n:], b[n:])
+			}
+		},
+		mulAddBarrett: func(m Modulus, out, a, b []uint64) {
+			n := len(a) &^ 7
+			if n > 0 {
+				vecMulAddBarrettAVX512(out[:n], a[:n], b[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(a) {
+				vecMulAddBarrettGo(m, out[n:], a[n:], b[n:])
+			}
+		},
+		mulSubBarrett: func(m Modulus, out, a, b []uint64) {
+			n := len(a) &^ 7
+			if n > 0 {
+				vecMulSubBarrettAVX512(out[:n], a[:n], b[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(a) {
+				vecMulSubBarrettGo(m, out[n:], a[n:], b[n:])
+			}
+		},
+		mulShoup: func(m Modulus, out, a []uint64, w, wShoup uint64) {
+			n := len(a) &^ 7
+			if n > 0 {
+				vecMulShoupAVX512(out[:n], a[:n], w, wShoup, m.Q)
+			}
+			if n < len(a) {
+				vecMulShoupGo(m, out[n:], a[n:], w, wShoup)
+			}
+		},
+		subMulShoupLazy: func(m Modulus, out, a, b []uint64, w, wShoup uint64) {
+			n := len(a) &^ 7
+			if n > 0 {
+				vecSubMulShoupLazyAVX512(out[:n], a[:n], b[:n], w, wShoup, m.Q, m.TwoQ)
+			}
+			if n < len(a) {
+				vecSubMulShoupLazyGo(m, out[n:], a[n:], b[n:], w, wShoup)
+			}
+		},
+		rescaleStep: func(m Modulus, row, t []uint64, halfModQ, w, wShoup uint64) {
+			n := len(row) &^ 7
+			if n > 0 {
+				// halfModQ+4q folded once; wrapping adds commute, so the
+				// per-element sum matches the scalar kernel exactly.
+				vecRescaleStepAVX512(row[:n], t[:n], halfModQ+4*m.Q, w, wShoup, m.Q, m.BRedHi)
+			}
+			if n < len(row) {
+				vecRescaleStepGo(m, row[n:], t[n:], halfModQ, w, wShoup)
+			}
+		},
+		mulWide: func(accHi, accLo, row []uint64, w uint64) {
+			n := len(row) &^ 7
+			if n > 0 {
+				vecMulWideAVX512(accHi[:n], accLo[:n], row[:n], w)
+			}
+			if n < len(row) {
+				vecMulWideGo(accHi[n:], accLo[n:], row[n:], w)
+			}
+		},
+		mulAccWide: func(accHi, accLo, row []uint64, w uint64) {
+			n := len(row) &^ 7
+			if n > 0 {
+				vecMulAccWideAVX512(accHi[:n], accLo[:n], row[:n], w)
+			}
+			if n < len(row) {
+				vecMulAccWideGo(accHi[n:], accLo[n:], row[n:], w)
+			}
+		},
+		foldWide128Lazy: func(m Modulus, accHi, accLo []uint64) {
+			n := len(accLo) &^ 7
+			if n > 0 {
+				vecFoldWide128LazyAVX512(accHi[:n], accLo[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(accLo) {
+				vecFoldWide128LazyGo(m, accHi[n:], accLo[n:])
+			}
+		},
+		reduceWide128: func(m Modulus, dst, accHi, accLo []uint64) {
+			n := len(dst) &^ 7
+			if n > 0 {
+				vecReduceWide128AVX512(dst[:n], accHi[:n], accLo[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(dst) {
+				vecReduceWide128Go(m, dst[n:], accHi[n:], accLo[n:])
+			}
+		},
+		reduceWide128Lazy: func(m Modulus, dst, accHi, accLo []uint64) {
+			n := len(dst) &^ 7
+			if n > 0 {
+				vecReduceWide128LazyAVX512(dst[:n], accHi[:n], accLo[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)
+			}
+			if n < len(dst) {
+				vecReduceWide128LazyGo(m, dst[n:], accHi[n:], accLo[n:])
+			}
+		},
+		reduceTwoQ: func(m Modulus, p []uint64) {
+			n := len(p) &^ 7
+			if n > 0 {
+				vecReduceTwoQAVX512(p[:n], m.Q)
+			}
+			if n < len(p) {
+				vecReduceTwoQGo(m, p[n:])
+			}
+		},
+		fwdButterfly: func(m Modulus, x, y []uint64, w, wShoup uint64) {
+			n := len(x) &^ 7
+			if n > 0 {
+				vecFwdButterflyAVX512(x[:n], y[:n], w, wShoup, m.Q, m.TwoQ)
+			}
+			if n < len(x) { // tail is a multiple of 4 by the Vec*Butterfly contract
+				vecFwdButterflyGo(m, x[n:], y[n:], w, wShoup)
+			}
+		},
+		invButterfly: func(m Modulus, x, y []uint64, w, wShoup uint64) {
+			n := len(x) &^ 7
+			if n > 0 {
+				vecInvButterflyAVX512(x[:n], y[:n], w, wShoup, m.Q, m.TwoQ)
+			}
+			if n < len(x) {
+				vecInvButterflyGo(m, x[n:], y[n:], w, wShoup)
+			}
+		},
+	}
+}
+
+// asmKernelTables registers the amd64 assembly tiers present on this CPU.
+func asmKernelTables() map[KernelTier]kernelTable {
+	tables := map[KernelTier]kernelTable{}
+	if hasAVX2 {
+		tables[TierAVX2] = avx2Table()
+	}
+	if hasAVX512 {
+		tables[TierAVX512] = avx512Table()
+	}
+	return tables
+}

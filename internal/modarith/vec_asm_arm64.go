@@ -1,0 +1,74 @@
+//go:build arm64 && !noasm
+
+package modarith
+
+// arm64 assembly tier. Scalar kernels need no lane alignment, so the
+// wrappers only guard the empty case; there is no tail split. Advanced SIMD
+// is architecturally mandatory on AArch64 — the tier is always available and
+// needs no feature detection. Like TierAVX2, the Barrett-quotient family,
+// mulAddLazyIdx and rescaleStep stay on the per-kernel Go fallback
+// (vec_arm64.s explains why).
+
+//go:noescape
+func vecMulShoupNEON(out, a []uint64, w, wShoup, q uint64)
+
+//go:noescape
+func vecSubMulShoupLazyNEON(out, a, b []uint64, w, wShoup, q, twoQ uint64)
+
+//go:noescape
+func vecMulWideNEON(accHi, accLo, row []uint64, w uint64)
+
+//go:noescape
+func vecMulAccWideNEON(accHi, accLo, row []uint64, w uint64)
+
+//go:noescape
+func vecReduceTwoQNEON(p []uint64, q uint64)
+
+//go:noescape
+func vecFwdButterflyNEON(x, y []uint64, w, wShoup, q, twoQ uint64)
+
+//go:noescape
+func vecInvButterflyNEON(x, y []uint64, w, wShoup, q, twoQ uint64)
+
+func asmKernelTables() map[KernelTier]kernelTable {
+	return map[KernelTier]kernelTable{
+		TierNEON: {
+			tier: TierNEON,
+			mulShoup: func(m Modulus, out, a []uint64, w, wShoup uint64) {
+				if len(a) > 0 {
+					vecMulShoupNEON(out[:len(a)], a, w, wShoup, m.Q)
+				}
+			},
+			subMulShoupLazy: func(m Modulus, out, a, b []uint64, w, wShoup uint64) {
+				if len(a) > 0 {
+					vecSubMulShoupLazyNEON(out[:len(a)], a, b[:len(a)], w, wShoup, m.Q, m.TwoQ)
+				}
+			},
+			mulWide: func(accHi, accLo, row []uint64, w uint64) {
+				if len(row) > 0 {
+					vecMulWideNEON(accHi[:len(row)], accLo[:len(row)], row, w)
+				}
+			},
+			mulAccWide: func(accHi, accLo, row []uint64, w uint64) {
+				if len(row) > 0 {
+					vecMulAccWideNEON(accHi[:len(row)], accLo[:len(row)], row, w)
+				}
+			},
+			reduceTwoQ: func(m Modulus, p []uint64) {
+				if len(p) > 0 {
+					vecReduceTwoQNEON(p, m.Q)
+				}
+			},
+			fwdButterfly: func(m Modulus, x, y []uint64, w, wShoup uint64) {
+				if len(x) > 0 {
+					vecFwdButterflyNEON(x, y[:len(x)], w, wShoup, m.Q, m.TwoQ)
+				}
+			},
+			invButterfly: func(m Modulus, x, y []uint64, w, wShoup uint64) {
+				if len(x) > 0 {
+					vecInvButterflyNEON(x, y[:len(x)], w, wShoup, m.Q, m.TwoQ)
+				}
+			},
+		},
+	}
+}

@@ -1,0 +1,347 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 row kernels (TierAVX2). Four 64-bit lanes per step. AVX2 has no
+// 64-bit vector multiply, no unsigned 64-bit compare and no mask registers,
+// so every primitive is synthesized:
+//
+//   - mullo64 and mul128 from VPMULUDQ 32x32 partial products with explicit
+//     carry propagation (same partials and dropped carries as bits.Mul64,
+//     keeping the bit-identical contract of vec_ref.go);
+//   - unsigned compares by XORing both operands with 2^63 (Y15) and using
+//     signed VPCMPGTQ;
+//   - conditional +1 / +2^32 by SUBTRACTING the all-ones compare mask
+//     (or its <<32 shift) instead of a masked add.
+//
+// Callers (vec_asm_amd64.go wrappers) guarantee len > 0 and len % 4 == 0.
+//
+// Register conventions:
+//	Y9  = u0 or w         Y10 = u1 or wShoup
+//	Y11 = q               Y12 = 2q
+//	Y13 = q^2^63          Y14 = 2q^2^63
+//	Y15 = 2^63 per lane
+//	Y0-Y8 = working set
+
+// MUL128x4: (HI, LO) = full 128-bit product A*B per lane. Clobbers
+// T0-T3; preserves A and B.
+#define MUL128x4(A, B, HI, LO, T0, T1, T2, T3) \
+	VPSRLQ $32, A, T0    \ // ah
+	VPSRLQ $32, B, T1    \ // bh
+	VPMULUDQ T1, T0, HI  \ // hh = ah*bh
+	VPMULUDQ B, T0, T2   \ // hl = ah*b0
+	VPMULUDQ T1, A, T1   \ // lh = a0*bh
+	VPMULUDQ B, A, LO    \ // ll = a0*b0
+	VPADDQ T2, T1, T0    \ // mid = hl + lh
+	VPXOR Y15, T0, T2    \
+	VPXOR Y15, T1, T3    \
+	VPCMPGTQ T2, T3, T2  \ // cm: mid <u lh (all-ones where carried)
+	VPSLLQ $32, T2, T2   \ // -2^32 per carried lane
+	VPSUBQ T2, HI, HI    \ // HI += cm<<32
+	VPSLLQ $32, T0, T1   \ // mid<<32
+	VPSRLQ $32, T0, T0   \
+	VPADDQ T0, HI, HI    \ // HI += mid>>32
+	VPADDQ T1, LO, LO    \ // LO += mid<<32
+	VPXOR Y15, LO, T2    \
+	VPXOR Y15, T1, T3    \
+	VPCMPGTQ T2, T3, T2  \ // cl: LO <u mid<<32
+	VPSUBQ T2, HI, HI      // HI += cl
+
+// MULLO64x4: LO = low 64 bits of A*B per lane. Clobbers T0, T1; preserves
+// A and B.
+#define MULLO64x4(A, B, LO, T0, T1) \
+	VPSRLQ $32, A, T0   \
+	VPSRLQ $32, B, T1   \
+	VPMULUDQ B, T0, T0  \ // ah*b0
+	VPMULUDQ T1, A, T1  \ // a0*bh
+	VPADDQ T1, T0, T0   \
+	VPSLLQ $32, T0, T0  \
+	VPMULUDQ B, A, LO   \ // a0*b0
+	VPADDQ T0, LO, LO
+
+// CONDSUB4: R -= BOUND if R >= BOUND. BOUNDS = BOUND^2^63 (precomputed
+// constant). Clobbers T0, T1.
+#define CONDSUB4(R, BOUND, BOUNDS, T0, T1) \
+	VPSUBQ BOUND, R, T0   \ // rs = r - bound (wrapped if r < bound)
+	VPXOR Y15, R, T1      \
+	VPCMPGTQ T1, BOUNDS, T1 \ // mask: r <u bound
+	VPAND BOUND, T1, T1   \ // bound where r < bound, else 0
+	VPADDQ T1, T0, R        // rs + bound = r where r < bound
+
+// BARRETT_T4: T = lo64(XHI*u0) + hi64(XLO*u0) + hi64(XHI*u1), wrapping.
+// Clobbers H, L, T0-T3; preserves XHI, XLO.
+#define BARRETT_T4(XHI, XLO, T, H, L, T0, T1, T2, T3) \
+	MULLO64x4(XHI, Y9, T, T0, T1)            \
+	MUL128x4(XLO, Y9, H, L, T0, T1, T2, T3)  \
+	VPADDQ H, T, T                           \
+	MUL128x4(XHI, Y10, H, L, T0, T1, T2, T3) \
+	VPADDQ H, T, T
+
+// BARRETT_CONSTS4 loads q, 2q, u0, u1 from the canonical trailing-argument
+// layout and materializes the sign-flip constants.
+#define BARRETT_CONSTS4(QOFF) \
+	VPBROADCASTQ q+QOFF(FP), Y11        \
+	VPBROADCASTQ twoQ+(QOFF+8)(FP), Y12 \
+	VPBROADCASTQ u0+(QOFF+16)(FP), Y9   \
+	VPBROADCASTQ u1+(QOFF+24)(FP), Y10  \
+	MOVQ $0x8000000000000000, AX        \
+	MOVQ AX, X15                        \
+	VPBROADCASTQ X15, Y15               \
+	VPXOR Y15, Y11, Y13                 \
+	VPXOR Y15, Y12, Y14
+
+#define SGN_CONST \
+	MOVQ $0x8000000000000000, AX \
+	MOVQ AX, X15                 \
+	VPBROADCASTQ X15, Y15
+
+// func vecMulShoupAVX2(out, a []uint64, w, wShoup, q uint64)
+TEXT ·vecMulShoupAVX2(SB), NOSPLIT, $0-72
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	VPBROADCASTQ w+48(FP), Y9
+	VPBROADCASTQ wShoup+56(FP), Y10
+	VPBROADCASTQ q+64(FP), Y11
+	SGN_CONST
+	VPXOR Y15, Y11, Y13
+	XORQ DX, DX
+mulShoupLoop:
+	VMOVDQU (SI)(DX*8), Y0
+	MUL128x4(Y0, Y10, Y2, Y3, Y4, Y5, Y6, Y7)     // hi64(a*wShoup) -> Y2
+	MULLO64x4(Y0, Y9, Y3, Y4, Y5)                 // a*w
+	MULLO64x4(Y2, Y11, Y4, Y5, Y6)                // hi*q
+	VPSUBQ Y4, Y3, Y0
+	CONDSUB4(Y0, Y11, Y13, Y4, Y5)
+	VMOVDQU Y0, (DI)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL mulShoupLoop
+	VZEROUPPER
+	RET
+
+// func vecSubMulShoupLazyAVX2(out, a, b []uint64, w, wShoup, q, twoQ uint64)
+TEXT ·vecSubMulShoupLazyAVX2(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), BX
+	VPBROADCASTQ w+72(FP), Y9
+	VPBROADCASTQ wShoup+80(FP), Y10
+	VPBROADCASTQ q+88(FP), Y11
+	VPBROADCASTQ twoQ+96(FP), Y12
+	SGN_CONST
+	VPXOR Y15, Y11, Y13
+	XORQ DX, DX
+subMulShoupLazyLoop:
+	VMOVDQU (SI)(DX*8), Y0
+	VMOVDQU (BX)(DX*8), Y1
+	VPADDQ Y12, Y0, Y0
+	VPSUBQ Y1, Y0, Y0                             // d = a + 2q - b
+	MUL128x4(Y0, Y10, Y2, Y3, Y4, Y5, Y6, Y7)
+	MULLO64x4(Y0, Y9, Y3, Y4, Y5)
+	MULLO64x4(Y2, Y11, Y4, Y5, Y6)
+	VPSUBQ Y4, Y3, Y0
+	CONDSUB4(Y0, Y11, Y13, Y4, Y5)
+	VMOVDQU Y0, (DI)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL subMulShoupLazyLoop
+	VZEROUPPER
+	RET
+
+// func vecMulWideAVX2(accHi, accLo, row []uint64, w uint64)
+TEXT ·vecMulWideAVX2(SB), NOSPLIT, $0-80
+	MOVQ accHi_base+0(FP), DI
+	MOVQ accLo_base+24(FP), BX
+	MOVQ row_base+48(FP), SI
+	MOVQ row_len+56(FP), CX
+	VPBROADCASTQ w+72(FP), Y9
+	SGN_CONST
+	XORQ DX, DX
+mulWideLoop:
+	VMOVDQU (SI)(DX*8), Y0
+	MUL128x4(Y0, Y9, Y2, Y3, Y4, Y5, Y6, Y7)
+	VMOVDQU Y2, (DI)(DX*8)
+	VMOVDQU Y3, (BX)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL mulWideLoop
+	VZEROUPPER
+	RET
+
+// func vecMulAccWideAVX2(accHi, accLo, row []uint64, w uint64)
+TEXT ·vecMulAccWideAVX2(SB), NOSPLIT, $0-80
+	MOVQ accHi_base+0(FP), DI
+	MOVQ accLo_base+24(FP), BX
+	MOVQ row_base+48(FP), SI
+	MOVQ row_len+56(FP), CX
+	VPBROADCASTQ w+72(FP), Y9
+	SGN_CONST
+	XORQ DX, DX
+mulAccWideLoop:
+	VMOVDQU (SI)(DX*8), Y0
+	MUL128x4(Y0, Y9, Y2, Y3, Y4, Y5, Y6, Y7)      // phi:plo
+	VMOVDQU (BX)(DX*8), Y1
+	VPADDQ Y3, Y1, Y1                             // accLo += plo
+	VPXOR Y15, Y1, Y4
+	VPXOR Y15, Y3, Y5
+	VPCMPGTQ Y4, Y5, Y4                           // carry: new accLo <u plo
+	VMOVDQU (DI)(DX*8), Y0
+	VPADDQ Y2, Y0, Y0                             // accHi += phi
+	VPSUBQ Y4, Y0, Y0                             // accHi += carry
+	VMOVDQU Y0, (DI)(DX*8)
+	VMOVDQU Y1, (BX)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL mulAccWideLoop
+	VZEROUPPER
+	RET
+
+// func vecFoldWide128LazyAVX2(accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecFoldWide128LazyAVX2(SB), NOSPLIT, $0-80
+	MOVQ accHi_base+0(FP), DI
+	MOVQ accLo_base+24(FP), BX
+	MOVQ accLo_len+32(FP), CX
+	BARRETT_CONSTS4(48)
+	XORQ DX, DX
+foldWideLoop:
+	VMOVDQU (DI)(DX*8), Y2
+	VMOVDQU (BX)(DX*8), Y3
+	BARRETT_T4(Y2, Y3, Y4, Y0, Y1, Y5, Y6, Y7, Y8)
+	MULLO64x4(Y4, Y11, Y5, Y6, Y7)
+	VPSUBQ Y5, Y3, Y0
+	CONDSUB4(Y0, Y12, Y14, Y5, Y6)
+	VMOVDQU Y0, (BX)(DX*8)
+	VPXOR Y1, Y1, Y1
+	VMOVDQU Y1, (DI)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL foldWideLoop
+	VZEROUPPER
+	RET
+
+// func vecReduceWide128AVX2(dst, accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecReduceWide128AVX2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ accHi_base+24(FP), SI
+	MOVQ accLo_base+48(FP), BX
+	BARRETT_CONSTS4(72)
+	XORQ DX, DX
+reduceWideLoop:
+	VMOVDQU (SI)(DX*8), Y2
+	VMOVDQU (BX)(DX*8), Y3
+	BARRETT_T4(Y2, Y3, Y4, Y0, Y1, Y5, Y6, Y7, Y8)
+	MULLO64x4(Y4, Y11, Y5, Y6, Y7)
+	VPSUBQ Y5, Y3, Y0
+	CONDSUB4(Y0, Y12, Y14, Y5, Y6)
+	CONDSUB4(Y0, Y11, Y13, Y5, Y6)
+	VMOVDQU Y0, (DI)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL reduceWideLoop
+	VZEROUPPER
+	RET
+
+// func vecReduceWide128LazyAVX2(dst, accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecReduceWide128LazyAVX2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ accHi_base+24(FP), SI
+	MOVQ accLo_base+48(FP), BX
+	BARRETT_CONSTS4(72)
+	XORQ DX, DX
+reduceWideLazyLoop:
+	VMOVDQU (SI)(DX*8), Y2
+	VMOVDQU (BX)(DX*8), Y3
+	BARRETT_T4(Y2, Y3, Y4, Y0, Y1, Y5, Y6, Y7, Y8)
+	MULLO64x4(Y4, Y11, Y5, Y6, Y7)
+	VPSUBQ Y5, Y3, Y0
+	CONDSUB4(Y0, Y12, Y14, Y5, Y6)
+	VMOVDQU Y0, (DI)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL reduceWideLazyLoop
+	VZEROUPPER
+	RET
+
+// func vecReduceTwoQAVX2(p []uint64, q uint64)
+TEXT ·vecReduceTwoQAVX2(SB), NOSPLIT, $0-32
+	MOVQ p_base+0(FP), SI
+	MOVQ p_len+8(FP), CX
+	VPBROADCASTQ q+24(FP), Y11
+	SGN_CONST
+	VPXOR Y15, Y11, Y13
+	XORQ DX, DX
+reduceTwoQLoop:
+	VMOVDQU (SI)(DX*8), Y0
+	CONDSUB4(Y0, Y11, Y13, Y4, Y5)
+	VMOVDQU Y0, (SI)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL reduceTwoQLoop
+	VZEROUPPER
+	RET
+
+// func vecFwdButterflyAVX2(x, y []uint64, w, wShoup, q, twoQ uint64)
+TEXT ·vecFwdButterflyAVX2(SB), NOSPLIT, $0-80
+	MOVQ x_base+0(FP), DI
+	MOVQ x_len+8(FP), CX
+	MOVQ y_base+24(FP), BX
+	VPBROADCASTQ w+48(FP), Y9
+	VPBROADCASTQ wShoup+56(FP), Y10
+	VPBROADCASTQ q+64(FP), Y11
+	VPBROADCASTQ twoQ+72(FP), Y12
+	SGN_CONST
+	VPXOR Y15, Y12, Y14
+	XORQ DX, DX
+fwdButterflyLoop:
+	VMOVDQU (DI)(DX*8), Y0                        // u
+	VMOVDQU (BX)(DX*8), Y1                        // v
+	CONDSUB4(Y0, Y12, Y14, Y4, Y5)                // u in [0, 2q)
+	MUL128x4(Y1, Y10, Y2, Y3, Y4, Y5, Y6, Y7)     // h = hi64(v*wShoup)
+	MULLO64x4(Y1, Y9, Y3, Y4, Y5)                 // v*w
+	MULLO64x4(Y2, Y11, Y4, Y5, Y6)                // h*q
+	VPSUBQ Y4, Y3, Y1                             // v' in [0, 2q)
+	VPADDQ Y1, Y0, Y2                             // x' = u + v'
+	VPSUBQ Y1, Y0, Y3
+	VPADDQ Y12, Y3, Y3                            // y' = u - v' + 2q
+	VMOVDQU Y2, (DI)(DX*8)
+	VMOVDQU Y3, (BX)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL fwdButterflyLoop
+	VZEROUPPER
+	RET
+
+// func vecInvButterflyAVX2(x, y []uint64, w, wShoup, q, twoQ uint64)
+TEXT ·vecInvButterflyAVX2(SB), NOSPLIT, $0-80
+	MOVQ x_base+0(FP), DI
+	MOVQ x_len+8(FP), CX
+	MOVQ y_base+24(FP), BX
+	VPBROADCASTQ w+48(FP), Y9
+	VPBROADCASTQ wShoup+56(FP), Y10
+	VPBROADCASTQ q+64(FP), Y11
+	VPBROADCASTQ twoQ+72(FP), Y12
+	SGN_CONST
+	VPXOR Y15, Y12, Y14
+	XORQ DX, DX
+invButterflyLoop:
+	VMOVDQU (DI)(DX*8), Y0                        // u
+	VMOVDQU (BX)(DX*8), Y1                        // v
+	VPADDQ Y1, Y0, Y2                             // s = u + v
+	CONDSUB4(Y2, Y12, Y14, Y4, Y5)                // x' in [0, 2q)
+	VPSUBQ Y1, Y0, Y3
+	VPADDQ Y12, Y3, Y3                            // d = u - v + 2q
+	MUL128x4(Y3, Y10, Y4, Y0, Y5, Y6, Y7, Y8)     // h = hi64(d*wShoup) -> Y4
+	MULLO64x4(Y3, Y9, Y5, Y6, Y7)                 // d*w
+	MULLO64x4(Y4, Y11, Y6, Y7, Y8)                // h*q
+	VPSUBQ Y6, Y5, Y3                             // y' in [0, 2q)
+	VMOVDQU Y2, (DI)(DX*8)
+	VMOVDQU Y3, (BX)(DX*8)
+	ADDQ $4, DX
+	CMPQ DX, CX
+	JL invButterflyLoop
+	VZEROUPPER
+	RET

@@ -1,0 +1,512 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX-512 row kernels (TierAVX512). Eight 64-bit lanes per step; requires
+// AVX-512 F + DQ (VPMULLQ, VPMOVM2Q-free masked adds) and OS ZMM state
+// support, both checked by cpu_amd64.go before the tier is registered.
+//
+// Every kernel is BIT-IDENTICAL to its pure-Go oracle in vec_ref.go /
+// wide_ref.go: the Barrett quotient is the same three-partial-product sum
+// with the same dropped low-word carries, and the conditional folds use the
+// unsigned-min trick (min_u(r, r-bound) == r - bound iff r >= bound, since
+// the subtraction wraps otherwise), which matches the scalar
+// `if r >= bound { r -= bound }` exactly.
+//
+// Callers (vec_asm_amd64.go wrappers) guarantee len > 0 and len % 8 == 0;
+// remainders run on the pure-Go kernel.
+//
+// Register conventions (constants broadcast once per call):
+//	Z25 = 1 per lane      Z26 = 2^32 per lane
+//	Z27 = q               Z28 = 2q
+//	Z29 = u0 (BRedHi)     Z30 = u1 (BRedLo)
+//	Z23, Z24 = per-call fixed operands (w, wShoup)
+//	K1 = scratch mask
+
+// MUL128x8: (HI, LO) = full 128-bit product A*B per lane, via four 32x32
+// partial products and explicit carry propagation:
+//	product = hh<<64 + (lh+hl)<<32 + ll
+// with mid = lh+hl mod 2^64 (carry cm contributes 2^32 to HI) and
+// LO = ll + mid<<32 (carry cl contributes 1 to HI).
+// Clobbers T0, T1, T2, K1. A and B are preserved.
+#define MUL128x8(A, B, HI, LO, T0, T1, T2) \
+	VPSRLQ $32, A, T0       \ // ah
+	VPSRLQ $32, B, T1       \ // bh
+	VPMULUDQ T1, T0, HI     \ // hh = ah*bh
+	VPMULUDQ B, T0, T2      \ // hl = ah*b0
+	VPMULUDQ T1, A, T1      \ // lh = a0*bh
+	VPMULUDQ B, A, LO       \ // ll = a0*b0
+	VPADDQ T2, T1, T0       \ // mid = hl + lh
+	VPCMPUQ $1, T1, T0, K1  \ // cm: mid <u lh
+	VPADDQ Z26, HI, K1, HI  \ // HI += cm<<32
+	VPSLLQ $32, T0, T1      \ // mid<<32
+	VPSRLQ $32, T0, T0      \ // mid>>32
+	VPADDQ T0, HI, HI       \
+	VPADDQ T1, LO, LO       \ // LO = ll + mid<<32
+	VPCMPUQ $1, T1, LO, K1  \ // cl: LO <u mid<<32
+	VPADDQ Z25, HI, K1, HI
+
+// BARRETT_T: T = quotient approximation for the 128-bit value XHI:XLO —
+//	t = lo64(xhi*u0) + hi64(xlo*u0) + hi64(xhi*u1)
+// (wrapping adds), identical to MulBarrettLazy / ReduceWide128Lazy.
+// Clobbers H, L, T0, T1, T2, K1. XHI and XLO are preserved.
+#define BARRETT_T(XHI, XLO, T, H, L, T0, T1, T2) \
+	VPMULLQ Z29, XHI, T               \
+	MUL128x8(XLO, Z29, H, L, T0, T1, T2) \
+	VPADDQ H, T, T                    \
+	MUL128x8(XHI, Z30, H, L, T0, T1, T2) \
+	VPADDQ H, T, T
+
+// CONDSUB: R = R - BOUND if R >= BOUND (unsigned-min fold). Clobbers T0.
+#define CONDSUB(R, BOUND, T0) \
+	VPSUBQ BOUND, R, T0 \
+	VPMINUQ T0, R, R
+
+// BCASTCONSTS loads the shared Barrett constants from the canonical stub
+// argument layout (q, twoQ, u0, u1 at OFF..OFF+24) plus the 1 and 2^32
+// lane constants.
+#define BARRETT_CONSTS(QOFF) \
+	VPBROADCASTQ q+QOFF(FP), Z27     \
+	VPBROADCASTQ twoQ+(QOFF+8)(FP), Z28 \
+	VPBROADCASTQ u0+(QOFF+16)(FP), Z29  \
+	VPBROADCASTQ u1+(QOFF+24)(FP), Z30  \
+	MOVQ $1, AX                      \
+	VPBROADCASTQ AX, Z25             \
+	MOVQ $0x100000000, AX            \
+	VPBROADCASTQ AX, Z26
+
+// func vecMulAddLazyAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecMulAddLazyAVX512(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), BX
+	BARRETT_CONSTS(72)
+	XORQ DX, DX
+mulAddLazyLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	VMOVDQU64 (BX)(DX*8), Z1
+	MUL128x8(Z0, Z1, Z2, Z3, Z5, Z6, Z7)      // xhi:xlo
+	BARRETT_T(Z2, Z3, Z4, Z8, Z9, Z5, Z6, Z7) // t
+	VPMULLQ Z27, Z4, Z5
+	VPSUBQ Z5, Z3, Z0                         // r = xlo - t*q
+	CONDSUB(Z0, Z28, Z5)                      // r in [0, 2q)
+	VMOVDQU64 (DI)(DX*8), Z1
+	VPADDQ Z1, Z0, Z0                         // s = out + r
+	CONDSUB(Z0, Z28, Z5)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL mulAddLazyLoop
+	VZEROUPPER
+	RET
+
+// func vecMulAddLazyIdxAVX512(out, a, b []uint64, idx []int, q, twoQ, u0, u1 uint64)
+TEXT ·vecMulAddLazyIdxAVX512(SB), NOSPLIT, $0-128
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), BX
+	MOVQ idx_base+72(FP), R8
+	MOVQ idx_len+80(FP), CX
+	BARRETT_CONSTS(96)
+	XORQ DX, DX
+mulAddLazyIdxLoop:
+	VMOVDQU64 (R8)(DX*8), Z10                 // indices
+	KXNORQ K2, K2, K2                         // gather mask (consumed per use)
+	VPGATHERQQ (SI)(Z10*8), K2, Z0            // a[idx[j]]
+	VMOVDQU64 (BX)(DX*8), Z1
+	MUL128x8(Z0, Z1, Z2, Z3, Z5, Z6, Z7)
+	BARRETT_T(Z2, Z3, Z4, Z8, Z9, Z5, Z6, Z7)
+	VPMULLQ Z27, Z4, Z5
+	VPSUBQ Z5, Z3, Z0
+	CONDSUB(Z0, Z28, Z5)
+	VMOVDQU64 (DI)(DX*8), Z1
+	VPADDQ Z1, Z0, Z0
+	CONDSUB(Z0, Z28, Z5)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL mulAddLazyIdxLoop
+	VZEROUPPER
+	RET
+
+// func vecMulBarrettAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecMulBarrettAVX512(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), BX
+	BARRETT_CONSTS(72)
+	XORQ DX, DX
+mulBarrettLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	VMOVDQU64 (BX)(DX*8), Z1
+	MUL128x8(Z0, Z1, Z2, Z3, Z5, Z6, Z7)
+	BARRETT_T(Z2, Z3, Z4, Z8, Z9, Z5, Z6, Z7)
+	VPMULLQ Z27, Z4, Z5
+	VPSUBQ Z5, Z3, Z0
+	CONDSUB(Z0, Z28, Z5)
+	CONDSUB(Z0, Z27, Z5)                      // exact [0, q)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL mulBarrettLoop
+	VZEROUPPER
+	RET
+
+// func vecMulAddBarrettAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecMulAddBarrettAVX512(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), BX
+	BARRETT_CONSTS(72)
+	XORQ DX, DX
+mulAddBarrettLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	VMOVDQU64 (BX)(DX*8), Z1
+	MUL128x8(Z0, Z1, Z2, Z3, Z5, Z6, Z7)
+	BARRETT_T(Z2, Z3, Z4, Z8, Z9, Z5, Z6, Z7)
+	VPMULLQ Z27, Z4, Z5
+	VPSUBQ Z5, Z3, Z0
+	CONDSUB(Z0, Z28, Z5)
+	CONDSUB(Z0, Z27, Z5)
+	VMOVDQU64 (DI)(DX*8), Z1
+	VPADDQ Z1, Z0, Z0                         // s = out + r (both < q)
+	CONDSUB(Z0, Z27, Z5)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL mulAddBarrettLoop
+	VZEROUPPER
+	RET
+
+// func vecMulSubBarrettAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecMulSubBarrettAVX512(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), BX
+	BARRETT_CONSTS(72)
+	XORQ DX, DX
+mulSubBarrettLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	VMOVDQU64 (BX)(DX*8), Z1
+	MUL128x8(Z0, Z1, Z2, Z3, Z5, Z6, Z7)
+	BARRETT_T(Z2, Z3, Z4, Z8, Z9, Z5, Z6, Z7)
+	VPMULLQ Z27, Z4, Z5
+	VPSUBQ Z5, Z3, Z0
+	CONDSUB(Z0, Z28, Z5)
+	CONDSUB(Z0, Z27, Z5)                      // r in [0, q)
+	VMOVDQU64 (DI)(DX*8), Z1                  // out
+	VPSUBQ Z0, Z1, Z2                         // d = out - r
+	VPCMPUQ $1, Z0, Z1, K1                    // borrow: out <u r
+	VPADDQ Z27, Z2, K1, Z2                    // d += q where borrowed
+	VMOVDQU64 Z2, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL mulSubBarrettLoop
+	VZEROUPPER
+	RET
+
+// func vecMulShoupAVX512(out, a []uint64, w, wShoup, q uint64)
+TEXT ·vecMulShoupAVX512(SB), NOSPLIT, $0-72
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	VPBROADCASTQ w+48(FP), Z23
+	VPBROADCASTQ wShoup+56(FP), Z24
+	VPBROADCASTQ q+64(FP), Z27
+	MOVQ $1, AX
+	VPBROADCASTQ AX, Z25
+	MOVQ $0x100000000, AX
+	VPBROADCASTQ AX, Z26
+	XORQ DX, DX
+mulShoupLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	MUL128x8(Z0, Z24, Z2, Z3, Z5, Z6, Z7)     // Z2 = hi64(a*wShoup)
+	VPMULLQ Z23, Z0, Z3                       // a*w
+	VPMULLQ Z27, Z2, Z4                       // hi*q
+	VPSUBQ Z4, Z3, Z0                         // r in [0, 2q)
+	CONDSUB(Z0, Z27, Z5)                      // exact (a < q)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL mulShoupLoop
+	VZEROUPPER
+	RET
+
+// func vecSubMulShoupLazyAVX512(out, a, b []uint64, w, wShoup, q, twoQ uint64)
+TEXT ·vecSubMulShoupLazyAVX512(SB), NOSPLIT, $0-104
+	MOVQ out_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ b_base+48(FP), BX
+	VPBROADCASTQ w+72(FP), Z23
+	VPBROADCASTQ wShoup+80(FP), Z24
+	VPBROADCASTQ q+88(FP), Z27
+	VPBROADCASTQ twoQ+96(FP), Z28
+	MOVQ $1, AX
+	VPBROADCASTQ AX, Z25
+	MOVQ $0x100000000, AX
+	VPBROADCASTQ AX, Z26
+	XORQ DX, DX
+subMulShoupLazyLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	VMOVDQU64 (BX)(DX*8), Z1
+	VPADDQ Z28, Z0, Z0                        // a + 2q
+	VPSUBQ Z1, Z0, Z0                         // d = a + 2q - b, in (0, 3q)
+	MUL128x8(Z0, Z24, Z2, Z3, Z5, Z6, Z7)     // hi64(d*wShoup)
+	VPMULLQ Z23, Z0, Z3                       // d*w
+	VPMULLQ Z27, Z2, Z4
+	VPSUBQ Z4, Z3, Z0                         // r in [0, 2q)
+	CONDSUB(Z0, Z27, Z5)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL subMulShoupLazyLoop
+	VZEROUPPER
+	RET
+
+// func vecRescaleStepAVX512(row, t []uint64, hf4, w, wShoup, q, u0 uint64)
+// hf4 = halfModQ + 4q, precomputed by the wrapper (the same wrapping sum the
+// scalar kernel forms per element).
+TEXT ·vecRescaleStepAVX512(SB), NOSPLIT, $0-88
+	MOVQ row_base+0(FP), DI
+	MOVQ row_len+8(FP), CX
+	MOVQ t_base+24(FP), SI
+	VPBROADCASTQ hf4+48(FP), Z22
+	VPBROADCASTQ w+56(FP), Z23
+	VPBROADCASTQ wShoup+64(FP), Z24
+	VPBROADCASTQ q+72(FP), Z27
+	VPBROADCASTQ u0+80(FP), Z29
+	MOVQ $1, AX
+	VPBROADCASTQ AX, Z25
+	MOVQ $0x100000000, AX
+	VPBROADCASTQ AX, Z26
+	XORQ DX, DX
+rescaleStepLoop:
+	VMOVDQU64 (SI)(DX*8), Z0                  // t[j]
+	MUL128x8(Z0, Z29, Z2, Z3, Z5, Z6, Z7)     // th = hi64(t*u0) -> Z2
+	VPMULLQ Z27, Z2, Z4                       // th*q
+	VPSUBQ Z4, Z0, Z0                         // tm = t - th*q, in [0, 4q)
+	VMOVDQU64 (DI)(DX*8), Z1                  // row[j]
+	VPADDQ Z22, Z1, Z1                        // row + halfModQ + 4q
+	VPSUBQ Z0, Z1, Z0                         // v in (0, 6q)
+	MUL128x8(Z0, Z24, Z2, Z3, Z5, Z6, Z7)     // hi64(v*wShoup)
+	VPMULLQ Z23, Z0, Z3                       // v*w
+	VPMULLQ Z27, Z2, Z4
+	VPSUBQ Z4, Z3, Z0                         // r in [0, 2q)
+	CONDSUB(Z0, Z27, Z5)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL rescaleStepLoop
+	VZEROUPPER
+	RET
+
+// func vecMulWideAVX512(accHi, accLo, row []uint64, w uint64)
+TEXT ·vecMulWideAVX512(SB), NOSPLIT, $0-80
+	MOVQ accHi_base+0(FP), DI
+	MOVQ accLo_base+24(FP), BX
+	MOVQ row_base+48(FP), SI
+	MOVQ row_len+56(FP), CX
+	VPBROADCASTQ w+72(FP), Z23
+	MOVQ $1, AX
+	VPBROADCASTQ AX, Z25
+	MOVQ $0x100000000, AX
+	VPBROADCASTQ AX, Z26
+	XORQ DX, DX
+mulWideLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	MUL128x8(Z0, Z23, Z2, Z3, Z5, Z6, Z7)
+	VMOVDQU64 Z2, (DI)(DX*8)
+	VMOVDQU64 Z3, (BX)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL mulWideLoop
+	VZEROUPPER
+	RET
+
+// func vecMulAccWideAVX512(accHi, accLo, row []uint64, w uint64)
+TEXT ·vecMulAccWideAVX512(SB), NOSPLIT, $0-80
+	MOVQ accHi_base+0(FP), DI
+	MOVQ accLo_base+24(FP), BX
+	MOVQ row_base+48(FP), SI
+	MOVQ row_len+56(FP), CX
+	VPBROADCASTQ w+72(FP), Z23
+	MOVQ $1, AX
+	VPBROADCASTQ AX, Z25
+	MOVQ $0x100000000, AX
+	VPBROADCASTQ AX, Z26
+	XORQ DX, DX
+mulAccWideLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	MUL128x8(Z0, Z23, Z2, Z3, Z5, Z6, Z7)     // phi:plo
+	VMOVDQU64 (BX)(DX*8), Z1                  // accLo
+	VPADDQ Z3, Z1, Z1                         // accLo += plo
+	VPCMPUQ $1, Z3, Z1, K1                    // carry: new accLo <u plo
+	VMOVDQU64 (DI)(DX*8), Z0                  // accHi
+	VPADDQ Z2, Z0, Z0                         // accHi += phi
+	VPADDQ Z25, Z0, K1, Z0                    // accHi += carry
+	VMOVDQU64 Z0, (DI)(DX*8)
+	VMOVDQU64 Z1, (BX)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL mulAccWideLoop
+	VZEROUPPER
+	RET
+
+// func vecFoldWide128LazyAVX512(accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecFoldWide128LazyAVX512(SB), NOSPLIT, $0-80
+	MOVQ accHi_base+0(FP), DI
+	MOVQ accLo_base+24(FP), BX
+	MOVQ accLo_len+32(FP), CX
+	BARRETT_CONSTS(48)
+	VPXORQ Z21, Z21, Z21                      // zeros for accHi
+	XORQ DX, DX
+foldWideLoop:
+	VMOVDQU64 (DI)(DX*8), Z2                  // hi
+	VMOVDQU64 (BX)(DX*8), Z3                  // lo
+	BARRETT_T(Z2, Z3, Z4, Z8, Z9, Z5, Z6, Z7)
+	VPMULLQ Z27, Z4, Z5
+	VPSUBQ Z5, Z3, Z0
+	CONDSUB(Z0, Z28, Z5)
+	VMOVDQU64 Z0, (BX)(DX*8)                  // accLo = lazy residue
+	VMOVDQU64 Z21, (DI)(DX*8)                 // accHi = 0
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL foldWideLoop
+	VZEROUPPER
+	RET
+
+// func vecReduceWide128AVX512(dst, accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecReduceWide128AVX512(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ accHi_base+24(FP), SI
+	MOVQ accLo_base+48(FP), BX
+	BARRETT_CONSTS(72)
+	XORQ DX, DX
+reduceWideLoop:
+	VMOVDQU64 (SI)(DX*8), Z2
+	VMOVDQU64 (BX)(DX*8), Z3
+	BARRETT_T(Z2, Z3, Z4, Z8, Z9, Z5, Z6, Z7)
+	VPMULLQ Z27, Z4, Z5
+	VPSUBQ Z5, Z3, Z0
+	CONDSUB(Z0, Z28, Z5)
+	CONDSUB(Z0, Z27, Z5)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL reduceWideLoop
+	VZEROUPPER
+	RET
+
+// func vecReduceWide128LazyAVX512(dst, accHi, accLo []uint64, q, twoQ, u0, u1 uint64)
+TEXT ·vecReduceWide128LazyAVX512(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ accHi_base+24(FP), SI
+	MOVQ accLo_base+48(FP), BX
+	BARRETT_CONSTS(72)
+	XORQ DX, DX
+reduceWideLazyLoop:
+	VMOVDQU64 (SI)(DX*8), Z2
+	VMOVDQU64 (BX)(DX*8), Z3
+	BARRETT_T(Z2, Z3, Z4, Z8, Z9, Z5, Z6, Z7)
+	VPMULLQ Z27, Z4, Z5
+	VPSUBQ Z5, Z3, Z0
+	CONDSUB(Z0, Z28, Z5)
+	VMOVDQU64 Z0, (DI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL reduceWideLazyLoop
+	VZEROUPPER
+	RET
+
+// func vecReduceTwoQAVX512(p []uint64, q uint64)
+TEXT ·vecReduceTwoQAVX512(SB), NOSPLIT, $0-32
+	MOVQ p_base+0(FP), SI
+	MOVQ p_len+8(FP), CX
+	VPBROADCASTQ q+24(FP), Z27
+	XORQ DX, DX
+reduceTwoQLoop:
+	VMOVDQU64 (SI)(DX*8), Z0
+	CONDSUB(Z0, Z27, Z5)
+	VMOVDQU64 Z0, (SI)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL reduceTwoQLoop
+	VZEROUPPER
+	RET
+
+// func vecFwdButterflyAVX512(x, y []uint64, w, wShoup, q, twoQ uint64)
+// Harvey CT butterfly over the span: x' = u + v', y' = u - v' + 2q with
+// u = x cond-sub 2q and v' = MulShoupLazy(y, w) in [0, 2q).
+TEXT ·vecFwdButterflyAVX512(SB), NOSPLIT, $0-80
+	MOVQ x_base+0(FP), DI
+	MOVQ x_len+8(FP), CX
+	MOVQ y_base+24(FP), BX
+	VPBROADCASTQ w+48(FP), Z23
+	VPBROADCASTQ wShoup+56(FP), Z24
+	VPBROADCASTQ q+64(FP), Z27
+	VPBROADCASTQ twoQ+72(FP), Z28
+	MOVQ $1, AX
+	VPBROADCASTQ AX, Z25
+	MOVQ $0x100000000, AX
+	VPBROADCASTQ AX, Z26
+	XORQ DX, DX
+fwdButterflyLoop:
+	VMOVDQU64 (DI)(DX*8), Z0                  // u
+	VMOVDQU64 (BX)(DX*8), Z1                  // v
+	CONDSUB(Z0, Z28, Z5)                      // u in [0, 2q)
+	MUL128x8(Z1, Z24, Z2, Z3, Z5, Z6, Z7)     // h = hi64(v*wShoup)
+	VPMULLQ Z23, Z1, Z3                       // v*w
+	VPMULLQ Z27, Z2, Z4                       // h*q
+	VPSUBQ Z4, Z3, Z1                         // v' in [0, 2q)
+	VPADDQ Z1, Z0, Z2                         // x' = u + v'
+	VPSUBQ Z1, Z0, Z3
+	VPADDQ Z28, Z3, Z3                        // y' = u - v' + 2q
+	VMOVDQU64 Z2, (DI)(DX*8)
+	VMOVDQU64 Z3, (BX)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL fwdButterflyLoop
+	VZEROUPPER
+	RET
+
+// func vecInvButterflyAVX512(x, y []uint64, w, wShoup, q, twoQ uint64)
+// Harvey GS butterfly over the span: x' = (u+v) cond-sub 2q,
+// y' = MulShoupLazy(u - v + 2q, w).
+TEXT ·vecInvButterflyAVX512(SB), NOSPLIT, $0-80
+	MOVQ x_base+0(FP), DI
+	MOVQ x_len+8(FP), CX
+	MOVQ y_base+24(FP), BX
+	VPBROADCASTQ w+48(FP), Z23
+	VPBROADCASTQ wShoup+56(FP), Z24
+	VPBROADCASTQ q+64(FP), Z27
+	VPBROADCASTQ twoQ+72(FP), Z28
+	MOVQ $1, AX
+	VPBROADCASTQ AX, Z25
+	MOVQ $0x100000000, AX
+	VPBROADCASTQ AX, Z26
+	XORQ DX, DX
+invButterflyLoop:
+	VMOVDQU64 (DI)(DX*8), Z0                  // u
+	VMOVDQU64 (BX)(DX*8), Z1                  // v
+	VPADDQ Z1, Z0, Z2                         // s = u + v
+	CONDSUB(Z2, Z28, Z5)                      // x' in [0, 2q)
+	VPSUBQ Z1, Z0, Z3
+	VPADDQ Z28, Z3, Z3                        // d = u - v + 2q
+	MUL128x8(Z3, Z24, Z4, Z8, Z5, Z6, Z7)     // h = hi64(d*wShoup) -> Z4
+	VPMULLQ Z23, Z3, Z5                       // d*w
+	VPMULLQ Z27, Z4, Z6                       // h*q
+	VPSUBQ Z6, Z5, Z3                         // y' in [0, 2q)
+	VMOVDQU64 Z2, (DI)(DX*8)
+	VMOVDQU64 Z3, (BX)(DX*8)
+	ADDQ $8, DX
+	CMPQ DX, CX
+	JL invButterflyLoop
+	VZEROUPPER
+	RET

@@ -1,0 +1,275 @@
+package modarith
+
+import "math/bits"
+
+// Pure-Go row kernels. These are the bodies the public Vec* methods in
+// vec.go dispatched to before the assembly tiers existed, kept verbatim as
+// (a) the only implementation under the `noasm` build tag and on
+// architectures without an assembly tier, (b) the per-kernel fallback for
+// tiers that implement a subset of the kernel table, and (c) the
+// differential oracle every assembly tier is swept against (the same ref.go
+// role internal/ntt and internal/rns use for their retired scalar kernels).
+//
+// Every assembly implementation must be BIT-IDENTICAL to these on all
+// inputs, including the lazy-domain representatives: the [0, 2q) kernels
+// must compute the same Barrett quotient t (the same three partial products,
+// dropping the same low-word carries), not merely a congruent residue.
+// DESIGN.md §3.12 spells out the contract.
+
+func vecMulAddLazyGo(m Modulus, out, a, b []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		xhi, xlo := bits.Mul64(a[j], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		s := out[j] + r
+		if s >= twoQ {
+			s -= twoQ
+		}
+		out[j] = s
+	}
+}
+
+func vecMulAddLazyIdxGo(m Modulus, out, a, b []uint64, idx []int) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(idx)-1]
+	_ = b[len(idx)-1]
+	for j, k := range idx {
+		xhi, xlo := bits.Mul64(a[k], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		s := out[j] + r
+		if s >= twoQ {
+			s -= twoQ
+		}
+		out[j] = s
+	}
+}
+
+func vecMulBarrettGo(m Modulus, out, a, b []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		xhi, xlo := bits.Mul64(a[j], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
+func vecMulAddBarrettGo(m Modulus, out, a, b []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		xhi, xlo := bits.Mul64(a[j], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		if r >= q {
+			r -= q
+		}
+		s := out[j] + r
+		if s >= q {
+			s -= q
+		}
+		out[j] = s
+	}
+}
+
+func vecMulSubBarrettGo(m Modulus, out, a, b []uint64) {
+	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		xhi, xlo := bits.Mul64(a[j], b[j])
+		t := xhi * u0
+		hhi, _ := bits.Mul64(xlo, u0)
+		t += hhi
+		hhi, _ = bits.Mul64(xhi, u1)
+		t += hhi
+		r := xlo - t*q
+		if r >= twoQ {
+			r -= twoQ
+		}
+		if r >= q {
+			r -= q
+		}
+		d := out[j] - r
+		if d > out[j] {
+			d += q
+		}
+		out[j] = d
+	}
+}
+
+func vecMulShoupGo(m Modulus, out, a []uint64, w, wShoup uint64) {
+	q := m.Q
+	_ = out[len(a)-1]
+	for j := range a {
+		hi, _ := bits.Mul64(a[j], wShoup)
+		r := a[j]*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
+func vecSubMulShoupLazyGo(m Modulus, out, a, b []uint64, w, wShoup uint64) {
+	q, twoQ := m.Q, m.TwoQ
+	_ = out[len(a)-1]
+	_ = b[len(a)-1]
+	for j := range a {
+		d := a[j] + twoQ - b[j]
+		hi, _ := bits.Mul64(d, wShoup)
+		r := d*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		out[j] = r
+	}
+}
+
+func vecRescaleStepGo(m Modulus, row, t []uint64, halfModQ, w, wShoup uint64) {
+	q, u0 := m.Q, m.BRedHi
+	fourQ := 4 * q
+	_ = t[len(row)-1]
+	for j := range row {
+		th, _ := bits.Mul64(t[j], u0)
+		tm := t[j] - th*q // ≡ t[j] (mod q), in [0, 4q)
+		v := row[j] + halfModQ + fourQ - tm
+		hi, _ := bits.Mul64(v, wShoup)
+		r := v*w - hi*q
+		if r >= q {
+			r -= q
+		}
+		row[j] = r
+	}
+}
+
+func vecReduceTwoQGo(m Modulus, p []uint64) {
+	q := m.Q
+	for j := range p {
+		if p[j] >= q {
+			p[j] -= q
+		}
+	}
+}
+
+// vecFwdButterflyGo applies the Harvey Cooley–Tukey butterfly pairwise over
+// the re-sliced halves x and y of one NTT block:
+//
+//	x' = x̃ + w·y,  y' = x̃ - w·y + 2q,  x̃ = x - 2q·[x ≥ 2q]
+//
+// Inputs and outputs live in [0, 4q); w·y ∈ [0, 2q) by the MulShoupLazy
+// bound for any y. len(x) == len(y) must be a positive multiple of 4 (the
+// loop is 4x unrolled for ILP; the NTT's span-1/2 stages have dedicated
+// scalar kernels in internal/ntt).
+func vecFwdButterflyGo(m Modulus, x, y []uint64, w, ws uint64) {
+	q, twoQ := m.Q, m.TwoQ
+	y = y[:len(x)]
+	for j := 0; j < len(x); j += 4 {
+		xx := x[j : j+4 : j+4]
+		yy := y[j : j+4 : j+4]
+		u0, u1, u2, u3 := xx[0], xx[1], xx[2], xx[3]
+		v0, v1, v2, v3 := yy[0], yy[1], yy[2], yy[3]
+		if u0 >= twoQ {
+			u0 -= twoQ
+		}
+		if u1 >= twoQ {
+			u1 -= twoQ
+		}
+		if u2 >= twoQ {
+			u2 -= twoQ
+		}
+		if u3 >= twoQ {
+			u3 -= twoQ
+		}
+		h0, _ := bits.Mul64(v0, ws)
+		h1, _ := bits.Mul64(v1, ws)
+		h2, _ := bits.Mul64(v2, ws)
+		h3, _ := bits.Mul64(v3, ws)
+		v0 = v0*w - h0*q
+		v1 = v1*w - h1*q
+		v2 = v2*w - h2*q
+		v3 = v3*w - h3*q
+		xx[0], yy[0] = u0+v0, u0-v0+twoQ
+		xx[1], yy[1] = u1+v1, u1-v1+twoQ
+		xx[2], yy[2] = u2+v2, u2-v2+twoQ
+		xx[3], yy[3] = u3+v3, u3-v3+twoQ
+	}
+}
+
+// vecInvButterflyGo applies the Harvey Gentleman–Sande butterfly pairwise
+// over the re-sliced halves x and y of one NTT block:
+//
+//	x' = (x + y) - 2q·[x+y ≥ 2q],  y' = (x - y + 2q)·w  (MulShoupLazy)
+//
+// Inputs and outputs live in [0, 2q). len(x) == len(y) must be a positive
+// multiple of 4.
+func vecInvButterflyGo(m Modulus, x, y []uint64, w, ws uint64) {
+	q, twoQ := m.Q, m.TwoQ
+	y = y[:len(x)]
+	for j := 0; j < len(x); j += 4 {
+		xx := x[j : j+4 : j+4]
+		yy := y[j : j+4 : j+4]
+		u0, u1, u2, u3 := xx[0], xx[1], xx[2], xx[3]
+		v0, v1, v2, v3 := yy[0], yy[1], yy[2], yy[3]
+		s0, s1, s2, s3 := u0+v0, u1+v1, u2+v2, u3+v3
+		if s0 >= twoQ {
+			s0 -= twoQ
+		}
+		if s1 >= twoQ {
+			s1 -= twoQ
+		}
+		if s2 >= twoQ {
+			s2 -= twoQ
+		}
+		if s3 >= twoQ {
+			s3 -= twoQ
+		}
+		d0, d1, d2, d3 := u0-v0+twoQ, u1-v1+twoQ, u2-v2+twoQ, u3-v3+twoQ
+		h0, _ := bits.Mul64(d0, ws)
+		h1, _ := bits.Mul64(d1, ws)
+		h2, _ := bits.Mul64(d2, ws)
+		h3, _ := bits.Mul64(d3, ws)
+		xx[0], yy[0] = s0, d0*w-h0*q
+		xx[1], yy[1] = s1, d1*w-h1*q
+		xx[2], yy[2] = s2, d2*w-h2*q
+		xx[3], yy[3] = s3, d3*w-h3*q
+	}
+}

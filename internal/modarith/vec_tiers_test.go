@@ -1,0 +1,273 @@
+package modarith
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential sweep: every registered kernel tier must produce BIT-IDENTICAL
+// output to the pure-Go oracle on every kernel, for random and adversarial
+// inputs across the supported modulus range and across lengths that exercise
+// both the vector body and the scalar tail. On a host with no assembly tier
+// this degenerates to Go-vs-Go and passes trivially; CI's amd64 and arm64
+// legs provide the real coverage.
+
+// tierTestLens hits 0-tail, partial-tail and multi-block cases for both the
+// 4-lane (AVX2) and 8-lane (AVX-512) kernels.
+var tierTestLens = []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 23, 24, 31, 32, 33, 64, 100, 256, 1000, 1024}
+
+// butterflyLens must be positive multiples of 4 (the Vec*Butterfly contract).
+var butterflyLens = []int{4, 8, 12, 16, 24, 32, 64, 100, 256, 1024}
+
+func tierTestModuli(t testing.TB) []Modulus {
+	t.Helper()
+	var ms []Modulus
+	for _, bits := range []int{45, 55, 60} {
+		ps, err := GenerateNTTPrimes(bits, 12, 1)
+		if err != nil {
+			t.Fatalf("GenerateNTTPrimes(%d): %v", bits, err)
+		}
+		ms = append(ms, MustModulus(ps[0]))
+	}
+	return ms
+}
+
+// randBelow returns a uniform-ish value in [0, bound) with the domain
+// boundaries (0, 1, bound-2, bound-1) over-sampled — the values that expose
+// missed conditional subtractions and carry bugs.
+func randBelow(rng *rand.Rand, bound uint64) uint64 {
+	switch rng.Intn(8) {
+	case 0:
+		return bound - 1
+	case 1:
+		return bound - 1 - uint64(rng.Intn(2))
+	case 2:
+		return uint64(rng.Intn(2))
+	default:
+		return rng.Uint64() % bound
+	}
+}
+
+func randRow(rng *rand.Rand, n int, bound uint64) []uint64 {
+	r := make([]uint64, n)
+	for i := range r {
+		r[i] = randBelow(rng, bound)
+	}
+	return r
+}
+
+func cloneRow(a []uint64) []uint64 {
+	return append([]uint64(nil), a...)
+}
+
+func rowsEqual(t *testing.T, kernel string, tier KernelTier, m Modulus, got, want []uint64) {
+	t.Helper()
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("%s: tier %v q=%d n=%d: out[%d] = %#x, oracle %#x",
+				kernel, tier, m.Q, len(want), j, got[j], want[j])
+		}
+	}
+}
+
+// forEachTierCase runs fn for every registered tier × modulus × length.
+func forEachTierCase(t *testing.T, lens []int, fn func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand)) {
+	t.Helper()
+	moduli := tierTestModuli(t)
+	for _, tier := range AvailableTiers() {
+		tbl := tierTables[tier]
+		t.Run(tier.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0x5eed + int64(tier)))
+			for _, m := range moduli {
+				for _, n := range lens {
+					fn(t, tbl, m, n, rng)
+				}
+			}
+		})
+	}
+}
+
+func TestTierMulAddLazy(t *testing.T) {
+	forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		a := randRow(rng, n, m.TwoQ)
+		b := randRow(rng, n, m.TwoQ)
+		out := randRow(rng, n, m.TwoQ)
+		want := cloneRow(out)
+		vecMulAddLazyGo(m, want, a, b)
+		tbl.mulAddLazy(m, out, a, b)
+		rowsEqual(t, "mulAddLazy", tbl.tier, m, out, want)
+	})
+}
+
+func TestTierMulAddLazyIdx(t *testing.T) {
+	forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		na := n + rng.Intn(17)
+		a := randRow(rng, na, m.TwoQ)
+		b := randRow(rng, n, m.TwoQ)
+		idx := make([]int, n)
+		for j := range idx {
+			idx[j] = rng.Intn(na)
+		}
+		out := randRow(rng, n, m.TwoQ)
+		want := cloneRow(out)
+		vecMulAddLazyIdxGo(m, want, a, b, idx)
+		tbl.mulAddLazyIdx(m, out, a, b, idx)
+		rowsEqual(t, "mulAddLazyIdx", tbl.tier, m, out, want)
+	})
+}
+
+func TestTierBarrettFamily(t *testing.T) {
+	kernels := []struct {
+		name string
+		ref  func(m Modulus, out, a, b []uint64)
+		tab  func(tbl *kernelTable) func(m Modulus, out, a, b []uint64)
+	}{
+		{"mulBarrett", vecMulBarrettGo, func(tbl *kernelTable) func(Modulus, []uint64, []uint64, []uint64) { return tbl.mulBarrett }},
+		{"mulAddBarrett", vecMulAddBarrettGo, func(tbl *kernelTable) func(Modulus, []uint64, []uint64, []uint64) { return tbl.mulAddBarrett }},
+		{"mulSubBarrett", vecMulSubBarrettGo, func(tbl *kernelTable) func(Modulus, []uint64, []uint64, []uint64) { return tbl.mulSubBarrett }},
+	}
+	for _, k := range kernels {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+				a := randRow(rng, n, m.TwoQ) // lazy operands allowed
+				b := randRow(rng, n, m.TwoQ)
+				out := randRow(rng, n, m.Q)
+				want := cloneRow(out)
+				k.ref(m, want, a, b)
+				k.tab(tbl)(m, out, a, b)
+				rowsEqual(t, k.name, tbl.tier, m, out, want)
+			})
+		})
+	}
+}
+
+func TestTierMulShoup(t *testing.T) {
+	forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		a := randRow(rng, n, m.Q)
+		w := randBelow(rng, m.Q)
+		ws := m.ShoupPrecomp(w)
+		out := make([]uint64, n)
+		want := make([]uint64, n)
+		vecMulShoupGo(m, want, a, w, ws)
+		tbl.mulShoup(m, out, a, w, ws)
+		rowsEqual(t, "mulShoup", tbl.tier, m, out, want)
+	})
+}
+
+func TestTierSubMulShoupLazy(t *testing.T) {
+	forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		a := randRow(rng, n, m.TwoQ)
+		b := randRow(rng, n, m.TwoQ)
+		w := randBelow(rng, m.Q)
+		ws := m.ShoupPrecomp(w)
+		out := make([]uint64, n)
+		want := make([]uint64, n)
+		vecSubMulShoupLazyGo(m, want, a, b, w, ws)
+		tbl.subMulShoupLazy(m, out, a, b, w, ws)
+		rowsEqual(t, "subMulShoupLazy", tbl.tier, m, out, want)
+	})
+}
+
+func TestTierRescaleStep(t *testing.T) {
+	forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		row := randRow(rng, n, m.TwoQ)
+		tt := randRow(rng, n, 4*m.Q)
+		halfModQ := randBelow(rng, m.Q)
+		w := randBelow(rng, m.Q)
+		ws := m.ShoupPrecomp(w)
+		want := cloneRow(row)
+		vecRescaleStepGo(m, want, tt, halfModQ, w, ws)
+		tbl.rescaleStep(m, row, tt, halfModQ, w, ws)
+		rowsEqual(t, "rescaleStep", tbl.tier, m, row, want)
+	})
+}
+
+func TestTierWideKernels(t *testing.T) {
+	forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		row := randRow(rng, n, m.TwoQ)
+		w := randBelow(rng, m.TwoQ)
+
+		gotHi, gotLo := make([]uint64, n), make([]uint64, n)
+		wantHi, wantLo := make([]uint64, n), make([]uint64, n)
+		vecMulWideGo(wantHi, wantLo, row, w)
+		tbl.mulWide(gotHi, gotLo, row, w)
+		rowsEqual(t, "mulWide.hi", tbl.tier, m, gotHi, wantHi)
+		rowsEqual(t, "mulWide.lo", tbl.tier, m, gotLo, wantLo)
+
+		// Accumulate on top of near-overflow accumulators: accLo close to
+		// 2^64 forces the cross-word carry, accHi arbitrary.
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				gotLo[j] = ^uint64(0) - uint64(rng.Intn(4))
+			} else {
+				gotLo[j] = rng.Uint64()
+			}
+			gotHi[j] = rng.Uint64() % (m.Q << 1)
+			wantLo[j], wantHi[j] = gotLo[j], gotHi[j]
+		}
+		vecMulAccWideGo(wantHi, wantLo, row, w)
+		tbl.mulAccWide(gotHi, gotLo, row, w)
+		rowsEqual(t, "mulAccWide.hi", tbl.tier, m, gotHi, wantHi)
+		rowsEqual(t, "mulAccWide.lo", tbl.tier, m, gotLo, wantLo)
+	})
+}
+
+func TestTierFoldAndReduceWide(t *testing.T) {
+	forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		hi := randRow(rng, n, m.Q) // fold-domain accumulators keep hi < q
+		lo := make([]uint64, n)
+		for j := range lo {
+			lo[j] = rng.Uint64()
+		}
+
+		gotHi, gotLo := cloneRow(hi), cloneRow(lo)
+		wantHi, wantLo := cloneRow(hi), cloneRow(lo)
+		vecFoldWide128LazyGo(m, wantHi, wantLo)
+		tbl.foldWide128Lazy(m, gotHi, gotLo)
+		rowsEqual(t, "foldWide128Lazy.hi", tbl.tier, m, gotHi, wantHi)
+		rowsEqual(t, "foldWide128Lazy.lo", tbl.tier, m, gotLo, wantLo)
+
+		got, want := make([]uint64, n), make([]uint64, n)
+		vecReduceWide128Go(m, want, hi, lo)
+		tbl.reduceWide128(m, got, hi, lo)
+		rowsEqual(t, "reduceWide128", tbl.tier, m, got, want)
+
+		vecReduceWide128LazyGo(m, want, hi, lo)
+		tbl.reduceWide128Lazy(m, got, hi, lo)
+		rowsEqual(t, "reduceWide128Lazy", tbl.tier, m, got, want)
+	})
+}
+
+func TestTierReduceTwoQ(t *testing.T) {
+	forEachTierCase(t, tierTestLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		p := randRow(rng, n, m.TwoQ)
+		want := cloneRow(p)
+		vecReduceTwoQGo(m, want)
+		tbl.reduceTwoQ(m, p)
+		rowsEqual(t, "reduceTwoQ", tbl.tier, m, p, want)
+	})
+}
+
+func TestTierButterflies(t *testing.T) {
+	forEachTierCase(t, butterflyLens, func(t *testing.T, tbl *kernelTable, m Modulus, n int, rng *rand.Rand) {
+		w := randBelow(rng, m.Q)
+		ws := m.ShoupPrecomp(w)
+
+		x := randRow(rng, n, 4*m.Q) // CT butterfly domain [0, 4q)
+		y := randRow(rng, n, 4*m.Q)
+		wantX, wantY := cloneRow(x), cloneRow(y)
+		vecFwdButterflyGo(m, wantX, wantY, w, ws)
+		tbl.fwdButterfly(m, x, y, w, ws)
+		rowsEqual(t, "fwdButterfly.x", tbl.tier, m, x, wantX)
+		rowsEqual(t, "fwdButterfly.y", tbl.tier, m, y, wantY)
+
+		x = randRow(rng, n, m.TwoQ) // GS butterfly domain [0, 2q)
+		y = randRow(rng, n, m.TwoQ)
+		wantX, wantY = cloneRow(x), cloneRow(y)
+		vecInvButterflyGo(m, wantX, wantY, w, ws)
+		tbl.invButterfly(m, x, y, w, ws)
+		rowsEqual(t, "invButterfly.x", tbl.tier, m, x, wantX)
+		rowsEqual(t, "invButterfly.y", tbl.tier, m, y, wantY)
+	})
+}

@@ -9,6 +9,9 @@ import "math/bits"
 // (hi, lo) pair and reduced once per output with the 128-bit Barrett
 // reciprocal BRedHi:BRedLo = floor(2^128/q) that Modulus already carries.
 //
+// The row forms dispatch through the runtime kernel table (dispatch.go)
+// like the vec.go kernels; pure-Go bodies live in wide_ref.go.
+//
 // # Domain contracts
 //
 //   - Mul64AddWide / VecMulWide / VecMulAccWide take arbitrary uint64
@@ -61,25 +64,14 @@ func (m Modulus) ReduceWide128(hi, lo uint64) uint64 {
 // VecMulWide starts an accumulation chain: (accHi[j], accLo[j]) = row[j]·w.
 // No reduction; factors are arbitrary uint64.
 func VecMulWide(accHi, accLo, row []uint64, w uint64) {
-	_ = accHi[len(row)-1]
-	_ = accLo[len(row)-1]
-	for j, a := range row {
-		accHi[j], accLo[j] = bits.Mul64(a, w)
-	}
+	active.Load().mulWide(accHi, accLo, row, w)
 }
 
 // VecMulAccWide continues an accumulation chain:
 // (accHi[j], accLo[j]) += row[j]·w. No reduction; the caller bounds the
 // chain length (see the package comment).
 func VecMulAccWide(accHi, accLo, row []uint64, w uint64) {
-	_ = accHi[len(row)-1]
-	_ = accLo[len(row)-1]
-	for j, a := range row {
-		phi, plo := bits.Mul64(a, w)
-		lo, carry := bits.Add64(accLo[j], plo, 0)
-		accLo[j] = lo
-		accHi[j] += phi + carry
-	}
+	active.Load().mulAccWide(accHi, accLo, row, w)
 }
 
 // VecFoldWide128Lazy folds each accumulator pair back into a single word:
@@ -87,54 +79,17 @@ func VecMulAccWide(accHi, accLo, row []uint64, w uint64) {
 // is the mid-chain overflow guard for accumulations longer than the 128-bit
 // capacity; the folded value re-enters the chain as one (tiny) term.
 func (m Modulus) VecFoldWide128Lazy(accHi, accLo []uint64) {
-	_ = accHi[len(accLo)-1]
-	for j := range accLo {
-		accLo[j] = m.ReduceWide128Lazy(accHi[j], accLo[j])
-		accHi[j] = 0
-	}
+	active.Load().foldWide128Lazy(m, accHi, accLo)
 }
 
 // VecReduceWide128 reduces each accumulator pair to its exact residue:
 // dst[j] = (accHi[j]:accLo[j]) mod q ∈ [0, q).
 func (m Modulus) VecReduceWide128(dst, accHi, accLo []uint64) {
-	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
-	_ = accHi[len(dst)-1]
-	_ = accLo[len(dst)-1]
-	for j := range dst {
-		hi, lo := accHi[j], accLo[j]
-		t := hi * u0
-		hhi, _ := bits.Mul64(lo, u0)
-		t += hhi
-		hhi, _ = bits.Mul64(hi, u1)
-		t += hhi
-		r := lo - t*q
-		if r >= twoQ {
-			r -= twoQ
-		}
-		if r >= q {
-			r -= q
-		}
-		dst[j] = r
-	}
+	active.Load().reduceWide128(m, dst, accHi, accLo)
 }
 
 // VecReduceWide128Lazy reduces each accumulator pair to the lazy domain:
 // dst[j] = (accHi[j]:accLo[j]) mod q up to one multiple of q, in [0, 2q).
 func (m Modulus) VecReduceWide128Lazy(dst, accHi, accLo []uint64) {
-	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
-	_ = accHi[len(dst)-1]
-	_ = accLo[len(dst)-1]
-	for j := range dst {
-		hi, lo := accHi[j], accLo[j]
-		t := hi * u0
-		hhi, _ := bits.Mul64(lo, u0)
-		t += hhi
-		hhi, _ = bits.Mul64(hi, u1)
-		t += hhi
-		r := lo - t*q
-		if r >= twoQ {
-			r -= twoQ
-		}
-		dst[j] = r
-	}
+	active.Load().reduceWide128Lazy(m, dst, accHi, accLo)
 }

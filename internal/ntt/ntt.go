@@ -158,60 +158,20 @@ func (t *Tables) inverse(a []uint64, lazy bool) {
 	t.invStageFinal(a, 0, t.N>>1, lazy)
 }
 
-// fwdButterflies applies the Harvey Cooley–Tukey butterfly pairwise over the
-// re-sliced halves x and y of one block:
-//
-//	x' = x̃ + w·y,  y' = x̃ - w·y + 2q,  x̃ = x - 2q·[x ≥ 2q]
-//
-// Inputs and outputs live in [0, 4q); w·y ∈ [0, 2q) by the MulShoupLazy
-// bound for any y. len(x) == len(y) must be a positive multiple of 4 (the
-// loop is 4x unrolled for ILP; spans 1 and 2 have dedicated kernels).
-func fwdButterflies(x, y []uint64, w, ws, q, twoQ uint64) {
-	y = y[:len(x)]
-	for j := 0; j < len(x); j += 4 {
-		xx := x[j : j+4 : j+4]
-		yy := y[j : j+4 : j+4]
-		u0, u1, u2, u3 := xx[0], xx[1], xx[2], xx[3]
-		v0, v1, v2, v3 := yy[0], yy[1], yy[2], yy[3]
-		if u0 >= twoQ {
-			u0 -= twoQ
-		}
-		if u1 >= twoQ {
-			u1 -= twoQ
-		}
-		if u2 >= twoQ {
-			u2 -= twoQ
-		}
-		if u3 >= twoQ {
-			u3 -= twoQ
-		}
-		h0, _ := bits.Mul64(v0, ws)
-		h1, _ := bits.Mul64(v1, ws)
-		h2, _ := bits.Mul64(v2, ws)
-		h3, _ := bits.Mul64(v3, ws)
-		v0 = v0*w - h0*q
-		v1 = v1*w - h1*q
-		v2 = v2*w - h2*q
-		v3 = v3*w - h3*q
-		xx[0], yy[0] = u0+v0, u0-v0+twoQ
-		xx[1], yy[1] = u1+v1, u1-v1+twoQ
-		xx[2], yy[2] = u2+v2, u2-v2+twoQ
-		xx[3], yy[3] = u3+v3, u3-v3+twoQ
-	}
-}
-
 // fwdStage applies forward stage m (span = N/(2m)) to twiddle blocks
-// [i0, i1). The span=1 final stage folds the exit reduction in, emitting
-// [0, q) (exact) or [0, 2q) (lazy); all other stages keep the [0, 4q)
-// butterfly invariant.
+// [i0, i1). Spans ≥ 4 run on the dispatched butterfly row kernel
+// (modarith.VecFwdButterflyLazy — pure Go, AVX2/AVX-512, or arm64 asm
+// depending on the active tier); the span=1 final stage folds the exit
+// reduction in, emitting [0, q) (exact) or [0, 2q) (lazy); all other stages
+// keep the [0, 4q) butterfly invariant.
 func (t *Tables) fwdStage(a []uint64, m, span, i0, i1 int, lazy bool) {
 	q, twoQ := t.Mod.Q, t.Mod.TwoQ
 	switch {
 	case span >= 4:
 		for i := i0; i < i1; i++ {
 			j1 := 2 * i * span
-			fwdButterflies(a[j1:j1+span], a[j1+span:j1+2*span],
-				t.psiRev[m+i], t.psiRevShoup[m+i], q, twoQ)
+			t.Mod.VecFwdButterflyLazy(a[j1:j1+span], a[j1+span:j1+2*span],
+				t.psiRev[m+i], t.psiRevShoup[m+i])
 		}
 	case span == 2:
 		for i := i0; i < i1; i++ {
@@ -264,55 +224,17 @@ func (t *Tables) fwdStage(a []uint64, m, span, i0, i1 int, lazy bool) {
 	}
 }
 
-// invButterflies applies the Harvey Gentleman–Sande butterfly pairwise over
-// the re-sliced halves x and y of one block:
-//
-//	x' = (x + y) - 2q·[x+y ≥ 2q],  y' = (x - y + 2q)·w  (MulShoupLazy)
-//
-// Inputs and outputs live in [0, 2q). len(x) == len(y) must be a positive
-// multiple of 4.
-func invButterflies(x, y []uint64, w, ws, q, twoQ uint64) {
-	y = y[:len(x)]
-	for j := 0; j < len(x); j += 4 {
-		xx := x[j : j+4 : j+4]
-		yy := y[j : j+4 : j+4]
-		u0, u1, u2, u3 := xx[0], xx[1], xx[2], xx[3]
-		v0, v1, v2, v3 := yy[0], yy[1], yy[2], yy[3]
-		s0, s1, s2, s3 := u0+v0, u1+v1, u2+v2, u3+v3
-		if s0 >= twoQ {
-			s0 -= twoQ
-		}
-		if s1 >= twoQ {
-			s1 -= twoQ
-		}
-		if s2 >= twoQ {
-			s2 -= twoQ
-		}
-		if s3 >= twoQ {
-			s3 -= twoQ
-		}
-		d0, d1, d2, d3 := u0-v0+twoQ, u1-v1+twoQ, u2-v2+twoQ, u3-v3+twoQ
-		h0, _ := bits.Mul64(d0, ws)
-		h1, _ := bits.Mul64(d1, ws)
-		h2, _ := bits.Mul64(d2, ws)
-		h3, _ := bits.Mul64(d3, ws)
-		xx[0], yy[0] = s0, d0*w-h0*q
-		xx[1], yy[1] = s1, d1*w-h1*q
-		xx[2], yy[2] = s2, d2*w-h2*q
-		xx[3], yy[3] = s3, d3*w-h3*q
-	}
-}
-
 // invStage applies inverse stage m (span = N/(2m), m ≥ 2) to twiddle blocks
-// [i0, i1), maintaining the [0, 2q) invariant.
+// [i0, i1), maintaining the [0, 2q) invariant. Spans ≥ 4 run on the
+// dispatched butterfly row kernel (modarith.VecInvButterflyLazy).
 func (t *Tables) invStage(a []uint64, m, span, i0, i1 int) {
 	q, twoQ := t.Mod.Q, t.Mod.TwoQ
 	switch {
 	case span >= 4:
 		for i := i0; i < i1; i++ {
 			j1 := 2 * i * span
-			invButterflies(a[j1:j1+span], a[j1+span:j1+2*span],
-				t.psiInvRev[m+i], t.psiInvShoup[m+i], q, twoQ)
+			t.Mod.VecInvButterflyLazy(a[j1:j1+span], a[j1+span:j1+2*span],
+				t.psiInvRev[m+i], t.psiInvShoup[m+i])
 		}
 	case span == 2:
 		for i := i0; i < i1; i++ {

@@ -75,7 +75,6 @@ func transformPlan(limbs, n int) plan {
 // independent sub-transforms that finish without further synchronization.
 func (t *Tables) forwardSplit(a []uint64, s int, lazy bool) {
 	n := t.N
-	q, twoQ := t.Mod.Q, t.Mod.TwoQ
 	chunk := n / (2 * s) // butterflies per worker per shared stage
 	span := n
 	for m := 1; m < s; m <<= 1 {
@@ -85,8 +84,8 @@ func (t *Tables) forwardSplit(a []uint64, s int, lazy bool) {
 		par.ForEach(s, func(w int) {
 			i := w / wpb
 			j1 := 2*i*sp + (w%wpb)*chunk
-			fwdButterflies(a[j1:j1+chunk], a[j1+sp:j1+sp+chunk],
-				t.psiRev[mm+i], t.psiRevShoup[mm+i], q, twoQ)
+			t.Mod.VecFwdButterflyLazy(a[j1:j1+chunk], a[j1+sp:j1+sp+chunk],
+				t.psiRev[mm+i], t.psiRevShoup[mm+i])
 		})
 	}
 	// span is now n/s; worker c owns blocks [c·m/s, (c+1)·m/s) of every
@@ -107,7 +106,6 @@ func (t *Tables) forwardSplit(a []uint64, s int, lazy bool) {
 // the 1/N scaling.
 func (t *Tables) inverseSplit(a []uint64, s int, lazy bool) {
 	n := t.N
-	q, twoQ := t.Mod.Q, t.Mod.TwoQ
 	chunk := n / (2 * s)
 	par.ForEach(s, func(c int) {
 		sp := 1
@@ -124,8 +122,8 @@ func (t *Tables) inverseSplit(a []uint64, s int, lazy bool) {
 		par.ForEach(s, func(w int) {
 			i := w / wpb
 			j1 := 2*i*span + (w%wpb)*chunk
-			invButterflies(a[j1:j1+chunk], a[j1+span:j1+span+chunk],
-				t.psiInvRev[mm+i], t.psiInvShoup[mm+i], q, twoQ)
+			t.Mod.VecInvButterflyLazy(a[j1:j1+chunk], a[j1+span:j1+span+chunk],
+				t.psiInvRev[mm+i], t.psiInvShoup[mm+i])
 		})
 	}
 	par.ForEach(s, func(w int) {

@@ -1,0 +1,139 @@
+package ntt
+
+import (
+	"testing"
+
+	"github.com/anaheim-sim/anaheim/internal/modarith"
+)
+
+// TestTransformAcrossKernelTiers runs full forward/inverse transforms (all
+// four laziness variants) on every kernel tier available on the host and
+// requires bit-identical outputs: the NTT is the heaviest consumer of the
+// dispatched butterfly kernels, so a carry bug that survives the row-level
+// sweeps still dies here, where thousands of butterflies compound.
+//
+// The "modarith kernel tier" log line below is asserted by CI (each matrix
+// leg greps the test log for the tier it expects), so a misconfigured leg —
+// e.g. the arm64 runner silently falling back to pure Go — fails loudly
+// instead of green-washing the matrix.
+func TestTransformAcrossKernelTiers(t *testing.T) {
+	t.Logf("modarith kernel tier: active=%s available=%v", modarith.ActiveTier(), modarith.AvailableTiers())
+
+	orig := modarith.ActiveTier()
+	t.Cleanup(func() {
+		if err := modarith.SetKernelTier(orig); err != nil {
+			t.Fatalf("restoring tier %v: %v", orig, err)
+		}
+	})
+
+	for _, logN := range []int{4, 10, 13} {
+		primes, err := modarith.GenerateNTTPrimes(55, logN, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := NewTables(modarith.MustModulus(primes[0]), logN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := tbl.Mod.Q
+		input := make([]uint64, tbl.N)
+		for i := range input {
+			input[i] = (uint64(i)*0x9e3779b97f4a7c15 + 12345) % (2 * q) // lazy domain
+		}
+
+		variants := []struct {
+			name string
+			run  func(a []uint64)
+		}{
+			{"fwd", func(a []uint64) { tbl.Forward(a) }},
+			{"fwdLazy", func(a []uint64) { tbl.ForwardLazy(a) }},
+			{"fwd+inv", func(a []uint64) { tbl.Forward(a); tbl.Inverse(a) }},
+			{"fwdLazy+invLazy", func(a []uint64) { tbl.ForwardLazy(a); tbl.InverseLazy(a) }},
+		}
+		for _, v := range variants {
+			// Reference outputs on the pure-Go tier.
+			if err := modarith.SetKernelTier(modarith.TierGo); err != nil {
+				t.Fatal(err)
+			}
+			want := append([]uint64(nil), input...)
+			v.run(want)
+
+			for _, tier := range modarith.AvailableTiers() {
+				if tier == modarith.TierGo {
+					continue
+				}
+				if err := modarith.SetKernelTier(tier); err != nil {
+					t.Fatal(err)
+				}
+				got := append([]uint64(nil), input...)
+				v.run(got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("logN=%d %s tier=%v: output[%d] = %#x, go tier %#x",
+							logN, v.name, tier, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchTransformsAcrossKernelTiers covers the split/parallel transform
+// paths (forwardSplit/inverseSplit drive the dispatched butterfly kernels
+// with chunked sub-spans whose lengths differ from the serial path).
+func TestBatchTransformsAcrossKernelTiers(t *testing.T) {
+	orig := modarith.ActiveTier()
+	t.Cleanup(func() {
+		if err := modarith.SetKernelTier(orig); err != nil {
+			t.Fatalf("restoring tier %v: %v", orig, err)
+		}
+	})
+
+	const logN, limbs = 13, 3
+	primes, err := modarith.GenerateNTTPrimes(55, logN, limbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := make([]*Tables, limbs)
+	mkRows := func() [][]uint64 {
+		rows := make([][]uint64, limbs)
+		for l := range rows {
+			rows[l] = make([]uint64, 1<<logN)
+			for i := range rows[l] {
+				rows[l][i] = (uint64(i)*0xbf58476d1ce4e5b9 + uint64(l)) % primes[l]
+			}
+		}
+		return rows
+	}
+	for l := range tables {
+		if tables[l], err = NewTables(modarith.MustModulus(primes[l]), logN); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := modarith.SetKernelTier(modarith.TierGo); err != nil {
+		t.Fatal(err)
+	}
+	want := mkRows()
+	ForwardMany(tables, want)
+	InverseMany(tables, want)
+
+	for _, tier := range modarith.AvailableTiers() {
+		if tier == modarith.TierGo {
+			continue
+		}
+		if err := modarith.SetKernelTier(tier); err != nil {
+			t.Fatal(err)
+		}
+		got := mkRows()
+		ForwardMany(tables, got)
+		InverseMany(tables, got)
+		for l := range want {
+			for i := range want[l] {
+				if got[l][i] != want[l][i] {
+					t.Fatalf("tier=%v limb=%d: output[%d] = %#x, go tier %#x", tier, l, i, got[l][i], want[l][i])
+				}
+			}
+		}
+	}
+}
