@@ -40,10 +40,11 @@ bench:
 	$(GO) test $(TAGFLAGS) -bench=. -benchmem -run=^$$ ./...
 
 # FHE op microbenchmarks -> BENCH_BASELINE.json (the perf trajectory file,
-# fused and unfused entries for the lintrans/bootstrap pairs), then the
-# many-tenant serving load driver merged in as the .serving field.
+# fused and unfused entries for the lintrans/bootstrap pairs, pipelined and
+# barriered pairs with -membw traffic columns), then the many-tenant serving
+# load driver merged in as the .serving field.
 micro:
-	$(GO) run ./cmd/anaheim-bench -micro -fusion both -o BENCH_BASELINE.json
+	$(GO) run ./cmd/anaheim-bench -micro -fusion both -membw -o BENCH_BASELINE.json
 	$(GO) run ./cmd/anaheim-bench -tenants 8 -mix logreg,lintrans -duration 3s \
 		-batch both -merge BENCH_BASELINE.json -o /dev/null
 

@@ -86,6 +86,19 @@ func SetFusion(on bool) { ckks.SetFusion(on) }
 // FusionEnabled reports whether the fused ring-kernel paths are active.
 func FusionEnabled() bool { return ckks.FusionEnabled() }
 
+// SetPipelined toggles the process-wide limb-pipelined evaluator chains:
+// key switching, rotation, rescaling, and hoisted linear transforms record
+// their per-limb kernel chains into a ring.Pipeline and execute whole chains
+// limb-by-limb under one barrier, keeping each limb row cache-resident
+// across consecutive kernels. On by default (and only active while fusion is
+// on); turning it off selects the barriered one-sweep-per-kernel execution,
+// which is what the pipelined-vs-barriered benchmarks and differential tests
+// compare against.
+func SetPipelined(on bool) { ckks.SetPipelined(on) }
+
+// PipelinedEnabled reports whether the limb-pipelined chains are active.
+func PipelinedEnabled() bool { return ckks.PipelinedEnabled() }
+
 // SetLevelAware toggles the process-wide level-aware key-switch gadget
 // plans: low-level key switches use a smaller special-modulus prefix and
 // wider digits chosen from the level's noise headroom. On by default;

@@ -27,8 +27,11 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 	prevTier := tierGrid
 	tierGrid.logN, tierGrid.bconvLimbs = 12, 4
 	defer func() { tierGrid = prevTier }()
+	prevPipe := pipeGrid
+	pipeGrid.logN, pipeGrid.limbs = 12, 4
+	defer func() { pipeGrid = prevPipe }()
 	var sb strings.Builder
-	if err := runMicro(&sb, true, "both"); err != nil {
+	if err := runMicro(&sb, true, "both", true); err != nil {
 		t.Fatal(err)
 	}
 	var rep microReport
@@ -68,6 +71,23 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 		if r.Op == "" || r.NsPerOp <= 0 {
 			t.Fatalf("bad result entry: %+v", r)
 		}
+	}
+	// -membw columns: the traffic model is deterministic, so the pipelined
+	// keyswitch row must move strictly fewer bytes than the barriered one and
+	// report a positive saved column — no timing jitter involved.
+	ksPiped, ksBarr := byOp["keyswitch-pipelined-n12-l4"], byOp["keyswitch-barriered-n12-l4"]
+	if ksPiped.MemBytesOp <= 0 || ksBarr.MemBytesOp <= 0 {
+		t.Fatalf("-membw must populate memBytesPerOp on the pair rows, got %+v / %+v", ksPiped, ksBarr)
+	}
+	if ksPiped.MemBytesOp >= ksBarr.MemBytesOp {
+		t.Errorf("pipelined keyswitch moves %.0f bytes/op, barriered %.0f — pipelining must cut traffic",
+			ksPiped.MemBytesOp, ksBarr.MemBytesOp)
+	}
+	if ksPiped.MemSavedOp <= 0 {
+		t.Errorf("pipelined keyswitch reports no bytes saved: %+v", ksPiped)
+	}
+	if byOp["ntt_fwd-n12-l1"].MemBytesOp != 0 {
+		t.Errorf("unprobed rows must omit the membw column: %+v", byOp["ntt_fwd-n12-l1"])
 	}
 	if rep.Metrics == nil {
 		t.Fatal("-metrics snapshot missing from report")
@@ -140,8 +160,52 @@ func TestRunCompare(t *testing.T) {
 	}
 }
 
+func TestRunMemBWTable(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep microReport) string {
+		t.Helper()
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/" + name
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	withCols := write("membw.json", microReport{Results: []microResult{
+		{Op: "keyswitch-pipelined-n14-l16", NsPerOp: 100, MemBytesOp: 6 << 20, MemSavedOp: 4 << 20},
+		{Op: "keyswitch-barriered-n14-l16", NsPerOp: 150, MemBytesOp: 10 << 20},
+		{Op: "rotate", NsPerOp: 50, MemBytesOp: 2 << 20, MemSavedOp: 1 << 20},
+		{Op: "ntt_fwd-n14-l1", NsPerOp: 10}, // unprobed: stays out of the table
+	}})
+	var sb strings.Builder
+	if err := runMemBWTable(&sb, withCols); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"keyswitch-·-n14-l16", // paired row under a mode-neutral name
+		"| 10.0 | 6.0 | 40% | 1.50x |",
+		"| rotate | 2.0 | 1.0 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("membw table missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "ntt_fwd") {
+		t.Errorf("membw table must skip rows without traffic columns:\n%s", got)
+	}
+
+	plain := write("plain.json", microReport{Results: []microResult{{Op: "add", NsPerOp: 1}}})
+	if err := runMemBWTable(&sb, plain); err == nil {
+		t.Fatal("want error for a report without -membw columns")
+	}
+}
+
 func TestFusionModeFlag(t *testing.T) {
-	if err := runMicro(io.Discard, false, "sometimes"); err == nil {
+	if err := runMicro(io.Discard, false, "sometimes", false); err == nil {
 		t.Fatal("want error for unknown -fusion mode")
 	}
 	for _, mode := range []string{"both", "on", "off"} {

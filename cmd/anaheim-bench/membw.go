@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// runMemBWTable pivots the bytes-moved columns of a -micro -membw report
+// into a markdown table for the CI bench job's step summary. Rows whose op
+// names differ only by a -pipelined/-barriered segment are paired so the
+// traffic cut of the limb-pipelining rewrite (DESIGN.md §3.13) is readable
+// at a glance; remaining probed ops are listed below the pairs.
+func runMemBWTable(out io.Writer, path string) error {
+	rep, err := readReport(path)
+	if err != nil {
+		return err
+	}
+	probed := make(map[string]microResult)
+	for _, r := range rep.Results {
+		if r.MemBytesOp > 0 {
+			probed[r.Op] = r
+		}
+	}
+	if len(probed) == 0 {
+		return fmt.Errorf("anaheim-bench: %s has no memBytesPerOp columns — was it produced with -micro -membw?", path)
+	}
+
+	mb := func(v float64) string { return fmt.Sprintf("%.1f", v/(1<<20)) }
+
+	// Pair rows: "keyswitch-pipelined-n14-l16" <-> "keyswitch-barriered-n14-l16".
+	type pair struct{ piped, barr microResult }
+	pairs := make(map[string]pair)
+	var singles []string
+	for op, r := range probed {
+		switch {
+		case strings.Contains(op, "pipelined"):
+			key := strings.Replace(op, "pipelined", "*", 1)
+			p := pairs[key]
+			p.piped = r
+			pairs[key] = p
+		case strings.Contains(op, "barriered"):
+			key := strings.Replace(op, "barriered", "*", 1)
+			p := pairs[key]
+			p.barr = r
+			pairs[key] = p
+		default:
+			singles = append(singles, op)
+		}
+	}
+
+	fmt.Fprintln(out, "## Estimated DRAM traffic (ring bytes-moved model)")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| op | barriered MB/op | pipelined MB/op | traffic cut | pipelined speedup |")
+	fmt.Fprintln(out, "|---|---|---|---|---|")
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p := pairs[k]
+		if p.piped.Op == "" || p.barr.Op == "" {
+			continue // half a pair: the other mode's row is missing from the report
+		}
+		cut := (1 - p.piped.MemBytesOp/p.barr.MemBytesOp) * 100
+		speedup := p.barr.NsPerOp / p.piped.NsPerOp
+		fmt.Fprintf(out, "| %s | %s | %s | %.0f%% | %.2fx |\n",
+			strings.Replace(k, "*", "·", 1), mb(p.barr.MemBytesOp), mb(p.piped.MemBytesOp), cut, speedup)
+	}
+	if len(singles) > 0 {
+		sort.Strings(singles)
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "| op | MB moved/op | MB saved/op |")
+		fmt.Fprintln(out, "|---|---|---|")
+		for _, op := range singles {
+			r := probed[op]
+			fmt.Fprintf(out, "| %s | %s | %s |\n", op, mb(r.MemBytesOp), mb(r.MemSavedOp))
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"github.com/anaheim-sim/anaheim"
 	"github.com/anaheim-sim/anaheim/internal/ckks"
@@ -26,6 +27,14 @@ type microResult struct {
 	NsPerOp  float64 `json:"nsPerOp"`
 	AllocsOp int64   `json:"allocsPerOp"`
 	BytesOp  int64   `json:"bytesPerOp"`
+	// MemBytesOp / MemSavedOp are the ring layer's estimated DRAM traffic per
+	// op (bytes moved, and bytes a pipelined chain avoided versus its
+	// barriered equivalent), sampled from the ring_bytes_moved_total /
+	// ring_bytes_saved_total counters around extra runs of the op when -membw
+	// is set. The model is deterministic (coefficient rows only, see
+	// internal/ring/traffic.go), so these diff exactly across runs.
+	MemBytesOp float64 `json:"memBytesPerOp,omitempty"`
+	MemSavedOp float64 `json:"memBytesSavedPerOp,omitempty"`
 }
 
 type microReport struct {
@@ -426,12 +435,275 @@ func addLevelAwareBenches(benches map[string]func(b *testing.B)) {
 	}
 }
 
+// ringMoved / ringSaved are handles to the ring layer's DRAM-traffic model
+// counters (internal/ring/traffic.go). The registry hands back the same
+// counter for the same name, so these observe exactly what the kernels
+// charge.
+var ringMoved = []*obs.Counter{
+	obs.Default.Counter(`ring_bytes_moved_total{class="elemwise",mode="barriered"}`),
+	obs.Default.Counter(`ring_bytes_moved_total{class="mac",mode="barriered"}`),
+	obs.Default.Counter(`ring_bytes_moved_total{class="reduce",mode="barriered"}`),
+	obs.Default.Counter(`ring_bytes_moved_total{class="transform",mode="barriered"}`),
+	obs.Default.Counter(`ring_bytes_moved_total{class="aut",mode="barriered"}`),
+	obs.Default.Counter(`ring_bytes_moved_total{class="chain",mode="pipelined"}`),
+}
+
+var ringSaved = obs.Default.Counter("ring_bytes_saved_total")
+
+// ringTraffic reads the cumulative bytes-moved and bytes-saved totals.
+func ringTraffic() (moved, saved float64) {
+	for _, c := range ringMoved {
+		moved += c.Value()
+	}
+	return moved, ringSaved.Value()
+}
+
+// memProbe runs one op a few times around the traffic counters and returns
+// its estimated bytes moved (and pipelined bytes saved) per run. Registered
+// per bench row; only sampled when -membw is set.
+type memProbe func() (moved, saved float64, err error)
+
+// probeTraffic is the shared probe body: warm once (pools, caches), then
+// average the counter delta over k runs. The counters are deterministic, so
+// k=2 only guards against first-run pool growth, not jitter.
+func probeTraffic(op func() error) (moved, saved float64, err error) {
+	if err := op(); err != nil {
+		return 0, 0, err
+	}
+	const k = 2
+	m0, s0 := ringTraffic()
+	for i := 0; i < k; i++ {
+		if err := op(); err != nil {
+			return 0, 0, err
+		}
+	}
+	m1, s1 := ringTraffic()
+	return (m1 - m0) / k, (s1 - s0) / k, nil
+}
+
+// pipeGrid is the pipelined-vs-barriered pair cell: the headline n14-l16
+// shape of the limb-pipelining rewrite (2 MB per operand — far beyond LLC,
+// which is where chain fusion pays). A package variable so the JSON shape
+// test can shrink it.
+var pipeGrid = struct {
+	logN, limbs int
+}{logN: 14, limbs: 16}
+
+// pipeBenchSetup is ksBenchSetup plus a rotation key, for the rotate pair
+// rows.
+func pipeBenchSetup(logN, limbs int) (*ckks.Evaluator, *ckks.Ciphertext, *ckks.SwitchingKey, error) {
+	logQ := make([]int, limbs)
+	logQ[0] = 55
+	for i := 1; i < limbs; i++ {
+		logQ[i] = 45
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     logN,
+		LogQ:     logQ,
+		LogP:     []int{50, 50, 50, 50},
+		LogScale: 45,
+		HDense:   64,
+		HSparse:  16,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	kgen := ckks.NewKeyGenerator(params, 3)
+	sk := kgen.GenSecretKey()
+	keys := ckks.NewEvaluationKeySet()
+	keys.Rlk = kgen.GenRelinearizationKey(sk)
+	kgen.GenRotationKeys(sk, keys, []int{1})
+	ev := ckks.NewEvaluator(params, keys)
+	rq := params.RingQ()
+	s := ring.NewSampler(7)
+	lvl := params.MaxLevel()
+	ct := &ckks.Ciphertext{
+		C0:    s.UniformPoly(rq, lvl, true),
+		C1:    s.UniformPoly(rq, lvl, true),
+		Scale: params.DefaultScale(),
+	}
+	return ev, ct, keys.Rlk, nil
+}
+
+// withCkksPipelined pins the evaluator-layer fusion+pipelining toggles for
+// one body and restores them. Fusion stays on in both modes so the pair
+// isolates chain pipelining, not kernel fusion.
+func withCkksPipelined(piped bool, body func() error) error {
+	prevF, prevP := ckks.FusionEnabled(), ckks.PipelinedEnabled()
+	ckks.SetFusion(true)
+	ckks.SetPipelined(piped)
+	defer func() {
+		ckks.SetFusion(prevF)
+		ckks.SetPipelined(prevP)
+	}()
+	return body()
+}
+
+// pairTiming re-times one pipelined/barriered row pair with the two modes
+// interleaved over a shared setup. Shared-runner noise comes in episodes
+// lasting longer than a whole testing.Benchmark run, so timing the two rows
+// minutes apart (or even retrying each a few times) can flip the sign of a
+// ~10-20% delta; alternating short batches of the two modes puts every
+// episode on both sides of the ratio. The interleaved numbers replace the
+// pair rows' NsPerOp in the report (allocs/bytes columns keep the
+// testing.Benchmark measurement, which is deterministic).
+type pairTiming struct {
+	pipedOp, barrOp string
+	measure         func() (pipedNs, barrNs float64, err error)
+}
+
+// measurePair interleaves rounds x batch ops per mode over one prepared op
+// closure and returns the mean ns/op per mode.
+func measurePair(rounds, batch int, op func() error) (pipedNs, barrNs float64, err error) {
+	var tPiped, tBarr time.Duration
+	for _, piped := range []bool{true, false} { // warm pools and caches in both modes
+		if err := withCkksPipelined(piped, op); err != nil {
+			return 0, 0, err
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		for _, piped := range []bool{true, false} {
+			err := withCkksPipelined(piped, func() error {
+				start := time.Now()
+				for i := 0; i < batch; i++ {
+					if err := op(); err != nil {
+						return err
+					}
+				}
+				if piped {
+					tPiped += time.Since(start)
+				} else {
+					tBarr += time.Since(start)
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	n := float64(rounds * batch)
+	return float64(tPiped.Nanoseconds()) / n, float64(tBarr.Nanoseconds()) / n, nil
+}
+
+// addPipelineBenches registers the pipelined-vs-barriered pair rows for the
+// two hottest key-switching chains at the pipeGrid cell, plus their traffic
+// probes and interleaved pair timers. The pipelined row must beat the
+// barriered one on both ns/op and bytes moved — that pair is what -compare
+// gates after the limb-pipelining rewrite (DESIGN.md §3.13).
+func addPipelineBenches(benches map[string]func(b *testing.B), probes map[string]memProbe, pairs *[]pairTiming) {
+	cell := fmt.Sprintf("n%d-l%d", pipeGrid.logN, pipeGrid.limbs)
+	*pairs = append(*pairs,
+		pairTiming{
+			pipedOp: "keyswitch-pipelined-" + cell,
+			barrOp:  "keyswitch-barriered-" + cell,
+			measure: func() (float64, float64, error) {
+				ev, ct, rlk, err := ksBenchSetup(pipeGrid.logN, pipeGrid.limbs)
+				if err != nil {
+					return 0, 0, err
+				}
+				return measurePair(8, 3, func() error {
+					ev.SwitchKeys(ct, rlk)
+					return nil
+				})
+			},
+		},
+		pairTiming{
+			pipedOp: "rotate-pipelined-" + cell,
+			barrOp:  "rotate-barriered-" + cell,
+			measure: func() (float64, float64, error) {
+				ev, ct, _, err := pipeBenchSetup(pipeGrid.logN, pipeGrid.limbs)
+				if err != nil {
+					return 0, 0, err
+				}
+				return measurePair(8, 3, func() error {
+					_, err := ev.Rotate(ct, 1)
+					return err
+				})
+			},
+		},
+	)
+	for _, piped := range []bool{true, false} {
+		mode := "barriered"
+		if piped {
+			mode = "pipelined"
+		}
+		piped := piped
+		benches["keyswitch-"+mode+"-"+cell] = func(b *testing.B) {
+			ev, ct, rlk, err := ksBenchSetup(pipeGrid.logN, pipeGrid.limbs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = withCkksPipelined(piped, func() error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev.SwitchKeys(ct, rlk)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		probes["keyswitch-"+mode+"-"+cell] = func() (float64, float64, error) {
+			ev, ct, rlk, err := ksBenchSetup(pipeGrid.logN, pipeGrid.limbs)
+			if err != nil {
+				return 0, 0, err
+			}
+			var moved, saved float64
+			err = withCkksPipelined(piped, func() error {
+				moved, saved, err = probeTraffic(func() error {
+					ev.SwitchKeys(ct, rlk)
+					return nil
+				})
+				return err
+			})
+			return moved, saved, err
+		}
+		benches["rotate-"+mode+"-"+cell] = func(b *testing.B) {
+			ev, ct, _, err := pipeBenchSetup(pipeGrid.logN, pipeGrid.limbs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = withCkksPipelined(piped, func() error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ev.Rotate(ct, 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		probes["rotate-"+mode+"-"+cell] = func() (float64, float64, error) {
+			ev, ct, _, err := pipeBenchSetup(pipeGrid.logN, pipeGrid.limbs)
+			if err != nil {
+				return 0, 0, err
+			}
+			var moved, saved float64
+			err = withCkksPipelined(piped, func() error {
+				moved, saved, err = probeTraffic(func() error {
+					_, err := ev.Rotate(ct, 1)
+					return err
+				})
+				return err
+			})
+			return moved, saved, err
+		}
+	}
+}
+
 // runMicro benchmarks the FHE hot ops at the test-scale parameter set and
 // writes machine-readable JSON. testing.Benchmark picks the iteration count,
 // so wall-clock stays in seconds even on slow hosts. withMetrics attaches
 // the observability registry snapshot to the report. fusionMode selects the
-// kernel modes for the fused-path benchmarks (see fusionModes).
-func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
+// kernel modes for the fused-path benchmarks (see fusionModes). withMemBW
+// additionally samples the ring traffic counters around the rows that have a
+// registered probe and attaches bytes-moved-per-op columns.
+func runMicro(out io.Writer, withMetrics bool, fusionMode string, withMemBW bool) error {
 	modes, err := fusionModes(fusionMode)
 	if err != nil {
 		return err
@@ -495,10 +767,30 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
 		},
 	}
 
+	probes := map[string]memProbe{
+		// Facade-level headline ops at the test preset: cheap to probe, and
+		// the membw column makes the default (pipelined) traffic visible next
+		// to their ns/op.
+		"mul-relin-rescale": func() (float64, float64, error) {
+			return probeTraffic(func() error {
+				ctx.Mul(ctU, ctV)
+				return nil
+			})
+		},
+		"rotate": func() (float64, float64, error) {
+			return probeTraffic(func() error {
+				_, err := ctx.Rotate(ctU, 1)
+				return err
+			})
+		},
+	}
+
+	var pairs []pairTiming
 	addNTTBenches(benches)
 	addBConvBenches(benches)
 	addLevelAwareBenches(benches)
 	addKernelTierBenches(benches)
+	addPipelineBenches(benches, probes, &pairs)
 
 	// Fused-path functional benchmarks: the hoisted linear transform and a
 	// full bootstrap, each in the requested fusion modes. These are the two
@@ -571,6 +863,57 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
 		})
 	}
 
+	// Pipelined-vs-barriered bootstrap pair (fusion pinned on in both modes,
+	// same discipline as addPipelineBenches): the DFT diag sweeps plus the
+	// per-rotation ModDowns are the deepest chain stack in the repo, so this
+	// is where the bytes-saved column is largest.
+	for _, piped := range []bool{true, false} {
+		mode := "barriered"
+		if piped {
+			mode = "pipelined"
+		}
+		piped := piped
+		benches["bootstrap-"+mode] = func(b *testing.B) {
+			err := withCkksPipelined(piped, func() error {
+				if _, err := bootCtx.Bootstrap(ctBoot); err != nil {
+					return err
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := bootCtx.Bootstrap(ctBoot); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		probes["bootstrap-"+mode] = func() (float64, float64, error) {
+			var moved, saved float64
+			err := withCkksPipelined(piped, func() error {
+				var err error
+				moved, saved, err = probeTraffic(func() error {
+					_, err := bootCtx.Bootstrap(ctBoot)
+					return err
+				})
+				return err
+			})
+			return moved, saved, err
+		}
+	}
+	pairs = append(pairs, pairTiming{
+		pipedOp: "bootstrap-pipelined",
+		barrOp:  "bootstrap-barriered",
+		measure: func() (float64, float64, error) {
+			return measurePair(3, 1, func() error {
+				_, err := bootCtx.Bootstrap(ctBoot)
+				return err
+			})
+		},
+	})
+
 	rep := microReport{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -590,14 +933,42 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string) error {
 	sort.Strings(names)
 	for _, name := range names {
 		r := testing.Benchmark(benches[name])
-		rep.Results = append(rep.Results, microResult{
+		res := microResult{
 			Op:       name,
 			NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsOp: r.AllocsPerOp(),
 			BytesOp:  r.AllocedBytesPerOp(),
-		})
-		fmt.Fprintf(os.Stderr, "%-18s %12.0f ns/op %8d allocs/op\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+		}
+		membw := ""
+		if probe, ok := probes[name]; withMemBW && ok {
+			moved, saved, err := probe()
+			if err != nil {
+				return fmt.Errorf("anaheim-bench: -membw probe %s: %w", name, err)
+			}
+			res.MemBytesOp = moved
+			res.MemSavedOp = saved
+			membw = fmt.Sprintf(" %9.1f MB moved/op", moved/(1<<20))
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d allocs/op%s\n",
+			name, res.NsPerOp, res.AllocsOp, membw)
+	}
+
+	// Replace the pair rows' ns/op with the interleaved measurement (see
+	// pairTiming) so the pipelined-vs-barriered ratio survives noisy hosts.
+	byOp := make(map[string]*microResult, len(rep.Results))
+	for i := range rep.Results {
+		byOp[rep.Results[i].Op] = &rep.Results[i]
+	}
+	for _, pt := range pairs {
+		pipedNs, barrNs, err := pt.measure()
+		if err != nil {
+			return fmt.Errorf("anaheim-bench: pair timing %s: %w", pt.pipedOp, err)
+		}
+		byOp[pt.pipedOp].NsPerOp = pipedNs
+		byOp[pt.barrOp].NsPerOp = barrNs
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op vs %12.0f ns/op barriered (interleaved, %0.2fx)\n",
+			pt.pipedOp, pipedNs, barrNs, barrNs/pipedNs)
 	}
 
 	if withMetrics {

@@ -252,6 +252,12 @@ type decomposed struct {
 	// the NTT exit reduction when fusion is on. Exact consumers must reduce
 	// first (gadgetProduct does when it takes the unfused path).
 	lazy bool
+	// coeffDomain records that the digits were left in the (lazy) coefficient
+	// domain: a pipelined decomposition defers the digit NTTs to the first
+	// consuming gadget product, which fuses each digit's transform with the
+	// MACs reading it so the digit row never round-trips through DRAM in
+	// between. Non-pipelined consumers call ensureNTT first.
+	coeffDomain bool
 }
 
 // Decompose performs ModUp on c (NTT, level lvl) under the level's gadget
@@ -278,12 +284,24 @@ func (ev *Evaluator) decomposePlan(c *ring.Poly, lvl int, pl GadgetPlan) *decomp
 	obsKSPlanAlpha.Observe(float64(pl.Alpha))
 	obsKSDigits.Observe(float64(digits))
 
-	coeff := rq.GetPoly(lvl)
-	coeff.Copy(trunc(c, lvl))
-	rq.INTT(coeff, lvl)
-
 	dec := &decomposed{level: lvl, plan: pl, q: make([]*ring.Poly, digits), p: make([]*ring.Poly, digits)}
 	dec.lazy = FusionEnabled()
+	piped := dec.lazy && PipelinedEnabled()
+
+	coeff := rq.GetPoly(lvl)
+	if piped {
+		// Fuse the copy with the inverse transform per limb; the digit NTTs
+		// are deferred to the consuming gadget product (see coeffDomain).
+		pipe := ring.GetPipeline()
+		ln := pipe.Lane(rq, lvl)
+		ln.Copy(coeff, c)
+		ln.INTT(coeff)
+		pipe.Run()
+		pipe.Release()
+	} else {
+		coeff.Copy(trunc(c, lvl))
+		rq.INTT(coeff, lvl)
+	}
 	nTargetsQ := lvl + 1
 	rowsPtr := ev.getRows(nTargetsQ + lvlP + 1)
 	outRows := *rowsPtr
@@ -295,7 +313,13 @@ func (ev *Evaluator) decomposePlan(c *ring.Poly, lvl int, pl GadgetPlan) *decomp
 		pp := rp.GetPoly(lvlP)
 		copy(outRows[:nTargetsQ], pq.Coeffs)
 		copy(outRows[nTargetsQ:], pp.Coeffs[:lvlP+1])
-		if dec.lazy {
+		if piped {
+			// Pipelined: only the cross-limb base conversion happens here.
+			// The forward NTTs are recorded into the consuming gadget
+			// product's pipeline, fused with the MACs that read each digit.
+			bc.ConvertLazy(outRows, in)
+			pq.IsNTT, pp.IsNTT = false, false
+		} else if dec.lazy {
 			// The digits only feed the lazy gadget-product MACs, which
 			// tolerate [0, 2q) multiplicands — keep the whole BConv -> NTT
 			// chain in the lazy domain: ConvertLazy's [0, 2q) rows feed
@@ -311,6 +335,7 @@ func (ev *Evaluator) decomposePlan(c *ring.Poly, lvl int, pl GadgetPlan) *decomp
 		}
 		dec.q[d], dec.p[d] = pq, pp
 	}
+	dec.coeffDomain = piped
 	ev.putRows(rowsPtr)
 	rq.PutPoly(coeff)
 	return dec
@@ -339,6 +364,13 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 	u0q, u1q = rq.GetPoly(lvl), rq.GetPoly(lvl)
 	u0p, u1p = rp.GetPoly(lvlP), rp.GetPoly(lvlP)
 	u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
+	if pipelineActive() {
+		// Limb-pipelined KeyMult: digit NTTs (if deferred), MACs, and the
+		// final reductions run as one per-limb chain under a single barrier.
+		ev.gadgetProductPipelined(dec, swk, u0q, u1q, u0p, u1p)
+		return
+	}
+	dec.ensureNTT(ev)
 	if FusionEnabled() {
 		// Fused KeyMult (PAccum over the digits): lazy Barrett MACs into the
 		// four accumulators, one exact reduction each at the end of the chain.
@@ -377,6 +409,7 @@ func (ev *Evaluator) gadgetProduct(dec *decomposed, swk *SwitchingKey) (u0q, u0p
 // chain tolerates lazy multiplicands — the Barrett bound holds for operands
 // < 2q) skip the intermediate reduction entirely.
 func (ev *Evaluator) gadgetProductLazyInto(dec *decomposed, swk *SwitchingKey, u0q, u1q, u0p, u1p *ring.Poly) {
+	dec.ensureNTT(ev)
 	p := ev.params
 	rq, rp := p.RingQ(), p.RingP()
 	lvl := dec.level
@@ -438,8 +471,12 @@ func (ev *Evaluator) keySwitch(c *ring.Poly, lvl int, swk *SwitchingKey) (d0, d1
 	dec := ev.decomposePlan(c, lvl, ev.planFor(lvl, swk))
 	u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
 	dec.release(p)
-	d0 = ev.ModDown(u0q, u0p, lvl)
-	d1 = ev.ModDown(u1q, u1p, lvl)
+	if pipelineActive() {
+		d0, d1 = ev.modDownPairPipelined(u0q, u0p, u1q, u1p, nil, nil, lvl)
+	} else {
+		d0 = ev.ModDown(u0q, u0p, lvl)
+		d1 = ev.ModDown(u1q, u1p, lvl)
+	}
 	rq.PutPoly(u0q)
 	rq.PutPoly(u1q)
 	rp.PutPoly(u0p)
@@ -466,13 +503,44 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext, rlk *SwitchingKey) *Cipherte
 	}
 	rq := ev.params.RingQ()
 	lvl := min(ct0.Level(), ct1.Level())
+	a0, a1 := ct0.C0.Truncated(lvl), ct0.C1.Truncated(lvl)
+	b0, b1 := ct1.C0.Truncated(lvl), ct1.C1.Truncated(lvl)
+
+	if pipelineActive() {
+		// Tensor as one per-limb chain (each input row is read while hot
+		// across the four products), then an inlined key switch whose HMULT
+		// tail adds are fused into the ModDown Run.
+		rp := ev.params.RingP()
+		t0, t1, d2 := rq.GetPoly(lvl), rq.GetPoly(lvl), rq.GetPoly(lvl)
+		pipe := ring.GetPipeline()
+		ln := pipe.Lane(rq, lvl)
+		ln.MulCoeffs(t0, a0, b0)
+		ln.MulCoeffsAdd(t1, a0, b1)
+		ln.MulCoeffsAdd(t1, a1, b0)
+		ln.MulCoeffs(d2, a1, b1)
+		pipe.Run()
+		pipe.Release()
+
+		ksStart := time.Now()
+		dec := ev.decomposePlan(d2, lvl, ev.planFor(lvl, rlk))
+		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, rlk)
+		dec.release(ev.params)
+		rq.PutPoly(d2)
+		o0, o1 := ev.modDownPairPipelined(u0q, u0p, u1q, u1p, t0, t1, lvl)
+		obsKeySwitch.done(ksStart)
+		rq.PutPoly(u0q)
+		rq.PutPoly(u1q)
+		rp.PutPoly(u0p)
+		rp.PutPoly(u1p)
+		rq.PutPoly(t0)
+		rq.PutPoly(t1)
+		return &Ciphertext{C0: o0, C1: o1, Scale: ct0.Scale * ct1.Scale}
+	}
 
 	d0 := rq.NewPoly(lvl)
 	d1 := rq.NewPoly(lvl)
 	d2 := rq.GetPoly(lvl)
 	d0.IsNTT, d1.IsNTT, d2.IsNTT = true, true, true
-	a0, a1 := ct0.C0.Truncated(lvl), ct0.C1.Truncated(lvl)
-	b0, b1 := ct1.C0.Truncated(lvl), ct1.C1.Truncated(lvl)
 	rq.MulCoeffs(d0, a0, b0, lvl)
 	rq.MulCoeffsAdd(d1, a0, b1, lvl)
 	rq.MulCoeffsAdd(d1, a1, b0, lvl)
@@ -498,6 +566,9 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	lvl := ct.Level()
 	if lvl == 0 {
 		panic("ckks: cannot rescale at level 0")
+	}
+	if pipelineActive() {
+		return ev.rescalePipelined(ct)
 	}
 	out := &Ciphertext{Scale: ct.Scale / float64(rq.Moduli[lvl].Q)}
 	for i, src := range []*ring.Poly{ct.C0, ct.C1} {
@@ -541,6 +612,25 @@ func (ev *Evaluator) automorphism(ct *Ciphertext, galEl uint64) (*Ciphertext, er
 	}
 	rq := ev.params.RingQ()
 	lvl := ct.Level()
+
+	if pipelineActive() {
+		// Inline the key switch so the rotation's c0-add and automorphism
+		// permutations fuse into the ModDown Run (one pass over each row
+		// instead of four).
+		rp := ev.params.RingP()
+		ksStart := time.Now()
+		dec := ev.decomposePlan(ct.C1, lvl, ev.planFor(lvl, swk))
+		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
+		dec.release(ev.params)
+		o0, o1 := ev.modDownAutPipelined(u0q, u0p, u1q, u1p, ct.C0, galEl, lvl)
+		obsKeySwitch.done(ksStart)
+		rq.PutPoly(u0q)
+		rq.PutPoly(u1q)
+		rp.PutPoly(u0p)
+		rp.PutPoly(u1p)
+		return &Ciphertext{C0: o0, C1: o1, Scale: ct.Scale}, nil
+	}
+
 	d0, d1 := ev.keySwitch(ct.C1, lvl, swk)
 	rq.Add(d0, d0, ct.C0, lvl)
 
@@ -601,19 +691,28 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, rotations []int) (map[int]*Ci
 		g := rq.GaloisElement(k)
 		swk := swks[k]
 		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
-		d0 := ev.ModDown(u0q, u0p, lvl)
-		d1 := ev.ModDown(u1q, u1p, lvl)
-		rq.PutPoly(u0q)
-		rq.PutPoly(u1q)
-		rp.PutPoly(u0p)
-		rp.PutPoly(u1p)
-		rq.Add(d0, d0, ct.C0, lvl)
-		o0 := rq.NewPoly(lvl)
-		o1 := rq.NewPoly(lvl)
-		rq.AutomorphismNTT(o0, d0, g, lvl)
-		rq.AutomorphismNTT(o1, d1, g, lvl)
-		rq.PutPoly(d0)
-		rq.PutPoly(d1)
+		var o0, o1 *ring.Poly
+		if pipelineActive() {
+			o0, o1 = ev.modDownAutPipelined(u0q, u0p, u1q, u1p, ct.C0, g, lvl)
+			rq.PutPoly(u0q)
+			rq.PutPoly(u1q)
+			rp.PutPoly(u0p)
+			rp.PutPoly(u1p)
+		} else {
+			d0 := ev.ModDown(u0q, u0p, lvl)
+			d1 := ev.ModDown(u1q, u1p, lvl)
+			rq.PutPoly(u0q)
+			rq.PutPoly(u1q)
+			rp.PutPoly(u0p)
+			rp.PutPoly(u1p)
+			rq.Add(d0, d0, ct.C0, lvl)
+			o0 = rq.NewPoly(lvl)
+			o1 = rq.NewPoly(lvl)
+			rq.AutomorphismNTT(o0, d0, g, lvl)
+			rq.AutomorphismNTT(o1, d1, g, lvl)
+			rq.PutPoly(d0)
+			rq.PutPoly(d1)
+		}
 		out[k] = &Ciphertext{C0: o0, C1: o1, Scale: ct.Scale}
 	}
 	return out, nil

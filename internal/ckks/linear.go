@@ -131,6 +131,7 @@ func (e *Encoder) encodeDiagQP(values []complex128, lvl int, scale float64) (*ri
 // the caller's Rescale restores the input scale exactly.
 func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTransform, enc *Encoder) (*Ciphertext, error) {
 	fused := FusionEnabled()
+	piped := pipelineActive()
 	if fused {
 		defer obsLinTransFused.done(time.Now())
 	} else {
@@ -192,6 +193,13 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 		anyExt = true
 		g := rq.GaloisElement(r)
 		swk := swks[r]
+		if fused && piped {
+			// One pipeline Run per rotation: digit NTTs (first consumer
+			// only), the gadget-product MACs, and the five AutAccum MACs
+			// execute per limb while the rows are cache-resident.
+			ev.autAccumPipelined(dec, swk, accE0q, accE1q, accE0p, accE1p, accQ0, ct.C0, ptQ, ptP, g)
+			continue
+		}
 		if fused {
 			// Fused KeyMult: the gadget-product accumulators stay lazy —
 			// the AutAccum MACs below tolerate multiplicands in [0, 2q),
@@ -245,22 +253,39 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 	}
 
 	if fused {
-		rq.ReduceLazy(accQ0, lvl)
-		rq.ReduceLazy(accQ1, lvl)
-		if anyExt {
-			rq.ReduceLazy(accE0q, lvl)
-			rq.ReduceLazy(accE1q, lvl)
-			rp.ReduceLazy(accE0p, lvlP)
-			rp.ReduceLazy(accE1p, lvlP)
+		if piped {
+			// End-of-sweep normalization of all lazy accumulators in one
+			// pipeline Run (one barrier instead of one per accumulator).
+			qs := []*ring.Poly{accQ0, accQ1}
+			var ps []*ring.Poly
+			if anyExt {
+				qs = append(qs, accE0q, accE1q)
+				ps = append(ps, accE0p, accE1p)
+			}
+			ev.reduceManyPipelined(qs, lvl, ps, lvlP)
+		} else {
+			rq.ReduceLazy(accQ0, lvl)
+			rq.ReduceLazy(accQ1, lvl)
+			if anyExt {
+				rq.ReduceLazy(accE0q, lvl)
+				rq.ReduceLazy(accE1q, lvl)
+				rp.ReduceLazy(accE0p, lvlP)
+				rp.ReduceLazy(accE1p, lvlP)
+			}
 		}
 	}
 
 	out := &Ciphertext{Scale: ct.Scale * ptScale}
 	if anyExt {
-		d0 := ev.ModDown(accE0q, accE0p, lvl)
-		d1 := ev.ModDown(accE1q, accE1p, lvl)
-		rq.Add(d0, d0, accQ0, lvl)
-		rq.Add(d1, d1, accQ1, lvl)
+		var d0, d1 *ring.Poly
+		if piped {
+			d0, d1 = ev.modDownPairPipelined(accE0q, accE0p, accE1q, accE1p, accQ0, accQ1, lvl)
+		} else {
+			d0 = ev.ModDown(accE0q, accE0p, lvl)
+			d1 = ev.ModDown(accE1q, accE1p, lvl)
+			rq.Add(d0, d0, accQ0, lvl)
+			rq.Add(d1, d1, accQ1, lvl)
+		}
 		out.C0, out.C1 = d0, d1
 	} else {
 		out.C0, out.C1 = accQ0, accQ1

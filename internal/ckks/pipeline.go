@@ -1,0 +1,302 @@
+package ckks
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// Limb-pipelining toggle for the CKKS execution layer. When enabled (the
+// default) and fusion is on, the evaluator hot chains — the gadget-product
+// inner loop of key switching, the ModDown pair, the automorphism tail of
+// rotations, rescaling, and the hoisted linear-transform AutAccum blocks —
+// record their per-limb kernel chains into a ring.Pipeline and execute the
+// whole chain limb-by-limb under a single barrier, instead of one barriered
+// full-polynomial sweep per kernel. The stage bodies are the same row
+// kernels in the same per-limb order, so pipelined execution is bit-identical
+// to the barriered mode on every kernel tier (pipeline_diff_test.go asserts
+// this coefficient-for-coefficient at every level); only the memory traffic
+// changes. DESIGN.md §3.13 documents the discipline.
+
+var pipelineDisabled atomic.Bool
+
+// SetPipelined enables or disables the limb-pipelined evaluator chains
+// process-wide.
+func SetPipelined(on bool) { pipelineDisabled.Store(!on) }
+
+// PipelinedEnabled reports whether the limb-pipelined chains are active.
+func PipelinedEnabled() bool { return !pipelineDisabled.Load() }
+
+// pipelineActive reports whether the pipelined paths should run: they build
+// on the lazy fused kernels, so fusion must be on too.
+func pipelineActive() bool { return PipelinedEnabled() && FusionEnabled() }
+
+// ensureNTT materializes the digits' NTT form when a pipelined decomposition
+// (which leaves digits in the coefficient domain for the consuming chain to
+// transform in-pipeline) ends up consumed by a non-pipelined path — e.g. the
+// toggle flipped between decompose and consume, or an unfused caller.
+func (dec *decomposed) ensureNTT(ev *Evaluator) {
+	if !dec.coeffDomain {
+		return
+	}
+	rq, rp := ev.params.RingQ(), ev.params.RingP()
+	lvlP := dec.plan.Alpha - 1
+	for d := range dec.q {
+		if dec.lazy {
+			rq.NTTLazy(dec.q[d], dec.level)
+			rp.NTTLazy(dec.p[d], lvlP)
+		} else {
+			rq.NTT(dec.q[d], dec.level)
+			rp.NTT(dec.p[d], lvlP)
+		}
+	}
+	dec.coeffDomain = false
+}
+
+// gadgetProductPipelined is the limb-pipelined KeyMult/MAC: one pipeline Run
+// records, per digit, the digit's forward NTT (when the decomposition left it
+// in the coefficient domain) immediately followed by the four MACs consuming
+// it, and ends with the four accumulator reductions — so each digit row is
+// transformed and consumed while still cache-resident, and the whole gadget
+// product pays one barrier instead of 2·digits NTTs + 4·digits MACs + 4
+// reductions. Accumulators must be zeroed, NTT-flagged polynomials.
+func (ev *Evaluator) gadgetProductPipelined(dec *decomposed, swk *SwitchingKey, u0q, u1q, u0p, u1p *ring.Poly) {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvl := dec.level
+	lvlP := dec.plan.Alpha - 1
+	bQ, aQ, bP, aP, ok := swk.gadget(dec.plan, p.Alpha())
+	if !ok {
+		panic("ckks: switching key lacks the band for the decomposition's gadget plan")
+	}
+	pipe := ring.GetPipeline()
+	lq := pipe.Lane(rq, lvl)
+	lp := pipe.Lane(rp, lvlP)
+	for d := range dec.q {
+		if dec.coeffDomain {
+			lq.NTTLazy(dec.q[d])
+			lp.NTTLazy(dec.p[d])
+		}
+		lq.MulCoeffsAddLazy(u0q, dec.q[d], bQ[d])
+		lq.MulCoeffsAddLazy(u1q, dec.q[d], aQ[d])
+		lp.MulCoeffsAddLazy(u0p, dec.p[d], bP[d])
+		lp.MulCoeffsAddLazy(u1p, dec.p[d], aP[d])
+	}
+	lq.ReduceLazy(u0q)
+	lq.ReduceLazy(u1q)
+	lp.ReduceLazy(u0p)
+	lp.ReduceLazy(u1p)
+	pipe.Run()
+	pipe.Release()
+	dec.coeffDomain = false
+}
+
+// modDownPairPipelined runs both ModDowns of a key switch as two pipeline
+// Runs (plus the two cross-limb base conversions, which tile internally):
+// one Run fuses the two P-side INTT chains, one Run fuses each Q-side
+// NTTLazy with the SubMul epilogue consuming it — the converted rows are
+// transformed and subtracted while cache-resident. When add0/add1 are
+// non-nil, the exact additions d += add are fused into the same final Run
+// (the SwitchKeys / HMULT tails).
+//
+// The P-part accumulators u0p/u1p are CONSUMED: every caller releases them
+// right after ModDown, so the inverse transforms run in place instead of
+// paying a defensive copy pass per component.
+func (ev *Evaluator) modDownPairPipelined(u0q, u0p, u1q, u1p, add0, add1 *ring.Poly, lvl int) (d0, d1 *ring.Poly) {
+	defer obsKSModDown.done(time.Now())
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvlP := u0p.Level()
+	alpha := lvlP + 1
+
+	pipe := ring.GetPipeline()
+	lnP := pipe.Lane(rp, lvlP)
+	lnP.INTT(u0p)
+	lnP.INTT(u1p)
+	pipe.Run()
+
+	bc := ev.pToQConverter(lvl, alpha)
+	conv0, conv1 := rq.GetPoly(lvl), rq.GetPoly(lvl)
+	bc.ConvertLazy(conv0.Coeffs, u0p.Coeffs[:alpha])
+	bc.ConvertLazy(conv1.Coeffs, u1p.Coeffs[:alpha])
+
+	d0, d1 = rq.NewPoly(lvl), rq.NewPoly(lvl)
+	s := ev.pInvModQ[alpha][:lvl+1]
+	lnQ := pipe.Lane(rq, lvl)
+	lnQ.NTTLazy(conv0)
+	lnQ.SubMulByLimbScalarsLazy(d0, u0q, conv0, s)
+	if add0 != nil {
+		lnQ.Add(d0, d0, add0)
+	}
+	lnQ.NTTLazy(conv1)
+	lnQ.SubMulByLimbScalarsLazy(d1, u1q, conv1, s)
+	if add1 != nil {
+		lnQ.Add(d1, d1, add1)
+	}
+	pipe.Run()
+	pipe.Release()
+
+	d0.IsNTT, d1.IsNTT = true, true
+	rq.PutPoly(conv0)
+	rq.PutPoly(conv1)
+	return d0, d1
+}
+
+// modDownAutPipelined is modDownPairPipelined with the automorphism tail of
+// a rotation fused into the final Run: o0 = σ_g(ModDown(u0) + c0),
+// o1 = σ_g(ModDown(u1)). The sum-then-permute is recorded as the fused
+// AddAutomorphismNTT stage (bit-identical because the sum is element-wise),
+// so the rotation epilogue moves each row once instead of four times. Like
+// modDownPairPipelined, the P-part accumulators are consumed in place.
+func (ev *Evaluator) modDownAutPipelined(u0q, u0p, u1q, u1p, c0 *ring.Poly, g uint64, lvl int) (o0, o1 *ring.Poly) {
+	defer obsKSModDown.done(time.Now())
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvlP := u0p.Level()
+	alpha := lvlP + 1
+
+	pipe := ring.GetPipeline()
+	lnP := pipe.Lane(rp, lvlP)
+	lnP.INTT(u0p)
+	lnP.INTT(u1p)
+	pipe.Run()
+
+	bc := ev.pToQConverter(lvl, alpha)
+	conv0, conv1 := rq.GetPoly(lvl), rq.GetPoly(lvl)
+	bc.ConvertLazy(conv0.Coeffs, u0p.Coeffs[:alpha])
+	bc.ConvertLazy(conv1.Coeffs, u1p.Coeffs[:alpha])
+
+	d0, d1 := rq.GetPoly(lvl), rq.GetPoly(lvl)
+	o0, o1 = rq.NewPoly(lvl), rq.NewPoly(lvl)
+	s := ev.pInvModQ[alpha][:lvl+1]
+	lnQ := pipe.Lane(rq, lvl)
+	lnQ.NTTLazy(conv0)
+	lnQ.SubMulByLimbScalarsLazy(d0, u0q, conv0, s)
+	lnQ.AddAutomorphismNTT(o0, d0, c0, g)
+	lnQ.NTTLazy(conv1)
+	lnQ.SubMulByLimbScalarsLazy(d1, u1q, conv1, s)
+	lnQ.AutomorphismNTT(o1, d1, g)
+	pipe.Run()
+	pipe.Release()
+
+	rq.PutPoly(conv0)
+	rq.PutPoly(conv1)
+	rq.PutPoly(d0)
+	rq.PutPoly(d1)
+	return o0, o1
+}
+
+// rescalePipelined is Rescale with both components' kernel chains pipelined:
+// one Run fuses the two copy+INTT chains, the shared [x + q_L/2]_{q_L} rows
+// are computed serially (they are single rows, and every limb of the second
+// Run reads them — a cross-limb dependency the pipeline must not span), and
+// a second Run fuses, per limb, the rescale step, the copy into the
+// level-(L-1) output, and its forward NTT.
+func (ev *Evaluator) rescalePipelined(ct *Ciphertext) *Ciphertext {
+	rq := ev.params.RingQ()
+	lvl := ct.Level()
+	rs := ev.rescaler(lvl)
+	out := &Ciphertext{Scale: ct.Scale / float64(rq.Moduli[lvl].Q)}
+
+	w0, w1 := rq.GetPoly(lvl), rq.GetPoly(lvl)
+	pipe := ring.GetPipeline()
+	ln := pipe.Lane(rq, lvl)
+	ln.Copy(w0, ct.C0)
+	ln.INTT(w0)
+	ln.Copy(w1, ct.C1)
+	ln.INTT(w1)
+	pipe.Run()
+
+	n := ev.params.N()
+	t0, t1 := rs.BorrowT(n), rs.BorrowT(n)
+	rs.LastRowPlusHalf(t0, w0.Coeffs[lvl])
+	rs.LastRowPlusHalf(t1, w1.Coeffs[lvl])
+
+	c0, c1 := rq.NewPoly(lvl-1), rq.NewPoly(lvl-1)
+	ln2 := pipe.Lane(rq, lvl-1)
+	ln2.Func(func(i int) {
+		rs.StepRow(i, w0.Coeffs[i], t0)
+		copy(c0.Coeffs[i], w0.Coeffs[i])
+		rs.StepRow(i, w1.Coeffs[i], t1)
+		copy(c1.Coeffs[i], w1.Coeffs[i])
+	}, []*ring.Poly{w0, w1}, []*ring.Poly{c0, c1})
+	ln2.NTT(c0)
+	ln2.NTT(c1)
+	pipe.Run()
+	pipe.Release()
+
+	rs.ReturnT(t0)
+	rs.ReturnT(t1)
+	rq.PutPoly(w0)
+	rq.PutPoly(w1)
+	out.C0, out.C1 = c0, c1
+	return out
+}
+
+// autAccumPipelined is one rotation's block of the hoisted linear transform
+// (§V-B AutAccum) as a single pipeline Run: the digit NTTs (first consumer
+// only), the gadget-product MACs, and the five automorphism-fused
+// multiply-accumulates into the sweep accumulators all execute per limb while
+// the rows are cache-resident. The per-rotation gadget accumulators stay
+// lazy, exactly like the barriered fused path.
+func (ev *Evaluator) autAccumPipelined(dec *decomposed, swk *SwitchingKey,
+	accE0q, accE1q, accE0p, accE1p, accQ0, c0, ptQ, ptP *ring.Poly, g uint64) {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvl := dec.level
+	lvlP := dec.plan.Alpha - 1
+	bQ, aQ, bP, aP, ok := swk.gadget(dec.plan, p.Alpha())
+	if !ok {
+		panic("ckks: switching key lacks the band for the decomposition's gadget plan")
+	}
+	u0q, u1q := rq.GetPoly(lvl), rq.GetPoly(lvl)
+	u0p, u1p := rp.GetPoly(lvlP), rp.GetPoly(lvlP)
+	u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
+
+	pipe := ring.GetPipeline()
+	lq := pipe.Lane(rq, lvl)
+	lp := pipe.Lane(rp, lvlP)
+	for d := range dec.q {
+		if dec.coeffDomain {
+			lq.NTTLazy(dec.q[d])
+			lp.NTTLazy(dec.p[d])
+		}
+		lq.MulCoeffsAddLazy(u0q, dec.q[d], bQ[d])
+		lq.MulCoeffsAddLazy(u1q, dec.q[d], aQ[d])
+		lp.MulCoeffsAddLazy(u0p, dec.p[d], bP[d])
+		lp.MulCoeffsAddLazy(u1p, dec.p[d], aP[d])
+	}
+	lq.AutMulCoeffsAddLazy(accE0q, u0q, ptQ, g)
+	lq.AutMulCoeffsAddLazy(accE1q, u1q, ptQ, g)
+	lp.AutMulCoeffsAddLazy(accE0p, u0p, ptP, g)
+	lp.AutMulCoeffsAddLazy(accE1p, u1p, ptP, g)
+	lq.AutMulCoeffsAddLazy(accQ0, c0, ptQ, g)
+	pipe.Run()
+	pipe.Release()
+	dec.coeffDomain = false
+
+	rq.PutPoly(u0q)
+	rq.PutPoly(u1q)
+	rp.PutPoly(u0p)
+	rp.PutPoly(u1p)
+}
+
+// reduceManyPipelined normalizes several lazy accumulators (Q-basis at lvl,
+// P-basis at lvlP) in one pipeline Run — the end-of-sweep reductions of the
+// hoisted linear transform, one barrier instead of one per accumulator.
+func (ev *Evaluator) reduceManyPipelined(qs []*ring.Poly, lvl int, ps []*ring.Poly, lvlP int) {
+	pipe := ring.GetPipeline()
+	lq := pipe.Lane(ev.params.RingQ(), lvl)
+	for _, p := range qs {
+		lq.ReduceLazy(p)
+	}
+	if len(ps) > 0 {
+		lp := pipe.Lane(ev.params.RingP(), lvlP)
+		for _, p := range ps {
+			lp.ReduceLazy(p)
+		}
+	}
+	pipe.Run()
+	pipe.Release()
+}

@@ -1,0 +1,229 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// withPipelined runs f under the requested pipelining mode (fusion stays on —
+// the pipelined paths build on the lazy kernels) and restores the
+// process-wide default afterwards.
+func withPipelined(t *testing.T, on bool, f func()) {
+	t.Helper()
+	prev := PipelinedEnabled()
+	SetPipelined(on)
+	defer SetPipelined(prev)
+	f()
+}
+
+// Pipelining changes execution order across limbs, not arithmetic: every
+// stage body is the same row kernel the barriered op dispatches, in the same
+// per-limb order, so pipelined and barriered evaluation of the same
+// ciphertext must produce bit-identical polynomials — at every level.
+
+func TestPipelinedKeySwitchMatchesBarrieredEveryLevel(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(50))
+	ct := tc.encryptVec(t, randomComplex(r, tc.params.Slots(), 1))
+	rq := tc.params.RingQ()
+
+	for lvl := ct.Level(); lvl >= 0; lvl-- {
+		var p0, p1, b0, b1 *ring.Poly
+		withPipelined(t, true, func() { p0, p1 = tc.eval.keySwitch(ct.C1, lvl, tc.keys.Rlk) })
+		withPipelined(t, false, func() { b0, b1 = tc.eval.keySwitch(ct.C1, lvl, tc.keys.Rlk) })
+		if !p0.Equal(b0) || !p1.Equal(b1) {
+			t.Fatalf("level %d: pipelined keySwitch differs from barriered bit-for-bit", lvl)
+		}
+		rq.PutPoly(p0)
+		rq.PutPoly(p1)
+		rq.PutPoly(b0)
+		rq.PutPoly(b1)
+	}
+}
+
+func TestPipelinedRotateMatchesBarriered(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, []int{1, 3})
+	r := rand.New(rand.NewSource(51))
+	ct := tc.encryptVec(t, randomComplex(r, tc.params.Slots(), 1))
+
+	for lvl := ct.Level(); lvl >= 0; lvl-- {
+		at := tc.eval.DropLevel(ct, lvl)
+		var piped, barr *Ciphertext
+		withPipelined(t, true, func() {
+			out, err := tc.eval.Rotate(at, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			piped = out
+		})
+		withPipelined(t, false, func() {
+			out, err := tc.eval.Rotate(at, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			barr = out
+		})
+		if !piped.C0.Equal(barr.C0) || !piped.C1.Equal(barr.C1) {
+			t.Fatalf("level %d: pipelined Rotate differs from barriered bit-for-bit", lvl)
+		}
+	}
+}
+
+func TestPipelinedRotateHoistedMatchesBarriered(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	rots := []int{1, 2, 5}
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, rots)
+	r := rand.New(rand.NewSource(52))
+	ct := tc.encryptVec(t, randomComplex(r, tc.params.Slots(), 1))
+
+	var piped, barr map[int]*Ciphertext
+	withPipelined(t, true, func() {
+		out, err := tc.eval.RotateHoisted(ct, rots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped = out
+	})
+	withPipelined(t, false, func() {
+		out, err := tc.eval.RotateHoisted(ct, rots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		barr = out
+	})
+	for _, k := range rots {
+		if !piped[k].C0.Equal(barr[k].C0) || !piped[k].C1.Equal(barr[k].C1) {
+			t.Fatalf("rotation %d: pipelined RotateHoisted differs from barriered", k)
+		}
+	}
+}
+
+func TestPipelinedMulRelinRescaleMatchesBarriered(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(53))
+	u := randomComplex(r, tc.params.Slots(), 1)
+	v := randomComplex(r, tc.params.Slots(), 1)
+	ct0 := tc.encryptVec(t, u)
+	ct1 := tc.encryptVec(t, v)
+
+	var pipedMul, barrMul, pipedRs, barrRs *Ciphertext
+	withPipelined(t, true, func() {
+		pipedMul = tc.eval.MulRelin(ct0, ct1, nil)
+		pipedRs = tc.eval.Rescale(pipedMul)
+	})
+	withPipelined(t, false, func() {
+		barrMul = tc.eval.MulRelin(ct0, ct1, nil)
+		barrRs = tc.eval.Rescale(barrMul)
+	})
+	if !pipedMul.C0.Equal(barrMul.C0) || !pipedMul.C1.Equal(barrMul.C1) {
+		t.Fatal("pipelined MulRelin differs from barriered bit-for-bit")
+	}
+	if !pipedRs.C0.Equal(barrRs.C0) || !pipedRs.C1.Equal(barrRs.C1) {
+		t.Fatal("pipelined Rescale differs from barriered bit-for-bit")
+	}
+
+	// And the product must still decrypt correctly.
+	want := make([]complex128, len(u))
+	for j := range want {
+		want[j] = u[j] * v[j]
+	}
+	if e := maxErr(tc.decryptVec(pipedRs), want); e > 1e-3 {
+		t.Fatalf("pipelined MulRelin+Rescale error %g", e)
+	}
+}
+
+func TestPipelinedRescaleMatchesBarrieredEveryLevel(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(54))
+	ct := tc.encryptVec(t, randomComplex(r, tc.params.Slots(), 1))
+
+	for lvl := ct.Level(); lvl >= 1; lvl-- {
+		at := tc.eval.DropLevel(ct, lvl)
+		var piped, barr *Ciphertext
+		withPipelined(t, true, func() { piped = tc.eval.Rescale(at) })
+		withPipelined(t, false, func() { barr = tc.eval.Rescale(at) })
+		if !piped.C0.Equal(barr.C0) || !piped.C1.Equal(barr.C1) {
+			t.Fatalf("level %d: pipelined Rescale differs from barriered bit-for-bit", lvl)
+		}
+		if piped.Scale != barr.Scale {
+			t.Fatalf("level %d: scale mismatch %g vs %g", lvl, piped.Scale, barr.Scale)
+		}
+	}
+}
+
+func TestPipelinedLinearTransformMatchesBarriered(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(55))
+	lt := randomSparseLT(r, tc.params.Slots(), []int{0, 1, 2, 3, 5, 8})
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, lt.Rotations())
+
+	u := randomComplex(r, tc.params.Slots(), 1)
+	ct := tc.encryptVec(t, u)
+
+	var piped, barr *Ciphertext
+	withPipelined(t, true, func() {
+		out, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped = out
+	})
+	withPipelined(t, false, func() {
+		out, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		barr = out
+	})
+	if !piped.C0.Equal(barr.C0) || !piped.C1.Equal(barr.C1) {
+		t.Fatal("pipelined hoisted LT differs from barriered bit-for-bit")
+	}
+	got := tc.decryptVec(tc.eval.Rescale(piped))
+	if e := maxErr(got, lt.Apply(u)); e > 1e-4 {
+		t.Fatalf("pipelined hoisted LT error %g", e)
+	}
+}
+
+// TestPipelinedDecomposeConsumedBarriered flips the toggle between decompose
+// and consume: a pipelined decomposition defers the digit NTTs (coeffDomain),
+// so a consumer running after SetPipelined(false) must materialize them via
+// ensureNTT and still produce the barriered result.
+func TestPipelinedDecomposeConsumedBarriered(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(56))
+	ct := tc.encryptVec(t, randomComplex(r, tc.params.Slots(), 1))
+	lvl := ct.Level()
+	rq, rp := tc.params.RingQ(), tc.params.RingP()
+
+	var want0, want1, wantP0, wantP1 *ring.Poly
+	withPipelined(t, false, func() {
+		dec := tc.eval.decomposePlan(ct.C1, lvl, tc.eval.planFor(lvl, tc.keys.Rlk))
+		want0, wantP0, want1, wantP1 = tc.eval.gadgetProduct(dec, tc.keys.Rlk)
+		dec.release(tc.params)
+	})
+
+	SetPipelined(true)
+	dec := tc.eval.decomposePlan(ct.C1, lvl, tc.eval.planFor(lvl, tc.keys.Rlk))
+	if !dec.coeffDomain {
+		t.Fatal("pipelined decomposition should defer the digit NTTs")
+	}
+	SetPipelined(false)
+	defer SetPipelined(true)
+	u0q, u0p, u1q, u1p := tc.eval.gadgetProduct(dec, tc.keys.Rlk)
+	dec.release(tc.params)
+
+	if !u0q.Equal(want0) || !u1q.Equal(want1) || !u0p.Equal(wantP0) || !u1p.Equal(wantP1) {
+		t.Fatal("deferred-NTT digits consumed barriered differ from barriered decompose+consume")
+	}
+	rq.PutPoly(u0q)
+	rq.PutPoly(u1q)
+	rp.PutPoly(u0p)
+	rp.PutPoly(u1p)
+	rq.PutPoly(want0)
+	rq.PutPoly(want1)
+	rp.PutPoly(wantP0)
+	rp.PutPoly(wantP1)
+}

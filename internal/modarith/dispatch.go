@@ -95,7 +95,7 @@ type kernelTable struct {
 	optIn bool
 
 	mulAddLazy    func(m Modulus, out, a, b []uint64)
-	mulAddLazyIdx func(m Modulus, out, a, b []uint64, idx []int)
+	mulAddLazyIdx func(m Modulus, out, a, b []uint64, idx []uint32)
 	mulBarrett    func(m Modulus, out, a, b []uint64)
 	mulAddBarrett func(m Modulus, out, a, b []uint64)
 	mulSubBarrett func(m Modulus, out, a, b []uint64)

@@ -15,7 +15,7 @@ package modarith
 func vecMulAddLazyAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
 
 //go:noescape
-func vecMulAddLazyIdxAVX512(out, a, b []uint64, idx []int, q, twoQ, u0, u1 uint64)
+func vecMulAddLazyIdxAVX512(out, a, b []uint64, idx []uint32, q, twoQ, u0, u1 uint64)
 
 //go:noescape
 func vecMulBarrettAVX512(out, a, b []uint64, q, twoQ, u0, u1 uint64)
@@ -71,7 +71,7 @@ func avx512Table() kernelTable {
 				vecMulAddLazyGo(m, out[n:], a[n:], b[n:])
 			}
 		},
-		mulAddLazyIdx: func(m Modulus, out, a, b []uint64, idx []int) {
+		mulAddLazyIdx: func(m Modulus, out, a, b []uint64, idx []uint32) {
 			n := len(idx) &^ 7
 			if n > 0 {
 				vecMulAddLazyIdxAVX512(out[:n], a, b[:n], idx[:n], m.Q, m.TwoQ, m.BRedHi, m.BRedLo)

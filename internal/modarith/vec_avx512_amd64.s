@@ -101,7 +101,7 @@ mulAddLazyLoop:
 	VZEROUPPER
 	RET
 
-// func vecMulAddLazyIdxAVX512(out, a, b []uint64, idx []int, q, twoQ, u0, u1 uint64)
+// func vecMulAddLazyIdxAVX512(out, a, b []uint64, idx []uint32, q, twoQ, u0, u1 uint64)
 TEXT ·vecMulAddLazyIdxAVX512(SB), NOSPLIT, $0-128
 	MOVQ out_base+0(FP), DI
 	MOVQ a_base+24(FP), SI
@@ -111,7 +111,7 @@ TEXT ·vecMulAddLazyIdxAVX512(SB), NOSPLIT, $0-128
 	BARRETT_CONSTS(96)
 	XORQ DX, DX
 mulAddLazyIdxLoop:
-	VMOVDQU64 (R8)(DX*8), Z10                 // indices
+	VPMOVZXDQ (R8)(DX*4), Z10                 // 8 uint32 indices zero-extended to qwords
 	KXNORQ K2, K2, K2                         // gather mask (consumed per use)
 	VPGATHERQQ (SI)(Z10*8), K2, Z0            // a[idx[j]]
 	VMOVDQU64 (BX)(DX*8), Z1

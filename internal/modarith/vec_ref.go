@@ -39,7 +39,7 @@ func vecMulAddLazyGo(m Modulus, out, a, b []uint64) {
 	}
 }
 
-func vecMulAddLazyIdxGo(m Modulus, out, a, b []uint64, idx []int) {
+func vecMulAddLazyIdxGo(m Modulus, out, a, b []uint64, idx []uint32) {
 	q, twoQ, u0, u1 := m.Q, m.TwoQ, m.BRedHi, m.BRedLo
 	_ = out[len(idx)-1]
 	_ = b[len(idx)-1]

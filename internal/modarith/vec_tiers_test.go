@@ -104,9 +104,9 @@ func TestTierMulAddLazyIdx(t *testing.T) {
 		na := n + rng.Intn(17)
 		a := randRow(rng, na, m.TwoQ)
 		b := randRow(rng, n, m.TwoQ)
-		idx := make([]int, n)
+		idx := make([]uint32, n)
 		for j := range idx {
-			idx[j] = rng.Intn(na)
+			idx[j] = uint32(rng.Intn(na))
 		}
 		out := randRow(rng, n, m.TwoQ)
 		want := cloneRow(out)

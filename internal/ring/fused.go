@@ -19,6 +19,7 @@ func (r *Ring) MulCoeffsAddLazy(out, a, b *Poly, level int) {
 	forEachLimb(level, func(i int) {
 		r.Moduli[i].VecMulAddLazy(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
+	accountRows(bytesMac, 4, level+1, r.N)
 }
 
 // AutMulCoeffsAddLazy sets out += σ_g(a) ⊙ b lazily, fusing the NTT-domain
@@ -36,6 +37,7 @@ func (r *Ring) AutMulCoeffsAddLazy(out, a, b *Poly, g uint64, level int) {
 	forEachLimb(level, func(i int) {
 		r.Moduli[i].VecMulAddLazyIdx(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i], idx)
 	})
+	accountRows(bytesMac, 4, level+1, r.N)
 }
 
 // MulByLimbScalarsAddLazy sets out += a * s[i] per limb (s already reduced),
@@ -47,6 +49,7 @@ func (r *Ring) MulByLimbScalarsAddLazy(out, a *Poly, s []uint64, level int) {
 		mod := r.Moduli[i]
 		mod.VecMulShoupAddLazy(out.Coeffs[i], a.Coeffs[i], s[i], mod.ShoupPrecomp(s[i]))
 	})
+	accountRows(bytesMac, 3, level+1, r.N)
 }
 
 // SubMulByLimbScalars sets out = (a - b) * s[i] per limb in a single exact
@@ -58,6 +61,7 @@ func (r *Ring) SubMulByLimbScalars(out, a, b *Poly, s []uint64, level int) {
 		mod.VecSubMulShoup(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i], s[i], mod.ShoupPrecomp(s[i]))
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesMac, 3, level+1, r.N)
 }
 
 // SubMulByLimbScalarsLazy is SubMulByLimbScalars for a lazy subtrahend: b
@@ -70,6 +74,7 @@ func (r *Ring) SubMulByLimbScalarsLazy(out, a, b *Poly, s []uint64, level int) {
 		mod.VecSubMulShoupLazy(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i], s[i], mod.ShoupPrecomp(s[i]))
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesMac, 3, level+1, r.N)
 }
 
 // ReduceLazy normalizes a lazy accumulator from [0, 2q) back to exact
@@ -79,6 +84,7 @@ func (r *Ring) ReduceLazy(p *Poly, level int) {
 	forEachLimb(level, func(i int) {
 		r.Moduli[i].VecReduceTwoQ(p.Coeffs[i])
 	})
+	accountRows(bytesReduce, 2, level+1, r.N)
 }
 
 // AddMany sets out = ins[0] + ins[1] + ... in a single pass per limb (the
@@ -102,4 +108,5 @@ func (r *Ring) AddMany(out *Poly, ins []*Poly, level int) {
 		}
 	})
 	out.IsNTT = ins[0].IsNTT
+	accountRows(bytesElemwise, len(ins)+1, level+1, r.N)
 }

@@ -21,6 +21,7 @@ func (r *Ring) Add(out, a, b *Poly, level int) {
 		}
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesElemwise, 3, level+1, r.N)
 }
 
 // Sub sets out = a - b.
@@ -33,6 +34,7 @@ func (r *Ring) Sub(out, a, b *Poly, level int) {
 		}
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesElemwise, 3, level+1, r.N)
 }
 
 // Neg sets out = -a.
@@ -45,6 +47,7 @@ func (r *Ring) Neg(out, a *Poly, level int) {
 		}
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesElemwise, 2, level+1, r.N)
 }
 
 // MulCoeffs sets out = a ⊙ b (element-wise product). In the NTT domain this
@@ -55,6 +58,7 @@ func (r *Ring) MulCoeffs(out, a, b *Poly, level int) {
 		r.Moduli[i].VecMulBarrett(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesMac, 3, level+1, r.N)
 }
 
 // MulCoeffsAdd sets out += a ⊙ b.
@@ -62,6 +66,7 @@ func (r *Ring) MulCoeffsAdd(out, a, b *Poly, level int) {
 	forEachLimb(level, func(i int) {
 		r.Moduli[i].VecMulAddBarrett(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
+	accountRows(bytesMac, 4, level+1, r.N)
 }
 
 // MulCoeffsSub sets out -= a ⊙ b.
@@ -69,6 +74,7 @@ func (r *Ring) MulCoeffsSub(out, a, b *Poly, level int) {
 	forEachLimb(level, func(i int) {
 		r.Moduli[i].VecMulSubBarrett(out.Coeffs[i], a.Coeffs[i], b.Coeffs[i])
 	})
+	accountRows(bytesMac, 4, level+1, r.N)
 }
 
 // MulScalar sets out = a * s for a small unsigned scalar s (reduced per
@@ -84,6 +90,7 @@ func (r *Ring) MulScalar(out, a *Poly, s uint64, level int) {
 		}
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesElemwise, 2, level+1, r.N)
 }
 
 // MulByLimbScalars sets out[i] = a[i] * s[i] where s carries one scalar per
@@ -99,6 +106,7 @@ func (r *Ring) MulByLimbScalars(out, a *Poly, s []uint64, level int) {
 		}
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesElemwise, 2, level+1, r.N)
 }
 
 // AddScalarBig adds an arbitrarily large signed integer constant (reduced
@@ -119,6 +127,7 @@ func (r *Ring) AddScalarBig(out, a *Poly, v *big.Int, level int) {
 		}
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesElemwise, 2, level+1, r.N)
 }
 
 // MulScalarBig multiplies by an arbitrarily large signed integer constant
@@ -150,4 +159,5 @@ func (r *Ring) AddScalarInt(out, a *Poly, v int64, level int) {
 		}
 	})
 	out.IsNTT = a.IsNTT
+	accountRows(bytesElemwise, 2, level+1, r.N)
 }

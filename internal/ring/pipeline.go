@@ -1,0 +1,481 @@
+package ring
+
+import (
+	"sync"
+
+	"github.com/anaheim-sim/anaheim/internal/par"
+)
+
+// Limb-resident pipeline executor. A Pipeline records a chain of per-limb
+// stages (NTT/INTT, MAC row kernels, automorphism permutations, rescale
+// epilogues) and executes the *entire chain for one limb* before moving to
+// the next, inside a single par dispatch — one barrier per chain instead of
+// one per kernel.
+//
+// The point is cache residency, the software analog of Anaheim's
+// move-the-kernel-to-the-data thesis: a barriered chain streams every operand
+// (limbs × N × 8 bytes, megabytes at bootstrap parameters) through DRAM once
+// per kernel, while the pipelined chain touches one N×8-byte row per operand
+// (128 KB at N=2^14) that stays L2-resident across all stages. The stage set
+// is a fixed op-code enum executed over the same Vec* row kernels the
+// barriered ops use, in the same per-limb order, so pipelined execution is
+// bit-identical to the barriered kernel sequence on every tier — the
+// differential tests in pipeline_test.go and the ckks evaluator hold this
+// line.
+//
+// Usage:
+//
+//	pl := ring.GetPipeline()
+//	ln := pl.Lane(rq, level)         // one lane per (ring, level) pair
+//	ln.NTTLazy(p)                    // record stages; no work yet
+//	ln.MulCoeffsAddLazy(acc, p, k)
+//	ln.ReduceLazy(acc)
+//	pl.Run()                         // one barrier for the whole chain
+//	pl.Release()
+//
+// Contracts:
+//   - Stages within a lane run strictly in recorded order for each limb;
+//     limbs (and lanes) are mutually independent, exactly like forEachLimb.
+//     A chain must therefore never make limb i read a row that another limb's
+//     stage writes — the same RNS independence every barriered op relies on.
+//   - Domain (IsNTT) checks happen at record time against the *pending*
+//     domain (the flag the polynomial will have at that point of the chain);
+//     flags are applied to the Poly headers when Run completes.
+//   - Lazy-domain discipline is unchanged from fused.go: accumulators stay in
+//     [0, 2q) between MAC stages and must pass through ReduceLazy before an
+//     exact kernel or the end of the chain hands them to exact consumers.
+//   - All polynomials recorded into a lane must have at least level+1 limbs.
+//     Run resets the pipeline for re-recording; Release returns it to a pool.
+type Pipeline struct {
+	lanes  []*Lane
+	nLanes int
+}
+
+// Lane is the per-(ring, level) stage list of a Pipeline. All stages of a
+// lane execute over limbs 0..level of its ring.
+type Lane struct {
+	r     *Ring
+	level int
+
+	stages  []stage
+	effects []polyEffect
+
+	nttStages  int // stages counting toward the forward limb-transform counter
+	inttStages int // ...and the inverse counter
+	naiveRows  int // per-limb row streams a barriered execution would move
+}
+
+type stageOp uint8
+
+const (
+	opFunc stageOp = iota
+	opCopy
+	opNTT
+	opNTTLazy
+	opINTT
+	opINTTLazy
+	opMulCoeffs
+	opMulCoeffsAdd
+	opMulCoeffsAddLazy
+	opAutMulAddLazy
+	opReduceLazy
+	opAdd
+	opSubMulScalars
+	opSubMulScalarsLazy
+	opAutNTT
+	opAddAutNTT
+)
+
+// stage is one recorded per-limb operation. A struct of op code plus operand
+// pointers — not a closure — so recording a chain allocates nothing in steady
+// state (the slices are pooled with the Pipeline).
+type stage struct {
+	op   stageOp
+	out  *Poly
+	a, b *Poly
+	s    []uint64 // per-limb scalars (opSubMulScalars*)
+	idx  []uint32 // NTT-domain automorphism permutation (opAut*)
+	fn   func(limb int)
+}
+
+// polyEffect tracks, per lane, what the chain does to one polynomial: the
+// pending IsNTT domain for record-time checks, whether the flag must be
+// applied after Run, and whether the chain reads/writes it (the distinct-row
+// traffic estimate: each distinct operand row is fetched at most once and
+// written back at most once per chain).
+type polyEffect struct {
+	p         *Poly
+	isNTT     bool
+	flagDirty bool
+	read      bool
+	written   bool
+}
+
+var pipelinePool = sync.Pool{New: func() any { return &Pipeline{} }}
+
+// GetPipeline borrows a pipeline from the package pool.
+func GetPipeline() *Pipeline { return pipelinePool.Get().(*Pipeline) }
+
+// Release returns the pipeline (and its recorded-stage capacity) to the pool.
+// The caller must not use the pipeline or its lanes afterwards.
+func (pl *Pipeline) Release() {
+	pl.reset()
+	pipelinePool.Put(pl)
+}
+
+func (pl *Pipeline) reset() {
+	for _, ln := range pl.lanes[:pl.nLanes] {
+		for i := range ln.stages {
+			ln.stages[i] = stage{}
+		}
+		for i := range ln.effects {
+			ln.effects[i] = polyEffect{}
+		}
+		ln.stages = ln.stages[:0]
+		ln.effects = ln.effects[:0]
+		ln.nttStages, ln.inttStages, ln.naiveRows = 0, 0, 0
+		ln.r = nil
+	}
+	pl.nLanes = 0
+}
+
+// Lane opens (or reuses) a recording lane over limbs 0..level of r. Lanes
+// are independent; a chain that spans two rings (the Q and P halves of a
+// key-switch) records one lane per ring in the same pipeline and still pays
+// a single barrier.
+func (pl *Pipeline) Lane(r *Ring, level int) *Lane {
+	if pl.nLanes < len(pl.lanes) {
+		ln := pl.lanes[pl.nLanes]
+		ln.r, ln.level = r, level
+		pl.nLanes++
+		return ln
+	}
+	ln := &Lane{r: r, level: level}
+	pl.lanes = append(pl.lanes, ln)
+	pl.nLanes++
+	return ln
+}
+
+// use records a read and/or write of p, returning the index of its effect
+// entry. Never hold the returned pointer across another use/effect call —
+// the backing slice may grow.
+func (ln *Lane) use(p *Poly, read, write bool) {
+	e := ln.effect(p)
+	e.read = e.read || read
+	e.written = e.written || write
+}
+
+func (ln *Lane) effect(p *Poly) *polyEffect {
+	for i := range ln.effects {
+		if ln.effects[i].p == p {
+			return &ln.effects[i]
+		}
+	}
+	if len(p.Coeffs) < ln.level+1 {
+		panic("ring: pipeline operand has fewer limbs than the lane level")
+	}
+	ln.effects = append(ln.effects, polyEffect{p: p, isNTT: p.IsNTT})
+	return &ln.effects[len(ln.effects)-1]
+}
+
+// domain returns p's pending IsNTT state at this point of the chain.
+func (ln *Lane) domain(p *Poly) bool { return ln.effect(p).isNTT }
+
+func (ln *Lane) setDomain(p *Poly, ntt bool) {
+	e := ln.effect(p)
+	e.isNTT = ntt
+	e.flagDirty = true
+}
+
+func (ln *Lane) push(st stage, naiveRows int) {
+	ln.stages = append(ln.stages, st)
+	ln.naiveRows += naiveRows
+}
+
+// Copy records out ← a (rows copied limb-wise; domain follows a).
+func (ln *Lane) Copy(out, a *Poly) {
+	ln.use(a, true, false)
+	ln.use(out, false, true)
+	ln.setDomain(out, ln.domain(a))
+	ln.push(stage{op: opCopy, out: out, a: a}, 2)
+}
+
+// NTT records an in-place exact forward transform of p.
+func (ln *Lane) NTT(p *Poly) { ln.recordNTT(p, opNTT) }
+
+// NTTLazy records an in-place forward transform with lazy [0, 2q) outputs.
+func (ln *Lane) NTTLazy(p *Poly) { ln.recordNTT(p, opNTTLazy) }
+
+func (ln *Lane) recordNTT(p *Poly, op stageOp) {
+	if ln.domain(p) {
+		panic("ring: pipeline NTT on a polynomial already in NTT form")
+	}
+	ln.use(p, true, true)
+	ln.setDomain(p, true)
+	ln.nttStages++
+	ln.push(stage{op: op, out: p}, 2)
+}
+
+// INTT records an in-place exact inverse transform of p.
+func (ln *Lane) INTT(p *Poly) { ln.recordINTT(p, opINTT) }
+
+// INTTLazy records an in-place inverse transform with lazy outputs.
+func (ln *Lane) INTTLazy(p *Poly) { ln.recordINTT(p, opINTTLazy) }
+
+func (ln *Lane) recordINTT(p *Poly, op stageOp) {
+	if !ln.domain(p) {
+		panic("ring: pipeline INTT on a polynomial already in coefficient form")
+	}
+	ln.use(p, true, true)
+	ln.setDomain(p, false)
+	ln.inttStages++
+	ln.push(stage{op: op, out: p}, 2)
+}
+
+// MulCoeffs records out = a ⊙ b (exact element-wise product).
+func (ln *Lane) MulCoeffs(out, a, b *Poly) {
+	ln.use(a, true, false)
+	ln.use(b, true, false)
+	ln.use(out, false, true)
+	ln.setDomain(out, ln.domain(a))
+	ln.push(stage{op: opMulCoeffs, out: out, a: a, b: b}, 3)
+}
+
+// MulCoeffsAdd records out += a ⊙ b (exact).
+func (ln *Lane) MulCoeffsAdd(out, a, b *Poly) {
+	ln.use(a, true, false)
+	ln.use(b, true, false)
+	ln.use(out, true, true)
+	ln.push(stage{op: opMulCoeffsAdd, out: out, a: a, b: b}, 4)
+}
+
+// MulCoeffsAddLazy records out += a ⊙ b with out kept lazy in [0, 2q).
+func (ln *Lane) MulCoeffsAddLazy(out, a, b *Poly) {
+	ln.use(a, true, false)
+	ln.use(b, true, false)
+	ln.use(out, true, true)
+	ln.push(stage{op: opMulCoeffsAddLazy, out: out, a: a, b: b}, 4)
+}
+
+// AutMulCoeffsAddLazy records out += σ_g(a) ⊙ b lazily (the fused AutAccum
+// gather-MAC). a must be pending-NTT and must not alias out.
+func (ln *Lane) AutMulCoeffsAddLazy(out, a, b *Poly, g uint64) {
+	if !ln.domain(a) {
+		panic("ring: pipeline AutMulCoeffsAddLazy requires NTT domain")
+	}
+	if out == a {
+		panic("ring: pipeline AutMulCoeffsAddLazy cannot accumulate in place over its input")
+	}
+	ln.use(a, true, false)
+	ln.use(b, true, false)
+	ln.use(out, true, true)
+	ln.push(stage{op: opAutMulAddLazy, out: out, a: a, b: b, idx: ln.r.nttAutoIndex(g)}, 4)
+}
+
+// ReduceLazy records the [0, 2q) → [0, q) normalization of p.
+func (ln *Lane) ReduceLazy(p *Poly) {
+	ln.use(p, true, true)
+	ln.push(stage{op: opReduceLazy, out: p}, 2)
+}
+
+// Add records out = a + b (exact element-wise sum; domain follows a).
+func (ln *Lane) Add(out, a, b *Poly) {
+	ln.use(a, true, false)
+	ln.use(b, true, false)
+	ln.use(out, false, true)
+	ln.setDomain(out, ln.domain(a))
+	ln.push(stage{op: opAdd, out: out, a: a, b: b}, 3)
+}
+
+// SubMulByLimbScalars records out = (a - b) · s[i] per limb (exact; the
+// fused ModDown epilogue).
+func (ln *Lane) SubMulByLimbScalars(out, a, b *Poly, s []uint64) {
+	ln.use(a, true, false)
+	ln.use(b, true, false)
+	ln.use(out, false, true)
+	ln.setDomain(out, ln.domain(a))
+	ln.push(stage{op: opSubMulScalars, out: out, a: a, b: b, s: s}, 3)
+}
+
+// SubMulByLimbScalarsLazy is SubMulByLimbScalars for a lazy subtrahend b in
+// [0, 2q) (e.g. straight out of an NTTLazy stage).
+func (ln *Lane) SubMulByLimbScalarsLazy(out, a, b *Poly, s []uint64) {
+	ln.use(a, true, false)
+	ln.use(b, true, false)
+	ln.use(out, false, true)
+	ln.setDomain(out, ln.domain(a))
+	ln.push(stage{op: opSubMulScalarsLazy, out: out, a: a, b: b, s: s}, 3)
+}
+
+// AutomorphismNTT records out = σ_g(a) by NTT-domain slot permutation.
+// a must be pending-NTT and must not alias out.
+func (ln *Lane) AutomorphismNTT(out, a *Poly, g uint64) {
+	if !ln.domain(a) {
+		panic("ring: pipeline AutomorphismNTT requires NTT domain")
+	}
+	if out == a {
+		panic("ring: pipeline AutomorphismNTT cannot operate in place")
+	}
+	ln.use(a, true, false)
+	ln.use(out, false, true)
+	ln.setDomain(out, true)
+	ln.push(stage{op: opAutNTT, out: out, a: a, idx: ln.r.nttAutoIndex(g)}, 2)
+}
+
+// AddAutomorphismNTT records out = σ_g(a + b): the exact sum permuted in the
+// same pass, bit-identical to Add followed by AutomorphismNTT because the
+// sum is element-wise. a and b must be pending-NTT; neither may alias out.
+func (ln *Lane) AddAutomorphismNTT(out, a, b *Poly, g uint64) {
+	if !ln.domain(a) || !ln.domain(b) {
+		panic("ring: pipeline AddAutomorphismNTT requires NTT domain")
+	}
+	if out == a || out == b {
+		panic("ring: pipeline AddAutomorphismNTT cannot operate in place")
+	}
+	ln.use(a, true, false)
+	ln.use(b, true, false)
+	ln.use(out, false, true)
+	ln.setDomain(out, true)
+	ln.push(stage{op: opAddAutNTT, out: out, a: a, b: b, idx: ln.r.nttAutoIndex(g)}, 3)
+}
+
+// Func records an arbitrary per-limb stage (the escape hatch for steps with
+// no dedicated op code, e.g. the rescale divide). reads/writes declare the
+// polynomials it touches, for traffic accounting and limb validation; fn
+// must touch only limb `limb` of them, and domain flags are the caller's
+// responsibility (record a dedicated stage or set flags after Run).
+func (ln *Lane) Func(fn func(limb int), reads, writes []*Poly) {
+	for _, p := range reads {
+		ln.use(p, true, false)
+	}
+	for _, p := range writes {
+		ln.use(p, false, true)
+	}
+	ln.push(stage{op: opFunc, fn: fn}, len(reads)+len(writes))
+}
+
+// Run executes every recorded lane, whole-chain-per-limb, under a single
+// barrier, then applies domain flags, updates the ring limb-transform
+// counters and the bytes-moved model, and resets the pipeline for
+// re-recording.
+func (pl *Pipeline) Run() {
+	lanes := pl.lanes[:pl.nLanes]
+	total := 0
+	for _, ln := range lanes {
+		total += ln.level + 1
+	}
+	if total > 0 {
+		if total < parallelLimbThreshold || par.Workers() < 2 {
+			for _, ln := range lanes {
+				for i := 0; i <= ln.level; i++ {
+					ln.exec(i)
+				}
+			}
+		} else {
+			par.ForEachChunk(total, func(lo, hi int) {
+				for t := lo; t < hi; t++ {
+					for _, ln := range lanes {
+						limbs := ln.level + 1
+						if t < limbs {
+							ln.exec(t)
+							break
+						}
+						t -= limbs
+					}
+				}
+			})
+		}
+	}
+	pl.finish()
+}
+
+// finish applies the deferred Poly-header updates and traffic accounting,
+// then resets the pipeline so it can record the next chain.
+func (pl *Pipeline) finish() {
+	for _, ln := range pl.lanes[:pl.nLanes] {
+		limbs := ln.level + 1
+		for i := range ln.effects {
+			e := &ln.effects[i]
+			if e.flagDirty {
+				e.p.IsNTT = e.isNTT
+			}
+		}
+		if ln.nttStages > 0 {
+			ln.r.nttLimbs.Add(int64(ln.nttStages * limbs))
+		}
+		if ln.inttStages > 0 {
+			ln.r.inttLimbs.Add(int64(ln.inttStages * limbs))
+		}
+		distinct := 0
+		for i := range ln.effects {
+			if ln.effects[i].read {
+				distinct++
+			}
+			if ln.effects[i].written {
+				distinct++
+			}
+		}
+		accountRows(bytesPipelined, distinct, limbs, ln.r.N)
+		if saved := ln.naiveRows - distinct; saved > 0 {
+			accountRows(bytesSaved, saved, limbs, ln.r.N)
+		}
+	}
+	pl.reset()
+}
+
+// exec runs the lane's whole stage chain over limb i. This is the inner loop
+// of the executor: every stage body is the same row kernel its barriered
+// counterpart dispatches per limb, in the same order, so the results are
+// bit-identical on every kernel tier.
+func (ln *Lane) exec(i int) {
+	r := ln.r
+	mod := r.Moduli[i]
+	for si := range ln.stages {
+		st := &ln.stages[si]
+		switch st.op {
+		case opCopy:
+			copy(st.out.Coeffs[i], st.a.Coeffs[i])
+		case opNTT:
+			r.Tables[i].Forward(st.out.Coeffs[i])
+		case opNTTLazy:
+			r.Tables[i].ForwardLazy(st.out.Coeffs[i])
+		case opINTT:
+			r.Tables[i].Inverse(st.out.Coeffs[i])
+		case opINTTLazy:
+			r.Tables[i].InverseLazy(st.out.Coeffs[i])
+		case opMulCoeffs:
+			mod.VecMulBarrett(st.out.Coeffs[i], st.a.Coeffs[i], st.b.Coeffs[i])
+		case opMulCoeffsAdd:
+			mod.VecMulAddBarrett(st.out.Coeffs[i], st.a.Coeffs[i], st.b.Coeffs[i])
+		case opMulCoeffsAddLazy:
+			mod.VecMulAddLazy(st.out.Coeffs[i], st.a.Coeffs[i], st.b.Coeffs[i])
+		case opAutMulAddLazy:
+			mod.VecMulAddLazyIdx(st.out.Coeffs[i], st.a.Coeffs[i], st.b.Coeffs[i], st.idx)
+		case opReduceLazy:
+			mod.VecReduceTwoQ(st.out.Coeffs[i])
+		case opAdd:
+			oa, ob, oo := st.a.Coeffs[i], st.b.Coeffs[i], st.out.Coeffs[i]
+			for j := range oo {
+				oo[j] = mod.Add(oa[j], ob[j])
+			}
+		case opSubMulScalars:
+			s := st.s[i]
+			mod.VecSubMulShoup(st.out.Coeffs[i], st.a.Coeffs[i], st.b.Coeffs[i], s, mod.ShoupPrecomp(s))
+		case opSubMulScalarsLazy:
+			s := st.s[i]
+			mod.VecSubMulShoupLazy(st.out.Coeffs[i], st.a.Coeffs[i], st.b.Coeffs[i], s, mod.ShoupPrecomp(s))
+		case opAutNTT:
+			src, dst := st.a.Coeffs[i], st.out.Coeffs[i]
+			for j, k := range st.idx {
+				dst[j] = src[k]
+			}
+		case opAddAutNTT:
+			oa, ob, dst := st.a.Coeffs[i], st.b.Coeffs[i], st.out.Coeffs[i]
+			for j, k := range st.idx {
+				dst[j] = mod.Add(oa[k], ob[k])
+			}
+		case opFunc:
+			st.fn(i)
+		}
+	}
+}

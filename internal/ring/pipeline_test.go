@@ -1,0 +1,385 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+// The pipeline executes the same row kernels the barriered ops dispatch, in
+// the same per-limb order — every test here demands bit-identical agreement
+// with the barriered composition it replaces.
+
+// TestPipelineKeySwitchShapedChain runs the gadget-product-shaped chain
+// (forward NTTLazy of each "digit" fused with the MACs consuming it, ending
+// in a reduction) and compares against the barriered composition, at every
+// level.
+func TestPipelineKeySwitchShapedChain(t *testing.T) {
+	r := newTestRing(t, 6, 10)
+	s := NewSampler(19)
+	const digits = 3
+	for level := 0; level <= r.MaxLevel(); level++ {
+		digQ := make([]*Poly, digits)
+		keyB := make([]*Poly, digits)
+		keyA := make([]*Poly, digits)
+		for d := range digQ {
+			digQ[d] = s.UniformPoly(r, level, false) // coeff domain, exact
+			keyB[d] = s.UniformPoly(r, level, true)
+			keyA[d] = s.UniformPoly(r, level, true)
+		}
+
+		// Barriered reference.
+		wantDig := make([]*Poly, digits)
+		for d := range digQ {
+			wantDig[d] = digQ[d].CopyNew()
+			r.NTTLazy(wantDig[d], level)
+		}
+		want0, want1 := r.NewPoly(level), r.NewPoly(level)
+		want0.IsNTT, want1.IsNTT = true, true
+		for d := range digQ {
+			r.MulCoeffsAddLazy(want0, wantDig[d], keyB[d], level)
+			r.MulCoeffsAddLazy(want1, wantDig[d], keyA[d], level)
+		}
+		r.ReduceLazy(want0, level)
+		r.ReduceLazy(want1, level)
+
+		// Pipelined: whole chain per limb, one barrier.
+		got0, got1 := r.NewPoly(level), r.NewPoly(level)
+		got0.IsNTT, got1.IsNTT = true, true
+		pl := GetPipeline()
+		ln := pl.Lane(r, level)
+		for d := range digQ {
+			ln.NTTLazy(digQ[d])
+			ln.MulCoeffsAddLazy(got0, digQ[d], keyB[d])
+			ln.MulCoeffsAddLazy(got1, digQ[d], keyA[d])
+		}
+		ln.ReduceLazy(got0)
+		ln.ReduceLazy(got1)
+		pl.Run()
+		pl.Release()
+
+		if !got0.Equal(want0) || !got1.Equal(want1) {
+			t.Fatalf("level %d: pipelined gadget chain != barriered composition", level)
+		}
+		for d := range digQ {
+			if !digQ[d].IsNTT {
+				t.Fatalf("level %d: pipeline did not apply the NTT domain flag", level)
+			}
+			if !digQ[d].Equal(wantDig[d]) {
+				t.Fatalf("level %d digit %d: pipelined NTTLazy != barriered NTTLazy", level, d)
+			}
+		}
+	}
+}
+
+// TestPipelineModDownShapedChain covers the ModDown epilogue ops: Copy+INTT
+// in one lane, NTTLazy+SubMulByLimbScalarsLazy+Add in another, plus the
+// automorphism tail (AddAutomorphismNTT / AutomorphismNTT), against the
+// barriered composition.
+func TestPipelineModDownShapedChain(t *testing.T) {
+	r := newTestRing(t, 6, 9)
+	s := NewSampler(23)
+	level := r.MaxLevel()
+	g := r.GaloisElement(3)
+
+	scalars := make([]uint64, level+1)
+	for i := range scalars {
+		scalars[i] = uint64(7*i+5) % r.Moduli[i].Q
+	}
+
+	uq := s.UniformPoly(r, level, true)
+	conv := s.UniformPoly(r, level, false)
+	c0 := s.UniformPoly(r, level, true)
+	src := s.UniformPoly(r, level, true)
+
+	// Barriered reference.
+	wantW := r.NewPoly(level)
+	wantW.Copy(src)
+	r.INTT(wantW, level)
+	wantConv := conv.CopyNew()
+	r.NTTLazy(wantConv, level)
+	wantD := r.NewPoly(level)
+	r.SubMulByLimbScalarsLazy(wantD, uq, wantConv, scalars, level)
+	wantD.IsNTT = true
+	preAdd := wantD.CopyNew()
+	r.Add(wantD, wantD, c0, level)
+	wantO := r.NewPoly(level)
+	r.AutomorphismNTT(wantO, wantD, g, level)
+	r.NTT(wantW, level)
+	wantO1 := r.NewPoly(level)
+	r.AutomorphismNTT(wantO1, wantW, g, level)
+
+	// Pipelined. The add-then-permute pair is recorded as the fused
+	// AddAutomorphismNTT stage.
+	gotW := r.NewPoly(level)
+	gotConv := conv.CopyNew()
+	gotD := r.NewPoly(level)
+	gotO := r.NewPoly(level)
+	gotO1 := r.NewPoly(level)
+	pl := GetPipeline()
+	ln := pl.Lane(r, level)
+	ln.Copy(gotW, src)
+	ln.INTT(gotW)
+	ln.NTTLazy(gotConv)
+	ln.SubMulByLimbScalarsLazy(gotD, uq, gotConv, scalars)
+	ln.AddAutomorphismNTT(gotO, gotD, c0, g)
+	pl.Run()
+	// Separate Run on the same (released-and-reused) pipeline: the coeff
+	// domain poly from the first chain feeds an NTT-domain permutation after
+	// a manual flag fix, exercising re-recording.
+	r.NTT(gotW, level)
+	ln2 := pl.Lane(r, level)
+	ln2.AutomorphismNTT(gotO1, gotW, g)
+	pl.Run()
+	pl.Release()
+
+	// The pipelined gotD holds the pre-add value: the fused AddAutomorphismNTT
+	// stage sums on the fly without writing the intermediate.
+	if !gotD.Equal(preAdd) {
+		t.Fatal("pipelined SubMul epilogue != barriered SubMul epilogue")
+	}
+	if !gotO.Equal(wantO) {
+		t.Fatal("pipelined AddAutomorphismNTT != barriered Add + AutomorphismNTT")
+	}
+	if !gotW.Equal(wantW) {
+		t.Fatal("pipelined Copy+INTT != barriered Copy+INTT")
+	}
+	if !gotO1.Equal(wantO1) {
+		t.Fatal("second-chain AutomorphismNTT mismatch after pipeline reuse")
+	}
+}
+
+// TestPipelineTensorChain covers the exact element-wise stages (MulCoeffs,
+// MulCoeffsAdd, Add) against the barriered composition.
+func TestPipelineTensorChain(t *testing.T) {
+	r := newTestRing(t, 5, 8)
+	s := NewSampler(29)
+	level := r.MaxLevel()
+	a0 := s.UniformPoly(r, level, true)
+	a1 := s.UniformPoly(r, level, true)
+	b0 := s.UniformPoly(r, level, true)
+	b1 := s.UniformPoly(r, level, true)
+
+	want0, want1, want2 := r.NewPoly(level), r.NewPoly(level), r.NewPoly(level)
+	want1.IsNTT = true
+	r.MulCoeffs(want0, a0, b0, level)
+	r.MulCoeffsAdd(want1, a0, b1, level)
+	r.MulCoeffsAdd(want1, a1, b0, level)
+	r.MulCoeffs(want2, a1, b1, level)
+	wantSum := r.NewPoly(level)
+	r.Add(wantSum, want0, want2, level)
+
+	got0, got1, got2 := r.NewPoly(level), r.NewPoly(level), r.NewPoly(level)
+	got1.IsNTT = true
+	gotSum := r.NewPoly(level)
+	pl := GetPipeline()
+	ln := pl.Lane(r, level)
+	ln.MulCoeffs(got0, a0, b0)
+	ln.MulCoeffsAdd(got1, a0, b1)
+	ln.MulCoeffsAdd(got1, a1, b0)
+	ln.MulCoeffs(got2, a1, b1)
+	ln.Add(gotSum, got0, got2)
+	pl.Run()
+	pl.Release()
+
+	if !got0.Equal(want0) || !got1.Equal(want1) || !got2.Equal(want2) || !gotSum.Equal(wantSum) {
+		t.Fatal("pipelined tensor chain != barriered composition")
+	}
+	if !got0.IsNTT || !gotSum.IsNTT {
+		t.Fatal("pipeline did not propagate NTT domain flags")
+	}
+}
+
+// TestPipelineTwoLanes runs a Q-lane and a (shorter) P-lane chain in one
+// pipeline, as every key-switch chain does, and checks both against the
+// barriered forms.
+func TestPipelineTwoLanes(t *testing.T) {
+	rq := newTestRing(t, 5, 9)
+	rp := newTestRing(t, 5, 2)
+	s := NewSampler(31)
+	lq, lp := rq.MaxLevel(), rp.MaxLevel()
+
+	aq := s.UniformPoly(rq, lq, true)
+	bq := s.UniformPoly(rq, lq, true)
+	ap := s.UniformPoly(rp, lp, true)
+	bp := s.UniformPoly(rp, lp, true)
+
+	wantQ := rq.NewPoly(lq)
+	wantQ.IsNTT = true
+	rq.MulCoeffsAddLazy(wantQ, aq, bq, lq)
+	rq.ReduceLazy(wantQ, lq)
+	wantP := rp.NewPoly(lp)
+	wantP.IsNTT = true
+	rp.MulCoeffsAddLazy(wantP, ap, bp, lp)
+	rp.ReduceLazy(wantP, lp)
+
+	gotQ := rq.NewPoly(lq)
+	gotQ.IsNTT = true
+	gotP := rp.NewPoly(lp)
+	gotP.IsNTT = true
+	pl := GetPipeline()
+	lnQ := pl.Lane(rq, lq)
+	lnP := pl.Lane(rp, lp)
+	lnQ.MulCoeffsAddLazy(gotQ, aq, bq)
+	lnQ.ReduceLazy(gotQ)
+	lnP.MulCoeffsAddLazy(gotP, ap, bp)
+	lnP.ReduceLazy(gotP)
+	pl.Run()
+	pl.Release()
+
+	if !gotQ.Equal(wantQ) || !gotP.Equal(wantP) {
+		t.Fatal("two-lane pipeline != barriered per-ring composition")
+	}
+}
+
+// TestPipelineFuncStage checks the escape-hatch stage sees every limb exactly
+// once, in a valid position of the chain.
+func TestPipelineFuncStage(t *testing.T) {
+	r := newTestRing(t, 4, 9)
+	level := r.MaxLevel()
+	p := r.NewPoly(level)
+	seen := make([]int, level+1)
+	pl := GetPipeline()
+	ln := pl.Lane(r, level)
+	ln.Func(func(i int) { seen[i]++ }, nil, []*Poly{p})
+	pl.Run()
+	pl.Release()
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("limb %d executed %d times", i, c)
+		}
+	}
+}
+
+// TestPipelineDomainValidation: record-time checks fire against the pending
+// domain, not the current header flag.
+func TestPipelineDomainValidation(t *testing.T) {
+	r := newTestRing(t, 4, 3)
+	level := r.MaxLevel()
+	p := r.NewPoly(level) // coeff domain
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected record-time panic", name)
+			}
+		}()
+		f()
+	}
+
+	pl := GetPipeline()
+	ln := pl.Lane(r, level)
+	ln.NTT(p) // pending domain is now NTT although p.IsNTT is still false
+	mustPanic("double NTT", func() { ln.NTT(p) })
+	out := r.NewPoly(level)
+	ln.AutomorphismNTT(out, p, r.GaloisElement(1)) // legal: pending-NTT input
+	mustPanic("in-place automorphism", func() { ln.AutomorphismNTT(p, p, r.GaloisElement(1)) })
+	pl.Run()
+	pl.Release()
+	if !p.IsNTT {
+		t.Fatal("domain flag not applied after Run")
+	}
+
+	mustPanic("short operand", func() {
+		pl := GetPipeline()
+		defer pl.Release()
+		short := r.NewPoly(0)
+		pl.Lane(r, level).ReduceLazy(short)
+	})
+}
+
+// TestPipelineTrafficAccounting: a pipelined chain charges distinct rows
+// once, credits the saved difference, and bumps the ring's limb-transform
+// counters exactly like the barriered transforms.
+func TestPipelineTrafficAccounting(t *testing.T) {
+	r := newTestRing(t, 5, 4)
+	s := NewSampler(37)
+	level := r.MaxLevel()
+	limbs := level + 1
+
+	acc := r.NewPoly(level)
+	acc.IsNTT = true
+	a := s.UniformPoly(r, level, false)
+	b := s.UniformPoly(r, level, true)
+
+	ntt0, _ := r.Counters()
+	pipeBefore := bytesPipelined.Value()
+	savedBefore := bytesSaved.Value()
+
+	pl := GetPipeline()
+	ln := pl.Lane(r, level)
+	ln.NTTLazy(a)                  // naive 2 rows
+	ln.MulCoeffsAddLazy(acc, a, b) // naive 4 rows
+	ln.ReduceLazy(acc)             // naive 2 rows
+	pl.Run()
+	pl.Release()
+
+	ntt1, _ := r.Counters()
+	if ntt1-ntt0 != int64(limbs) {
+		t.Fatalf("ntt limb counter moved by %d, want %d", ntt1-ntt0, limbs)
+	}
+	rowBytes := float64(limbs * r.N * 8)
+	// Distinct rows: a (read+written), b (read), acc (read+written) = 5.
+	if got := bytesPipelined.Value() - pipeBefore; got != 5*rowBytes {
+		t.Fatalf("pipelined bytes = %v, want %v", got, 5*rowBytes)
+	}
+	// Naive 8 rows - distinct 5 = 3 rows saved.
+	if got := bytesSaved.Value() - savedBefore; got != 3*rowBytes {
+		t.Fatalf("saved bytes = %v, want %v", got, 3*rowBytes)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Automorphism cache satellites
+
+// TestGaloisElementMatchesLoop: the square-and-multiply form agrees with the
+// retired O(r) multiply loop, including negative and wrapped rotations, and
+// the cached second lookup returns the same value.
+func TestGaloisElementMatchesLoop(t *testing.T) {
+	r := newTestRing(t, 8, 1)
+	rots := []int{0, 1, 2, 3, 5, 17, 100, r.N/2 - 1, r.N / 2, r.N, -1, -7, -r.N / 2, 123456, -99999}
+	for _, rot := range rots {
+		want := r.galoisElementLoop(rot)
+		if got := r.GaloisElement(rot); got != want {
+			t.Fatalf("rot %d: square-and-multiply %d != loop %d", rot, got, want)
+		}
+		if got := r.GaloisElement(rot); got != want {
+			t.Fatalf("rot %d: cached lookup %d != loop %d", rot, got, want)
+		}
+	}
+}
+
+// TestAutomorphismCacheConcurrent hammers the lock-free snapshot caches from
+// many goroutines resolving overlapping rotation sets (run under -race this
+// is the S2 regression: hot rotate paths must never contend or tear).
+func TestAutomorphismCacheConcurrent(t *testing.T) {
+	r := newTestRing(t, 6, 2)
+	s := NewSampler(41)
+	level := r.MaxLevel()
+	in := s.UniformPoly(r, level, true)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := r.NewPoly(level)
+			for iter := 0; iter < 50; iter++ {
+				rot := (w+iter)%7 + 1
+				g := r.GaloisElement(rot)
+				if g != r.galoisElementLoop(rot) {
+					t.Errorf("concurrent GaloisElement(%d) disagreed with loop oracle", rot)
+					return
+				}
+				if idx := r.nttAutoIndex(g); len(idx) != r.N {
+					t.Errorf("concurrent nttAutoIndex(%d) returned short table", g)
+					return
+				}
+				r.AutomorphismNTT(out, in, g, level)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -28,8 +28,8 @@ type Ring struct {
 	Moduli []modarith.Modulus
 	Tables []*ntt.Tables
 
-	autoMu    sync.Mutex
-	autoCache map[uint64][]int // galois element -> NTT-domain permutation
+	autoMu   sync.Mutex                 // serializes autoSnap writers (cold path only)
+	autoSnap atomic.Pointer[autoTables] // automorphism caches; lock-free reads
 
 	// pool recycles Poly scratch buffers per limb count (see pool.go).
 	pool polyPool
@@ -59,12 +59,12 @@ func NewRing(logN int, primes []uint64) (*Ring, error) {
 		return nil, fmt.Errorf("ring: empty prime chain")
 	}
 	r := &Ring{
-		N:         1 << uint(logN),
-		LogN:      logN,
-		Moduli:    make([]modarith.Modulus, len(primes)),
-		Tables:    make([]*ntt.Tables, len(primes)),
-		autoCache: make(map[uint64][]int),
+		N:      1 << uint(logN),
+		LogN:   logN,
+		Moduli: make([]modarith.Modulus, len(primes)),
+		Tables: make([]*ntt.Tables, len(primes)),
 	}
+	r.autoSnap.Store(&autoTables{perm: map[uint64][]uint32{}, gal: map[int]uint64{}})
 	for i, q := range primes {
 		mod, err := modarith.NewModulus(q)
 		if err != nil {
@@ -192,6 +192,7 @@ func (r *Ring) NTT(p *Poly, level int) {
 	}
 	ntt.ForwardMany(r.Tables[:level+1], p.Coeffs[:level+1])
 	r.nttLimbs.Add(int64(level + 1))
+	accountRows(bytesTransform, 2, level+1, r.N)
 	p.IsNTT = true
 }
 
@@ -202,6 +203,7 @@ func (r *Ring) INTT(p *Poly, level int) {
 	}
 	ntt.InverseMany(r.Tables[:level+1], p.Coeffs[:level+1])
 	r.inttLimbs.Add(int64(level + 1))
+	accountRows(bytesTransform, 2, level+1, r.N)
 	p.IsNTT = false
 }
 
@@ -216,6 +218,7 @@ func (r *Ring) NTTLazy(p *Poly, level int) {
 	}
 	ntt.ForwardManyLazy(r.Tables[:level+1], p.Coeffs[:level+1])
 	r.nttLimbs.Add(int64(level + 1))
+	accountRows(bytesTransform, 2, level+1, r.N)
 	p.IsNTT = true
 }
 
@@ -226,5 +229,6 @@ func (r *Ring) INTTLazy(p *Poly, level int) {
 	}
 	ntt.InverseManyLazy(r.Tables[:level+1], p.Coeffs[:level+1])
 	r.inttLimbs.Add(int64(level + 1))
+	accountRows(bytesTransform, 2, level+1, r.N)
 	p.IsNTT = false
 }

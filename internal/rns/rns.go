@@ -297,6 +297,39 @@ func (rs *Rescaler) DivRoundByLastModulus(rows [][]uint64) {
 	rs.tPool.Put(&t)
 }
 
+// Per-limb access to the rescale step, for callers that schedule limbs
+// themselves (the ckks limb pipeline): BorrowT/LastRowPlusHalf compute the
+// shared [x + q_L/2]_{q_L} row once, then StepRow applies the update to one
+// limb. The kernels are exactly the ones DivRoundByLastModulus dispatches,
+// so a per-limb schedule is bit-identical to the batch form.
+
+// BorrowT returns a pooled scratch row of length n for LastRowPlusHalf.
+// Return it with ReturnT.
+func (rs *Rescaler) BorrowT(n int) []uint64 {
+	var t []uint64
+	if v := rs.tPool.Get(); v != nil {
+		t = (*(v.(*[]uint64)))[:0]
+	}
+	if cap(t) < n {
+		t = make([]uint64, n)
+	}
+	return t[:n]
+}
+
+// ReturnT hands a BorrowT row back to the pool.
+func (rs *Rescaler) ReturnT(t []uint64) { rs.tPool.Put(&t) }
+
+// LastRowPlusHalf fills t with [x + q_L/2]_{q_L} from the chain's last row.
+func (rs *Rescaler) LastRowPlusHalf(t, last []uint64) {
+	rs.moduli[len(rs.moduli)-1].VecAddScalar(t, last, rs.half)
+}
+
+// StepRow applies the rescale update in place to limb i < L:
+// row[j] = (row[j] + (q_L/2 mod q_i) − t[j]) · q_L^{-1} mod q_i.
+func (rs *Rescaler) StepRow(i int, row, t []uint64) {
+	rs.moduli[i].VecRescaleStep(row, t, rs.halfMod[i], rs.inv[i], rs.invS[i])
+}
+
 // DivRoundByLastModulus is the one-shot form of Rescaler: it derives the
 // constants for moduli (len(rows) limbs) and rescales rows in place. Hot
 // paths should cache a Rescaler per level instead.
