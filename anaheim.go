@@ -170,6 +170,14 @@ func (c *Context) GenRotationKeys(rotations ...int) {
 // GenConjugationKey prepares the complex-conjugation key.
 func (c *Context) GenConjugationKey() { c.kgen.GenConjugationKey(c.sk, c.keys) }
 
+// GenLinearTransformKeys prepares exactly the Galois keys the given linear
+// transforms need under the evaluator's dispatch: the BSGS baby + giant
+// rotations for maps where the cost model selects a baby-step, and the raw
+// diagonal offsets for the rest.
+func (c *Context) GenLinearTransformKeys(lts ...*LinearTransform) {
+	c.kgen.GenRotationKeys(c.sk, c.keys, ckks.GaloisKeysForLinearTransform(c.Params, lts...))
+}
+
 // EvaluationKeys returns the context's evaluation key set — the material a
 // client uploads to a server (relinearization + Galois keys, no secret).
 func (c *Context) EvaluationKeys() *EvaluationKeySet { return c.keys }
@@ -279,11 +287,13 @@ func (c *Context) Rotate(ct *Ciphertext, k int) (*Ciphertext, error) { return c.
 // Conjugate returns the slot-wise complex conjugate.
 func (c *Context) Conjugate(ct *Ciphertext) (*Ciphertext, error) { return c.eval.Conjugate(ct) }
 
-// EvaluateLinearTransform applies a diagonal-form linear map with the
-// hoisting optimization (one ModUp for all rotations, §III-B). Rotation keys
-// for lt.Rotations() must exist.
+// EvaluateLinearTransform applies a diagonal-form linear map. Dense maps run
+// the double-hoisted BSGS sweep (~bs + K/bs key switches) when its keys are
+// present; otherwise the per-diagonal hoisted sweep (one ModUp for all
+// rotations, §III-B) is used. Keys from GenLinearTransformKeys (or rotation
+// keys for lt.Rotations()) must exist.
 func (c *Context) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform) (*Ciphertext, error) {
-	out, err := c.eval.EvaluateLinearTransformHoisted(ct, lt, c.enc)
+	out, err := c.eval.EvaluateLinearTransform(ct, lt, c.enc)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// runLinTransTable emits the linear-transform strategy rows of a -micro JSON
+// as a markdown table: ns/op next to the deterministic key-switch count per
+// sweep (rotationsPerOp), with the BSGS-vs-per-diagonal pair summarized as a
+// speedup line. The rotation column is what makes strategy regressions
+// visible in CI even when shared-runner ns/op jitter hides them.
+func runLinTransTable(out io.Writer, path string) error {
+	rep, err := readReport(path)
+	if err != nil {
+		return err
+	}
+	byOp := make(map[string]microResult)
+	var ops []string
+	for _, r := range rep.Results {
+		if strings.HasPrefix(r.Op, "lintrans") {
+			byOp[r.Op] = r
+			ops = append(ops, r.Op)
+		}
+	}
+	if len(ops) == 0 {
+		return fmt.Errorf("anaheim-bench: %s has no lintrans rows — was it produced with -micro?", path)
+	}
+	sort.Strings(ops)
+
+	fmt.Fprintln(out, "## Linear-transform sweeps (BSGS vs per-diagonal hoisting)")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "| op | ns/op | key switches/op | allocs/op |")
+	fmt.Fprintln(out, "|---|---|---|---|")
+	for _, op := range ops {
+		r := byOp[op]
+		rot := "—"
+		if r.RotationsOp > 0 {
+			rot = fmt.Sprintf("%.0f", r.RotationsOp)
+		}
+		fmt.Fprintf(out, "| %s | %.0f | %s | %d |\n", r.Op, r.NsPerOp, rot, r.AllocsOp)
+	}
+
+	bsgs, haveBSGS := byOp["lintrans-bsgs"]
+	pd, havePD := byOp["lintrans-perdiag"]
+	if haveBSGS && havePD && bsgs.NsPerOp > 0 && bsgs.RotationsOp > 0 {
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "BSGS runs the dense sweep with %.0f key switches vs %.0f per-diagonal (%.1fx fewer), %.2fx faster end to end (interleaved timing).\n",
+			bsgs.RotationsOp, pd.RotationsOp, pd.RotationsOp/bsgs.RotationsOp, pd.NsPerOp/bsgs.NsPerOp)
+	}
+	return nil
+}

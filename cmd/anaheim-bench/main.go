@@ -13,6 +13,7 @@
 //	anaheim-bench -compare BENCH_BASELINE.json -against new.json   # perf regression gate
 //	anaheim-bench -tiertable new.json             # per-kernel-tier rows as markdown
 //	anaheim-bench -membwtable new.json            # pipelined-vs-barriered traffic as markdown
+//	anaheim-bench -lttable new.json               # lintrans BSGS-vs-per-diagonal rows as markdown
 //	anaheim-bench -tenants 8 -mix logreg,lintrans -duration 5s -batch both
 //	                                              # many-tenant serving load driver:
 //	                                              # per-tier p50/p99, batch occupancy,
@@ -45,6 +46,7 @@ func main() {
 	outPath := flag.String("o", "", "write -micro JSON here instead of stdout")
 	tierTable := flag.String("tiertable", "", "emit the per-kernel-tier rows of a -micro JSON as a markdown table")
 	membwTable := flag.String("membwtable", "", "emit the pipelined-vs-barriered traffic rows of a -micro JSON as a markdown table")
+	ltTable := flag.String("lttable", "", "emit the linear-transform strategy rows (BSGS vs per-diagonal, with key-switch counts) of a -micro JSON as a markdown table")
 	compareBase := flag.String("compare", "", "baseline -micro JSON to compare against")
 	compareNew := flag.String("against", "", "candidate -micro JSON for -compare")
 	tolerance := flag.Float64("tolerance", 25, "percent ns/op slowdown tolerated by -compare")
@@ -98,6 +100,11 @@ func main() {
 		}
 	case *membwTable != "":
 		if err := runMemBWTable(os.Stdout, *membwTable); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *ltTable != "":
+		if err := runLinTransTable(os.Stdout, *ltTable); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

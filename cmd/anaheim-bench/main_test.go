@@ -89,6 +89,17 @@ func TestRunMicroEmitsJSON(t *testing.T) {
 	if byOp["ntt_fwd-n12-l1"].MemBytesOp != 0 {
 		t.Errorf("unprobed rows must omit the membw column: %+v", byOp["ntt_fwd-n12-l1"])
 	}
+	// The BSGS pair's key-switch counts are deterministic (counter deltas,
+	// no timing): the dense sweep must spend strictly fewer gadget products
+	// under the BSGS factorization than under the per-diagonal sweep.
+	ltB, ltP := byOp["lintrans-bsgs"], byOp["lintrans-perdiag"]
+	if ltB.RotationsOp <= 0 || ltP.RotationsOp <= 0 {
+		t.Fatalf("lintrans pair rows missing rotationsPerOp: %+v / %+v", ltB, ltP)
+	}
+	if ltB.RotationsOp >= ltP.RotationsOp {
+		t.Errorf("BSGS spends %.0f key switches/op, per-diagonal %.0f — the factorization must cut rotations",
+			ltB.RotationsOp, ltP.RotationsOp)
+	}
 	if rep.Metrics == nil {
 		t.Fatal("-metrics snapshot missing from report")
 	}

@@ -35,6 +35,12 @@ type microResult struct {
 	// internal/ring/traffic.go), so these diff exactly across runs.
 	MemBytesOp float64 `json:"memBytesPerOp,omitempty"`
 	MemSavedOp float64 `json:"memBytesSavedPerOp,omitempty"`
+	// RotationsOp is the number of key-switch gadget products one linear
+	// transform sweep spends (the ckks_lintrans_rotations_total delta around
+	// a single run), attached to the lintrans rows. Deterministic, so it
+	// diffs exactly: the BSGS row must sit at ~bs + K/bs while the
+	// per-diagonal row pays K.
+	RotationsOp float64 `json:"rotationsPerOp,omitempty"`
 }
 
 type microReport struct {
@@ -586,6 +592,36 @@ func measurePair(rounds, batch int, op func() error) (pipedNs, barrNs float64, e
 	return float64(tPiped.Nanoseconds()) / n, float64(tBarr.Nanoseconds()) / n, nil
 }
 
+// measureOpPair interleaves two different ops (instead of two toggle modes)
+// with the same batching discipline as measurePair, for pairs like
+// BSGS-vs-per-diagonal where the comparison is between algorithms, not
+// kernel modes.
+func measureOpPair(rounds, batch int, opA, opB func() error) (aNs, bNs float64, err error) {
+	var tA, tB time.Duration
+	for _, op := range []func() error{opA, opB} { // warm pools and caches
+		if err := op(); err != nil {
+			return 0, 0, err
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		for i, op := range []func() error{opA, opB} {
+			start := time.Now()
+			for k := 0; k < batch; k++ {
+				if err := op(); err != nil {
+					return 0, 0, err
+				}
+			}
+			if i == 0 {
+				tA += time.Since(start)
+			} else {
+				tB += time.Since(start)
+			}
+		}
+	}
+	n := float64(rounds * batch)
+	return float64(tA.Nanoseconds()) / n, float64(tB.Nanoseconds()) / n, nil
+}
+
 // addPipelineBenches registers the pipelined-vs-barriered pair rows for the
 // two hottest key-switching chains at the pipeGrid cell, plus their traffic
 // probes and interleaved pair timers. The pipelined row must beat the
@@ -808,6 +844,24 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string, withMemBW bool
 	lt := anaheim.NewLinearTransform(slots, diags)
 	ctx.GenRotationKeys(lt.Rotations()...)
 
+	// Dense 32-diagonal transform — the grouped bootstrap-DFT shape where the
+	// BSGS factorization wins. Two instances of the same matrix: one left on
+	// the cost model's automatic choice (BSGS, keys = baby ∪ giant set), one
+	// forced onto the per-diagonal hoisted sweep with per-offset keys.
+	denseDiags := make(map[int][]complex128)
+	for d := 0; d < 32; d++ {
+		row := make([]complex128, slots)
+		for i := range row {
+			row[i] = complex(float64((i+d)%7)/7, float64((i*d)%5)/6)
+		}
+		denseDiags[d] = row
+	}
+	ltDense := anaheim.NewLinearTransform(slots, denseDiags)
+	ctx.GenLinearTransformKeys(ltDense)
+	ltDensePD := anaheim.NewLinearTransform(slots, denseDiags)
+	ltDensePD.SetBabyStep(-1)
+	ctx.GenRotationKeys(ltDensePD.Rotations()...)
+
 	bootCtx, err := anaheim.NewContext(anaheim.BootParameters(), 2)
 	if err != nil {
 		return err
@@ -861,6 +915,59 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string, withMemBW bool
 				}
 			}
 		})
+	}
+
+	// BSGS-vs-per-diagonal pair on the dense matrix (both rows run the
+	// default kernel modes; the strategies differ, not the toggles). The
+	// rotation-count column is sampled separately per row below.
+	benches["lintrans-bsgs"] = func(b *testing.B) {
+		if _, err := ctx.EvaluateLinearTransform(ctU, ltDense); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.EvaluateLinearTransform(ctU, ltDense); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	benches["lintrans-perdiag"] = func(b *testing.B) {
+		if _, err := ctx.EvaluateLinearTransform(ctU, ltDensePD); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctx.EvaluateLinearTransform(ctU, ltDensePD); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	pairs = append(pairs, pairTiming{
+		pipedOp: "lintrans-bsgs",
+		barrOp:  "lintrans-perdiag",
+		measure: func() (float64, float64, error) {
+			return measureOpPair(8, 3,
+				func() error { _, err := ctx.EvaluateLinearTransform(ctU, ltDense); return err },
+				func() error { _, err := ctx.EvaluateLinearTransform(ctU, ltDensePD); return err })
+		},
+	})
+
+	// Key-switch counts per sweep, from the lintrans rotation counter — a
+	// deterministic column, so -compare style diffs see strategy regressions
+	// even when ns/op jitter hides them.
+	rotProbes := map[string]func() error{
+		"lintrans-bsgs":    func() error { _, err := ctx.EvaluateLinearTransform(ctU, ltDense); return err },
+		"lintrans-perdiag": func() error { _, err := ctx.EvaluateLinearTransform(ctU, ltDensePD); return err },
+	}
+	for _, fused := range modes {
+		suffix := "fused"
+		if !fused {
+			suffix = "unfused"
+		}
+		rotProbes["lintrans-"+suffix] = func() error { _, err := ctx.EvaluateLinearTransform(ctU, lt); return err }
+	}
+	rotTotal := func() float64 {
+		return obs.Default.Snapshot().Counters["ckks_lintrans_rotations_total"]
 	}
 
 	// Pipelined-vs-barriered bootstrap pair (fusion pinned on in both modes,
@@ -949,6 +1056,13 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string, withMemBW bool
 			res.MemSavedOp = saved
 			membw = fmt.Sprintf(" %9.1f MB moved/op", moved/(1<<20))
 		}
+		if probe, ok := rotProbes[name]; ok {
+			before := rotTotal()
+			if err := probe(); err != nil {
+				return fmt.Errorf("anaheim-bench: rotation probe %s: %w", name, err)
+			}
+			res.RotationsOp = rotTotal() - before
+		}
 		rep.Results = append(rep.Results, res)
 		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %8d allocs/op%s\n",
 			name, res.NsPerOp, res.AllocsOp, membw)
@@ -967,8 +1081,8 @@ func runMicro(out io.Writer, withMetrics bool, fusionMode string, withMemBW bool
 		}
 		byOp[pt.pipedOp].NsPerOp = pipedNs
 		byOp[pt.barrOp].NsPerOp = barrNs
-		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op vs %12.0f ns/op barriered (interleaved, %0.2fx)\n",
-			pt.pipedOp, pipedNs, barrNs, barrNs/pipedNs)
+		fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op vs %12.0f ns/op %s (interleaved, %0.2fx)\n",
+			pt.pipedOp, pipedNs, barrNs, pt.barrOp, barrNs/pipedNs)
 	}
 
 	if withMetrics {

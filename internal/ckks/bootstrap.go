@@ -75,17 +75,12 @@ func NewBootstrapper(params *Parameters, enc *Encoder, eval *Evaluator,
 		keys.Rlk = kgen.GenRelinearizationKey(sk)
 	}
 	kgen.GenConjugationKey(sk, keys)
-	rotSet := map[int]bool{}
-	for _, g := range append(append([]*LinearTransform{}, b.c2s...), b.s2c...) {
-		for _, r := range g.Rotations() {
-			rotSet[r] = true
-		}
-	}
-	rots := make([]int, 0, len(rotSet))
-	for r := range rotSet {
-		rots = append(rots, r)
-	}
-	kgen.GenRotationKeys(sk, keys, rots)
+	// Only the baby + giant rotations of the BSGS factorization (falling
+	// back to the raw diagonal offsets for matrices the cost model keeps on
+	// the per-diagonal sweep): the same helper the evaluator's dispatcher
+	// assumes, so the DFT sweeps below run BSGS by default.
+	lts := append(append([]*LinearTransform{}, b.c2s...), b.s2c...)
+	kgen.GenRotationKeys(sk, keys, GaloisKeysForLinearTransform(params, lts...))
 	return b, nil
 }
 
@@ -162,7 +157,7 @@ func (b *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	cur := raised
 	var err error
 	for _, g := range b.c2s {
-		cur, err = ev.EvaluateLinearTransformHoisted(cur, g, b.enc)
+		cur, err = ev.EvaluateLinearTransform(cur, g, b.enc)
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +180,7 @@ func (b *Bootstrapper) Bootstrap(ct *Ciphertext) (*Ciphertext, error) {
 	// 6. Recombine z = ct0 + i·ct1 and return to coefficient packing.
 	cur = ev.Add(ct0, ev.MulByI(ev.matchLevel(ct1, ct0)))
 	for _, g := range b.s2c {
-		cur, err = ev.EvaluateLinearTransformHoisted(cur, g, b.enc)
+		cur, err = ev.EvaluateLinearTransform(cur, g, b.enc)
 		if err != nil {
 			return nil, err
 		}

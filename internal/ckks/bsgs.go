@@ -1,0 +1,645 @@
+package ckks
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/anaheim-sim/anaheim/internal/obs"
+	"github.com/anaheim-sim/anaheim/internal/ring"
+)
+
+// Baby-step/giant-step evaluation of diagonal linear transforms with double
+// hoisting (§V-B, Fig 5). Every diagonal offset is factored as
+//
+//	r = g·bs + b ,  b ∈ [0, bs) ,
+//
+// and the sweep Σ_r d_r ⊙ σ_r(u) regrouped as
+//
+//	Σ_g σ_{g·bs}( Σ_b d'_{g,b} ⊙ σ_b(u) ) ,  d'_{g,b}[j] = d_{g·bs+b}[(j − g·bs) mod n] ,
+//
+// i.e. the encoded diagonals are pre-rotated by −g·bs offline so only the bs
+// baby rotations touch the ciphertext inside each giant's inner sum. The baby
+// rotations all come from ONE shared decomposition of c1 (hoisting) and their
+// key-switched halves stay in the extended QP basis; each giant's inner sum
+// is accumulated in QP and key-switched once by the giant rotation with the
+// ModDown deferred to the very end (double hoisting). A K-diagonal sweep thus
+// pays ~(bs − 1) + ⌈K/bs⌉ − 1 key-switch gadget products instead of K − 1.
+
+// bsgsDiag is one diagonal's factorization: offset r = rot + b with rot the
+// owning giant's rotation.
+type bsgsDiag struct {
+	r int // original diagonal offset (key into LinearTransform.Diags)
+	b int // baby offset, r ≡ rot + b (mod slots)
+}
+
+// bsgsGiant is one giant step: the rotation g·bs and the diagonals it owns.
+type bsgsGiant struct {
+	rot   int
+	diags []bsgsDiag
+}
+
+// bsgsPlan is the materialized factorization of a transform's diagonal set
+// for one baby step. It is immutable once built.
+type bsgsPlan struct {
+	bs     int
+	babies []int       // distinct nonzero baby offsets, sorted
+	giants []bsgsGiant // sorted by rotation; rot 0 first when present
+}
+
+// rotations returns the Galois rotation indices the plan needs: the nonzero
+// babies plus the nonzero giant rotations, sorted.
+func (pl *bsgsPlan) rotations() []int {
+	out := make([]int, 0, len(pl.babies)+len(pl.giants))
+	out = append(out, pl.babies...)
+	for _, g := range pl.giants {
+		if g.rot != 0 {
+			out = append(out, g.rot)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// keySwitchCount is the number of key-switch gadget products one sweep under
+// the plan spends: one per nonzero baby plus one per nonzero giant. This is
+// the count the ckks_lintrans_rotations_total counter advances by and the
+// quantity the sim's linearHoisted EvkCount models (trace parity).
+func (pl *bsgsPlan) keySwitchCount() int {
+	n := len(pl.babies)
+	for _, g := range pl.giants {
+		if g.rot != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// newBSGSPlan factors the diagonal set under the given baby step. Iteration
+// is over sorted offsets so the plan — and therefore the kernel execution
+// order — is deterministic.
+func newBSGSPlan(diags map[int][]complex128, n, bs int) *bsgsPlan {
+	if bs < 1 {
+		return nil
+	}
+	rs := make([]int, 0, len(diags))
+	for r := range diags {
+		rs = append(rs, r)
+	}
+	sort.Ints(rs)
+
+	pl := &bsgsPlan{bs: bs}
+	babySet := make(map[int]bool)
+	giantIdx := make(map[int]int)
+	for _, r := range rs {
+		b := r % bs
+		rot := r - b
+		gi, ok := giantIdx[rot]
+		if !ok {
+			gi = len(pl.giants)
+			giantIdx[rot] = gi
+			pl.giants = append(pl.giants, bsgsGiant{rot: rot})
+		}
+		pl.giants[gi].diags = append(pl.giants[gi].diags, bsgsDiag{r: r, b: b})
+		if b != 0 {
+			babySet[b] = true
+		}
+	}
+	for b := range babySet {
+		pl.babies = append(pl.babies, b)
+	}
+	sort.Ints(pl.babies)
+	sort.Slice(pl.giants, func(i, j int) bool { return pl.giants[i].rot < pl.giants[j].rot })
+	return pl
+}
+
+// sweepShape counts the key-switch primitives one linear-transform sweep
+// executes; sweepRowCost prices it. The diagonal PMULT/accumulate volume is
+// identical across strategies (each diagonal is multiplied exactly once), so
+// it is omitted — only relative order matters, as in planCost.
+type sweepShape struct {
+	decomps  int // ModUp decompositions (INTT + per-digit BConv + NTT)
+	gadgets  int // key-switch gadget products (KeyMult MACs)
+	modDowns int // ModDown compound ops
+	giants   int // nonzero giant steps (σ + add epilogue over QP)
+}
+
+// sweepRowCost models the limb-row transform volume of a sweep at level lvl,
+// in the same units as planCost: a decomposition is ~Digits passes over the
+// extended basis plus the source INTT, a gadget product 2·Digits extended
+// passes, a ModDown one pass over P plus Q, and a giant epilogue one σ+add
+// pass over the QP accumulators. The legacy plan shape is used so the choice
+// is deterministic and independent of the level-aware toggle.
+func sweepRowCost(p *Parameters, lvl int, s sweepShape) int {
+	pl := p.LegacyPlanAt(lvl)
+	ext := lvl + 1 + pl.Alpha
+	decompRows := pl.Digits*ext + lvl + 1
+	gadgetRows := 2 * pl.Digits * ext
+	modDownRows := pl.Alpha + lvl + 1
+	giantRows := 2*ext + lvl + 1
+	return s.decomps*decompRows + s.gadgets*gadgetRows + s.modDowns*modDownRows + s.giants*giantRows
+}
+
+// bsgsShape returns the sweep shape of evaluating the diagonal set with baby
+// step bs: (1 + G₁) decompositions, (B₁ + G₁) gadget products, (G₁ + 2)
+// ModDowns and G₁ giant epilogues, where B₁/G₁ are the distinct nonzero baby
+// and giant counts. G₁ == 0 means the factorization degenerates to the
+// per-diagonal hoisted sweep.
+func bsgsShape(diags map[int][]complex128, bs int) (sweepShape, bool) {
+	babies := make(map[int]bool)
+	giants := make(map[int]bool)
+	for r := range diags {
+		b := r % bs
+		if b != 0 {
+			babies[b] = true
+		}
+		if rot := r - b; rot != 0 {
+			giants[rot] = true
+		}
+	}
+	g1 := len(giants)
+	if g1 == 0 {
+		return sweepShape{}, false
+	}
+	return sweepShape{
+		decomps:  1 + g1,
+		gadgets:  len(babies) + g1,
+		modDowns: g1 + 2,
+		giants:   g1,
+	}, true
+}
+
+// selectBabyStep picks the baby step minimizing the modeled row cost at the
+// top level (the DFT sweeps run near the top of the chain, and a fixed level
+// keeps the choice — and hence the Galois key set — stable across the
+// ciphertext's descent). Candidates are the powers of two below the slot
+// count: the bootstrap DFT diagonals are symmetric sets of power-of-two
+// multiples, which power-of-two baby steps tile exactly. Returns 0 when the
+// per-diagonal hoisted sweep is never beaten.
+func (lt *LinearTransform) selectBabyStep(p *Parameters) int {
+	nonzero := 0
+	for r := range lt.Diags {
+		if r != 0 {
+			nonzero++
+		}
+	}
+	if nonzero <= 2 {
+		return 0
+	}
+	lvl := p.MaxLevel()
+	bestBS := 0
+	bestCost := sweepRowCost(p, lvl, sweepShape{decomps: 1, gadgets: nonzero, modDowns: 2})
+	for bs := 2; bs < lt.Slots; bs <<= 1 {
+		shape, ok := bsgsShape(lt.Diags, bs)
+		if !ok {
+			continue
+		}
+		if c := sweepRowCost(p, lvl, shape); c < bestCost {
+			bestCost, bestBS = c, bs
+		}
+	}
+	return bestBS
+}
+
+// SetBabyStep overrides the cost model's baby-step choice: bs > 0 forces the
+// BSGS factorization with that baby step, bs < 0 forces the per-diagonal
+// hoisted sweep, bs == 0 restores the automatic choice. Pre-rotated encodings
+// cached for a previous baby step are dropped.
+func (lt *LinearTransform) SetBabyStep(bs int) {
+	lt.bsgsMu.Lock()
+	switch {
+	case bs > 0:
+		lt.bsgsOverride = bs
+	case bs < 0:
+		lt.bsgsOverride = -1
+	default:
+		lt.bsgsOverride = 0
+	}
+	lt.bsgsReady = false
+	lt.bsgsSel = nil
+	lt.bsgsMu.Unlock()
+	lt.dropPreRotated()
+}
+
+// bsgsPlanFor returns the transform's BSGS plan under the parameters, or nil
+// when the per-diagonal hoisted sweep is the better (or forced) strategy. The
+// plan is computed once and cached; SetBabyStep invalidates it.
+func (lt *LinearTransform) bsgsPlanFor(p *Parameters) *bsgsPlan {
+	lt.bsgsMu.Lock()
+	defer lt.bsgsMu.Unlock()
+	if lt.bsgsOverride < 0 {
+		return nil
+	}
+	if lt.bsgsOverride > 0 {
+		if lt.bsgsSel == nil || lt.bsgsSel.bs != lt.bsgsOverride {
+			lt.bsgsSel = newBSGSPlan(lt.Diags, lt.Slots, lt.bsgsOverride)
+		}
+		return lt.bsgsSel
+	}
+	if !lt.bsgsReady {
+		if bs := lt.selectBabyStep(p); bs > 0 {
+			lt.bsgsSel = newBSGSPlan(lt.Diags, lt.Slots, bs)
+		}
+		lt.bsgsReady = true
+	}
+	return lt.bsgsSel
+}
+
+// GaloisKeysForLinearTransform returns the rotation indices the evaluator's
+// selected strategy needs for the given transforms: the baby ∪ giant set for
+// BSGS-eligible transforms, the raw diagonal offsets otherwise. Generating
+// exactly these keys is what turns the BSGS rotation saving into an
+// evaluation-key memory saving too (≤ bs + ⌈K/bs⌉ keys instead of K).
+func GaloisKeysForLinearTransform(p *Parameters, lts ...*LinearTransform) []int {
+	set := make(map[int]bool)
+	for _, lt := range lts {
+		if plan := lt.bsgsPlanFor(p); plan != nil {
+			for _, r := range plan.rotations() {
+				set[r] = true
+			}
+		} else {
+			for _, r := range lt.Rotations() {
+				set[r] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// hasGaloisKeys reports whether every listed rotation has a Galois key.
+func (ev *Evaluator) hasGaloisKeys(rotations []int) bool {
+	rq := ev.params.RingQ()
+	for _, r := range rotations {
+		if _, err := ev.keys.GaloisKey(rq.GaloisElement(r)); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// EvaluateLinearTransform computes M·u with the cheapest available strategy:
+// the BSGS double-hoisted sweep when the cost model selects it and the baby +
+// giant Galois keys are present (they are when the key set was generated via
+// GaloisKeysForLinearTransform), else the per-diagonal hoisted sweep — so
+// callers holding only per-diagonal keys keep working unchanged.
+func (ev *Evaluator) EvaluateLinearTransform(ct *Ciphertext, lt *LinearTransform, enc *Encoder) (*Ciphertext, error) {
+	if plan := lt.bsgsPlanFor(ev.params); plan != nil && ev.hasGaloisKeys(plan.rotations()) {
+		return ev.EvaluateLinearTransformBSGS(ct, lt, enc)
+	}
+	return ev.EvaluateLinearTransformHoisted(ct, lt, enc)
+}
+
+// giantAcc holds one giant step's accumulators. The baby-rotated key-switched
+// halves accumulate in the extended QP basis (t*), the σ_b(c0) products and
+// the unrotated (b == 0) c1 product stay in Q (a0/a1) — the same Q-vs-QP
+// split as the hoisted sweep, but per giant. For the rotation-0 giant the
+// fields alias the sweep's final accumulators directly, so its contributions
+// skip the giant epilogue entirely.
+type giantAcc struct {
+	t0q, t1q *ring.Poly // QP accumulators, Q half
+	t0p, t1p *ring.Poly // QP accumulators, P half
+	a0q      *ring.Poly // Q basis: Σ pt ⊙ σ_b(c0) over the giant's diagonals
+	a1q      *ring.Poly // Q basis: pt ⊙ c1 for the giant's b == 0 diagonal
+	ext      bool       // some b != 0 diagonal contributed (t* live)
+	hasA0    bool       // a0q carries content
+	hasA1    bool       // a1q carries content
+}
+
+// bsgsBabyTarget is one (giant, diagonal) MAC set inside a baby's block: the
+// five accumulators the baby's key-switched halves and c0 are multiplied
+// into, and the pre-rotated plaintext doing the multiplying.
+type bsgsBabyTarget struct {
+	acc      *giantAcc
+	ptQ, ptP *ring.Poly
+}
+
+// EvaluateLinearTransformBSGS computes M·u with the baby-step/giant-step
+// double-hoisting strategy. Falls back to the per-diagonal hoisted sweep when
+// the cost model rejects the factorization. The output scale is
+// ct.Scale · q_lvl, exactly like the hoisted sweep, so the caller's Rescale
+// restores the input scale.
+func (ev *Evaluator) EvaluateLinearTransformBSGS(ct *Ciphertext, lt *LinearTransform, enc *Encoder) (*Ciphertext, error) {
+	plan := lt.bsgsPlanFor(ev.params)
+	if plan == nil {
+		return ev.EvaluateLinearTransformHoisted(ct, lt, enc)
+	}
+	fused := FusionEnabled()
+	piped := pipelineActive()
+	defer obsLinTransBSGS.done(time.Now())
+	sweep := obs.DefaultTracer.Start("lintrans-bsgs", 0)
+	sweep.Annotate(fmt.Sprintf("bs=%d diags=%d ks=%d", plan.bs, len(lt.Diags), plan.keySwitchCount()))
+	defer sweep.End()
+
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvl := ct.Level()
+	ptScale := float64(rq.Moduli[lvl].Q)
+
+	diags, err := lt.encodedBSGSAt(enc, lvl, ptScale, plan)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve every Galois key before decomposing: the hoisted digits are
+	// shared across all baby rotations, so the gadget plan (and its per-key
+	// band check) must see the full baby + giant key list up front.
+	babyKeys := make(map[int]*SwitchingKey, len(plan.babies))
+	planKeys := make([]*SwitchingKey, 0, len(plan.babies)+len(plan.giants))
+	for _, b := range plan.babies {
+		swk, err := ev.keys.GaloisKey(rq.GaloisElement(b))
+		if err != nil {
+			return nil, err
+		}
+		babyKeys[b] = swk
+		planKeys = append(planKeys, swk)
+	}
+	giantKeys := make(map[int]*SwitchingKey, len(plan.giants))
+	for _, g := range plan.giants {
+		if g.rot == 0 {
+			continue
+		}
+		swk, err := ev.keys.GaloisKey(rq.GaloisElement(g.rot))
+		if err != nil {
+			return nil, err
+		}
+		giantKeys[g.rot] = swk
+		planKeys = append(planKeys, swk)
+	}
+	gpl := ev.planFor(lvl, planKeys...)
+	lvlP := gpl.Alpha - 1
+
+	dec := ev.decomposePlan(ct.C1, lvl, gpl)
+	defer dec.release(p)
+
+	// Final accumulators (same roles as the hoisted sweep's). The rotation-0
+	// giant writes them directly — its inner sum needs no giant rotation.
+	accE0q, accE1q := rq.NewPoly(lvl), rq.NewPoly(lvl)
+	accE0p, accE1p := rp.NewPoly(lvlP), rp.NewPoly(lvlP)
+	accQ0, accQ1 := rq.NewPoly(lvl), rq.NewPoly(lvl)
+	accE0q.IsNTT, accE1q.IsNTT, accE0p.IsNTT, accE1p.IsNTT = true, true, true, true
+	accQ0.IsNTT, accQ1.IsNTT = true, true
+
+	newQP := func() (q0, q1, p0, p1 *ring.Poly) {
+		q0, q1 = rq.NewPoly(lvl), rq.NewPoly(lvl)
+		p0, p1 = rp.NewPoly(lvlP), rp.NewPoly(lvlP)
+		q0.IsNTT, q1.IsNTT, p0.IsNTT, p1.IsNTT = true, true, true, true
+		return
+	}
+	accs := make([]*giantAcc, len(plan.giants))
+	for i, g := range plan.giants {
+		if g.rot == 0 {
+			accs[i] = &giantAcc{
+				t0q: accE0q, t1q: accE1q, t0p: accE0p, t1p: accE1p,
+				a0q: accQ0, a1q: accQ1,
+			}
+		} else {
+			accs[i] = &giantAcc{}
+		}
+	}
+	ensureExt := func(ga *giantAcc) {
+		if ga.t0q == nil {
+			ga.t0q, ga.t1q, ga.t0p, ga.t1p = newQP()
+		}
+		ga.ext = true
+	}
+	ensureA := func(ga *giantAcc) {
+		if ga.a0q == nil {
+			ga.a0q, ga.a1q = rq.NewPoly(lvl), rq.NewPoly(lvl)
+			ga.a0q.IsNTT, ga.a1q.IsNTT = true, true
+		}
+	}
+
+	// Group the plan's (giant, diagonal) pairs by baby offset: each baby pays
+	// one gadget product from the shared decomposition and its key-switched
+	// halves are multiplied into every giant owning a diagonal at rot + b.
+	perBaby := make(map[int][]bsgsBabyTarget)
+	for i, g := range plan.giants {
+		for _, d := range g.diags {
+			ed, ok := diags[d.r]
+			if !ok {
+				return nil, fmt.Errorf("ckks: bsgs encoding missing diagonal %d", d.r)
+			}
+			perBaby[d.b] = append(perBaby[d.b], bsgsBabyTarget{acc: accs[i], ptQ: ed.q, ptP: ed.p})
+		}
+	}
+
+	// Baby offset 0: no rotation — the products land in the giant's Q-basis
+	// accumulators directly (for the rotation-0 giant this is the classic
+	// r == 0 term).
+	for _, tg := range perBaby[0] {
+		ga := tg.acc
+		ensureA(ga)
+		if fused {
+			rq.MulCoeffsAddLazy(ga.a0q, ct.C0, tg.ptQ, lvl)
+			rq.MulCoeffsAddLazy(ga.a1q, ct.C1, tg.ptQ, lvl)
+		} else {
+			rq.MulCoeffsAdd(ga.a0q, ct.C0, tg.ptQ, lvl)
+			rq.MulCoeffsAdd(ga.a1q, ct.C1, tg.ptQ, lvl)
+		}
+		ga.hasA0, ga.hasA1 = true, true
+	}
+
+	// Baby step: one gadget product per distinct nonzero baby offset, shared
+	// across every giant consuming it. The key-switched halves stay in the
+	// extended QP basis — no per-baby ModDown (first hoisting level).
+	for _, b := range plan.babies {
+		targets := perBaby[b]
+		for _, tg := range targets {
+			ensureExt(tg.acc)
+			ensureA(tg.acc)
+			tg.acc.hasA0 = true
+		}
+		g := rq.GaloisElement(b)
+		swk := babyKeys[b]
+		obsLinTransRotations.Inc()
+		if piped {
+			ev.babyAccumPipelined(dec, swk, targets, ct.C0, g)
+			continue
+		}
+		if fused {
+			u0q, u1q := rq.GetPoly(lvl), rq.GetPoly(lvl)
+			u0p, u1p := rp.GetPoly(lvlP), rp.GetPoly(lvlP)
+			u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
+			ev.gadgetProductLazyInto(dec, swk, u0q, u1q, u0p, u1p)
+			for _, tg := range targets {
+				ga := tg.acc
+				rq.AutMulCoeffsAddLazy(ga.t0q, u0q, tg.ptQ, g, lvl)
+				rq.AutMulCoeffsAddLazy(ga.t1q, u1q, tg.ptQ, g, lvl)
+				rp.AutMulCoeffsAddLazy(ga.t0p, u0p, tg.ptP, g, lvlP)
+				rp.AutMulCoeffsAddLazy(ga.t1p, u1p, tg.ptP, g, lvlP)
+				rq.AutMulCoeffsAddLazy(ga.a0q, ct.C0, tg.ptQ, g, lvl)
+			}
+			rq.PutPoly(u0q)
+			rq.PutPoly(u1q)
+			rp.PutPoly(u0p)
+			rp.PutPoly(u1p)
+			continue
+		}
+		// Unfused: rotate the key-switched halves (and c0) once per baby,
+		// then exact PMULT+accumulate passes per consuming giant.
+		u0q, u0p, u1q, u1p := ev.gadgetProduct(dec, swk)
+		rot0q, rot1q := rq.GetPoly(lvl), rq.GetPoly(lvl)
+		rot0p, rot1p := rp.GetPoly(lvlP), rp.GetPoly(lvlP)
+		rq.AutomorphismNTT(rot0q, u0q, g, lvl)
+		rq.AutomorphismNTT(rot1q, u1q, g, lvl)
+		rp.AutomorphismNTT(rot0p, u0p, g, lvlP)
+		rp.AutomorphismNTT(rot1p, u1p, g, lvlP)
+		rq.PutPoly(u0q)
+		rq.PutPoly(u1q)
+		rp.PutPoly(u0p)
+		rp.PutPoly(u1p)
+		rotC0 := rq.GetPoly(lvl)
+		rq.AutomorphismNTT(rotC0, ct.C0, g, lvl)
+		for _, tg := range targets {
+			ga := tg.acc
+			rq.MulCoeffsAdd(ga.t0q, rot0q, tg.ptQ, lvl)
+			rq.MulCoeffsAdd(ga.t1q, rot1q, tg.ptQ, lvl)
+			rp.MulCoeffsAdd(ga.t0p, rot0p, tg.ptP, lvlP)
+			rp.MulCoeffsAdd(ga.t1p, rot1p, tg.ptP, lvlP)
+			rq.MulCoeffsAdd(ga.a0q, rotC0, tg.ptQ, lvl)
+		}
+		rq.PutPoly(rot0q)
+		rq.PutPoly(rot1q)
+		rp.PutPoly(rot0p)
+		rp.PutPoly(rot1p)
+		rq.PutPoly(rotC0)
+	}
+
+	// Phase boundary: normalize every lazy accumulator once, so the giant
+	// phase can mix exact adds and σ permutations freely.
+	if fused {
+		var qs, ps []*ring.Poly
+		for _, ga := range accs {
+			if ga.ext {
+				qs = append(qs, ga.t0q, ga.t1q)
+				ps = append(ps, ga.t0p, ga.t1p)
+			}
+			if ga.hasA0 || ga.hasA1 {
+				qs = append(qs, ga.a0q, ga.a1q)
+			}
+		}
+		if piped {
+			ev.reduceManyPipelined(qs, lvl, ps, lvlP)
+		} else {
+			for _, q := range qs {
+				rq.ReduceLazy(q, lvl)
+			}
+			for _, pp := range ps {
+				rp.ReduceLazy(pp, lvlP)
+			}
+		}
+	}
+
+	// Giant step: key-switch each nonzero giant's inner sum once by its
+	// rotation. The inner sum's c1 is reconstructed in Q (one ModDown of the
+	// baby accumulators plus the b == 0 term), decomposed, and the gadget
+	// product's v0 half accumulates straight onto the giant's T0 so the σ_g
+	// permutation applies to the sum once — the final ModDown of the whole
+	// sweep stays deferred (second hoisting level).
+	anyExt := false
+	for i, g := range plan.giants {
+		ga := accs[i]
+		if g.rot == 0 {
+			if ga.ext {
+				anyExt = true
+			}
+			continue
+		}
+		anyExt = true
+		span := obs.DefaultTracer.Start("lintrans-giant", sweep.ID())
+		span.Annotate(fmt.Sprintf("rot=%d diags=%d", g.rot, len(g.diags)))
+
+		var t1 *ring.Poly
+		if ga.ext {
+			t1 = ev.ModDown(ga.t1q, ga.t1p, lvl)
+			if ga.hasA1 {
+				rq.Add(t1, t1, ga.a1q, lvl)
+			}
+		} else {
+			t1 = ga.a1q
+		}
+		if !ga.ext {
+			// Giant with only a b == 0 diagonal: fresh zero QP accumulators
+			// receive the gadget product alone.
+			ga.t0q, ga.t1q, ga.t0p, ga.t1p = newQP()
+		}
+
+		decG := ev.decomposePlan(t1, lvl, gpl)
+		obsLinTransRotations.Inc()
+		gk := giantKeys[g.rot]
+		gal := rq.GaloisElement(g.rot)
+
+		w1q, w1p := rq.NewPoly(lvl), rp.NewPoly(lvlP)
+		w1q.IsNTT, w1p.IsNTT = true, true
+		if piped {
+			// gadgetProductPipelined reduces its accumulators on exit, so the
+			// σ+add epilogue below reads exact values.
+			ev.gadgetProductPipelined(decG, gk, ga.t0q, w1q, ga.t0p, w1p)
+		} else if fused {
+			ev.gadgetProductLazyInto(decG, gk, ga.t0q, w1q, ga.t0p, w1p)
+			rq.ReduceLazy(ga.t0q, lvl)
+			rq.ReduceLazy(w1q, lvl)
+			rp.ReduceLazy(ga.t0p, lvlP)
+			rp.ReduceLazy(w1p, lvlP)
+		} else {
+			v0q, v0p, v1q, v1p := ev.gadgetProduct(decG, gk)
+			rq.Add(ga.t0q, ga.t0q, v0q, lvl)
+			rp.Add(ga.t0p, ga.t0p, v0p, lvlP)
+			rq.Add(w1q, w1q, v1q, lvl)
+			rp.Add(w1p, w1p, v1p, lvlP)
+			rq.PutPoly(v0q)
+			rq.PutPoly(v1q)
+			rp.PutPoly(v0p)
+			rp.PutPoly(v1p)
+		}
+		decG.release(p)
+
+		// σ_g the giant's three partial results into the sweep accumulators.
+		if piped {
+			var a0 *ring.Poly
+			if ga.hasA0 {
+				a0 = ga.a0q
+			}
+			ev.giantAccumPipelined(ga.t0q, w1q, ga.t0p, w1p, a0, accE0q, accE1q, accE0p, accE1p, accQ0, gal)
+		} else {
+			tmpQ := rq.GetPoly(lvl)
+			rq.AutomorphismNTT(tmpQ, ga.t0q, gal, lvl)
+			rq.Add(accE0q, accE0q, tmpQ, lvl)
+			rq.AutomorphismNTT(tmpQ, w1q, gal, lvl)
+			rq.Add(accE1q, accE1q, tmpQ, lvl)
+			if ga.hasA0 {
+				rq.AutomorphismNTT(tmpQ, ga.a0q, gal, lvl)
+				rq.Add(accQ0, accQ0, tmpQ, lvl)
+			}
+			rq.PutPoly(tmpQ)
+			tmpP := rp.GetPoly(lvlP)
+			rp.AutomorphismNTT(tmpP, ga.t0p, gal, lvlP)
+			rp.Add(accE0p, accE0p, tmpP, lvlP)
+			rp.AutomorphismNTT(tmpP, w1p, gal, lvlP)
+			rp.Add(accE1p, accE1p, tmpP, lvlP)
+			rp.PutPoly(tmpP)
+		}
+		span.End()
+	}
+
+	out := &Ciphertext{Scale: ct.Scale * ptScale}
+	if anyExt {
+		if piped {
+			out.C0, out.C1 = ev.modDownPairPipelined(accE0q, accE0p, accE1q, accE1p, accQ0, accQ1, lvl)
+		} else {
+			d0 := ev.ModDown(accE0q, accE0p, lvl)
+			d1 := ev.ModDown(accE1q, accE1p, lvl)
+			rq.Add(d0, d0, accQ0, lvl)
+			rq.Add(d1, d1, accQ1, lvl)
+			out.C0, out.C1 = d0, d1
+		}
+	} else {
+		out.C0, out.C1 = accQ0, accQ1
+	}
+	return out, nil
+}

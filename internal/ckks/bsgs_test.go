@@ -1,0 +1,371 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// withExecModes runs f once per execution mode (unfused, fused, pipelined),
+// restoring the process-wide toggles after.
+func withExecModes(t *testing.T, f func(mode string)) {
+	t.Helper()
+	prevF, prevP := FusionEnabled(), PipelinedEnabled()
+	defer func() { SetFusion(prevF); SetPipelined(prevP) }()
+	for _, m := range []struct {
+		name         string
+		fused, piped bool
+	}{
+		{"unfused", false, false},
+		{"fused", true, false},
+		{"pipelined", true, true},
+	} {
+		SetFusion(m.fused)
+		SetPipelined(m.piped)
+		f(m.name)
+	}
+}
+
+// denseTestTransform builds a K-diagonal contiguous transform with random
+// entries, the shape of a grouped bootstrap DFT matrix.
+func denseTestTransform(r *rand.Rand, slots, k int) *LinearTransform {
+	diags := make(map[int][]complex128, k)
+	for d := 0; d < k; d++ {
+		row := make([]complex128, slots)
+		for j := range row {
+			row[j] = complex((2*r.Float64()-1)*0.5, (2*r.Float64()-1)*0.5)
+		}
+		diags[d] = row
+	}
+	return NewLinearTransform(slots, diags)
+}
+
+// TestBSGSMatchesHoistedAndApply is the core differential: the BSGS sweep
+// must agree with both the plaintext Apply oracle and the per-diagonal
+// hoisted sweep, at every level that can host a transform and in all three
+// execution modes.
+func TestBSGSMatchesHoistedAndApply(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(60))
+	slots := tc.params.Slots()
+	lt := denseTestTransform(r, slots, 16)
+	lt.SetBabyStep(4)
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys,
+		append(GaloisKeysForLinearTransform(tc.params, lt), lt.Rotations()...))
+
+	u := randomComplex(r, slots, 1)
+	want := lt.Apply(u)
+	ctTop := tc.encryptVec(t, u)
+
+	withExecModes(t, func(mode string) {
+		for lvl := 1; lvl <= tc.params.MaxLevel(); lvl++ {
+			ct := tc.eval.DropLevel(ctTop, lvl)
+			got, err := tc.eval.EvaluateLinearTransformBSGS(ct, lt, tc.enc)
+			if err != nil {
+				t.Fatalf("%s lvl %d: %v", mode, lvl, err)
+			}
+			got = tc.eval.Rescale(got)
+			if e := maxErr(tc.decryptVec(got), want); e > 1e-3 {
+				t.Fatalf("%s lvl %d: BSGS vs Apply error %g", mode, lvl, e)
+			}
+
+			ref, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc)
+			if err != nil {
+				t.Fatalf("%s lvl %d: %v", mode, lvl, err)
+			}
+			ref = tc.eval.Rescale(ref)
+			if e := maxErr(tc.decryptVec(got), tc.decryptVec(ref)); e > 1e-3 {
+				t.Fatalf("%s lvl %d: BSGS vs hoisted divergence %g", mode, lvl, e)
+			}
+		}
+	})
+}
+
+// TestBSGSDFTAllFFTIters runs the homomorphic CoeffToSlot -> SlotToCoeff
+// round trip through the dispatcher for every fftIter grouping, with only
+// the keys GaloisKeysForLinearTransform asks for — the configuration the
+// bootstrapper runs.
+func TestBSGSDFTAllFFTIters(t *testing.T) {
+	// Deep enough chain for the fftIter=4 round trip (8 rescales).
+	lit := TestParameters()
+	lit.LogQ = append([]int{55}, repeatInts(45, 8)...)
+	for fftIter := 1; fftIter <= 4; fftIter++ {
+		t.Run(fmt.Sprintf("fftIter=%d", fftIter), func(t *testing.T) {
+			tc := newTestContext(t, lit)
+			c2s := tc.enc.CoeffToSlotMatrices(fftIter)
+			s2c := tc.enc.SlotToCoeffMatrices(fftIter)
+			lts := append(append([]*LinearTransform{}, c2s...), s2c...)
+			tc.kgen.GenRotationKeys(tc.sk, tc.keys,
+				GaloisKeysForLinearTransform(tc.params, lts...))
+
+			r := rand.New(rand.NewSource(int64(61 + fftIter)))
+			u := randomComplex(r, tc.params.Slots(), 1)
+			ct := tc.encryptVec(t, u)
+			for _, g := range lts {
+				var err error
+				ct, err = tc.eval.EvaluateLinearTransform(ct, g, tc.enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ct = tc.eval.Rescale(ct)
+			}
+			if e := maxErr(tc.decryptVec(ct), u); e > 1e-3 {
+				t.Fatalf("fftIter=%d: S2C∘C2S round trip error %g", fftIter, e)
+			}
+		})
+	}
+}
+
+// TestBSGSRotationCount pins the headline saving: a K-diagonal sweep under
+// baby step bs spends exactly (bs-1) + (⌈K/bs⌉-1) key-switch gadget
+// products, observed through the ckks_lintrans_rotations_total counter; the
+// per-diagonal hoisted sweep spends K-1. Also checks trace parity: with
+// bs = ⌈√K⌉ the plan's count matches the sim's linearHoisted EvkCount
+// formula bs + ⌈K/bs⌉ - 2.
+func TestBSGSRotationCount(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(62))
+	slots := tc.params.Slots()
+	const k = 16
+	lt := denseTestTransform(r, slots, k)
+	lt.SetBabyStep(4)
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys,
+		append(GaloisKeysForLinearTransform(tc.params, lt), lt.Rotations()...))
+
+	plan := lt.bsgsPlanFor(tc.params)
+	if plan == nil {
+		t.Fatal("forced baby step produced no plan")
+	}
+	wantKS := (4 - 1) + (k/4 - 1)
+	if got := plan.keySwitchCount(); got != wantKS {
+		t.Fatalf("plan keySwitchCount = %d, want %d", got, wantKS)
+	}
+
+	ct := tc.encryptVec(t, randomComplex(r, slots, 1))
+	before := obsLinTransRotations.Value()
+	if _, err := tc.eval.EvaluateLinearTransformBSGS(ct, lt, tc.enc); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(obsLinTransRotations.Value() - before); got != wantKS {
+		t.Fatalf("BSGS sweep spent %d key switches, want %d", got, wantKS)
+	}
+
+	before = obsLinTransRotations.Value()
+	if _, err := tc.eval.EvaluateLinearTransformHoisted(ct, lt, tc.enc); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(obsLinTransRotations.Value() - before); got != k-1 {
+		t.Fatalf("hoisted sweep spent %d key switches, want %d", got, k-1)
+	}
+
+	// Trace parity: the sim's linearHoisted models bs-1 baby KeyMults and
+	// gs-1 giant KeyMults with bs = ceil(sqrt(k)).
+	bsTrace := int(math.Ceil(math.Sqrt(float64(k))))
+	gsTrace := (k + bsTrace - 1) / bsTrace
+	lt.SetBabyStep(bsTrace)
+	plan = lt.bsgsPlanFor(tc.params)
+	if got := plan.keySwitchCount(); got != bsTrace+gsTrace-2 {
+		t.Fatalf("trace parity: keySwitchCount = %d, want %d", got, bsTrace+gsTrace-2)
+	}
+}
+
+// TestBSGSDispatcherFallsBackWithoutKeys checks the compatibility contract:
+// a key set holding only the per-diagonal rotations (the pre-BSGS layout)
+// must route EvaluateLinearTransform through the hoisted sweep rather than
+// fail on missing baby/giant keys.
+func TestBSGSDispatcherFallsBackWithoutKeys(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(63))
+	slots := tc.params.Slots()
+	const k = 16
+	lt := denseTestTransform(r, slots, k)
+	lt.SetBabyStep(4)
+	// Per-diagonal keys only: rotations 1..15 but none of the giant steps
+	// {4, 8, 12}... which ARE diagonal offsets here — so drop to a diagonal
+	// set whose giants are not raw offsets: odd offsets only.
+	diags := make(map[int][]complex128)
+	for d := 1; d < 2*k; d += 2 {
+		diags[d] = lt.Diags[(d/2)%k]
+	}
+	lt = NewLinearTransform(slots, diags)
+	lt.SetBabyStep(4)
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, lt.Rotations())
+
+	u := randomComplex(r, slots, 1)
+	want := lt.Apply(u)
+	ct := tc.encryptVec(t, u)
+
+	before := obsLinTransRotations.Value()
+	got, err := tc.eval.EvaluateLinearTransform(ct, lt, tc.enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All k diagonals are nonzero offsets -> hoisted spends k key switches.
+	if spent := int(obsLinTransRotations.Value() - before); spent != k {
+		t.Fatalf("fallback sweep spent %d key switches, want hoisted count %d", spent, k)
+	}
+	got = tc.eval.Rescale(got)
+	if e := maxErr(tc.decryptVec(got), want); e > 1e-3 {
+		t.Fatalf("fallback result error %g", e)
+	}
+}
+
+// TestBSGSLegacyKeyFallback pins the band-compatibility property for the
+// BSGS path: with every key's level-aware bands stripped (old key blobs),
+// the shared decomposition must fall back to the legacy gadget shape and
+// stay correct at every level and in every execution mode.
+func TestBSGSLegacyKeyFallback(t *testing.T) {
+	tc := newTestContext(t, richLevelAwareParams())
+	r := rand.New(rand.NewSource(64))
+	slots := tc.params.Slots()
+	lt := denseTestTransform(r, slots, 8)
+	lt.SetBabyStep(4)
+	tc.kgen.GenRotationKeys(tc.sk, tc.keys, GaloisKeysForLinearTransform(tc.params, lt))
+	for _, k := range tc.keys.Gal {
+		k.Bands = nil
+	}
+	tc.keys.Rlk.Bands = nil
+
+	u := randomComplex(r, slots, 1)
+	want := lt.Apply(u)
+	ctTop := tc.encryptVec(t, u)
+	withExecModes(t, func(mode string) {
+		for _, lvl := range []int{1, tc.params.MaxLevel() / 2, tc.params.MaxLevel()} {
+			ct := tc.eval.DropLevel(ctTop, lvl)
+			got, err := tc.eval.EvaluateLinearTransform(ct, lt, tc.enc)
+			if err != nil {
+				t.Fatalf("%s lvl %d: %v", mode, lvl, err)
+			}
+			got = tc.eval.Rescale(got)
+			if e := maxErr(tc.decryptVec(got), want); e > 1e-2 {
+				t.Fatalf("%s lvl %d: bandless BSGS error %g", mode, lvl, e)
+			}
+		}
+	})
+}
+
+// TestEncCacheConcurrent hammers the encoded-diagonal cache from many
+// goroutines across levels and both variants (plain + pre-rotated) under
+// -race: the singleflight must produce one consistent entry per key and the
+// byte gauge must account every cached coefficient.
+func TestEncCacheConcurrent(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(65))
+	lt := denseTestTransform(r, tc.params.Slots(), 8)
+	lt.SetBabyStep(4)
+	plan := lt.bsgsPlanFor(tc.params)
+	if plan == nil {
+		t.Fatal("no plan")
+	}
+
+	rq := tc.params.RingQ()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				lvl := 1 + (w+i)%tc.params.MaxLevel()
+				scale := float64(rq.Moduli[lvl].Q)
+				if _, err := lt.encodedAt(tc.enc, lvl, scale); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := lt.encodedBSGSAt(tc.enc, lvl, scale, plan); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if lt.CacheBytes() <= 0 {
+		t.Fatalf("cache bytes = %d, want > 0", lt.CacheBytes())
+	}
+	lt.ClearEncodedCache()
+	if lt.CacheBytes() != 0 {
+		t.Fatalf("cache bytes after clear = %d, want 0", lt.CacheBytes())
+	}
+}
+
+// TestComposeDiagSparse checks the sparse composition against a dense
+// reference on rows with structural zeros, and that offsets whose product
+// vanishes identically are never materialized.
+func TestComposeDiagSparse(t *testing.T) {
+	const n = 8
+	r := rand.New(rand.NewSource(66))
+	sparseRow := func(support ...int) []complex128 {
+		row := make([]complex128, n)
+		for _, j := range support {
+			row[j] = complex(2*r.Float64()-1, 2*r.Float64()-1)
+		}
+		return row
+	}
+	a := diagMap{0: sparseRow(0, 1, 2, 3), 2: sparseRow(4, 5)}
+	b := diagMap{0: sparseRow(0, 2, 4, 6), 6: sparseRow(1, 3)}
+
+	got := composeDiag(a, b, n)
+
+	// Dense reference: C_t[j] = Σ_{r+s≡t} A_r[j]·B_s[(j+r) mod n].
+	want := map[int][]complex128{}
+	for t2 := 0; t2 < n; t2++ {
+		want[t2] = make([]complex128, n)
+	}
+	for ra, ar := range a {
+		for s, bs := range b {
+			tt := ((ra+s)%n + n) % n
+			for j := 0; j < n; j++ {
+				want[tt][j] += ar[j] * bs[(j+ra)%n]
+			}
+		}
+	}
+	for t2, wrow := range want {
+		grow, ok := got[t2]
+		nonzero := false
+		for _, v := range wrow {
+			if v != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			if ok {
+				t.Fatalf("offset %d: zero product materialized a row", t2)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("offset %d: missing row", t2)
+		}
+		if e := maxErr(grow, wrow); e > 1e-12 {
+			t.Fatalf("offset %d: sparse compose error %g", t2, e)
+		}
+	}
+}
+
+// TestBSGSAutoSelection pins the cost model's direction at test scale: a
+// dense contiguous diagonal set must select a baby step while a 2-diagonal
+// map must stay on the per-diagonal sweep, and the selected plan must never
+// need more key switches than the hoisted sweep it replaces.
+func TestBSGSAutoSelection(t *testing.T) {
+	tc := newTestContext(t, TestParameters())
+	r := rand.New(rand.NewSource(67))
+	slots := tc.params.Slots()
+
+	dense := denseTestTransform(r, slots, 32)
+	plan := dense.bsgsPlanFor(tc.params)
+	if plan == nil {
+		t.Fatal("dense 32-diagonal transform did not select BSGS")
+	}
+	if plan.keySwitchCount() >= 31 {
+		t.Fatalf("BSGS plan spends %d key switches, hoisted needs 31", plan.keySwitchCount())
+	}
+
+	tiny := denseTestTransform(r, slots, 2)
+	if p := tiny.bsgsPlanFor(tc.params); p != nil {
+		t.Fatalf("2-diagonal transform selected BSGS bs=%d", p.bs)
+	}
+}

@@ -26,22 +26,37 @@ type diagMap map[int][]complex128
 
 // composeDiag returns A·B (B applied first):
 // C_t[j] = Σ_{r+s=t} A_r[j] · B_s[(j+r) mod n].
+//
+// The stage diagonals are mostly zero (each butterfly diagonal touches half
+// its block), so a candidate offset row is allocated only when some product
+// term is actually nonzero — composing the grouped bootstrap matrices stays
+// O(nonzero offsets) in allocations instead of O(K²) full-length rows that
+// would mostly be pruned again.
 func composeDiag(a, b diagMap, n int) diagMap {
 	c := make(diagMap)
 	for r, ar := range a {
 		for s, bs := range b {
 			t := ((r+s)%n + n) % n
-			row, ok := c[t]
-			if !ok {
-				row = make([]complex128, n)
-				c[t] = row
-			}
+			row := c[t]
 			for j := 0; j < n; j++ {
-				row[j] += ar[j] * bs[(j+r)%n]
+				av := ar[j]
+				if av == 0 {
+					continue
+				}
+				bv := bs[(j+r)%n]
+				if bv == 0 {
+					continue
+				}
+				if row == nil {
+					row = make([]complex128, n)
+					c[t] = row
+				}
+				row[j] += av * bv
 			}
 		}
 	}
-	// Prune numerically zero diagonals to keep rotation counts honest.
+	// Prune numerically zero diagonals (cancellation) to keep rotation
+	// counts honest.
 	for t, row := range c {
 		nonzero := false
 		for _, v := range row {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/anaheim-sim/anaheim/internal/ring"
@@ -20,14 +21,46 @@ type LinearTransform struct {
 	Slots int
 	Diags map[int][]complex128
 
-	// encMu guards encCache: level -> rotation -> diagonal encoded in the Q
-	// and P bases. Encoding a diagonal costs an IFFT plus two NTTs; it
-	// depends only on (diagonal, level), so it is the paper's "offline"
-	// plaintext preprocessing (§V-B pre-rotates these same plaintexts) and
-	// is cached across evaluations. The cache serves the fused and unfused
-	// paths alike, keeping their comparison about kernel shape only.
+	// encMu guards only the encCache map itself: each (level, variant) entry
+	// is built once outside the lock via per-entry singleflight, so
+	// concurrent sessions encoding different levels proceed in parallel and
+	// same-level racers wait on the builder instead of serializing every
+	// evaluation behind one transform-wide mutex. Encoding a diagonal costs
+	// an IFFT plus two NTTs; it depends only on (diagonal, level, giant
+	// pre-rotation), so it is the paper's "offline" plaintext preprocessing
+	// (§V-B pre-rotates these same plaintexts) and is cached across
+	// evaluations. The cache serves the fused and unfused paths alike,
+	// keeping their comparison about kernel shape only.
 	encMu    sync.Mutex
-	encCache map[int]map[int]encodedDiag
+	encCache map[encKey]*encEntry
+
+	// cacheBytes tracks the coefficient bytes held by encCache (also
+	// mirrored into the ckks_lintrans_cache_bytes gauge), so servers hosting
+	// many transforms can bound the pre-rotated plaintext working set via
+	// CacheBytes/ClearEncodedCache.
+	cacheBytes atomic.Int64
+
+	// BSGS strategy state (see bsgs.go): the cost model's decision is cached
+	// after the first query; SetBabyStep overrides and invalidates it.
+	bsgsMu       sync.Mutex
+	bsgsOverride int // 0 auto, >0 forced baby step, -1 forced per-diagonal
+	bsgsReady    bool
+	bsgsSel      *bsgsPlan
+}
+
+// encKey names one cached encoding variant of the transform's diagonals.
+type encKey struct {
+	lvl int
+	bs  int // 0: plain diagonals; >0: pre-rotated for the BSGS plan with this baby step
+}
+
+// encEntry is one singleflight-built encoding variant: ready is closed when
+// the build finishes (diags/err/bytes are immutable afterwards).
+type encEntry struct {
+	ready chan struct{}
+	diags map[int]encodedDiag
+	bytes int64
+	err   error
 }
 
 // encodedDiag is one diagonal lifted to the extended basis: NTT-form
@@ -36,12 +69,17 @@ type encodedDiag struct {
 	q, p *ring.Poly
 }
 
+func (d encodedDiag) bytes() int64 {
+	n := int64(len(d.q.Coeffs[0]))
+	return 8 * n * int64(d.q.Level()+1+d.p.Level()+1)
+}
+
 // NewLinearTransform copies the provided diagonals.
 func NewLinearTransform(slots int, diags map[int][]complex128) *LinearTransform {
 	lt := &LinearTransform{
 		Slots:    slots,
 		Diags:    make(map[int][]complex128, len(diags)),
-		encCache: make(map[int]map[int]encodedDiag),
+		encCache: make(map[encKey]*encEntry),
 	}
 	for r, d := range diags {
 		v := make([]complex128, slots)
@@ -51,28 +89,118 @@ func NewLinearTransform(slots int, diags map[int][]complex128) *LinearTransform 
 	return lt
 }
 
+// encodedVariant returns the cached encoding for key, building it via build
+// on first use. The transform-wide lock is held only for the map lookup and
+// insert; the expensive encode runs outside it, and concurrent callers of the
+// same key block on the entry's ready channel (singleflight). A failed build
+// is evicted so a later call can retry.
+func (lt *LinearTransform) encodedVariant(key encKey, build func() (map[int]encodedDiag, error)) (map[int]encodedDiag, error) {
+	lt.encMu.Lock()
+	if lt.encCache == nil {
+		lt.encCache = make(map[encKey]*encEntry)
+	}
+	if e, ok := lt.encCache[key]; ok {
+		lt.encMu.Unlock()
+		<-e.ready
+		return e.diags, e.err
+	}
+	e := &encEntry{ready: make(chan struct{})}
+	lt.encCache[key] = e
+	lt.encMu.Unlock()
+
+	e.diags, e.err = build()
+	if e.err != nil {
+		lt.encMu.Lock()
+		delete(lt.encCache, key)
+		lt.encMu.Unlock()
+	} else {
+		for _, d := range e.diags {
+			e.bytes += d.bytes()
+		}
+		lt.cacheBytes.Add(e.bytes)
+		obsLinTransCacheBytes.Add(e.bytes)
+	}
+	close(e.ready)
+	return e.diags, e.err
+}
+
 // encodedAt returns the transform's diagonals encoded for a ciphertext at
 // level lvl (scale = the level's top prime), building and caching them on
 // first use.
 func (lt *LinearTransform) encodedAt(enc *Encoder, lvl int, scale float64) (map[int]encodedDiag, error) {
-	lt.encMu.Lock()
-	defer lt.encMu.Unlock()
-	if lt.encCache == nil {
-		lt.encCache = make(map[int]map[int]encodedDiag)
-	}
-	if m, ok := lt.encCache[lvl]; ok {
-		return m, nil
-	}
-	m := make(map[int]encodedDiag, len(lt.Diags))
-	for r, diag := range lt.Diags {
-		pq, pp, err := enc.encodeDiagQP(diag, lvl, scale)
-		if err != nil {
-			return nil, err
+	return lt.encodedVariant(encKey{lvl: lvl}, func() (map[int]encodedDiag, error) {
+		m := make(map[int]encodedDiag, len(lt.Diags))
+		for r, diag := range lt.Diags {
+			pq, pp, err := enc.encodeDiagQP(diag, 0, lvl, scale)
+			if err != nil {
+				return nil, err
+			}
+			m[r] = encodedDiag{q: pq, p: pp}
 		}
-		m[r] = encodedDiag{q: pq, p: pp}
+		return m, nil
+	})
+}
+
+// encodedBSGSAt returns the diagonals encoded for the BSGS plan at level lvl:
+// each diagonal r = rot + b is pre-rotated by −rot at encode time (the §V-B
+// offline preprocessing), so the giant rotation can be applied to the whole
+// inner sum after the fact instead of to the ciphertext per diagonal.
+func (lt *LinearTransform) encodedBSGSAt(enc *Encoder, lvl int, scale float64, plan *bsgsPlan) (map[int]encodedDiag, error) {
+	return lt.encodedVariant(encKey{lvl: lvl, bs: plan.bs}, func() (map[int]encodedDiag, error) {
+		m := make(map[int]encodedDiag, len(lt.Diags))
+		for _, g := range plan.giants {
+			for _, d := range g.diags {
+				pq, pp, err := enc.encodeDiagQP(lt.Diags[d.r], -g.rot, lvl, scale)
+				if err != nil {
+					return nil, err
+				}
+				m[d.r] = encodedDiag{q: pq, p: pp}
+			}
+		}
+		return m, nil
+	})
+}
+
+// CacheBytes reports the coefficient bytes currently held by the encoded
+// diagonal cache.
+func (lt *LinearTransform) CacheBytes() int64 { return lt.cacheBytes.Load() }
+
+// ClearEncodedCache drops every completed cached encoding (entries still
+// being built are left for their builder to publish) and returns the bytes
+// freed.
+func (lt *LinearTransform) ClearEncodedCache() int64 {
+	return lt.dropCached(func(encKey) bool { return true })
+}
+
+// dropPreRotated evicts the pre-rotated (BSGS) encoding variants, used when
+// the baby step changes.
+func (lt *LinearTransform) dropPreRotated() {
+	lt.dropCached(func(k encKey) bool { return k.bs != 0 })
+}
+
+func (lt *LinearTransform) dropCached(match func(encKey) bool) int64 {
+	var freed int64
+	lt.encMu.Lock()
+	for k, e := range lt.encCache {
+		if !match(k) {
+			continue
+		}
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				freed += e.bytes
+			}
+			delete(lt.encCache, k)
+		default:
+			// Still building: the builder owns the entry; leave it.
+		}
 	}
-	lt.encCache[lvl] = m
-	return m, nil
+	lt.encMu.Unlock()
+	if freed != 0 {
+		lt.cacheBytes.Add(-freed)
+		obsLinTransCacheBytes.Add(-freed)
+	}
+	return freed
 }
 
 // Rotations returns the rotation indices needed to evaluate the transform.
@@ -100,14 +228,24 @@ func (lt *LinearTransform) Apply(u []complex128) []complex128 {
 
 // encodeDiagQP encodes a diagonal into both the Q basis (level lvl) and the
 // P basis, sharing the same integer coefficients — the "larger plaintexts in
-// the extended modulus PQ" that hoisting requires (§III-B).
-func (e *Encoder) encodeDiagQP(values []complex128, lvl int, scale float64) (*ring.Poly, *ring.Poly, error) {
+// the extended modulus PQ" that hoisting requires (§III-B). rot slot-rotates
+// the values before encoding (v[j] = values[(j+rot) mod slots]); the BSGS
+// path passes −(giant rotation) so the pre-rotation happens offline, at
+// encode time, instead of on the ciphertext.
+func (e *Encoder) encodeDiagQP(values []complex128, rot, lvl int, scale float64) (*ring.Poly, *ring.Poly, error) {
 	slots := e.params.Slots()
 	if len(values) > slots {
 		return nil, nil, fmt.Errorf("ckks: diagonal longer than slot count")
 	}
 	vals := make([]complex128, slots)
 	copy(vals, values)
+	if rot %= slots; rot != 0 {
+		rotated := make([]complex128, slots)
+		for j := range rotated {
+			rotated[j] = vals[((j+rot)%slots+slots)%slots]
+		}
+		vals = rotated
+	}
 	e.specialIFFT(vals)
 
 	nh := e.params.N() / 2
@@ -191,6 +329,7 @@ func (ev *Evaluator) EvaluateLinearTransformHoisted(ct *Ciphertext, lt *LinearTr
 			continue
 		}
 		anyExt = true
+		obsLinTransRotations.Inc()
 		g := rq.GaloisElement(r)
 		swk := swks[r]
 		if fused && piped {

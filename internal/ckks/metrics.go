@@ -53,6 +53,18 @@ var (
 	obsMulConstAccum   = newOpObs("mulconst-accum")
 	obsLinTransFused   = newOpObs("lintrans-hoisted-fused")
 	obsLinTransUnfused = newOpObs("lintrans-hoisted")
+	obsLinTransBSGS    = newOpObs("lintrans-bsgs")
+
+	// Key-switch gadget products spent inside linear-transform sweeps: the
+	// hoisted path advances it once per nonzero diagonal, the BSGS path once
+	// per nonzero baby and once per nonzero giant — so a sweep's delta is
+	// exactly the rotation count the §V-B cost model predicts, and the BSGS
+	// win (K → ~bs + K/bs) is assertable from /metrics.
+	obsLinTransRotations = obs.Default.Counter("ckks_lintrans_rotations_total")
+
+	// Coefficient bytes held by LinearTransform encoded-diagonal caches
+	// (plain + pre-rotated variants) across the process.
+	obsLinTransCacheBytes = obs.Default.Gauge("ckks_lintrans_cache_bytes")
 
 	// Level-aware key-switch plan shape, observed once per Decompose: the
 	// distribution of P-prefix lengths and digit counts actually used shows

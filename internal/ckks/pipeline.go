@@ -282,6 +282,101 @@ func (ev *Evaluator) autAccumPipelined(dec *decomposed, swk *SwitchingKey,
 	rp.PutPoly(u1p)
 }
 
+// babyAccumPipelined is one baby rotation's block of the BSGS linear
+// transform as a single pipeline Run: the digit NTTs (first consumer only),
+// the shared gadget-product MACs, and — per consuming giant — the five
+// automorphism-fused multiply-accumulates into that giant's accumulators, all
+// executing per limb while the key-switched rows are cache-resident. Like
+// autAccumPipelined, every accumulator stays lazy; the sweep reduces them
+// once at the baby/giant phase boundary.
+func (ev *Evaluator) babyAccumPipelined(dec *decomposed, swk *SwitchingKey,
+	targets []bsgsBabyTarget, c0 *ring.Poly, g uint64) {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvl := dec.level
+	lvlP := dec.plan.Alpha - 1
+	bQ, aQ, bP, aP, ok := swk.gadget(dec.plan, p.Alpha())
+	if !ok {
+		panic("ckks: switching key lacks the band for the decomposition's gadget plan")
+	}
+	u0q, u1q := rq.GetPoly(lvl), rq.GetPoly(lvl)
+	u0p, u1p := rp.GetPoly(lvlP), rp.GetPoly(lvlP)
+	u0q.IsNTT, u1q.IsNTT, u0p.IsNTT, u1p.IsNTT = true, true, true, true
+
+	pipe := ring.GetPipeline()
+	lq := pipe.Lane(rq, lvl)
+	lp := pipe.Lane(rp, lvlP)
+	for d := range dec.q {
+		if dec.coeffDomain {
+			lq.NTTLazy(dec.q[d])
+			lp.NTTLazy(dec.p[d])
+		}
+		lq.MulCoeffsAddLazy(u0q, dec.q[d], bQ[d])
+		lq.MulCoeffsAddLazy(u1q, dec.q[d], aQ[d])
+		lp.MulCoeffsAddLazy(u0p, dec.p[d], bP[d])
+		lp.MulCoeffsAddLazy(u1p, dec.p[d], aP[d])
+	}
+	for _, tg := range targets {
+		ga := tg.acc
+		lq.AutMulCoeffsAddLazy(ga.t0q, u0q, tg.ptQ, g)
+		lq.AutMulCoeffsAddLazy(ga.t1q, u1q, tg.ptQ, g)
+		lp.AutMulCoeffsAddLazy(ga.t0p, u0p, tg.ptP, g)
+		lp.AutMulCoeffsAddLazy(ga.t1p, u1p, tg.ptP, g)
+		lq.AutMulCoeffsAddLazy(ga.a0q, c0, tg.ptQ, g)
+	}
+	pipe.Run()
+	pipe.Release()
+	dec.coeffDomain = false
+
+	rq.PutPoly(u0q)
+	rq.PutPoly(u1q)
+	rp.PutPoly(u0p)
+	rp.PutPoly(u1p)
+}
+
+// giantAccumPipelined is one giant step's σ+add epilogue as a single pipeline
+// Run: each partial result (T0 + v0, v1, and the Q-basis σ_b(c0) sum when
+// present) is permuted by the giant's Galois element into a scratch row and
+// added into the sweep accumulator while the row is cache-resident. Inputs
+// must be exact (the BSGS giant phase reduces them before calling).
+func (ev *Evaluator) giantAccumPipelined(t0q, w1q, t0p, w1p, a0q,
+	accE0q, accE1q, accE0p, accE1p, accQ0 *ring.Poly, gal uint64) {
+	p := ev.params
+	rq, rp := p.RingQ(), p.RingP()
+	lvl := accE0q.Level()
+	lvlP := accE0p.Level()
+	tmp0, tmp1 := rq.GetPoly(lvl), rq.GetPoly(lvl)
+	tmp0p, tmp1p := rp.GetPoly(lvlP), rp.GetPoly(lvlP)
+
+	pipe := ring.GetPipeline()
+	lq := pipe.Lane(rq, lvl)
+	lp := pipe.Lane(rp, lvlP)
+	lq.AutomorphismNTT(tmp0, t0q, gal)
+	lq.Add(accE0q, accE0q, tmp0)
+	lq.AutomorphismNTT(tmp1, w1q, gal)
+	lq.Add(accE1q, accE1q, tmp1)
+	lp.AutomorphismNTT(tmp0p, t0p, gal)
+	lp.Add(accE0p, accE0p, tmp0p)
+	lp.AutomorphismNTT(tmp1p, w1p, gal)
+	lp.Add(accE1p, accE1p, tmp1p)
+	var tmpA *ring.Poly
+	if a0q != nil {
+		tmpA = rq.GetPoly(lvl)
+		lq.AutomorphismNTT(tmpA, a0q, gal)
+		lq.Add(accQ0, accQ0, tmpA)
+	}
+	pipe.Run()
+	pipe.Release()
+
+	rq.PutPoly(tmp0)
+	rq.PutPoly(tmp1)
+	rp.PutPoly(tmp0p)
+	rp.PutPoly(tmp1p)
+	if tmpA != nil {
+		rq.PutPoly(tmpA)
+	}
+}
+
 // reduceManyPipelined normalizes several lazy accumulators (Q-basis at lvl,
 // P-basis at lvlP) in one pipeline Run — the end-of-sweep reductions of the
 // hoisted linear transform, one barrier instead of one per accumulator.

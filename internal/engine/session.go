@@ -241,7 +241,10 @@ func (s *Session) evalOp(op *OpSpec, arg func(string) (*ckks.Ciphertext, error))
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown transform %q", op.Name)
 		}
-		out, err = ev.EvaluateLinearTransformHoisted(args[0], lt, s.Enc)
+		// Dispatches to the BSGS double-hoisted sweep when the session's key
+		// set carries the baby + giant rotations; per-diagonal key sets keep
+		// the hoisted path.
+		out, err = ev.EvaluateLinearTransform(args[0], lt, s.Enc)
 		if err == nil {
 			out = ev.Rescale(out)
 		}
